@@ -1,0 +1,59 @@
+// Appendices C/D/E: the P¬Opt pipelines re-run under the naive cost model
+// and under the paper's sparse-binding variations (§9.1.1's "AS/NS in the
+// role of M" discussion): with an ultra-sparse M, t(M%*%N) barely gains
+// (the big intermediate never densifies), while a Netflix-sparsity M still
+// gains ~1.8x; (MN)M becomes much faster outright.
+
+#include <cstdio>
+
+#include "core/hadad.h"
+
+using namespace hadad;  // NOLINT
+
+namespace {
+
+int RunBindings(const char* label, const core::LaBenchConfig& config,
+                uint64_t seed) {
+  Rng rng(seed);
+  engine::Workspace ws = core::MakeLaBenchWorkspace(rng, config);
+  pacb::Optimizer optimizer(ws.BuildMetaCatalog());  // Naive estimator.
+  optimizer.SetData(&ws.data());
+  engine::Engine naive(engine::Profile::kNaive, &ws);
+  core::PrintComparisonHeader(label);
+  for (const char* id : {"P1.1", "P1.13", "P1.15", "P1.12", "P2.10"}) {
+    const core::Pipeline* p = core::FindPipeline(id);
+    auto row = core::ComparePipeline(p->id, p->text, optimizer, naive,
+                                     /*repeats=*/2);
+    if (!row.ok()) {
+      std::printf("%s failed: %s\n", id, row.status().ToString().c_str());
+      return 1;
+    }
+    core::PrintComparisonRow(*row);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Appendix C/D/E reproduction: naive cost model + sparse "
+              "bindings for M\n");
+  core::LaBenchConfig dense;
+  if (RunBindings("Syn1 in the role of M (dense)", dense, 50) != 0) return 1;
+
+  core::LaBenchConfig amazon = dense;
+  amazon.m_sparsity = 0.000075;  // AS: ultra sparse.
+  if (RunBindings("AS in the role of M (ultra sparse, 0.0075%)", amazon,
+                  51) != 0) {
+    return 1;
+  }
+
+  core::LaBenchConfig netflix = dense;
+  netflix.m_sparsity = 0.014;  // NS: mildly sparse.
+  if (RunBindings("NS in the role of M (1.4%)", netflix, 52) != 0) return 1;
+
+  std::printf("\nPaper shape: with AS-as-M the P1.1 rewrite is cost-neutral "
+              "(no dense intermediate to avoid); with NS-as-M ~1.8x; dense "
+              "bindings as in Figure 5.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 10: the Twitter micro-hybrid benchmark — ten queries combining a
+// relational preprocessing stage (user/tweet join + tweet-hashtag matrix
+// construction under a keyword+country selection) with LA analysis, at
+// three selection sizes (the paper's 2M / 1M / 0.5M row sweeps). Paper
+// shape: every query improves (2.3x-16.5x), with gains persisting across
+// the selectivity sweep.
+
+#include "hybrid_bench.h"
+
+using namespace hadad;  // NOLINT
+
+int main() {
+  std::printf("Figure 10 reproduction: Twitter micro-hybrid benchmark\n");
+  hybrid::DatasetConfig config;
+  config.num_entities = 20000;
+  config.num_dims = 2000;
+  config.num_categories = 250;
+  config.facts_per_entity = 3.0;
+
+  config.selection_fraction = 0.9;
+  if (bench::RunMicroHybrid(hybrid::BenchmarkKind::kTwitter, config,
+                            "Fig 10(a): full selection (\"covid\")") != 0) {
+    return 1;
+  }
+  config.selection_fraction = 0.45;
+  if (bench::RunMicroHybrid(hybrid::BenchmarkKind::kTwitter, config,
+                            "Fig 10(b): half selection (\"Trump\")") != 0) {
+    return 1;
+  }
+  config.selection_fraction = 0.22;
+  if (bench::RunMicroHybrid(hybrid::BenchmarkKind::kTwitter, config,
+                            "Fig 10(c): quarter selection (\"US "
+                            "election\")") != 0) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 11: the MIMIC micro-hybrid benchmark — the same ten-query suite
+// over patient/admission tables and a patient-service outcome matrix, at
+// three care-unit sizes (the paper's 40K / 20K / 10K row runs: CCU, TSICU,
+// MICU). Paper shape mirrors the Twitter benchmark.
+
+#include "hybrid_bench.h"
+
+using namespace hadad;  // NOLINT
+
+int main() {
+  std::printf("Figure 11 reproduction: MIMIC micro-hybrid benchmark\n");
+  hybrid::DatasetConfig config;
+  config.num_dims = 2000;
+  config.num_categories = 250;
+  config.facts_per_entity = 3.0;
+  config.selection_fraction = 0.6;
+
+  config.num_entities = 20000;
+  if (bench::RunMicroHybrid(hybrid::BenchmarkKind::kMimic, config,
+                            "Fig 11(a): CCU (largest)") != 0) {
+    return 1;
+  }
+  config.num_entities = 10000;
+  if (bench::RunMicroHybrid(hybrid::BenchmarkKind::kMimic, config,
+                            "Fig 11(b): TSICU") != 0) {
+    return 1;
+  }
+  config.num_entities = 5000;
+  if (bench::RunMicroHybrid(hybrid::BenchmarkKind::kMimic, config,
+                            "Fig 11(c): MICU (smallest)") != 0) {
+    return 1;
+  }
+  return 0;
+}

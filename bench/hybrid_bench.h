@@ -1,0 +1,105 @@
+#ifndef HADAD_BENCH_HYBRID_BENCH_H_
+#define HADAD_BENCH_HYBRID_BENCH_H_
+
+// Shared driver for the micro-hybrid benchmarks (Figures 10 and 11): runs
+// every query both ways —
+//   original:   Q_RA (join + N construction) + Q_FLA (level filter in
+//               LA-land) + Q_LA as stated;
+//   HADAD:      RW_RA (level filter pushed into the relational selection) +
+//               RW_find + the rewritten Q_LA.
+// — and prints the stacked times the paper's figures show.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/timer.h"
+#include "core/hadad.h"
+
+namespace hadad::bench {
+
+inline int RunMicroHybrid(hybrid::BenchmarkKind kind,
+                          const hybrid::DatasetConfig& config,
+                          const char* label) {
+  std::printf("\n== %s ==\n", label);
+  std::printf("entities=%lld dims=%lld categories=%lld selection=%.2f\n",
+              static_cast<long long>(config.num_entities),
+              static_cast<long long>(config.num_dims),
+              static_cast<long long>(config.num_categories),
+              config.selection_fraction);
+  Rng rng(static_cast<uint64_t>(config.num_entities) * 31 +
+          static_cast<uint64_t>(config.selection_fraction * 100));
+  hybrid::DatasetConfig cfg = config;
+  cfg.kind = kind;
+  hybrid::Dataset dataset = hybrid::GenerateDataset(rng, cfg);
+  constexpr double kMaxLevel = 4.0;
+
+  // Original path: Q_RA without pushdown, then the LA-stage filter.
+  auto unpushed = hybrid::Preprocess(dataset, /*push_level_filter=*/false,
+                                     kMaxLevel);
+  if (!unpushed.ok()) {
+    std::printf("preprocess failed: %s\n",
+                unpushed.status().ToString().c_str());
+    return 1;
+  }
+  hadad::Timer fla_timer;
+  matrix::Matrix nf = hybrid::FilterLevelAtMost(unpushed->n, kMaxLevel);
+  const double qfla_seconds = fla_timer.ElapsedSeconds();
+
+  // HADAD path: the selection is pushed into Q_RA.
+  auto pushed = hybrid::Preprocess(dataset, /*push_level_filter=*/true,
+                                   kMaxLevel);
+  if (!pushed.ok()) return 1;
+
+  auto session = hybrid::BuildHybridSession(rng, *unpushed, nf,
+                                            pacb::EstimatorKind::kNaive);
+  if (!session.ok()) {
+    std::printf("session failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  engine::Workspace& ws = (*session)->workspace;
+
+  std::printf("%-5s %9s %9s %9s | %9s %9s %9s %8s %6s  %s\n", "query",
+              "QRA[ms]", "QFLA[ms]", "QLA[ms]", "RWRA[ms]", "RWfnd[ms]",
+              "RWLA[ms]", "speedup", "agree", "rewriting");
+  for (const hybrid::HybridQuery& q : hybrid::MicroBenchmarkQueries()) {
+    la::ExprPtr qla = la::ParseExpression(q.qla).value();
+    engine::ExecStats original_stats;
+    auto original_value = engine::Execute(*qla, ws, &original_stats);
+    if (!original_value.ok()) {
+      std::printf("%s original failed: %s\n", q.id.c_str(),
+                  original_value.status().ToString().c_str());
+      return 1;
+    }
+    auto rewrite = (*session)->optimizer->Optimize(qla);
+    if (!rewrite.ok()) {
+      std::printf("%s optimize failed: %s\n", q.id.c_str(),
+                  rewrite.status().ToString().c_str());
+      return 1;
+    }
+    engine::ExecStats rewrite_stats;
+    auto rewrite_value = engine::Execute(*rewrite->best, ws, &rewrite_stats);
+    if (!rewrite_value.ok()) {
+      std::printf("%s rewrite failed (%s): %s\n", q.id.c_str(),
+                  la::ToString(rewrite->best).c_str(),
+                  rewrite_value.status().ToString().c_str());
+      return 1;
+    }
+    const bool agree = original_value->ApproxEquals(*rewrite_value, 1e-5);
+    const double total_original =
+        unpushed->ra_seconds + qfla_seconds + original_stats.seconds;
+    const double total_hadad = pushed->ra_seconds +
+                               rewrite->optimize_seconds +
+                               rewrite_stats.seconds;
+    std::printf("%-5s %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f %7.2fx %6s  %s\n",
+                q.id.c_str(), unpushed->ra_seconds * 1e3, qfla_seconds * 1e3,
+                original_stats.seconds * 1e3, pushed->ra_seconds * 1e3,
+                rewrite->optimize_seconds * 1e3, rewrite_stats.seconds * 1e3,
+                total_hadad > 0 ? total_original / total_hadad : 1.0,
+                agree ? "yes" : "NO", la::ToString(rewrite->best).c_str());
+  }
+  return 0;
+}
+
+}  // namespace hadad::bench
+
+#endif  // HADAD_BENCH_HYBRID_BENCH_H_

@@ -1,0 +1,66 @@
+// Factorized learning over a PK-FK join: HADAD + Morpheus (§2 and §9.2.1).
+//
+// Morpheus keeps the join output M = [T | K U] normalized and pushes LA
+// operators through the factorization. On colSums(M N) it can only
+// factorize the multiplication (big intermediate). HADAD first rewrites to
+// colSums(M) N — enabling Morpheus's colSums pushdown, whose intermediate
+// is a single row (125x in the paper).
+
+#include <cstdio>
+
+#include "core/hadad.h"
+
+using namespace hadad;  // NOLINT
+
+int main() {
+  Rng rng(9);
+  morpheus::PkFkConfig config;
+  config.n_r = 2000;        // Dimension-table rows.
+  config.d_s = 20;          // Fact-table features.
+  config.tuple_ratio = 15;  // nS = 30000.
+  config.feature_ratio = 5; // dR = 100.
+  morpheus::NormalizedMatrix nm = morpheus::GeneratePkFk(rng, config);
+  std::printf("normalized matrix M: %lld x %lld = [T %lldx%lld | K U with "
+              "U %lldx%lld]\n",
+              static_cast<long long>(nm.rows()),
+              static_cast<long long>(nm.cols()),
+              static_cast<long long>(nm.t().rows()),
+              static_cast<long long>(nm.t().cols()),
+              static_cast<long long>(nm.u().rows()),
+              static_cast<long long>(nm.u().cols()));
+
+  engine::Workspace ws;
+  ws.Put("G", matrix::RandomDense(rng, nm.cols(), 100));
+  morpheus::MorpheusEngine morpheus_engine(&ws);
+  morpheus_engine.Register("M", nm);
+
+  la::MetaCatalog catalog = ws.BuildMetaCatalog();
+  catalog["M"] = {.rows = nm.rows(), .cols = nm.cols(),
+                  .nnz = static_cast<double>(nm.rows() * nm.cols())};
+  pacb::Optimizer optimizer(catalog);
+
+  const std::string pipeline = "colSums(M %*% G)";
+  auto rewrite = optimizer.OptimizeText(pipeline);
+  if (!rewrite.ok()) return 1;
+  std::printf("pipeline:  %s\n", pipeline.c_str());
+  std::printf("rewriting: %s (RW_find %.1f ms)\n",
+              la::ToString(rewrite->best).c_str(),
+              rewrite->optimize_seconds * 1e3);
+
+  engine::ExecStats base_stats, hadad_stats;
+  auto base = morpheus_engine.Run(la::ParseExpression(pipeline).value(),
+                                  &base_stats);
+  auto with_hadad = morpheus_engine.Run(rewrite->best, &hadad_stats);
+  if (!base.ok() || !with_hadad.ok()) return 1;
+  std::printf("Morpheus alone: %.1f ms (multiplication factorized, "
+              "intermediate %lld x 100)\n",
+              base_stats.seconds * 1e3, static_cast<long long>(nm.rows()));
+  std::printf("with HADAD:     %.1f ms (colSums pushdown enabled, "
+              "intermediate 1 x %lld)\n",
+              hadad_stats.seconds * 1e3,
+              static_cast<long long>(nm.cols()));
+  std::printf("speedup %.1fx; results agree: %s (paper: up to 125x)\n",
+              base_stats.seconds / hadad_stats.seconds,
+              base->ApproxEquals(*with_hadad, 1e-6) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ordinary Least Squares with a materialized inverse view — §2's headline
+// example (150x on MLlib in the paper).
+//
+// The OLS estimator is (X^T X)^{-1} (X^T y). With a materialized view
+// V = X^{-1} available, HADAD derives (X^T X)^{-1} (X^T y) =
+// V (V^T (X^T y)) using (CD)^{-1} = D^{-1} C^{-1}, (D^T)^{-1} = (D^{-1})^T
+// and multiplication associativity: no inverse is computed at query time
+// and every intermediate is a vector.
+
+#include <cstdio>
+
+#include "core/hadad.h"
+
+using namespace hadad;  // NOLINT
+
+int main() {
+  const int64_t n = 700;
+  Rng rng(7);
+  engine::Workspace ws;
+  ws.Put("X", matrix::RandomInvertible(rng, n));
+  ws.Put("y", matrix::RandomDense(rng, n, 1));
+
+  // Materialize the view V = X^{-1} (the paper stores it as V.csv; we keep
+  // it in the workspace and also demonstrate the CSV round trip).
+  engine::ViewCatalog views(&ws);
+  if (!views.MaterializeText("V", "inv(X)").ok()) return 1;
+  const std::string csv = "/tmp/hadad_ols_view.csv";
+  if (!matrix::WriteCsv(*ws.Get("V").value(), csv).ok()) return 1;
+  std::printf("materialized V = inv(X) (%lldx%lld), archived to %s\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              csv.c_str());
+
+  la::MetaCatalog catalog = ws.BuildMetaCatalog();
+  catalog.erase("V");
+  pacb::Optimizer optimizer(catalog);
+  optimizer.SetData(&ws.data());
+  if (!optimizer.AddViewText("V", "inv(X)").ok()) return 1;
+
+  const std::string ols = "inv(t(X) %*% X) %*% (t(X) %*% y)";
+  auto rewrite = optimizer.OptimizeText(ols);
+  if (!rewrite.ok()) {
+    std::printf("optimize failed: %s\n", rewrite.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("OLS:       %s\n", ols.c_str());
+  std::printf("rewriting: %s (RW_find %.1f ms)\n",
+              la::ToString(rewrite->best).c_str(),
+              rewrite->optimize_seconds * 1e3);
+
+  engine::Engine engine(engine::Profile::kNaive, &ws);
+  engine::ExecStats q_stats, rw_stats;
+  auto original = engine.Run(la::ParseExpression(ols).value(), &q_stats);
+  auto rewritten = engine.Run(rewrite->best, &rw_stats);
+  if (!original.ok() || !rewritten.ok()) return 1;
+  std::printf("Q_exec %.1f ms -> RW_exec %.1f ms (%.0fx); coefficients "
+              "agree: %s\n",
+              q_stats.seconds * 1e3, rw_stats.seconds * 1e3,
+              q_stats.seconds / rw_stats.seconds,
+              original->ApproxEquals(*rewritten, 1e-5) ? "yes" : "NO");
+  std::printf("paper band: 70x (R) / 55x (NumPy) / 150x (MLlib) on "
+              "10K x 10K.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "chase/ast.h"
+
+namespace hadad::chase {
+
+std::string ToString(const Term& t) {
+  if (t.is_constant()) return "\"" + t.text + "\"";
+  return t.text;
+}
+
+std::string ToString(const Atom& a) {
+  std::string out = a.predicate + "(";
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToString(a.args[i]);
+  }
+  out += ")";
+  return out;
+}
+
+Constraint MakeTgd(std::string name, std::vector<Atom> premise,
+                   std::vector<Atom> conclusion) {
+  Constraint c;
+  c.kind = Constraint::Kind::kTgd;
+  c.name = std::move(name);
+  c.premise = std::move(premise);
+  c.conclusion = std::move(conclusion);
+  return c;
+}
+
+Constraint MakeEgd(std::string name, std::vector<Atom> premise,
+                   std::vector<std::pair<Term, Term>> equalities) {
+  Constraint c;
+  c.kind = Constraint::Kind::kEgd;
+  c.name = std::move(name);
+  c.premise = std::move(premise);
+  c.equalities = std::move(equalities);
+  return c;
+}
+
+std::string ToString(const Constraint& c) {
+  std::string out = c.name + ": ";
+  for (size_t i = 0; i < c.premise.size(); ++i) {
+    if (i > 0) out += " ∧ ";
+    out += ToString(c.premise[i]);
+  }
+  out += " → ";
+  if (c.kind == Constraint::Kind::kTgd) {
+    for (size_t i = 0; i < c.conclusion.size(); ++i) {
+      if (i > 0) out += " ∧ ";
+      out += ToString(c.conclusion[i]);
+    }
+  } else {
+    for (size_t i = 0; i < c.equalities.size(); ++i) {
+      if (i > 0) out += " ∧ ";
+      out += ToString(c.equalities[i].first) + " = " +
+             ToString(c.equalities[i].second);
+    }
+  }
+  return out;
+}
+
+}  // namespace hadad::chase

@@ -1,0 +1,178 @@
+#include "chase/engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace hadad::chase {
+
+ChaseEngine::ChaseEngine(Instance* instance,
+                         std::vector<Constraint> constraints,
+                         ChaseOptions options)
+    : instance_(instance),
+      constraints_(std::move(constraints)),
+      options_(options) {
+  HADAD_CHECK(instance != nullptr);
+  // Intern every predicate mentioned by the constraints so lookups during
+  // matching are total.
+  for (const Constraint& c : constraints_) {
+    for (const Atom& a : c.premise) instance_->InternPredicate(a.predicate);
+    for (const Atom& a : c.conclusion) instance_->InternPredicate(a.predicate);
+  }
+}
+
+int64_t ChaseEngine::ApplyTgd(const PendingTgd& pending) {
+  const Constraint& c =
+      constraints_[static_cast<size_t>(pending.constraint_index)];
+  // Restricted chase: skip if some extension of the match already satisfies
+  // the conclusion (checked at application time — an earlier application in
+  // this round may have satisfied it).
+  if (HasHomomorphism(c.conclusion, *instance_, pending.binding)) return 0;
+  if (gate_ &&
+      !gate_(pending.constraint_index, pending.binding,
+             pending.premise_facts)) {
+    ++stats_.pruned_applications;
+    return 0;
+  }
+  // Existential variables get one fresh labelled null shared across all
+  // conclusion atoms of this application.
+  Binding binding = pending.binding;
+  std::vector<FactId> added_facts;
+  int64_t added = 0;
+  for (const Atom& atom : c.conclusion) {
+    std::vector<NodeId> args;
+    args.reserve(atom.args.size());
+    for (const Term& t : atom.args) {
+      if (t.is_constant()) {
+        args.push_back(instance_->InternConstant(t.text));
+        continue;
+      }
+      auto it = binding.find(t.text);
+      if (it == binding.end()) {
+        it = binding.emplace(t.text, instance_->FreshNull()).first;
+      }
+      args.push_back(it->second);
+    }
+    Derivation derivation;
+    derivation.constraint_index = pending.constraint_index;
+    derivation.premise_facts = pending.premise_facts;
+    bool was_added = false;
+    FactId fid =
+        instance_->AddFact(instance_->InternPredicate(atom.predicate),
+                           std::move(args), std::move(derivation),
+                           /*initial=*/false, &was_added);
+    if (was_added) {
+      ++added;
+      added_facts.push_back(fid);
+    }
+  }
+  if (added > 0) {
+    ++stats_.tgd_applications;
+    stats_.facts_added += added;
+    if (facts_added_) facts_added_(added_facts);
+  }
+  return added;
+}
+
+Result<ChaseStats> ChaseEngine::Run() {
+  stats_ = ChaseStats{};
+  instance_->Rebuild();
+  // Semi-naive state: in rounds after the first, a premise only needs
+  // re-matching if at least one of its atoms binds a fact added since the
+  // previous collection (watermark). EGD merges can create matches between
+  // old facts (their nodes become equal) and also remap fact ids, so any
+  // round that merged forces a full re-match next round.
+  int64_t watermark = 0;
+  bool full_match = true;
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    stats_.rounds = round + 1;
+    bool progress = false;
+    const int64_t round_start_facts = instance_->num_facts();
+    const int64_t round_start_merges = stats_.merges;
+    // Mid-round rebuilds (EGD merges) remap fact ids, invalidating the
+    // watermark; fall back to full matching for the rest of the round.
+    bool merged_this_round = false;
+
+    // Enumerates matches of `pattern`, full or semi-naive.
+    auto collect = [&](const std::vector<Atom>& pattern,
+                       const std::function<void(
+                           const Binding&, const std::vector<FactId>&)>& emit) {
+      auto cb = [&emit](const Binding& b, const std::vector<FactId>& facts) {
+        emit(b, facts);
+        return true;
+      };
+      if (full_match || merged_this_round) {
+        FindHomomorphisms(pattern, *instance_, Binding{}, cb);
+        return;
+      }
+      const FactId wm = static_cast<FactId>(watermark);
+      for (size_t pivot = 0; pivot < pattern.size(); ++pivot) {
+        std::vector<FactRange> ranges(pattern.size());
+        for (size_t i = 0; i < pivot; ++i) ranges[i].hi = wm;  // Old only.
+        ranges[pivot].lo = wm;                                 // New only.
+        FindHomomorphismsRanged(pattern, *instance_, Binding{}, ranges, cb);
+      }
+    };
+
+    // --- TGD phase: collect matches against the clean instance, then apply.
+    std::vector<PendingTgd> pending;
+    for (size_t ci = 0; ci < constraints_.size(); ++ci) {
+      const Constraint& c = constraints_[ci];
+      if (c.kind != Constraint::Kind::kTgd) continue;
+      collect(c.premise,
+              [&](const Binding& b, const std::vector<FactId>& facts) {
+                pending.push_back(
+                    PendingTgd{static_cast<int32_t>(ci), b, facts});
+              });
+    }
+    for (const PendingTgd& p : pending) {
+      if (instance_->num_facts() >= options_.max_facts ||
+          instance_->num_nodes() >= options_.max_nodes) {
+        stats_.budget_exhausted = true;
+        break;
+      }
+      if (ApplyTgd(p) > 0) progress = true;
+    }
+
+    // --- EGD phase: merges applied eagerly (Find() at application time
+    // keeps them sound even as classes collapse mid-phase).
+    for (size_t ci = 0; ci < constraints_.size(); ++ci) {
+      const Constraint& c = constraints_[ci];
+      if (c.kind != Constraint::Kind::kEgd) continue;
+      std::vector<Binding> matches;
+      collect(c.premise, [&](const Binding& b, const std::vector<FactId>&) {
+        matches.push_back(b);
+      });
+      for (const Binding& b : matches) {
+        for (const auto& [lhs, rhs] : c.equalities) {
+          NodeId a = lhs.is_constant()
+                         ? instance_->InternConstant(lhs.text)
+                         : b.at(lhs.text);
+          NodeId z = rhs.is_constant()
+                         ? instance_->InternConstant(rhs.text)
+                         : b.at(rhs.text);
+          if (instance_->Find(a) != instance_->Find(z)) {
+            Status st = instance_->Merge(a, z);
+            if (!st.ok()) {
+              return Status(st.code(),
+                            "EGD '" + c.name + "': " + st.message());
+            }
+            ++stats_.merges;
+            progress = true;
+            merged_this_round = true;
+          }
+        }
+      }
+      // Matching requires a clean instance; re-canonicalize between EGDs.
+      instance_->Rebuild();
+    }
+    instance_->Rebuild();
+    // Semi-naive bookkeeping for the next round.
+    full_match = stats_.merges != round_start_merges;
+    watermark = round_start_facts;
+    if (!progress || stats_.budget_exhausted) break;
+  }
+  return stats_;
+}
+
+}  // namespace hadad::chase

@@ -1,0 +1,90 @@
+#ifndef HADAD_CHASE_ENGINE_H_
+#define HADAD_CHASE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "chase/ast.h"
+#include "chase/homomorphism.h"
+#include "chase/instance.h"
+#include "common/status.h"
+
+namespace hadad::chase {
+
+struct ChaseOptions {
+  // Breadth-first saturation rounds. Benchmark pipelines need at most ~6
+  // rounds to reach their rewritings (view chains included); on pipelines
+  // whose intermediates all share one size, cost pruning cannot bite
+  // (everything costs the same), so the round bound is what keeps the
+  // commutativity/associativity blowup in check.
+  int max_rounds = 8;
+  // Hard budgets that keep non-terminating constraint sets in check (§8's
+  // termination requirement is delegated to these when violated).
+  int64_t max_facts = 30000;
+  int64_t max_nodes = 60000;
+};
+
+struct ChaseStats {
+  int rounds = 0;
+  int64_t tgd_applications = 0;
+  int64_t facts_added = 0;
+  int64_t merges = 0;
+  int64_t pruned_applications = 0;  // Skipped by the Prune_prov gate.
+  bool budget_exhausted = false;
+};
+
+// Called before applying a TGD match. Returning false skips the application
+// — the Prune_prov hook (§7.3): PACB++ passes a gate that rejects premise
+// images whose fragment cost exceeds the best-rewriting threshold T, and
+// uses the binding to bound the sizes the conclusion would introduce.
+using TgdGate =
+    std::function<bool(int32_t constraint_index, const Binding& binding,
+                       const std::vector<FactId>& premise_facts)>;
+
+// Called after a TGD application with the fact ids it created, so cost /
+// metadata layers can propagate dimensions and sparsity incrementally.
+using FactsAddedObserver = std::function<void(const std::vector<FactId>&)>;
+
+// The restricted chase (§4.2): applies TGDs breadth-first per round (a TGD
+// fires only when its conclusion is not already satisfied by any extension
+// of the match), then EGDs (merging equivalence classes), then
+// re-canonicalizes. Deterministic: constraints and facts are visited in
+// declaration order.
+class ChaseEngine {
+ public:
+  ChaseEngine(Instance* instance, std::vector<Constraint> constraints,
+              ChaseOptions options = {});
+
+  void set_gate(TgdGate gate) { gate_ = std::move(gate); }
+  void set_facts_added_observer(FactsAddedObserver obs) {
+    facts_added_ = std::move(obs);
+  }
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  // Runs to fixpoint (or budget). Fails only on unsatisfiability (an EGD
+  // equating distinct constants).
+  Result<ChaseStats> Run();
+
+ private:
+  struct PendingTgd {
+    int32_t constraint_index;
+    Binding binding;
+    std::vector<FactId> premise_facts;
+  };
+
+  // Applies one TGD match; returns the number of facts added.
+  int64_t ApplyTgd(const PendingTgd& pending);
+
+  Instance* instance_;
+  std::vector<Constraint> constraints_;
+  ChaseOptions options_;
+  TgdGate gate_;
+  FactsAddedObserver facts_added_;
+  ChaseStats stats_;
+};
+
+}  // namespace hadad::chase
+
+#endif  // HADAD_CHASE_ENGINE_H_

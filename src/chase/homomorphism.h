@@ -1,0 +1,54 @@
+#ifndef HADAD_CHASE_HOMOMORPHISM_H_
+#define HADAD_CHASE_HOMOMORPHISM_H_
+
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/ast.h"
+#include "chase/instance.h"
+
+namespace hadad::chase {
+
+// A partial assignment of pattern variables to instance nodes.
+using Binding = std::unordered_map<std::string, NodeId>;
+
+// Enumerates the homomorphisms (containment mappings, §4.2) of `pattern`
+// into `instance`, extending `seed`. For each match, calls `cb` with the
+// completed binding and the matched fact ids (one per pattern atom, in
+// pattern order). Return false from `cb` to stop the enumeration early.
+//
+// Constants in the pattern match only their interned node; a constant never
+// interned in the instance cannot match. Repeated variables enforce
+// equality. The instance must be clean (Rebuild() called after merges) for
+// matches to be exhaustive.
+void FindHomomorphisms(
+    const std::vector<Atom>& pattern, const Instance& instance,
+    const Binding& seed,
+    const std::function<bool(const Binding&, const std::vector<FactId>&)>& cb);
+
+// Per-atom fact-id window [lo, hi) used by semi-naive matching: atom i may
+// only match facts whose id lies in ranges[i]. Pass one range per atom.
+struct FactRange {
+  FactId lo = 0;
+  FactId hi = std::numeric_limits<FactId>::max();
+};
+
+// As FindHomomorphisms, but restricts each pattern atom to its FactRange.
+// The chase engine uses this for semi-naive rounds: enumerating, for each
+// pivot position p, matches where atom p binds a *new* fact, atoms before p
+// bind old facts, and atoms after p are unrestricted — every new match is
+// produced exactly once.
+void FindHomomorphismsRanged(
+    const std::vector<Atom>& pattern, const Instance& instance,
+    const Binding& seed, const std::vector<FactRange>& ranges,
+    const std::function<bool(const Binding&, const std::vector<FactId>&)>& cb);
+
+// True iff at least one homomorphism of `pattern` extending `seed` exists.
+bool HasHomomorphism(const std::vector<Atom>& pattern,
+                     const Instance& instance, const Binding& seed);
+
+}  // namespace hadad::chase
+
+#endif  // HADAD_CHASE_HOMOMORPHISM_H_

@@ -1,0 +1,35 @@
+#ifndef HADAD_COMMON_CHECK_H_
+#define HADAD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal-invariant checks. These fire in all build modes: a failed check is
+// a bug in this library, not a recoverable user error (user errors return
+// Status). Mirrors the CHECK idiom used by Arrow/RocksDB.
+#define HADAD_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HADAD_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define HADAD_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HADAD_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define HADAD_CHECK_EQ(a, b) HADAD_CHECK((a) == (b))
+#define HADAD_CHECK_NE(a, b) HADAD_CHECK((a) != (b))
+#define HADAD_CHECK_LT(a, b) HADAD_CHECK((a) < (b))
+#define HADAD_CHECK_LE(a, b) HADAD_CHECK((a) <= (b))
+#define HADAD_CHECK_GT(a, b) HADAD_CHECK((a) > (b))
+#define HADAD_CHECK_GE(a, b) HADAD_CHECK((a) >= (b))
+
+#endif  // HADAD_COMMON_CHECK_H_

@@ -1,0 +1,47 @@
+#ifndef HADAD_COMMON_RNG_H_
+#define HADAD_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace hadad {
+
+// Deterministic, seedable xorshift128+ generator. Data generators use this so
+// every bench/test run sees identical matrices regardless of platform or
+// standard-library implementation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    s0_ = seed ^ 0x9E3779B97F4A7C15ull;
+    s1_ = (seed << 1) | 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 16; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) { return Next() % n; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace hadad
+
+#endif  // HADAD_COMMON_RNG_H_

@@ -1,0 +1,125 @@
+#ifndef HADAD_COMMON_STATUS_H_
+#define HADAD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hadad {
+
+// Error categories used throughout the library. Library code never throws;
+// fallible operations return Status or Result<T> (Arrow/RocksDB idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kDimensionMismatch,
+  kNotFound,
+  kOutOfRange,
+  kNotInvertible,
+  kNotSupported,
+  kIoError,
+  kBudgetExhausted,
+  kInternal,
+};
+
+// A success-or-error value. Cheap to copy on the success path (no message
+// allocation), carries a human-readable message on failure.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status DimensionMismatch(std::string msg) {
+    return Status(StatusCode::kDimensionMismatch, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotInvertible(std::string msg) {
+    return Status(StatusCode::kNotInvertible, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a T or an error Status. Accessing the value of an
+// error result is a programming error (checked in debug via CHECK).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates an error Status from an expression that yields Status.
+#define HADAD_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::hadad::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Evaluates a Result<T>-yielding expression; assigns the value on success,
+// returns its Status on failure. `lhs` must be a declaration or assignable.
+#define HADAD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define HADAD_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define HADAD_ASSIGN_OR_RETURN_CONCAT(a, b) HADAD_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define HADAD_ASSIGN_OR_RETURN(lhs, expr) \
+  HADAD_ASSIGN_OR_RETURN_IMPL(            \
+      HADAD_ASSIGN_OR_RETURN_CONCAT(_res_, __LINE__), lhs, expr)
+
+}  // namespace hadad
+
+#endif  // HADAD_COMMON_STATUS_H_

@@ -1,0 +1,23 @@
+#ifndef HADAD_COMMON_STRINGS_H_
+#define HADAD_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace hadad {
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace hadad
+
+#endif  // HADAD_COMMON_STRINGS_H_

@@ -1,0 +1,29 @@
+#ifndef HADAD_COMMON_TIMER_H_
+#define HADAD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace hadad {
+
+// Wall-clock stopwatch used by the benchmark harness to report Q_exec,
+// RW_exec and RW_find times (§9 of the paper).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hadad
+
+#endif  // HADAD_COMMON_TIMER_H_

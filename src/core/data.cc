@@ -1,0 +1,54 @@
+#include "core/data.h"
+
+#include "matrix/generate.h"
+
+namespace hadad::core {
+
+namespace {
+
+matrix::Matrix DenseOrSparse(Rng& rng, int64_t rows, int64_t cols,
+                             double sparsity) {
+  if (sparsity < 0) return matrix::RandomDense(rng, rows, cols);
+  return matrix::RandomSparse(rng, rows, cols, sparsity);
+}
+
+}  // namespace
+
+engine::Workspace MakeLaBenchWorkspace(Rng& rng, const LaBenchConfig& c) {
+  engine::Workspace ws;
+  ws.Put("A", DenseOrSparse(rng, c.n_a, c.k, c.a_sparsity));
+  ws.Put("B", matrix::RandomDense(rng, c.n_a, c.k));
+  ws.Put("C", matrix::RandomInvertible(rng, c.n_c));
+  ws.Put("D", matrix::RandomInvertible(rng, c.n_c));
+  ws.Put("M", DenseOrSparse(rng, c.n_m, c.k, c.m_sparsity));
+  ws.Put("N", matrix::RandomDense(rng, c.k, c.n_m));
+  ws.Put("R", matrix::RandomDense(rng, c.n_r, c.n_r));
+  ws.Put("X", DenseOrSparse(rng, c.x_rows, c.x_cols, c.x_sparsity));
+  ws.Put("v1", matrix::RandomDense(rng, c.k, 1));
+  ws.Put("v2", matrix::RandomDense(rng, c.x_cols, 1));
+  ws.Put("u1", matrix::RandomDense(rng, c.x_rows, 1));
+  ws.Put("vd", matrix::RandomDense(rng, c.n_c, 1));
+  return ws;
+}
+
+std::vector<DatasetSpec> PaperDatasets(const LaBenchConfig& c) {
+  return {
+      {"Amazon/AS (as M)", c.n_m, c.k, 0.000075, "50K x 100, 0.0075%"},
+      {"Netflix/NS (as M)", c.n_m, c.k, 0.014, "50K x 100, 1.39%"},
+      {"Amazon/AL1 (as A)", c.n_a, c.k, 0.000065, "1M x 100, 0.0065%"},
+      {"Netflix/NL1 (as A)", c.n_a, c.k, 0.0067, "1M x 100, 0.67%"},
+      {"Amazon/AL3 (as X)", c.x_rows, c.x_cols, 0.002, "100K x 50K, 0.002"},
+      {"Netflix/NL3 (as X)", c.x_rows, c.x_cols, 0.00307,
+       "100K x 50K, 0.307%"},
+      {"Syn1 (as M)", c.n_m, c.k, 1.0, "50K x 100 dense"},
+      {"Syn2 (as N)", c.k, c.n_m, 1.0, "100 x 50K dense"},
+      {"Syn3 (as A,B)", c.n_a, c.k, 1.0, "1M x 100 dense"},
+      {"Syn5 (as C,D)", c.n_c, c.n_c, 1.0, "10K x 10K dense"},
+      {"Syn7 (as v1)", c.k, 1, 1.0, "100 x 1 dense"},
+      {"Syn8 (as v2)", c.x_cols, 1, 1.0, "50K x 1 dense"},
+      {"Syn9 (as u1)", c.x_rows, 1, 1.0, "100K x 1 dense"},
+      {"Syn10 (as R)", c.n_r, c.n_r, 1.0, "100 x 100 dense"},
+  };
+}
+
+}  // namespace hadad::core

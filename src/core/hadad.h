@@ -1,0 +1,39 @@
+#ifndef HADAD_CORE_HADAD_H_
+#define HADAD_CORE_HADAD_H_
+
+// Umbrella header: the public API of the HADAD library.
+//
+// Quick tour (see examples/quickstart.cc):
+//   1. Put matrices into an engine::Workspace.
+//   2. Build a pacb::Optimizer over workspace.BuildMetaCatalog(); register
+//      views (AddViewText) and Morpheus joins (AddMorpheusJoin).
+//   3. OptimizeText("t(M %*% N)") returns the minimum-cost equivalent
+//      rewriting under the MMC constraint knowledge base.
+//   4. Execute either expression with engine::Engine.
+
+#include "core/data.h"
+#include "core/report.h"
+#include "core/workloads.h"
+#include "cost/cost_model.h"
+#include "cost/estimator.h"
+#include "engine/evaluator.h"
+#include "engine/profiles.h"
+#include "engine/view_catalog.h"
+#include "engine/workspace.h"
+#include "hybrid/dataset.h"
+#include "hybrid/queries.h"
+#include "la/catalog.h"
+#include "la/encoder.h"
+#include "la/expr.h"
+#include "la/parser.h"
+#include "matrix/generate.h"
+#include "matrix/matrix.h"
+#include "matrix/matrix_io.h"
+#include "morpheus/engine.h"
+#include "morpheus/generator.h"
+#include "pacb/optimizer.h"
+#include "relational/casting.h"
+#include "relational/operators.h"
+#include "relational/table.h"
+
+#endif  // HADAD_CORE_HADAD_H_

@@ -1,0 +1,76 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "la/parser.h"
+
+namespace hadad::core {
+
+namespace {
+
+// Best-of-N wall time for one plan.
+Result<double> TimeExecution(const engine::Engine& eng,
+                             const la::ExprPtr& expr, int repeats,
+                             matrix::Matrix* last_result) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    engine::ExecStats stats;
+    HADAD_ASSIGN_OR_RETURN(matrix::Matrix out, eng.Run(expr, &stats));
+    best = std::min(best, stats.seconds);
+    if (last_result != nullptr) *last_result = std::move(out);
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<ComparisonRow> ComparePipeline(const std::string& id,
+                                      const std::string& pipeline_text,
+                                      const pacb::Optimizer& optimizer,
+                                      const engine::Engine& engine,
+                                      int repeats) {
+  ComparisonRow row;
+  row.id = id;
+  row.original = pipeline_text;
+  HADAD_ASSIGN_OR_RETURN(la::ExprPtr original,
+                         la::ParseExpression(pipeline_text));
+  HADAD_ASSIGN_OR_RETURN(pacb::RewriteResult rewrite,
+                         optimizer.Optimize(original));
+  row.rewrite = la::ToString(rewrite.best);
+  row.rw_find_seconds = rewrite.optimize_seconds;
+  row.improved = rewrite.improved;
+
+  matrix::Matrix original_value;
+  HADAD_ASSIGN_OR_RETURN(
+      row.q_exec_seconds,
+      TimeExecution(engine, original, repeats, &original_value));
+  matrix::Matrix rewrite_value;
+  HADAD_ASSIGN_OR_RETURN(
+      row.rw_exec_seconds,
+      TimeExecution(engine, rewrite.best, repeats, &rewrite_value));
+  row.values_agree = original_value.ApproxEquals(rewrite_value, 1e-5);
+  row.speedup = row.rw_exec_seconds > 0
+                    ? row.q_exec_seconds / row.rw_exec_seconds
+                    : 1.0;
+  const double total = row.q_exec_seconds + row.rw_find_seconds;
+  row.overhead_pct = total > 0 ? 100.0 * row.rw_find_seconds / total : 0.0;
+  return row;
+}
+
+void PrintComparisonHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-7s %12s %12s %12s %9s %9s %-6s %s\n", "id", "Qexec[ms]",
+              "RWexec[ms]", "RWfind[ms]", "speedup", "ovhd[%]", "agree",
+              "rewriting");
+}
+
+void PrintComparisonRow(const ComparisonRow& row) {
+  std::printf("%-7s %12.3f %12.3f %12.3f %8.2fx %9.2f %-6s %s\n",
+              row.id.c_str(), row.q_exec_seconds * 1e3,
+              row.rw_exec_seconds * 1e3, row.rw_find_seconds * 1e3,
+              row.speedup, row.overhead_pct,
+              row.values_agree ? "yes" : "NO", row.rewrite.c_str());
+}
+
+}  // namespace hadad::core

@@ -1,0 +1,44 @@
+#ifndef HADAD_CORE_REPORT_H_
+#define HADAD_CORE_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/profiles.h"
+#include "pacb/optimizer.h"
+
+namespace hadad::core {
+
+// One benchmark comparison in the paper's reporting vocabulary (§9.1.1):
+// Q_exec = running the pipeline as stated, RW_exec = running HADAD's
+// rewriting, RW_find = optimizer time, overhead = RW_find / (Q_exec +
+// RW_find) (§9.1.3).
+struct ComparisonRow {
+  std::string id;
+  std::string original;
+  std::string rewrite;
+  double q_exec_seconds = 0.0;
+  double rw_exec_seconds = 0.0;
+  double rw_find_seconds = 0.0;
+  double speedup = 1.0;
+  double overhead_pct = 0.0;
+  bool improved = false;
+  bool values_agree = true;
+};
+
+// Optimizes `pipeline_text` with `optimizer`, executes original and
+// rewriting on `engine` (`repeats` runs each, best time kept) and verifies
+// the two results agree.
+Result<ComparisonRow> ComparePipeline(const std::string& id,
+                                      const std::string& pipeline_text,
+                                      const pacb::Optimizer& optimizer,
+                                      const engine::Engine& engine,
+                                      int repeats = 3);
+
+// Fixed-width table output helpers shared by the bench binaries.
+void PrintComparisonHeader(const std::string& title);
+void PrintComparisonRow(const ComparisonRow& row);
+
+}  // namespace hadad::core
+
+#endif  // HADAD_CORE_REPORT_H_

@@ -1,0 +1,140 @@
+#include "core/workloads.h"
+
+namespace hadad::core {
+
+namespace {
+
+constexpr PipelineClass kNo = PipelineClass::kNotOpt;
+constexpr PipelineClass kOp = PipelineClass::kOpt;
+
+std::vector<Pipeline> BuildBenchmark() {
+  return {
+      // ---- Table 2 (P1.*) -------------------------------------------------
+      {"P1.1", "t(M %*% N)", kNo, "t(N) %*% t(M)"},
+      {"P1.2", "t(A) + t(B)", kNo, "t(A + B)"},
+      {"P1.3", "inv(C) %*% inv(D)", kNo, "inv(D %*% C)"},
+      {"P1.4", "(A + B) %*% v1", kNo, "A %*% v1 + B %*% v1"},
+      {"P1.5", "inv(inv(D))", kNo, "D"},
+      {"P1.6", "trace(2 * D)", kNo, "2 * trace(D)"},
+      {"P1.7", "t(t(A))", kNo, "A"},
+      {"P1.8", "2 * A + 3 * A", kNo, "(2 + 3) * A"},
+      {"P1.9", "det(t(D))", kNo, "det(D)"},
+      {"P1.10", "rowSums(t(A))", kNo, "t(colSums(A))"},
+      {"P1.11", "rowSums(t(A) + t(B))", kNo, "t(colSums(A + B))"},
+      {"P1.12", "colSums(M %*% N)", kNo, "colSums(M) %*% N"},
+      {"P1.13", "sum(M %*% N)", kNo, "sum(t(colSums(M)) * rowSums(N))"},
+      {"P1.14", "sum(colSums(t(N) %*% t(M)))", kNo,
+       "sum(t(colSums(M)) * rowSums(N))"},
+      {"P1.15", "(M %*% N) %*% M", kNo, "M %*% (N %*% M)"},
+      {"P1.16", "sum(t(A))", kNo, "sum(A)"},
+      {"P1.17", "det(C %*% D %*% C)", kNo, "det(C) * det(D) * det(C)"},
+      {"P1.18", "sum(colSums(A))", kNo, "sum(A)"},
+      {"P1.19", "inv(t(C))", kOp, ""},
+      {"P1.20", "trace(inv(C))", kOp, ""},
+      {"P1.21", "t(C + inv(D))", kOp, ""},
+      {"P1.22", "trace(inv(C + D))", kOp, ""},
+      {"P1.23", "det(inv(C %*% D) + D)", kOp, ""},
+      {"P1.24", "trace(inv(C %*% D)) + trace(D)", kOp, ""},
+      {"P1.25", "M * (t(N) / (M %*% N %*% t(N)))", kNo,
+       "M * (t(N) / (M %*% (N %*% t(N))))"},
+      {"P1.26", "N * (t(M) / (t(M) %*% M %*% N))", kOp, ""},
+      {"P1.27", "trace(D %*% t(C %*% D))", kOp, ""},
+      {"P1.28", "A * (A * B + A)", kOp, ""},
+      {"P1.29", "D %*% C %*% C %*% C", kOp, ""},
+      {"P1.30", "(N %*% M) * (N %*% M %*% t(R))", kOp, ""},
+      // ---- Table 3 (P2.*) -------------------------------------------------
+      {"P2.1", "trace(C + D)", kNo, "trace(C) + trace(D)"},
+      {"P2.2", "det(inv(D))", kNo, "1 / det(D)"},
+      {"P2.3", "trace(t(D))", kNo, "trace(D)"},
+      {"P2.4", "2 * A + 2 * B", kNo, "2 * (A + B)"},
+      {"P2.5", "det(inv(C + D))", kNo, "1 / det(C + D)"},
+      {"P2.6", "t(C) %*% inv(t(D))", kNo, "t(inv(D) %*% C)"},
+      {"P2.7", "D %*% inv(D) %*% C", kNo, "C"},
+      {"P2.8", "det(t(C) %*% D)", kNo, "det(C) * det(D)"},
+      {"P2.9", "trace(t(C) %*% t(D) + D)", kNo,
+       "trace(D %*% C) + trace(D)"},
+      {"P2.10", "rowSums(M %*% N)", kNo, "M %*% rowSums(N)"},
+      {"P2.11", "sum(A + B)", kNo, "sum(A) + sum(B)"},
+      {"P2.12", "sum(rowSums(t(N) %*% t(M)))", kNo,
+       "sum(t(colSums(M)) * rowSums(N))"},
+      {"P2.13", "t((M %*% N) %*% M)", kNo, "t(M %*% (N %*% M))"},
+      {"P2.14", "((M %*% N) %*% M) %*% N", kNo, "(M %*% (N %*% M)) %*% N"},
+      {"P2.15", "sum(rowSums(A))", kNo, "sum(A)"},
+      {"P2.16", "trace(inv(C) %*% inv(D)) + trace(D)", kNo,
+       "trace(inv(D %*% C)) + trace(D)"},
+      {"P2.17", "t(inv(C + D)) %*% inv(inv(D)) %*% inv(C) %*% C", kNo,
+       "t(inv(C + D)) %*% D"},
+      {"P2.18", "colSums(t(A) + t(B))", kNo, "t(rowSums(A + B))"},
+      {"P2.19", "inv(t(C) %*% D)", kOp, ""},
+      {"P2.20", "t(M %*% (N %*% M))", kOp, ""},
+      {"P2.21", "inv(t(D) %*% D) %*% (t(D) %*% vd)", kOp, ""},
+      {"P2.22", "exp(t(C + D))", kOp, ""},
+      {"P2.23", "det(C) * det(D) * det(C)", kOp, ""},
+      {"P2.24", "t(inv(D) %*% C)", kOp, ""},
+      {"P2.25", "(u1 %*% t(v2) - X) %*% v2", kNo,
+       "u1 %*% (t(v2) %*% v2) - X %*% v2"},
+      {"P2.26", "exp(inv(C + D))", kOp, ""},
+      {"P2.27", "t(inv(t(C + D))) %*% D %*% C", kOp, ""},
+  };
+}
+
+}  // namespace
+
+const std::vector<Pipeline>& LaBenchmark() {
+  static const auto* kBenchmark = new std::vector<Pipeline>(BuildBenchmark());
+  return *kBenchmark;
+}
+
+const Pipeline* FindPipeline(const std::string& id) {
+  for (const Pipeline& p : LaBenchmark()) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+const std::vector<ViewSpec>& VexpViews() {
+  static const auto* kViews = new std::vector<ViewSpec>{
+      {"V1", "inv(D)"},
+      {"V2", "inv(t(C))"},
+      {"V3", "N %*% M"},
+      {"V4", "u1 %*% t(v2)"},
+      {"V5", "D %*% C"},
+      {"V6", "A + B"},
+      {"V7", "inv(C)"},
+      {"V8", "t(C) %*% D"},
+      {"V9", "inv(D + C)"},
+      {"V10", "det(C %*% D)"},
+      {"V11", "det(D %*% C)"},
+      {"V12", "t(D %*% C)"},
+  };
+  return *kViews;
+}
+
+const std::vector<ViewRewrite>& Table15Rewrites() {
+  static const auto* kRewrites = new std::vector<ViewRewrite>{
+      {"P1.2", "t(V6)"},
+      {"P1.3", "V7 %*% V1"},
+      {"P1.4", "V6 %*% v1"},
+      {"P1.11", "t(colSums(V6))"},
+      {"P1.15", "M %*% V3"},
+      {"P1.19", "V2"},
+      {"P1.20", "trace(V7)"},
+      {"P1.22", "trace(V9)"},
+      {"P2.2", "det(V1)"},
+      {"P2.5", "det(V9)"},
+      {"P2.9", "trace(V12) + trace(D)"},
+      {"P2.11", "sum(V6)"},
+      {"P2.13", "t(M %*% V3)"},
+      {"P2.14", "M %*% V3 %*% N"},
+      {"P2.17", "t(V9) %*% D"},
+      {"P2.18", "t(rowSums(V6))"},
+      {"P2.20", "t(M %*% V3)"},
+      {"P2.21", "V1 %*% (t(V1) %*% (t(D) %*% vd))"},
+      {"P2.25", "V4 %*% v2 - X %*% v2"},
+      {"P2.26", "exp(V9)"},
+      {"P2.27", "t(V9) %*% V5"},
+  };
+  return *kRewrites;
+}
+
+}  // namespace hadad::core

@@ -1,0 +1,46 @@
+#ifndef HADAD_CORE_WORKLOADS_H_
+#define HADAD_CORE_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+namespace hadad::core {
+
+// The LA benchmark of §9.1 (Tables 2 and 3): 57 pipelines over the Table 6
+// bindings (A, B, C, D, M, N, R, X, v1, v2, u1, and vd — see
+// MakeLaBenchWorkspace). `expected_rewrite` transcribes Tables 12/13 (the
+// P¬Opt rewrites HADAD found in the paper); empty when the paper lists
+// none. kOpt pipelines are "already optimal" without views (§9.1.3).
+enum class PipelineClass { kNotOpt, kOpt };
+
+struct Pipeline {
+  std::string id;                // "P1.1" ... "P2.27".
+  std::string text;              // Parser syntax.
+  PipelineClass cls;
+  std::string expected_rewrite;  // From Tables 12/13; may be empty.
+};
+
+const std::vector<Pipeline>& LaBenchmark();
+
+// Looks a pipeline up by id; nullptr if absent.
+const Pipeline* FindPipeline(const std::string& id);
+
+// The materialized views V_exp of §9.1.2 (Table 14).
+struct ViewSpec {
+  std::string name;
+  std::string definition;
+};
+const std::vector<ViewSpec>& VexpViews();
+
+// A sample of the views-based rewrites of Table 15 (pipeline id → the
+// rewriting over V_exp the paper reports), used by tests and by
+// bench_fig7_view_rewrites.
+struct ViewRewrite {
+  std::string pipeline_id;
+  std::string rewrite;
+};
+const std::vector<ViewRewrite>& Table15Rewrites();
+
+}  // namespace hadad::core
+
+#endif  // HADAD_CORE_WORKLOADS_H_

@@ -1,0 +1,48 @@
+#ifndef HADAD_COST_COST_MODEL_H_
+#define HADAD_COST_COST_MODEL_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "cost/estimator.h"
+#include "la/expr.h"
+#include "matrix/matrix.h"
+
+namespace hadad::cost {
+
+// Actual matrix data by name; optional, used by the MNC estimator to build
+// exact base histograms (the paper computes these offline, §7.2.2).
+using DataCatalog = std::map<std::string, matrix::Matrix>;
+
+struct ExprEstimate {
+  // γ(E), §7.1: the sum of estimated intermediate-result sizes (in
+  // non-zeros) when E is evaluated exactly as stated. Leaf scans and the
+  // root's own output are free.
+  double cost = 0.0;
+  // Estimated metadata of E's output.
+  ClassMeta output;
+};
+
+// Estimates `expr` under `estimator`. Fails on shape errors or unknown
+// matrix names.
+Result<ExprEstimate> EstimateExpression(const la::Expr& expr,
+                                        const la::MetaCatalog& catalog,
+                                        const SparsityEstimator& estimator,
+                                        const DataCatalog* data = nullptr);
+
+// The VREM relation that encodes `e`'s top operator given its children's
+// scalar-ness, plus the input order convention. Shared by the encoder-side
+// cost model and the decoder. `swap_args` is set when the relation expects
+// the scalar first but the expression has it second (multiMS).
+struct OpRelation {
+  std::string relation;
+  int output_index = 0;  // For qr/lu factor selection.
+  bool swap_args = false;
+};
+Result<OpRelation> RelationFor(const la::Expr& e, bool lhs_scalar,
+                               bool rhs_scalar);
+
+}  // namespace hadad::cost
+
+#endif  // HADAD_COST_COST_MODEL_H_

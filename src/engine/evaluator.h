@@ -1,0 +1,30 @@
+#ifndef HADAD_ENGINE_EVALUATOR_H_
+#define HADAD_ENGINE_EVALUATOR_H_
+
+#include "common/status.h"
+#include "engine/workspace.h"
+#include "la/expr.h"
+#include "matrix/matrix.h"
+
+namespace hadad::engine {
+
+struct ExecStats {
+  // Wall-clock seconds for the evaluation.
+  double seconds = 0.0;
+  // Actual total non-zeros across all intermediate results (every internal
+  // node except the root) — the ground truth of the paper's cost measure γ.
+  double intermediate_nnz = 0.0;
+  // Number of operator applications executed.
+  int64_t operators = 0;
+};
+
+// Evaluates `expr` over `workspace` bottom-up, in the exact syntactic order
+// given — the paper's "as stated" semantics (§7.1): no reordering, no
+// simplification. Engine profiles build on top of this.
+Result<matrix::Matrix> Execute(const la::Expr& expr,
+                               const Workspace& workspace,
+                               ExecStats* stats = nullptr);
+
+}  // namespace hadad::engine
+
+#endif  // HADAD_ENGINE_EVALUATOR_H_

@@ -1,0 +1,27 @@
+#include "engine/view_catalog.h"
+
+#include "engine/evaluator.h"
+#include "la/parser.h"
+
+namespace hadad::engine {
+
+Status ViewCatalog::Materialize(const std::string& name,
+                                const la::ExprPtr& definition) {
+  if (workspace_->Has(name)) {
+    return Status::InvalidArgument("workspace already has '" + name + "'");
+  }
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix value,
+                         Execute(*definition, *workspace_));
+  workspace_->Put(name, std::move(value));
+  entries_.push_back(Entry{name, definition});
+  return Status::OK();
+}
+
+Status ViewCatalog::MaterializeText(const std::string& name,
+                                    const std::string& definition_text) {
+  HADAD_ASSIGN_OR_RETURN(la::ExprPtr def,
+                         la::ParseExpression(definition_text));
+  return Materialize(name, def);
+}
+
+}  // namespace hadad::engine

@@ -1,0 +1,39 @@
+#ifndef HADAD_ENGINE_VIEW_CATALOG_H_
+#define HADAD_ENGINE_VIEW_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/workspace.h"
+#include "la/expr.h"
+
+namespace hadad::engine {
+
+// Materialized-view management: evaluates view definitions against the
+// workspace's base data and stores the results under the view names (the
+// paper materializes V_exp to CSV files, §9.1.2; Workspace is our store).
+class ViewCatalog {
+ public:
+  explicit ViewCatalog(Workspace* workspace) : workspace_(workspace) {}
+
+  // Evaluates `definition` and stores the result as `name`. Fails if the
+  // name is taken or evaluation fails.
+  Status Materialize(const std::string& name, const la::ExprPtr& definition);
+  Status MaterializeText(const std::string& name,
+                         const std::string& definition_text);
+
+  struct Entry {
+    std::string name;
+    la::ExprPtr definition;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  Workspace* workspace_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hadad::engine
+
+#endif  // HADAD_ENGINE_VIEW_CATALOG_H_

@@ -1,0 +1,28 @@
+#include "engine/workspace.h"
+
+#include "matrix/decompositions.h"
+
+namespace hadad::engine {
+
+la::MetaCatalog Workspace::BuildMetaCatalog(int64_t flag_detect_limit) const {
+  la::MetaCatalog catalog;
+  for (const auto& [name, m] : data_) {
+    la::MatrixMeta meta;
+    meta.rows = m.rows();
+    meta.cols = m.cols();
+    meta.nnz = static_cast<double>(m.Nnz());
+    if (m.IsSquare() && m.rows() <= flag_detect_limit) {
+      meta.lower_triangular = matrix::IsLowerTriangular(m);
+      meta.upper_triangular = matrix::IsUpperTriangular(m);
+      meta.orthogonal = matrix::IsOrthogonal(m);
+      if (matrix::IsSymmetric(m)) {
+        // Positive definiteness via an attempted Cholesky.
+        meta.symmetric_pd = matrix::CholeskyDecompose(m).ok();
+      }
+    }
+    catalog[name] = meta;
+  }
+  return catalog;
+}
+
+}  // namespace hadad::engine

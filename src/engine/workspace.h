@@ -1,0 +1,47 @@
+#ifndef HADAD_ENGINE_WORKSPACE_H_
+#define HADAD_ENGINE_WORKSPACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "la/expr.h"
+#include "matrix/matrix.h"
+
+namespace hadad::engine {
+
+// The named matrices an engine run can see: base data plus materialized
+// views. Doubles as the cost::DataCatalog handed to the optimizer (for MNC
+// base histograms).
+class Workspace {
+ public:
+  Workspace() = default;
+
+  void Put(const std::string& name, matrix::Matrix m) {
+    data_.insert_or_assign(name, std::move(m));
+  }
+
+  bool Has(const std::string& name) const { return data_.count(name) > 0; }
+
+  Result<const matrix::Matrix*> Get(const std::string& name) const {
+    auto it = data_.find(name);
+    if (it == data_.end()) {
+      return Status::NotFound("no matrix named '" + name + "' in workspace");
+    }
+    return &it->second;
+  }
+
+  const cost::DataCatalog& data() const { return data_; }
+
+  // Derives the metadata catalog (shapes + exact nnz) from the stored
+  // matrices; flags are detected structurally for square matrices up to
+  // `flag_detect_limit` rows (type detection is O(n^2)).
+  la::MetaCatalog BuildMetaCatalog(int64_t flag_detect_limit = 0) const;
+
+ private:
+  cost::DataCatalog data_;
+};
+
+}  // namespace hadad::engine
+
+#endif  // HADAD_ENGINE_WORKSPACE_H_

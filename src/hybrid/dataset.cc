@@ -1,0 +1,193 @@
+#include "hybrid/dataset.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "relational/casting.h"
+#include "relational/operators.h"
+
+namespace hadad::hybrid {
+
+namespace {
+
+using relational::ColumnSpec;
+using relational::CompareOp;
+using relational::Predicate;
+using relational::Row;
+using relational::Table;
+using relational::Value;
+using relational::ValueType;
+
+constexpr int kFactFeatureCount = 7;  // Tweet engagement / admission vitals.
+constexpr int kDimFeatureCount = 5;   // User profile / patient profile.
+
+}  // namespace
+
+Dataset GenerateDataset(Rng& rng, const DatasetConfig& config) {
+  Dataset out;
+  out.config = config;
+  const bool twitter = config.kind == BenchmarkKind::kTwitter;
+
+  // --- Dimension table (User / Patient). --------------------------------
+  std::vector<ColumnSpec> dim_schema{{twitter ? "uid" : "patient_id",
+                                      ValueType::kInt}};
+  for (int f = 0; f < kDimFeatureCount; ++f) {
+    std::string name = (twitter ? "u_f" : "p_f") + std::to_string(f);
+    dim_schema.push_back({name, ValueType::kDouble});
+    out.dim_features.push_back(name);
+  }
+  out.dim_table = Table(dim_schema);
+  for (int64_t i = 0; i < config.num_dims; ++i) {
+    Row row{Value(i)};
+    for (int f = 0; f < kDimFeatureCount; ++f) {
+      row.push_back(rng.Uniform(0.0, 1.0));
+    }
+    HADAD_CHECK(out.dim_table.AppendRow(std::move(row)).ok());
+  }
+
+  // --- Fact table (Tweet / Admission). -----------------------------------
+  std::vector<ColumnSpec> fact_schema{
+      {twitter ? "tid" : "adm_id", ValueType::kInt},
+      {twitter ? "uid" : "patient_id", ValueType::kInt}};
+  for (int f = 0; f < kFactFeatureCount; ++f) {
+    std::string name = (twitter ? "t_f" : "a_f") + std::to_string(f);
+    fact_schema.push_back({name, ValueType::kDouble});
+    out.fact_features.push_back(name);
+  }
+  out.fact_table = Table(fact_schema);
+  for (int64_t i = 0; i < config.num_entities; ++i) {
+    Row row{Value(i),
+            Value(static_cast<int64_t>(rng.NextBelow(
+                static_cast<uint64_t>(config.num_dims))))};
+    for (int f = 0; f < kFactFeatureCount; ++f) {
+      row.push_back(rng.Uniform(0.0, 1.0));
+    }
+    HADAD_CHECK(out.fact_table.AppendRow(std::move(row)).ok());
+  }
+
+  // --- Sparse fact source. ------------------------------------------------
+  // Twitter: (tweet row, hashtag, filter_level, text, country).
+  // MIMIC:   (admission row, service, outcome, note, care_unit).
+  out.sparse_facts = Table({{"entity", ValueType::kInt},
+                            {"category", ValueType::kInt},
+                            {"level", ValueType::kDouble},
+                            {twitter ? "text" : "note", ValueType::kString},
+                            {twitter ? "country" : "care_unit",
+                             ValueType::kString}});
+  const int64_t num_facts = static_cast<int64_t>(
+      config.facts_per_entity * static_cast<double>(config.num_entities));
+  // One fact per (entity, category) pair — a tweet mentions a hashtag at one
+  // filter level — so relational and LA-stage level filters agree cell-wise.
+  std::unordered_set<int64_t> used_pairs;
+  for (int64_t i = 0; i < num_facts; ++i) {
+    const bool selected = rng.NextDouble() < config.selection_fraction;
+    std::string text;
+    std::string region;
+    if (twitter) {
+      text = selected ? "breaking covid news" : "cat pictures";
+      region = selected ? "US" : "FR";
+    } else {
+      text = "routine";
+      region = selected ? "CCU" : "MICU";
+    }
+    int64_t entity = 0;
+    int64_t category = 0;
+    bool found_free_pair = false;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      entity = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(config.num_entities)));
+      category = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(config.num_categories)));
+      if (used_pairs.insert(entity * config.num_categories + category)
+              .second) {
+        found_free_pair = true;
+        break;
+      }
+    }
+    if (!found_free_pair) continue;  // Saturated; skip this fact.
+    Row row{Value(entity), Value(category),
+            Value(1.0 + static_cast<double>(rng.NextBelow(6))),  // 1..6.
+            Value(text), Value(region)};
+    HADAD_CHECK(out.sparse_facts.AppendRow(std::move(row)).ok());
+  }
+  return out;
+}
+
+Result<Preprocessed> Preprocess(const Dataset& dataset, bool push_level_filter,
+                                double max_level) {
+  Timer timer;
+  const bool twitter = dataset.config.kind == BenchmarkKind::kTwitter;
+  Preprocessed out;
+
+  // M = fact ⋈ dim, cast as matrices (kept factorized as T, K, U and also
+  // materialized for engines that want the denormalized form).
+  const std::string key = twitter ? "uid" : "patient_id";
+  HADAD_ASSIGN_OR_RETURN(
+      out.t, relational::TableToMatrix(dataset.fact_table,
+                                       dataset.fact_features));
+  HADAD_ASSIGN_OR_RETURN(
+      out.u, relational::TableToMatrix(dataset.dim_table,
+                                       dataset.dim_features));
+  // Indicator K from the FK column.
+  {
+    HADAD_ASSIGN_OR_RETURN(int64_t fk, dataset.fact_table.ColumnIndex(key));
+    std::vector<matrix::Triplet> triplets;
+    triplets.reserve(static_cast<size_t>(dataset.fact_table.num_rows()));
+    for (int64_t i = 0; i < dataset.fact_table.num_rows(); ++i) {
+      HADAD_ASSIGN_OR_RETURN(
+          double d, relational::AsDouble(
+                        dataset.fact_table.row(i)[static_cast<size_t>(fk)]));
+      triplets.push_back({i, static_cast<int64_t>(d), 1.0});
+    }
+    out.k = matrix::Matrix(matrix::SparseMatrix::FromTriplets(
+        dataset.fact_table.num_rows(), dataset.dim_table.num_rows(),
+        std::move(triplets)));
+  }
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix ku, matrix::Multiply(out.k, out.u));
+  HADAD_ASSIGN_OR_RETURN(out.m, matrix::Cbind(out.t, ku));
+
+  // N: select the relevant fact rows, then cast to a sparse matrix.
+  relational::PredicatePtr selection =
+      twitter ? Predicate::And(
+                    Predicate::Compare("text", CompareOp::kContains,
+                                       std::string("covid")),
+                    Predicate::Compare("country", CompareOp::kEq,
+                                       std::string("US")))
+              : Predicate::Compare("care_unit", CompareOp::kEq,
+                                   std::string("CCU"));
+  if (push_level_filter) {
+    // HADAD's combined rewriting: the LA-stage level predicate moves into
+    // the relational selection (§2).
+    selection = Predicate::And(
+        selection, Predicate::Compare("level", CompareOp::kLe, max_level));
+  }
+  HADAD_ASSIGN_OR_RETURN(relational::Table selected,
+                         relational::Select(dataset.sparse_facts, selection));
+  HADAD_ASSIGN_OR_RETURN(
+      out.n, relational::FactsToSparseMatrix(
+                 selected, "entity", "category", "level",
+                 dataset.config.num_entities, dataset.config.num_categories));
+  out.ra_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+matrix::Matrix FilterLevelAtMost(const matrix::Matrix& n, double level) {
+  matrix::SparseMatrix s = n.ToSparse();
+  std::vector<matrix::Triplet> kept;
+  kept.reserve(static_cast<size_t>(s.nnz()));
+  for (int64_t i = 0; i < s.rows(); ++i) {
+    for (int64_t p = s.row_ptr()[static_cast<size_t>(i)];
+         p < s.row_ptr()[static_cast<size_t>(i) + 1]; ++p) {
+      double v = s.values()[static_cast<size_t>(p)];
+      if (v <= level) {
+        kept.push_back({i, s.col_idx()[static_cast<size_t>(p)], v});
+      }
+    }
+  }
+  return matrix::Matrix(
+      matrix::SparseMatrix::FromTriplets(s.rows(), s.cols(), std::move(kept)));
+}
+
+}  // namespace hadad::hybrid

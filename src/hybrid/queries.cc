@@ -1,0 +1,97 @@
+#include "hybrid/queries.h"
+
+#include "engine/view_catalog.h"
+#include "la/parser.h"
+#include "matrix/generate.h"
+
+namespace hadad::hybrid {
+
+std::vector<HybridQuery> MicroBenchmarkQueries() {
+  return {
+      // Q1: V3 via Morpheus rowSums pushdown + distributing the vector
+      // multiplication over the sparse NF (the §2 ALS example).
+      {"Q1", "rowSums(X %*% M) + X %*% ((u %*% t(v) + NF) %*% v)"},
+      // Q2: colSums(t(X M)) = t(rowSums(X M)) = t(X V3).
+      {"Q2", "u5 %*% colSums(t(X %*% M))"},
+      // Q3: distribute (NF + X2) v; colSums(M) = V4.
+      {"Q3", "((NF + X2) %*% v) %*% colSums(M)"},
+      // Q4: distribute sum over +; sum(NF C2) via the sum-product rule.
+      {"Q4", "sum(X2 + NF %*% C2)"},
+      // Q5: colSums(M Y) = colSums(M) Y = V4 Y.
+      {"Q5", "u5 %*% colSums(M %*% Y)"},
+      // Q6: V4 again, plus the cheap sparse product t(NF) u.
+      {"Q6", "t(colSums(M %*% Y)) + t(NF) %*% u"},
+      // Q7: chain reordering around the ultra-sparse NF.
+      {"Q7", "(X %*% NF) %*% u6"},
+      // Q8: distribute trace; V4; optimal chain order.
+      {"Q8", "NF * trace(C2 + v %*% (colSums(M %*% Y) %*% C2))"},
+      // Q9: sum(colSums(C5)^T (*) rowSums(M)) = sum(C5 M) = sum(V5).
+      {"Q9", "X2 * sum(t(colSums(C5)) * rowSums(M)) + NF"},
+      // Q10: distribute M over +; C5 M = V5.
+      {"Q10", "NF * sum((X4 + C5) %*% M)"},
+  };
+}
+
+std::vector<HybridView> HybridViews() {
+  return {
+      {"V3", "rowSums(T) + K %*% rowSums(U)"},
+      {"V4", "cbind(colSums(T), colSums(K) %*% U)"},
+      {"V5", "cbind(C5 %*% T, (C5 %*% K) %*% U)"},
+  };
+}
+
+Result<std::unique_ptr<HybridSession>> BuildHybridSession(
+    Rng& rng, const Preprocessed& pre, matrix::Matrix nf,
+    pacb::EstimatorKind estimator) {
+  auto session = std::make_unique<HybridSession>();
+  engine::Workspace& ws = session->workspace;
+  const int64_t n_s = pre.m.rows();
+  const int64_t d_m = pre.m.cols();
+  const int64_t n_h = nf.cols();
+  const int64_t q = 50;
+
+  ws.Put("T", pre.t);
+  ws.Put("K", pre.k);
+  ws.Put("U", pre.u);
+  ws.Put("M", pre.m);
+  ws.Put("NF", std::move(nf));
+  ws.Put("X", matrix::RandomDense(rng, q, n_s));
+  ws.Put("X2", matrix::RandomDense(rng, n_s, n_h));
+  ws.Put("X4", matrix::RandomDense(rng, q, n_s));
+  ws.Put("C5", matrix::RandomDense(rng, q, n_s));
+  ws.Put("C2", matrix::RandomDense(rng, n_h, n_h));
+  ws.Put("Y", matrix::RandomDense(rng, d_m, n_h));
+  ws.Put("u", matrix::RandomDense(rng, n_s, 1));
+  ws.Put("v", matrix::RandomDense(rng, n_h, 1));
+  ws.Put("u5", matrix::RandomDense(rng, n_h, 1));
+  ws.Put("u6", matrix::RandomDense(rng, n_h, 1));
+
+  // Materialize the hybrid views into the workspace.
+  engine::ViewCatalog views(&ws);
+  for (const HybridView& v : HybridViews()) {
+    HADAD_RETURN_IF_ERROR(views.MaterializeText(v.name, v.definition));
+  }
+
+  // The optimizer sees base metadata (without the view names, which AddView
+  // registers itself).
+  la::MetaCatalog catalog = ws.BuildMetaCatalog();
+  for (const HybridView& v : HybridViews()) catalog.erase(v.name);
+  pacb::OptimizerOptions options;
+  options.estimator = estimator;
+  // Micro-hybrid pipelines need only short derivation chains to reach the
+  // views; capping rounds keeps RW_find low (the paper's overhead story).
+  options.chase.max_rounds = 6;
+  options.chase.max_facts = 9000;
+  session->optimizer =
+      std::make_unique<pacb::Optimizer>(std::move(catalog), options);
+  session->optimizer->SetData(&ws.data());
+  HADAD_RETURN_IF_ERROR(
+      session->optimizer->AddMorpheusJoin({"T", "K", "U", "M"}));
+  for (const HybridView& v : HybridViews()) {
+    HADAD_ASSIGN_OR_RETURN(la::ExprPtr def, la::ParseExpression(v.definition));
+    HADAD_RETURN_IF_ERROR(session->optimizer->AddView(v.name, def));
+  }
+  return session;
+}
+
+}  // namespace hadad::hybrid

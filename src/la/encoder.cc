@@ -1,0 +1,203 @@
+#include "la/encoder.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "la/vrem.h"
+
+namespace hadad::la {
+
+namespace {
+
+using chase::Atom;
+using chase::Cst;
+using chase::MakeAtom;
+using chase::Var;
+
+class EncoderImpl {
+ public:
+  explicit EncoderImpl(const MetaCatalog& catalog) : catalog_(catalog) {}
+
+  Result<EncodedExpr> Encode(const Expr& expr) {
+    HADAD_ASSIGN_OR_RETURN(std::string root, EncodeNode(expr));
+    out_.root_var = root;
+    out_.query.head = {Var(root)};
+    return std::move(out_);
+  }
+
+ private:
+  std::string FreshVar() { return "v" + std::to_string(counter_++); }
+
+  void Emit(const char* predicate, std::vector<chase::Term> args) {
+    out_.query.body.push_back(MakeAtom(predicate, std::move(args)));
+  }
+
+  // Encodes a node, returning its encoding variable. Structurally equal
+  // subtrees are memoized onto one variable.
+  Result<std::string> EncodeNode(const Expr& e) {
+    const std::string key = ToString(e);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    HADAD_ASSIGN_OR_RETURN(MatrixMeta meta, InferShape(e, catalog_));
+
+    std::string var;
+    switch (e.kind()) {
+      case OpKind::kMatrixRef:
+        var = FreshVar();
+        Emit(vrem::kName, {Var(var), Cst(e.name())});
+        break;
+      case OpKind::kScalarConst:
+        var = FreshVar();
+        Emit(vrem::kSconst, {Var(var), Cst(FormatScalar(e.scalar_value()))});
+        break;
+      default: {
+        HADAD_ASSIGN_OR_RETURN(var, EncodeOperator(e));
+        break;
+      }
+    }
+    memo_.emplace(key, var);
+    out_.var_meta.emplace(var, meta);
+    return var;
+  }
+
+  bool IsScalarShaped(const Expr& e) {
+    auto shape = InferShape(e, catalog_);
+    return shape.ok() && shape->rows == 1 && shape->cols == 1;
+  }
+
+  Result<std::string> EncodeOperator(const Expr& e) {
+    std::vector<std::string> kid_vars;
+    kid_vars.reserve(e.children().size());
+    for (const ExprPtr& c : e.children()) {
+      HADAD_ASSIGN_OR_RETURN(std::string v, EncodeNode(*c));
+      kid_vars.push_back(v);
+    }
+    const std::string res = FreshVar();
+    auto emit3 = [&](const char* pred) {
+      Emit(pred, {Var(kid_vars[0]), Var(kid_vars[1]), Var(res)});
+    };
+    auto emit2 = [&](const char* pred) {
+      Emit(pred, {Var(kid_vars[0]), Var(res)});
+    };
+    switch (e.kind()) {
+      case OpKind::kTranspose: emit2(vrem::kTr); break;
+      case OpKind::kInverse: emit2(vrem::kInvM); break;
+      case OpKind::kDet: emit2(vrem::kDet); break;
+      case OpKind::kTrace: emit2(vrem::kTrace); break;
+      case OpKind::kDiag: emit2(vrem::kDiag); break;
+      case OpKind::kExp: emit2(vrem::kExp); break;
+      case OpKind::kAdjoint: emit2(vrem::kAdj); break;
+      case OpKind::kRev: emit2(vrem::kRev); break;
+      case OpKind::kSum: emit2(vrem::kSum); break;
+      case OpKind::kRowSums: emit2(vrem::kRowSums); break;
+      case OpKind::kColSums: emit2(vrem::kColSums); break;
+      case OpKind::kMin: emit2(vrem::kMin); break;
+      case OpKind::kMax: emit2(vrem::kMax); break;
+      case OpKind::kMean: emit2(vrem::kMean); break;
+      case OpKind::kVar: emit2(vrem::kVar); break;
+      case OpKind::kRowMins: emit2(vrem::kRowMin); break;
+      case OpKind::kRowMaxs: emit2(vrem::kRowMax); break;
+      case OpKind::kRowMeans: emit2(vrem::kRowMean); break;
+      case OpKind::kRowVars: emit2(vrem::kRowVar); break;
+      case OpKind::kColMins: emit2(vrem::kColMin); break;
+      case OpKind::kColMaxs: emit2(vrem::kColMax); break;
+      case OpKind::kColMeans: emit2(vrem::kColMean); break;
+      case OpKind::kColVars: emit2(vrem::kColVar); break;
+      case OpKind::kCholesky: emit2(vrem::kCho); break;
+      case OpKind::kQrQ:
+        Emit(vrem::kQr, {Var(kid_vars[0]), Var(res), Var(FreshVar())});
+        break;
+      case OpKind::kQrR:
+        Emit(vrem::kQr, {Var(kid_vars[0]), Var(FreshVar()), Var(res)});
+        break;
+      case OpKind::kLuL:
+        Emit(vrem::kLu, {Var(kid_vars[0]), Var(res), Var(FreshVar())});
+        break;
+      case OpKind::kLuU:
+        Emit(vrem::kLu, {Var(kid_vars[0]), Var(FreshVar()), Var(res)});
+        break;
+      case OpKind::kPluL:
+        Emit(vrem::kLup,
+             {Var(kid_vars[0]), Var(res), Var(FreshVar()), Var(FreshVar())});
+        break;
+      case OpKind::kPluU:
+        Emit(vrem::kLup,
+             {Var(kid_vars[0]), Var(FreshVar()), Var(res), Var(FreshVar())});
+        break;
+      case OpKind::kPluP:
+        Emit(vrem::kLup,
+             {Var(kid_vars[0]), Var(FreshVar()), Var(FreshVar()), Var(res)});
+        break;
+      case OpKind::kMultiply:
+      case OpKind::kHadamard: {
+        // Scalar flavoring (§3: numbers are 1x1 matrices): both 1x1 ->
+        // multiS; one 1x1 -> multiMS (scalar first); otherwise the matrix
+        // operator.
+        const bool lhs_scalar = IsScalarShaped(*e.child(0));
+        const bool rhs_scalar = IsScalarShaped(*e.child(1));
+        if (lhs_scalar && rhs_scalar) {
+          emit3(vrem::kMultiS);
+        } else if (lhs_scalar) {
+          emit3(vrem::kMultiMS);
+        } else if (rhs_scalar) {
+          Emit(vrem::kMultiMS, {Var(kid_vars[1]), Var(kid_vars[0]), Var(res)});
+        } else if (e.kind() == OpKind::kMultiply) {
+          emit3(vrem::kMultiM);
+        } else {
+          emit3(vrem::kMultiE);
+        }
+        break;
+      }
+      case OpKind::kAdd:
+        if (IsScalarShaped(*e.child(0)) && IsScalarShaped(*e.child(1))) {
+          emit3(vrem::kAddS);
+        } else {
+          emit3(vrem::kAddM);
+        }
+        break;
+      case OpKind::kDivide: {
+        const bool lhs_scalar = IsScalarShaped(*e.child(0));
+        const bool rhs_scalar = IsScalarShaped(*e.child(1));
+        if (lhs_scalar && rhs_scalar) {
+          emit3(vrem::kDivS);
+        } else if (rhs_scalar) {
+          Emit(vrem::kDivMS, {Var(kid_vars[0]), Var(kid_vars[1]), Var(res)});
+        } else {
+          emit3(vrem::kDivM);
+        }
+        break;
+      }
+      case OpKind::kDirectSum: emit3(vrem::kSumD); break;
+      case OpKind::kKronecker: emit3(vrem::kProductD); break;
+      case OpKind::kCbind: emit3(vrem::kCbind); break;
+      default:
+        return Status::Internal("unhandled operator in encoder");
+    }
+    return res;
+  }
+
+  const MetaCatalog& catalog_;
+  EncodedExpr out_;
+  std::unordered_map<std::string, std::string> memo_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+std::string FormatScalar(double v) {
+  std::ostringstream ss;
+  ss.precision(15);
+  ss << v;
+  return ss.str();
+}
+
+Result<EncodedExpr> EncodeExpression(const Expr& expr,
+                                     const MetaCatalog& catalog) {
+  // Validate up front so encoding failures are always shape errors with the
+  // full expression in the message.
+  HADAD_RETURN_IF_ERROR(InferShape(expr, catalog).status());
+  EncoderImpl impl(catalog);
+  return impl.Encode(expr);
+}
+
+}  // namespace hadad::la

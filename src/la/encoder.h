@@ -1,0 +1,37 @@
+#ifndef HADAD_LA_ENCODER_H_
+#define HADAD_LA_ENCODER_H_
+
+#include <map>
+#include <string>
+
+#include "chase/ast.h"
+#include "common/status.h"
+#include "la/expr.h"
+
+namespace hadad::la {
+
+// The relational encoding enc_LA(E) of an LA expression (§6.2.2): a
+// conjunctive query over the VREM schema whose single head variable denotes
+// the equivalence class of E's value. Structurally identical subexpressions
+// share one variable (the chase's functional EGDs would merge them anyway).
+struct EncodedExpr {
+  chase::ConjunctiveQuery query;
+  std::string root_var;
+  // Shape/type metadata per encoding variable, inferred during encoding —
+  // used by PACB++ to seed the cost model with `size`/`type` facts.
+  std::map<std::string, MatrixMeta> var_meta;
+};
+
+// Encodes `expr`. The catalog supplies base-matrix shapes (needed to decide
+// whether an operator instance is scalar or matrix flavored, e.g. multiS vs
+// multiMS vs multiM) and to validate the expression.
+Result<EncodedExpr> EncodeExpression(const Expr& expr,
+                                     const MetaCatalog& catalog);
+
+// Renders a scalar constant canonically for `sconst` facts (and parses back
+// in the decoder).
+std::string FormatScalar(double v);
+
+}  // namespace hadad::la
+
+#endif  // HADAD_LA_ENCODER_H_

@@ -1,0 +1,379 @@
+#include "la/expr.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hadad::la {
+
+const char* OpName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMatrixRef: return "ref";
+    case OpKind::kScalarConst: return "const";
+    case OpKind::kTranspose: return "t";
+    case OpKind::kInverse: return "inv";
+    case OpKind::kDet: return "det";
+    case OpKind::kTrace: return "trace";
+    case OpKind::kDiag: return "diag";
+    case OpKind::kExp: return "exp";
+    case OpKind::kAdjoint: return "adj";
+    case OpKind::kRev: return "rev";
+    case OpKind::kSum: return "sum";
+    case OpKind::kRowSums: return "rowSums";
+    case OpKind::kColSums: return "colSums";
+    case OpKind::kMin: return "min";
+    case OpKind::kMax: return "max";
+    case OpKind::kMean: return "mean";
+    case OpKind::kVar: return "var";
+    case OpKind::kRowMins: return "rowMins";
+    case OpKind::kRowMaxs: return "rowMaxs";
+    case OpKind::kRowMeans: return "rowMeans";
+    case OpKind::kRowVars: return "rowVars";
+    case OpKind::kColMins: return "colMins";
+    case OpKind::kColMaxs: return "colMaxs";
+    case OpKind::kColMeans: return "colMeans";
+    case OpKind::kColVars: return "colVars";
+    case OpKind::kCholesky: return "cho";
+    case OpKind::kQrQ: return "qr_q";
+    case OpKind::kQrR: return "qr_r";
+    case OpKind::kLuL: return "lu_l";
+    case OpKind::kLuU: return "lu_u";
+    case OpKind::kPluL: return "lup_l";
+    case OpKind::kPluU: return "lup_u";
+    case OpKind::kPluP: return "lup_p";
+    case OpKind::kMultiply: return "%*%";
+    case OpKind::kAdd: return "+";
+    case OpKind::kHadamard: return "*";
+    case OpKind::kDivide: return "/";
+    case OpKind::kDirectSum: return "dsum";
+    case OpKind::kKronecker: return "kron";
+    case OpKind::kCbind: return "cbind";
+  }
+  return "?";
+}
+
+int Arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMatrixRef:
+    case OpKind::kScalarConst:
+      return 0;
+    case OpKind::kMultiply:
+    case OpKind::kAdd:
+    case OpKind::kHadamard:
+    case OpKind::kDivide:
+    case OpKind::kDirectSum:
+    case OpKind::kKronecker:
+    case OpKind::kCbind:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+ExprPtr Expr::MatrixRef(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = OpKind::kMatrixRef;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Scalar(double value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = OpKind::kScalarConst;
+  e->scalar_value_ = value;
+  return e;
+}
+
+ExprPtr Expr::Unary(OpKind kind, ExprPtr child) {
+  HADAD_CHECK_EQ(Arity(kind), 1);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = kind;
+  e->children_.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr Expr::Binary(OpKind kind, ExprPtr lhs, ExprPtr rhs) {
+  HADAD_CHECK_EQ(Arity(kind), 2);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = kind;
+  e->children_.push_back(std::move(lhs));
+  e->children_.push_back(std::move(rhs));
+  return e;
+}
+
+int64_t Expr::TreeSize() const {
+  int64_t size = 1;
+  for (const ExprPtr& c : children_) size += c->TreeSize();
+  return size;
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  if (kind_ == OpKind::kMatrixRef) return name_ == other.name_;
+  if (kind_ == OpKind::kScalarConst) {
+    return scalar_value_ == other.scalar_value_;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Infix binding strengths, mirroring R: %*% binds tighter than * and /,
+// which bind tighter than + .
+int Precedence(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd: return 1;
+    case OpKind::kHadamard:
+    case OpKind::kDivide: return 2;
+    case OpKind::kMultiply: return 3;
+    default: return 4;
+  }
+}
+
+bool IsInfix(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd:
+    case OpKind::kHadamard:
+    case OpKind::kDivide:
+    case OpKind::kMultiply:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Render(const Expr& e, int parent_prec, std::string& out) {
+  switch (e.kind()) {
+    case OpKind::kMatrixRef:
+      out += e.name();
+      return;
+    case OpKind::kScalarConst: {
+      std::ostringstream ss;
+      ss << e.scalar_value();
+      out += ss.str();
+      return;
+    }
+    default:
+      break;
+  }
+  if (IsInfix(e.kind())) {
+    const int prec = Precedence(e.kind());
+    const bool parens = prec < parent_prec;
+    if (parens) out += '(';
+    Render(*e.child(0), prec, out);
+    out += ' ';
+    out += OpName(e.kind());
+    out += ' ';
+    // Left-associative: the right child needs parens at equal precedence.
+    Render(*e.child(1), prec + 1, out);
+    if (parens) out += ')';
+    return;
+  }
+  out += OpName(e.kind());
+  out += '(';
+  for (size_t i = 0; i < e.children().size(); ++i) {
+    if (i > 0) out += ", ";
+    Render(*e.children()[i], 0, out);
+  }
+  out += ')';
+}
+
+}  // namespace
+
+std::string ToString(const Expr& expr) {
+  std::string out;
+  Render(expr, 0, out);
+  return out;
+}
+
+std::string ToString(const ExprPtr& expr) { return ToString(*expr); }
+
+namespace {
+
+Status ShapeError(const Expr& e, const std::string& detail) {
+  return Status::DimensionMismatch(detail + " in " + ToString(e));
+}
+
+}  // namespace
+
+Result<MatrixMeta> InferShape(const Expr& expr, const MetaCatalog& catalog) {
+  switch (expr.kind()) {
+    case OpKind::kMatrixRef: {
+      auto it = catalog.find(expr.name());
+      if (it == catalog.end()) {
+        return Status::NotFound("unknown matrix '" + expr.name() + "'");
+      }
+      return it->second;
+    }
+    case OpKind::kScalarConst: {
+      MatrixMeta m;
+      m.rows = 1;
+      m.cols = 1;
+      m.nnz = expr.scalar_value() == 0.0 ? 0.0 : 1.0;
+      return m;
+    }
+    default:
+      break;
+  }
+  std::vector<MatrixMeta> kids;
+  kids.reserve(expr.children().size());
+  for (const ExprPtr& c : expr.children()) {
+    HADAD_ASSIGN_OR_RETURN(MatrixMeta m, InferShape(*c, catalog));
+    kids.push_back(m);
+  }
+  MatrixMeta out;
+  auto scalar = [] {
+    MatrixMeta m;
+    m.rows = 1;
+    m.cols = 1;
+    m.nnz = 1;
+    return m;
+  };
+  switch (expr.kind()) {
+    case OpKind::kTranspose:
+    case OpKind::kRev:
+      out = kids[0];
+      if (expr.kind() == OpKind::kTranspose) {
+        std::swap(out.rows, out.cols);
+        std::swap(out.lower_triangular, out.upper_triangular);
+      }
+      return out;
+    case OpKind::kInverse:
+    case OpKind::kExp:
+    case OpKind::kAdjoint:
+      if (kids[0].rows != kids[0].cols) {
+        return ShapeError(expr, "square matrix required");
+      }
+      out.rows = kids[0].rows;
+      out.cols = kids[0].cols;
+      return out;
+    case OpKind::kCholesky:
+    case OpKind::kLuL:
+    case OpKind::kPluL:
+      if (kids[0].rows != kids[0].cols) {
+        return ShapeError(expr, "square matrix required");
+      }
+      out.rows = kids[0].rows;
+      out.cols = kids[0].cols;
+      out.lower_triangular = true;
+      return out;
+    case OpKind::kQrR:
+    case OpKind::kLuU:
+    case OpKind::kPluU:
+      if (kids[0].rows != kids[0].cols) {
+        return ShapeError(expr, "square matrix required");
+      }
+      out.rows = kids[0].rows;
+      out.cols = kids[0].cols;
+      out.upper_triangular = true;
+      return out;
+    case OpKind::kQrQ:
+      if (kids[0].rows != kids[0].cols) {
+        return ShapeError(expr, "square matrix required");
+      }
+      out.rows = kids[0].rows;
+      out.cols = kids[0].cols;
+      out.orthogonal = true;
+      return out;
+    case OpKind::kPluP:
+      if (kids[0].rows != kids[0].cols) {
+        return ShapeError(expr, "square matrix required");
+      }
+      out.rows = kids[0].rows;
+      out.cols = kids[0].cols;
+      out.permutation = true;
+      out.orthogonal = true;  // Permutation matrices are orthogonal.
+      out.nnz = static_cast<double>(kids[0].rows);
+      return out;
+    case OpKind::kDet:
+    case OpKind::kTrace:
+      if (kids[0].rows != kids[0].cols) {
+        return ShapeError(expr, "square matrix required");
+      }
+      return scalar();
+    case OpKind::kSum:
+    case OpKind::kMin:
+    case OpKind::kMax:
+    case OpKind::kMean:
+    case OpKind::kVar:
+      return scalar();
+    case OpKind::kDiag:
+      if (kids[0].cols == 1 && kids[0].rows > 1) {
+        out.rows = kids[0].rows;
+        out.cols = kids[0].rows;
+        return out;
+      }
+      if (kids[0].rows != kids[0].cols) {
+        return ShapeError(expr, "diag requires a square matrix or vector");
+      }
+      out.rows = kids[0].rows;
+      out.cols = 1;
+      return out;
+    case OpKind::kRowSums:
+    case OpKind::kRowMins:
+    case OpKind::kRowMaxs:
+    case OpKind::kRowMeans:
+    case OpKind::kRowVars:
+      out.rows = kids[0].rows;
+      out.cols = 1;
+      return out;
+    case OpKind::kColSums:
+    case OpKind::kColMins:
+    case OpKind::kColMaxs:
+    case OpKind::kColMeans:
+    case OpKind::kColVars:
+      out.rows = 1;
+      out.cols = kids[0].cols;
+      return out;
+    case OpKind::kMultiply:
+      // Scalar operands broadcast.
+      if (kids[0].rows == 1 && kids[0].cols == 1) return kids[1];
+      if (kids[1].rows == 1 && kids[1].cols == 1) return kids[0];
+      if (kids[0].cols != kids[1].rows) {
+        return ShapeError(expr, "inner dimensions disagree");
+      }
+      out.rows = kids[0].rows;
+      out.cols = kids[1].cols;
+      return out;
+    case OpKind::kAdd:
+    case OpKind::kHadamard:
+    case OpKind::kDivide:
+      if (kids[0].rows == 1 && kids[0].cols == 1 &&
+          expr.kind() != OpKind::kAdd) {
+        return kids[1];
+      }
+      if (kids[1].rows == 1 && kids[1].cols == 1 &&
+          expr.kind() != OpKind::kAdd) {
+        return kids[0];
+      }
+      if (kids[0].rows != kids[1].rows || kids[0].cols != kids[1].cols) {
+        return ShapeError(expr, "element-wise shapes disagree");
+      }
+      out.rows = kids[0].rows;
+      out.cols = kids[0].cols;
+      return out;
+    case OpKind::kDirectSum:
+      out.rows = kids[0].rows + kids[1].rows;
+      out.cols = kids[0].cols + kids[1].cols;
+      return out;
+    case OpKind::kKronecker:
+      out.rows = kids[0].rows * kids[1].rows;
+      out.cols = kids[0].cols * kids[1].cols;
+      return out;
+    case OpKind::kCbind:
+      if (kids[0].rows != kids[1].rows) {
+        return ShapeError(expr, "cbind row counts disagree");
+      }
+      out.rows = kids[0].rows;
+      out.cols = kids[0].cols + kids[1].cols;
+      return out;
+    default:
+      return Status::Internal("unhandled op in InferShape");
+  }
+}
+
+}  // namespace hadad::la

@@ -1,0 +1,154 @@
+#ifndef HADAD_LA_EXPR_H_
+#define HADAD_LA_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hadad::la {
+
+// Operator kinds of the hybrid language's LA fragment (𝐿𝑜𝑝𝑠, §6.1), plus
+// the aggregate/statistical operators needed by the SystemML rewrite rules
+// (Appendix B) and the factor operators of the matrix decompositions
+// (§6.2.5). Scalars are 1x1 matrices (§3), so scalar-valued operators
+// (det, trace, sum, ...) produce 1x1 results and scalar arithmetic reuses
+// kAdd / kMultiply.
+enum class OpKind {
+  // Leaves.
+  kMatrixRef,    // A named base matrix or materialized view.
+  kScalarConst,  // A numeric literal (1x1).
+
+  // Unary.
+  kTranspose,
+  kInverse,
+  kDet,
+  kTrace,
+  kDiag,
+  kExp,
+  kAdjoint,
+  kRev,
+  kSum,
+  kRowSums,
+  kColSums,
+  kMin,
+  kMax,
+  kMean,
+  kVar,
+  kRowMins,
+  kRowMaxs,
+  kRowMeans,
+  kRowVars,
+  kColMins,
+  kColMaxs,
+  kColMeans,
+  kColVars,
+  kCholesky,  // The L factor of CHO(M) = L L^T.
+  kQrQ,       // The Q factor of QR(M).
+  kQrR,       // The R factor of QR(M).
+  kLuL,       // The L factor of LU(M).
+  kLuU,       // The U factor of LU(M).
+  kPluL,      // The L factor of LUP(M): P M = L U.
+  kPluU,      // The U factor of LUP(M).
+  kPluP,      // The permutation factor of LUP(M).
+
+  // Binary.
+  kMultiply,   // Matrix product; scalar*matrix when either side is 1x1.
+  kAdd,        // Element-wise sum (scalar sum on 1x1).
+  kHadamard,   // Element-wise product.
+  kDivide,     // Element-wise division.
+  kDirectSum,  // Block diagonal (⊕).
+  kKronecker,  // Direct product (⊗).
+  kCbind,      // Horizontal concatenation (Morpheus factorized results).
+};
+
+const char* OpName(OpKind kind);
+int Arity(OpKind kind);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// An immutable LA expression tree. Subexpressions are shared freely
+// (value semantics via shared_ptr-to-const).
+class Expr {
+ public:
+  static ExprPtr MatrixRef(std::string name);
+  static ExprPtr Scalar(double value);
+  static ExprPtr Unary(OpKind kind, ExprPtr child);
+  static ExprPtr Binary(OpKind kind, ExprPtr lhs, ExprPtr rhs);
+
+  OpKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  double scalar_value() const { return scalar_value_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(int i) const {
+    return children_[static_cast<size_t>(i)];
+  }
+
+  bool is_leaf() const {
+    return kind_ == OpKind::kMatrixRef || kind_ == OpKind::kScalarConst;
+  }
+
+  // Number of nodes in the tree.
+  int64_t TreeSize() const;
+
+  // Structural equality.
+  bool Equals(const Expr& other) const;
+
+ private:
+  Expr() = default;
+
+  OpKind kind_ = OpKind::kMatrixRef;
+  std::string name_;
+  double scalar_value_ = 0.0;
+  std::vector<ExprPtr> children_;
+};
+
+// R-like rendering, e.g. "t(M %*% N)", "colSums(M) %*% N". Round-trips
+// through ParseExpression.
+std::string ToString(const Expr& expr);
+std::string ToString(const ExprPtr& expr);
+
+// ---------------------------------------------------------------------------
+// Shape metadata and type flags (the `size` and `type` relations of §6.2).
+// ---------------------------------------------------------------------------
+
+struct MatrixMeta {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  // Estimated (or exact, for base matrices) non-zero count. Negative means
+  // "unknown": treated as fully dense.
+  double nnz = -1.0;
+  // Structural type tags used by the decomposition constraints (§6.2.5):
+  // "S" symmetric positive definite, "L"/"U" triangular, "O" orthogonal.
+  bool symmetric_pd = false;
+  bool lower_triangular = false;
+  bool upper_triangular = false;
+  bool orthogonal = false;
+  bool permutation = false;
+
+  double Cells() const {
+    return static_cast<double>(rows) * static_cast<double>(cols);
+  }
+  double NnzOrDense() const { return nnz < 0 ? Cells() : nnz; }
+  double Sparsity() const {
+    return Cells() == 0 ? 0.0 : NnzOrDense() / Cells();
+  }
+};
+
+// Base-matrix metadata by name; what the paper reads from the "metadata
+// file" (§7.2.1).
+using MetaCatalog = std::map<std::string, MatrixMeta>;
+
+// Infers the output shape of `expr` given base-matrix metadata, validating
+// operator/operand compatibility (dimension mismatches, unknown names, and
+// non-square inputs to square-only operators are errors). Only shape is
+// inferred here; sparsity estimation lives in hadad::cost.
+Result<MatrixMeta> InferShape(const Expr& expr, const MetaCatalog& catalog);
+
+}  // namespace hadad::la
+
+#endif  // HADAD_LA_EXPR_H_

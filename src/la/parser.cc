@@ -1,0 +1,259 @@
+#include "la/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace hadad::la {
+
+namespace {
+
+enum class TokKind { kNumber, kIdent, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        char* end = nullptr;
+        double v = std::strtod(text_.c_str() + i, &end);
+        size_t len = static_cast<size_t>(end - (text_.c_str() + i));
+        if (len == 0) {
+          return Status::InvalidArgument("malformed number at offset " +
+                                         std::to_string(i));
+        }
+        out.push_back({TokKind::kNumber, text_.substr(i, len), v});
+        i += len;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '_' || text_[j] == '.')) {
+          ++j;
+        }
+        out.push_back({TokKind::kIdent, text_.substr(i, j - i), 0.0});
+        i = j;
+        continue;
+      }
+      if (c == '%') {
+        if (text_.compare(i, 3, "%*%") == 0) {
+          out.push_back({TokKind::kSymbol, "%*%", 0.0});
+          i += 3;
+          continue;
+        }
+        return Status::InvalidArgument("unexpected '%' at offset " +
+                                       std::to_string(i));
+      }
+      if (std::string("+-*/(),").find(c) != std::string::npos) {
+        out.push_back({TokKind::kSymbol, std::string(1, c), 0.0});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' at offset " + std::to_string(i));
+    }
+    out.push_back({TokKind::kEnd, "", 0.0});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+const std::map<std::string, OpKind>& UnaryFunctions() {
+  static const auto* kMap = new std::map<std::string, OpKind>{
+      {"t", OpKind::kTranspose},   {"inv", OpKind::kInverse},
+      {"det", OpKind::kDet},       {"trace", OpKind::kTrace},
+      {"diag", OpKind::kDiag},     {"exp", OpKind::kExp},
+      {"adj", OpKind::kAdjoint},   {"rev", OpKind::kRev},
+      {"sum", OpKind::kSum},       {"rowSums", OpKind::kRowSums},
+      {"colSums", OpKind::kColSums},
+      {"min", OpKind::kMin},       {"max", OpKind::kMax},
+      {"mean", OpKind::kMean},     {"var", OpKind::kVar},
+      {"rowMins", OpKind::kRowMins},   {"rowMaxs", OpKind::kRowMaxs},
+      {"rowMeans", OpKind::kRowMeans}, {"rowVars", OpKind::kRowVars},
+      {"colMins", OpKind::kColMins},   {"colMaxs", OpKind::kColMaxs},
+      {"colMeans", OpKind::kColMeans}, {"colVars", OpKind::kColVars},
+      {"cho", OpKind::kCholesky},  {"qr_q", OpKind::kQrQ},
+      {"qr_r", OpKind::kQrR},      {"lu_l", OpKind::kLuL},
+      {"lu_u", OpKind::kLuU},
+      {"lup_l", OpKind::kPluL},
+      {"lup_u", OpKind::kPluU},
+      {"lup_p", OpKind::kPluP},
+  };
+  return *kMap;
+}
+
+const std::map<std::string, OpKind>& BinaryFunctions() {
+  static const auto* kMap = new std::map<std::string, OpKind>{
+      {"dsum", OpKind::kDirectSum},
+      {"kron", OpKind::kKronecker},
+      {"cbind", OpKind::kCbind},
+  };
+  return *kMap;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    HADAD_ASSIGN_OR_RETURN(ExprPtr e, ParseAdd());
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing input after expression: '" +
+                                     Peek().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool ConsumeSymbol(const std::string& s) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    HADAD_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+    while (true) {
+      if (ConsumeSymbol("+")) {
+        HADAD_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+        lhs = Expr::Binary(OpKind::kAdd, lhs, rhs);
+      } else if (ConsumeSymbol("-")) {
+        HADAD_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+        // A - B desugars to A + (-1 * B): the addition/scalar constraint
+        // families then cover subtraction with no extra rules.
+        lhs = Expr::Binary(
+            OpKind::kAdd, lhs,
+            Expr::Binary(OpKind::kHadamard, Expr::Scalar(-1.0), rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    HADAD_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMatProd());
+    while (true) {
+      if (ConsumeSymbol("*")) {
+        HADAD_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMatProd());
+        lhs = Expr::Binary(OpKind::kHadamard, lhs, rhs);
+      } else if (ConsumeSymbol("/")) {
+        HADAD_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMatProd());
+        lhs = Expr::Binary(OpKind::kDivide, lhs, rhs);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMatProd() {
+    HADAD_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (ConsumeSymbol("%*%")) {
+      HADAD_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(OpKind::kMultiply, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeSymbol("-")) {
+      HADAD_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      if (inner->kind() == OpKind::kScalarConst) {
+        return Expr::Scalar(-inner->scalar_value());
+      }
+      return ExprPtr(
+          Expr::Binary(OpKind::kHadamard, Expr::Scalar(-1.0), inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.kind == TokKind::kNumber) {
+      ++pos_;
+      return ExprPtr(Expr::Scalar(tok.number));
+    }
+    if (ConsumeSymbol("(")) {
+      HADAD_ASSIGN_OR_RETURN(ExprPtr e, ParseAdd());
+      if (!ConsumeSymbol(")")) {
+        return Status::InvalidArgument("expected ')'");
+      }
+      return e;
+    }
+    if (tok.kind == TokKind::kIdent) {
+      std::string name = tok.text;
+      ++pos_;
+      if (!ConsumeSymbol("(")) {
+        return ExprPtr(Expr::MatrixRef(name));
+      }
+      // Function call.
+      std::vector<ExprPtr> args;
+      if (!ConsumeSymbol(")")) {
+        while (true) {
+          HADAD_ASSIGN_OR_RETURN(ExprPtr arg, ParseAdd());
+          args.push_back(arg);
+          if (ConsumeSymbol(")")) break;
+          if (!ConsumeSymbol(",")) {
+            return Status::InvalidArgument("expected ',' or ')' in call to " +
+                                           name);
+          }
+        }
+      }
+      auto unary = UnaryFunctions().find(name);
+      if (unary != UnaryFunctions().end()) {
+        if (args.size() != 1) {
+          return Status::InvalidArgument(name + " takes exactly 1 argument");
+        }
+        return ExprPtr(Expr::Unary(unary->second, args[0]));
+      }
+      auto binary = BinaryFunctions().find(name);
+      if (binary != BinaryFunctions().end()) {
+        if (args.size() != 2) {
+          return Status::InvalidArgument(name + " takes exactly 2 arguments");
+        }
+        return ExprPtr(Expr::Binary(binary->second, args[0], args[1]));
+      }
+      return Status::InvalidArgument("unknown function '" + name + "'");
+    }
+    return Status::InvalidArgument("unexpected token '" + tok.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  Lexer lexer(text);
+  HADAD_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace hadad::la

@@ -1,0 +1,31 @@
+#ifndef HADAD_LA_PARSER_H_
+#define HADAD_LA_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "la/expr.h"
+
+namespace hadad::la {
+
+// Parses an R-like LA expression, e.g.
+//   "inv(t(X) %*% X) %*% (t(X) %*% y)"        (the OLS pipeline, §2)
+//   "colSums(M %*% N)"                        (P1.12)
+//   "sum(t(colSums(M)) * rowSums(N))"         (rewritten P1.13)
+//
+// Grammar (precedence mirrors R):
+//   expr    := term (('+' | '-') term)*
+//   term    := matprod (('*' | '/') matprod)*
+//   matprod := unary ('%*%' unary)*
+//   unary   := '-' unary | primary
+//   primary := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// '-' desugars to + (-1 * x); unary functions are the OpName() spellings
+// (t, inv, det, trace, diag, exp, adj, rev, sum, rowSums, colSums, min, max,
+// mean, var, rowMins/..., cho, qr_q, qr_r, lu_l, lu_u); binary functions are
+// dsum, kron, cbind.
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace hadad::la
+
+#endif  // HADAD_LA_PARSER_H_

@@ -1,0 +1,83 @@
+#ifndef HADAD_LA_VREM_H_
+#define HADAD_LA_VREM_H_
+
+namespace hadad::la::vrem {
+
+// Virtual Relational Encoding of Matrices — the relation names of Table 1
+// plus the decomposition relations (§6.2.5), scalar-arithmetic relations and
+// the Morpheus join relation used by the hybrid benchmarks (§9.2).
+//
+// Conventions: the last argument is the output equivalence-class ID unless
+// noted; `s` arguments are scalar classes; constants are strings.
+
+// --- Base facts -----------------------------------------------------------
+inline constexpr char kName[] = "name";          // name(M, "logical-name")
+inline constexpr char kSize[] = "size";          // size(M, "rows", "cols")
+inline constexpr char kType[] = "type";          // type(M, "S"|"L"|"U"|"O")
+inline constexpr char kSconst[] = "sconst";      // sconst(s, "3.5")
+inline constexpr char kZero[] = "zero";          // zero(O)
+inline constexpr char kIdentity[] = "identity";  // identity(I)
+
+// --- Matrix operators (Table 1) --------------------------------------------
+inline constexpr char kMultiM[] = "multiM";    // multiM(M, N, R)
+inline constexpr char kMultiMS[] = "multiMS";  // multiMS(s, M, R)
+inline constexpr char kMultiE[] = "multiE";    // Hadamard product
+inline constexpr char kAddM[] = "addM";
+inline constexpr char kDivM[] = "divM";
+inline constexpr char kDivMS[] = "divMS";      // divMS(M, s, R) = M / s
+inline constexpr char kTr[] = "tr";            // transposition
+inline constexpr char kInvM[] = "invM";
+inline constexpr char kDet[] = "det";          // det(M, s)
+inline constexpr char kTrace[] = "trace";      // trace(M, s)
+inline constexpr char kDiag[] = "diag";
+inline constexpr char kExp[] = "exp";
+inline constexpr char kAdj[] = "adj";
+inline constexpr char kSumD[] = "sumD";        // direct sum
+inline constexpr char kProductD[] = "productD";  // Kronecker
+inline constexpr char kRev[] = "rev";
+inline constexpr char kCbind[] = "cbind";      // cbind(A, B, R)
+
+// --- Aggregations (Table 1 + SystemML rule vocabulary, Appendix B) ---------
+inline constexpr char kSum[] = "sum";          // sum(M, s)
+inline constexpr char kRowSums[] = "rowSums";
+inline constexpr char kColSums[] = "colSums";
+inline constexpr char kMin[] = "minA";         // minA(M, s)
+inline constexpr char kMax[] = "maxA";
+inline constexpr char kMean[] = "meanA";
+inline constexpr char kVar[] = "varA";
+inline constexpr char kRowMin[] = "rowMin";
+inline constexpr char kRowMax[] = "rowMax";
+inline constexpr char kRowMean[] = "rowMean";
+inline constexpr char kRowVar[] = "rowVar";
+inline constexpr char kColMin[] = "colMin";
+inline constexpr char kColMax[] = "colMax";
+inline constexpr char kColMean[] = "colMean";
+inline constexpr char kColVar[] = "colVar";
+
+// --- Decompositions (§6.2.5) ------------------------------------------------
+inline constexpr char kCho[] = "cho";  // cho(M, L)
+inline constexpr char kQr[] = "qr";    // qr(M, Q, R)
+inline constexpr char kLu[] = "lu";    // lu(M, L, U)
+inline constexpr char kLup[] = "lup";  // lup(M, L, U, P): P M = L U
+
+// --- Scalar arithmetic -------------------------------------------------------
+inline constexpr char kMultiS[] = "multiS";  // multiS(a, b, c)
+inline constexpr char kAddS[] = "addS";
+inline constexpr char kInvS[] = "invS";      // invS(a, b): b = 1/a
+inline constexpr char kDivS[] = "divS";
+
+// --- Morpheus normalized-matrix join (§9.2) ---------------------------------
+// morpheusJoin(T, K, U, M): M is the PK-FK join of tables T and U cast as a
+// matrix, M = [T | K U], with K the indicator matrix.
+inline constexpr char kMorpheusJoin[] = "morpheusJoin";
+
+// Type-tag constants used in `type` facts (§6.2.5).
+inline constexpr char kTypeSpd[] = "S";
+inline constexpr char kTypeLower[] = "L";
+inline constexpr char kTypeUpper[] = "U";
+inline constexpr char kTypeOrthogonal[] = "O";
+inline constexpr char kTypePermutation[] = "P";
+
+}  // namespace hadad::la::vrem
+
+#endif  // HADAD_LA_VREM_H_

@@ -1,0 +1,50 @@
+#ifndef HADAD_MATRIX_DECOMPOSITIONS_H_
+#define HADAD_MATRIX_DECOMPOSITIONS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "matrix/matrix.h"
+
+namespace hadad::matrix {
+
+// M = L * U with L unit lower-triangular, U upper-triangular, no pivoting
+// (Doolittle). Fails with NotSupported when a zero pivot is hit — use
+// PluDecompose then.
+struct LuResult {
+  Matrix l;
+  Matrix u;
+};
+Result<LuResult> LuDecompose(const Matrix& m);
+
+// P * M = L * U with partial pivoting. perm[i] gives the source row of
+// permuted row i; sign is det(P) in {-1, +1}.
+struct PluResult {
+  Matrix l;
+  Matrix u;
+  std::vector<int64_t> perm;
+  double sign = 1.0;
+};
+Result<PluResult> PluDecompose(const Matrix& m);
+
+// M = Q * R with Q orthogonal, R upper-triangular (Householder reflections).
+// Requires a square matrix, matching the paper's QR constraint (§6.2.5).
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+Result<QrResult> QrDecompose(const Matrix& m);
+
+// M = L * L^T for a symmetric positive definite M; L lower-triangular.
+Result<Matrix> CholeskyDecompose(const Matrix& m);
+
+// Structural predicates used when declaring matrix `type` facts (§6.2.5):
+// "S" symmetric positive definite, "L"/"U" triangular, "O" orthogonal.
+bool IsSymmetric(const Matrix& m, double tol = 1e-9);
+bool IsLowerTriangular(const Matrix& m, double tol = 1e-12);
+bool IsUpperTriangular(const Matrix& m, double tol = 1e-12);
+bool IsOrthogonal(const Matrix& m, double tol = 1e-8);
+
+}  // namespace hadad::matrix
+
+#endif  // HADAD_MATRIX_DECOMPOSITIONS_H_

@@ -1,0 +1,27 @@
+#include "matrix/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hadad::matrix {
+
+int64_t DenseMatrix::CountNonZeros() const {
+  int64_t nnz = 0;
+  for (double v : data_) {
+    if (v != 0.0) ++nnz;
+  }
+  return nnz;
+}
+
+bool DenseMatrix::ApproxEquals(const DenseMatrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double a = data_[i];
+    double b = other.data_[i];
+    double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+    if (std::fabs(a - b) > tol * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace hadad::matrix

@@ -1,0 +1,79 @@
+#ifndef HADAD_MATRIX_DENSE_MATRIX_H_
+#define HADAD_MATRIX_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hadad::matrix {
+
+// Row-major dense matrix of doubles. Scalars are represented as 1x1 matrices
+// (the paper treats numbers as degenerate 1x1 matrices, §3).
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0) {
+    HADAD_CHECK_GE(rows, 0);
+    HADAD_CHECK_GE(cols, 0);
+  }
+  DenseMatrix(int64_t rows, int64_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    HADAD_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+  }
+
+  DenseMatrix(const DenseMatrix&) = default;
+  DenseMatrix& operator=(const DenseMatrix&) = default;
+  DenseMatrix(DenseMatrix&&) = default;
+  DenseMatrix& operator=(DenseMatrix&&) = default;
+
+  // A 1x1 matrix holding `v` (scalar lifting).
+  static DenseMatrix Scalar(double v) {
+    DenseMatrix m(1, 1);
+    m.At(0, 0) = v;
+    return m;
+  }
+
+  static DenseMatrix Identity(int64_t n) {
+    DenseMatrix m(n, n);
+    for (int64_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+    return m;
+  }
+
+  static DenseMatrix Zero(int64_t rows, int64_t cols) {
+    return DenseMatrix(rows, cols);
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  double At(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double& At(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+  const double* row(int64_t r) const { return data() + r * cols_; }
+  double* row(int64_t r) { return data() + r * cols_; }
+
+  // Number of non-zero entries (exact count).
+  int64_t CountNonZeros() const;
+
+  // True iff every cell differs from `other` by at most `tol`.
+  bool ApproxEquals(const DenseMatrix& other, double tol = 1e-9) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace hadad::matrix
+
+#endif  // HADAD_MATRIX_DENSE_MATRIX_H_

@@ -1,0 +1,57 @@
+#include "matrix/generate.h"
+
+#include <vector>
+
+namespace hadad::matrix {
+
+Matrix RandomDense(Rng& rng, int64_t rows, int64_t cols, double lo,
+                   double hi) {
+  DenseMatrix d(rows, cols);
+  for (int64_t i = 0; i < d.size(); ++i) {
+    d.data()[i] = rng.Uniform(lo, hi);
+  }
+  return Matrix(std::move(d));
+}
+
+Matrix RandomSparse(Rng& rng, int64_t rows, int64_t cols, double sparsity,
+                    double lo, double hi) {
+  const int64_t target =
+      static_cast<int64_t>(sparsity * static_cast<double>(rows) *
+                           static_cast<double>(cols));
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(target));
+  for (int64_t k = 0; k < target; ++k) {
+    // Duplicates are merged by FromTriplets; for the ultra-sparse regimes we
+    // target, collisions are rare enough that nnz stays ~= target.
+    triplets.push_back(
+        {static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(rows))),
+         static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(cols))),
+         rng.Uniform(lo, hi)});
+  }
+  return Matrix(SparseMatrix::FromTriplets(rows, cols, std::move(triplets)));
+}
+
+Matrix RandomSpd(Rng& rng, int64_t n) {
+  Matrix b = RandomDense(rng, n, n, -1.0, 1.0);
+  Result<Matrix> btb = Multiply(Transpose(b), b);
+  HADAD_CHECK(btb.ok());
+  DenseMatrix out = btb->ToDense();
+  for (int64_t i = 0; i < n; ++i) {
+    out.At(i, i) += static_cast<double>(n);
+  }
+  return Matrix(std::move(out));
+}
+
+Matrix RandomInvertible(Rng& rng, int64_t n) {
+  DenseMatrix d(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      d.At(i, j) = rng.Uniform(-1.0, 1.0);
+    }
+    // Diagonal dominance keeps the matrix far from singular.
+    d.At(i, i) += static_cast<double>(n);
+  }
+  return Matrix(std::move(d));
+}
+
+}  // namespace hadad::matrix

@@ -1,0 +1,31 @@
+#ifndef HADAD_MATRIX_GENERATE_H_
+#define HADAD_MATRIX_GENERATE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "matrix/matrix.h"
+
+namespace hadad::matrix {
+
+// Dense matrix with i.i.d. uniform entries in [lo, hi).
+Matrix RandomDense(Rng& rng, int64_t rows, int64_t cols, double lo = 0.0,
+                   double hi = 1.0);
+
+// Sparse matrix with the given fraction of non-zero cells (each non-zero
+// uniform in [lo, hi)). `sparsity` is the non-zero fraction in [0, 1], the
+// same convention as Table 4's S_X column.
+Matrix RandomSparse(Rng& rng, int64_t rows, int64_t cols, double sparsity,
+                    double lo = 0.1, double hi = 1.0);
+
+// Symmetric positive definite n x n matrix (B^T B + n I for random B) —
+// always Cholesky-decomposable and comfortably invertible.
+Matrix RandomSpd(Rng& rng, int64_t n);
+
+// Well-conditioned square matrix (diagonally dominated random matrix), for
+// pipelines that apply inverses/determinants.
+Matrix RandomInvertible(Rng& rng, int64_t n);
+
+}  // namespace hadad::matrix
+
+#endif  // HADAD_MATRIX_GENERATE_H_

@@ -1,0 +1,120 @@
+#include "matrix/matrix_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace hadad::matrix {
+
+Status WriteCsv(const Matrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.precision(17);
+  DenseMatrix d = m.ToDense();
+  for (int64_t i = 0; i < d.rows(); ++i) {
+    for (int64_t j = 0; j < d.cols(); ++j) {
+      if (j > 0) out << ',';
+      out << d.At(i, j);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Matrix> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const std::string& f : fields) {
+      char* end = nullptr;
+      std::string t = Trim(f);
+      double v = std::strtod(t.c_str(), &end);
+      if (end == t.c_str() || *end != '\0') {
+        return Status::IoError("malformed CSV number '" + t + "' in " + path);
+      }
+      row.push_back(v);
+    }
+    if (width == 0) {
+      width = row.size();
+    } else if (row.size() != width) {
+      return Status::IoError("ragged CSV rows in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::IoError("empty CSV: " + path);
+  DenseMatrix d(static_cast<int64_t>(rows.size()),
+                static_cast<int64_t>(width));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < width; ++j) {
+      d.At(static_cast<int64_t>(i), static_cast<int64_t>(j)) = rows[i][j];
+    }
+  }
+  return Matrix(std::move(d));
+}
+
+Status WriteMtx(const Matrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.precision(17);
+  SparseMatrix s = m.ToSparse();
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << s.rows() << ' ' << s.cols() << ' ' << s.nnz() << '\n';
+  for (int64_t i = 0; i < s.rows(); ++i) {
+    for (int64_t p = s.row_ptr()[static_cast<size_t>(i)];
+         p < s.row_ptr()[static_cast<size_t>(i) + 1]; ++p) {
+      // MatrixMarket is 1-based.
+      out << (i + 1) << ' ' << (s.col_idx()[static_cast<size_t>(p)] + 1) << ' '
+          << s.values()[static_cast<size_t>(p)] << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Matrix> ReadMtx(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  // Header.
+  if (!std::getline(in, line) || !StartsWith(line, "%%MatrixMarket")) {
+    return Status::IoError("missing MatrixMarket header in " + path);
+  }
+  // Skip comments.
+  do {
+    if (!std::getline(in, line)) {
+      return Status::IoError("truncated MTX file: " + path);
+    }
+  } while (!line.empty() && line[0] == '%');
+  std::istringstream dims(line);
+  int64_t rows = 0, cols = 0, nnz = 0;
+  if (!(dims >> rows >> cols >> nnz) || rows <= 0 || cols <= 0 || nnz < 0) {
+    return Status::IoError("malformed MTX size line in " + path);
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(nnz));
+  for (int64_t k = 0; k < nnz; ++k) {
+    int64_t r = 0, c = 0;
+    double v = 0.0;
+    if (!(in >> r >> c >> v)) {
+      return Status::IoError("truncated MTX entries in " + path);
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      return Status::IoError("MTX coordinate out of range in " + path);
+    }
+    triplets.push_back({r - 1, c - 1, v});
+  }
+  return Matrix(SparseMatrix::FromTriplets(rows, cols, std::move(triplets)));
+}
+
+}  // namespace hadad::matrix

@@ -1,0 +1,23 @@
+#ifndef HADAD_MATRIX_MATRIX_IO_H_
+#define HADAD_MATRIX_MATRIX_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "matrix/matrix.h"
+
+namespace hadad::matrix {
+
+// Dense CSV (comma-separated rows of doubles, no header) — the paper's
+// materialized-view storage format ("V.csv").
+Status WriteCsv(const Matrix& m, const std::string& path);
+Result<Matrix> ReadCsv(const std::string& path);
+
+// MatrixMarket coordinate format ("%%MatrixMarket matrix coordinate real
+// general") — used by the paper for ultra-sparse matrices (footnote 1, §2).
+Status WriteMtx(const Matrix& m, const std::string& path);
+Result<Matrix> ReadMtx(const std::string& path);
+
+}  // namespace hadad::matrix
+
+#endif  // HADAD_MATRIX_MATRIX_IO_H_

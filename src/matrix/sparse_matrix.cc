@@ -1,0 +1,148 @@
+#include "matrix/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hadad::matrix {
+
+SparseMatrix SparseMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                        std::vector<Triplet> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  SparseMatrix m(rows, cols);
+  std::vector<int64_t> cidx;
+  std::vector<double> vals;
+  std::vector<int64_t> rptr(static_cast<size_t>(rows) + 1, 0);
+  cidx.reserve(triplets.size());
+  vals.reserve(triplets.size());
+  size_t i = 0;
+  while (i < triplets.size()) {
+    const Triplet& t = triplets[i];
+    HADAD_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols);
+    size_t j = i + 1;
+    double sum = t.value;
+    while (j < triplets.size() && triplets[j].row == t.row &&
+           triplets[j].col == t.col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    cidx.push_back(t.col);
+    vals.push_back(sum);
+    rptr[static_cast<size_t>(t.row) + 1]++;
+    i = j;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    rptr[static_cast<size_t>(r) + 1] += rptr[static_cast<size_t>(r)];
+  }
+  m.row_ptr_ = std::move(rptr);
+  m.col_idx_ = std::move(cidx);
+  m.values_ = std::move(vals);
+  m.Prune();
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense, double tol) {
+  SparseMatrix m(dense.rows(), dense.cols());
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t c = 0; c < dense.cols(); ++c) {
+      double v = dense.At(r, c);
+      if (v != 0.0 && std::abs(v) > tol) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(m.values_.size());
+  }
+  return m;
+}
+
+double SparseMatrix::At(int64_t r, int64_t c) const {
+  HADAD_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  int64_t lo = row_ptr_[static_cast<size_t>(r)];
+  int64_t hi = row_ptr_[static_cast<size_t>(r) + 1];
+  auto begin = col_idx_.begin() + lo;
+  auto end = col_idx_.begin() + hi;
+  auto it = std::lower_bound(begin, end, c);
+  if (it != end && *it == c) {
+    return values_[static_cast<size_t>(it - col_idx_.begin())];
+  }
+  return 0.0;
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix d(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      d.At(r, col_idx_[static_cast<size_t>(k)]) =
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return d;
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  SparseMatrix t(cols_, rows_);
+  t.col_idx_.resize(values_.size());
+  t.values_.resize(values_.size());
+  // Count entries per column of *this (= per row of t).
+  std::vector<int64_t> count(static_cast<size_t>(cols_) + 1, 0);
+  for (int64_t c : col_idx_) count[static_cast<size_t>(c) + 1]++;
+  for (int64_t c = 0; c < cols_; ++c) {
+    count[static_cast<size_t>(c) + 1] += count[static_cast<size_t>(c)];
+  }
+  t.row_ptr_ = count;
+  std::vector<int64_t> next = count;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      int64_t c = col_idx_[static_cast<size_t>(k)];
+      int64_t pos = next[static_cast<size_t>(c)]++;
+      t.col_idx_[static_cast<size_t>(pos)] = r;
+      t.values_[static_cast<size_t>(pos)] = values_[static_cast<size_t>(k)];
+    }
+  }
+  return t;
+}
+
+void SparseMatrix::Prune() {
+  std::vector<int64_t> cidx;
+  std::vector<double> vals;
+  std::vector<int64_t> rptr(static_cast<size_t>(rows_) + 1, 0);
+  cidx.reserve(col_idx_.size());
+  vals.reserve(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      if (values_[static_cast<size_t>(k)] != 0.0) {
+        cidx.push_back(col_idx_[static_cast<size_t>(k)]);
+        vals.push_back(values_[static_cast<size_t>(k)]);
+      }
+    }
+    rptr[static_cast<size_t>(r) + 1] = static_cast<int64_t>(vals.size());
+  }
+  row_ptr_ = std::move(rptr);
+  col_idx_ = std::move(cidx);
+  values_ = std::move(vals);
+}
+
+std::vector<int64_t> SparseMatrix::RowNnzCounts() const {
+  std::vector<int64_t> counts(static_cast<size_t>(rows_), 0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    counts[static_cast<size_t>(r)] = row_ptr_[static_cast<size_t>(r) + 1] -
+                                     row_ptr_[static_cast<size_t>(r)];
+  }
+  return counts;
+}
+
+std::vector<int64_t> SparseMatrix::ColNnzCounts() const {
+  std::vector<int64_t> counts(static_cast<size_t>(cols_), 0);
+  for (int64_t c : col_idx_) counts[static_cast<size_t>(c)]++;
+  return counts;
+}
+
+}  // namespace hadad::matrix

@@ -1,0 +1,76 @@
+#ifndef HADAD_MATRIX_SPARSE_MATRIX_H_
+#define HADAD_MATRIX_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/dense_matrix.h"
+
+namespace hadad::matrix {
+
+// One (row, col, value) entry; used to build sparse matrices.
+struct Triplet {
+  int64_t row;
+  int64_t col;
+  double value;
+};
+
+// Compressed Sparse Row matrix of doubles. Invariants: row_ptr has
+// rows()+1 entries; column indices within each row are strictly increasing;
+// stored values may include explicit zeros only transiently (Prune() drops
+// them).
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+  SparseMatrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        row_ptr_(static_cast<size_t>(rows) + 1, 0) {}
+
+  // Builds from unsorted triplets; duplicate coordinates are summed.
+  static SparseMatrix FromTriplets(int64_t rows, int64_t cols,
+                                   std::vector<Triplet> triplets);
+
+  static SparseMatrix FromDense(const DenseMatrix& dense, double tol = 0.0);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  // Value at (r, c); O(log nnz_row).
+  double At(int64_t r, int64_t c) const;
+
+  DenseMatrix ToDense() const;
+
+  // Transpose (CSR of the transposed matrix), O(nnz).
+  SparseMatrix Transpose() const;
+
+  // Drops stored zeros.
+  void Prune();
+
+  // Fraction of non-zero cells, in [0, 1].
+  double Sparsity() const {
+    int64_t cells = rows_ * cols_;
+    return cells == 0 ? 0.0 : static_cast<double>(nnz()) / cells;
+  }
+
+  // Non-zero counts per row / per column (the MNC estimator's h^r, h^c).
+  std::vector<int64_t> RowNnzCounts() const;
+  std::vector<int64_t> ColNnzCounts() const;
+
+ private:
+  friend class SparseBuilder;
+
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace hadad::matrix
+
+#endif  // HADAD_MATRIX_SPARSE_MATRIX_H_

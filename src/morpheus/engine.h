@@ -1,0 +1,52 @@
+#ifndef HADAD_MORPHEUS_ENGINE_H_
+#define HADAD_MORPHEUS_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "engine/evaluator.h"
+#include "engine/workspace.h"
+#include "la/expr.h"
+#include "morpheus/normalized_matrix.h"
+
+namespace hadad::morpheus {
+
+// MorpheusR-like executor (§9.2.1): evaluates LA expressions where some
+// named matrices are backed by normalized (factorized) join outputs.
+//
+// Faithful to Morpheus's limits:
+//  * operator pushdown fires only when the operator *directly* touches a
+//    normalized matrix (or its transpose, via the M^T special rules);
+//  * element-wise operators are never factorized (P2.11's discussion);
+//  * no chain reordering and no algebraic reasoning — Morpheus cannot turn
+//    colSums(M N) into colSums(M) N; that rewriting must come from HADAD.
+// Anything not matching a pushdown pattern materializes M and evaluates
+// normally.
+class MorpheusEngine {
+ public:
+  explicit MorpheusEngine(const engine::Workspace* workspace)
+      : workspace_(workspace) {}
+
+  // Registers `name` as a normalized matrix. Expressions mentioning `name`
+  // are evaluated factorized where the rules allow.
+  void Register(const std::string& name, NormalizedMatrix nm) {
+    normalized_.insert_or_assign(name, std::move(nm));
+  }
+
+  const NormalizedMatrix* Lookup(const std::string& name) const {
+    auto it = normalized_.find(name);
+    return it == normalized_.end() ? nullptr : &it->second;
+  }
+
+  Result<matrix::Matrix> Run(const la::ExprPtr& expr,
+                             engine::ExecStats* stats = nullptr) const;
+
+ private:
+  const engine::Workspace* workspace_;
+  std::map<std::string, NormalizedMatrix> normalized_;
+};
+
+}  // namespace hadad::morpheus
+
+#endif  // HADAD_MORPHEUS_ENGINE_H_

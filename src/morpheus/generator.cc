@@ -1,0 +1,31 @@
+#include "morpheus/generator.h"
+
+#include <vector>
+
+#include "matrix/generate.h"
+
+namespace hadad::morpheus {
+
+NormalizedMatrix GeneratePkFk(Rng& rng, const PkFkConfig& config) {
+  const int64_t n_s = static_cast<int64_t>(
+      config.tuple_ratio * static_cast<double>(config.n_r));
+  const int64_t d_r = static_cast<int64_t>(
+      config.feature_ratio * static_cast<double>(config.d_s));
+  matrix::Matrix t = matrix::RandomDense(rng, n_s, config.d_s);
+  matrix::Matrix u = matrix::RandomDense(rng, config.n_r, d_r);
+  // One foreign key per fact row, uniform over the dimension table.
+  std::vector<matrix::Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(n_s));
+  for (int64_t i = 0; i < n_s; ++i) {
+    triplets.push_back(
+        {i,
+         static_cast<int64_t>(rng.NextBelow(
+             static_cast<uint64_t>(config.n_r))),
+         1.0});
+  }
+  matrix::Matrix k(matrix::SparseMatrix::FromTriplets(n_s, config.n_r,
+                                                      std::move(triplets)));
+  return NormalizedMatrix(std::move(t), std::move(k), std::move(u));
+}
+
+}  // namespace hadad::morpheus

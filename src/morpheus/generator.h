@@ -1,0 +1,29 @@
+#ifndef HADAD_MORPHEUS_GENERATOR_H_
+#define HADAD_MORPHEUS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "morpheus/normalized_matrix.h"
+
+namespace hadad::morpheus {
+
+// §9.2.1's synthetic PK-FK setup: tables R (dimension, nR rows, dR
+// features) and S (fact, nS rows, dS features); M = S ⋈ R cast as a
+// nS x (dS + dR) dense matrix. The sweep fixes nR and dS and varies the
+// tuple ratio (nS/nR) and feature ratio (dR/dS).
+struct PkFkConfig {
+  int64_t n_r = 1000;    // Dimension-table rows (paper: 1M; scaled).
+  int64_t d_s = 20;      // Fact-table features (paper's fixed dS).
+  double tuple_ratio = 5.0;    // nS / nR.
+  double feature_ratio = 2.0;  // dR / dS.
+};
+
+// Builds the normalized matrix for a configuration: T = S's features
+// (dense), K = FK indicator (sparse, uniform foreign keys), U = R's
+// features (dense).
+NormalizedMatrix GeneratePkFk(Rng& rng, const PkFkConfig& config);
+
+}  // namespace hadad::morpheus
+
+#endif  // HADAD_MORPHEUS_GENERATOR_H_

@@ -1,0 +1,81 @@
+#include "morpheus/normalized_matrix.h"
+
+#include "common/check.h"
+
+namespace hadad::morpheus {
+
+namespace {
+
+// Rows [from, to) of a matrix as a dense block.
+matrix::Matrix SliceRows(const matrix::Matrix& m, int64_t from, int64_t to) {
+  matrix::DenseMatrix d = m.ToDense();
+  matrix::DenseMatrix out(to - from, m.cols());
+  for (int64_t i = from; i < to; ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      out.At(i - from, j) = d.At(i, j);
+    }
+  }
+  return matrix::Matrix(std::move(out));
+}
+
+}  // namespace
+
+NormalizedMatrix::NormalizedMatrix(matrix::Matrix t, matrix::Matrix k,
+                                   matrix::Matrix u)
+    : t_(std::move(t)), k_(std::move(k)), u_(std::move(u)) {
+  HADAD_CHECK_EQ(t_.rows(), k_.rows());
+  HADAD_CHECK_EQ(k_.cols(), u_.rows());
+}
+
+Result<matrix::Matrix> NormalizedMatrix::Materialize() const {
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix ku, matrix::Multiply(k_, u_));
+  return matrix::Cbind(t_, ku);
+}
+
+Result<matrix::Matrix> NormalizedMatrix::RightMultiply(
+    const matrix::Matrix& n) const {
+  if (n.rows() != cols()) {
+    return Status::DimensionMismatch(
+        "normalized right-multiply: inner dims disagree");
+  }
+  matrix::Matrix n_top = SliceRows(n, 0, t_.cols());
+  matrix::Matrix n_bottom = SliceRows(n, t_.cols(), n.rows());
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix tn, matrix::Multiply(t_, n_top));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix un, matrix::Multiply(u_, n_bottom));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix kun, matrix::Multiply(k_, un));
+  return matrix::Add(tn, kun);
+}
+
+Result<matrix::Matrix> NormalizedMatrix::LeftMultiply(
+    const matrix::Matrix& c) const {
+  if (c.cols() != rows()) {
+    return Status::DimensionMismatch(
+        "normalized left-multiply: inner dims disagree");
+  }
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix ct, matrix::Multiply(c, t_));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix ck, matrix::Multiply(c, k_));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix cku, matrix::Multiply(ck, u_));
+  return matrix::Cbind(ct, cku);
+}
+
+Result<matrix::Matrix> NormalizedMatrix::ColSums() const {
+  matrix::Matrix cst = matrix::ColSums(t_);
+  matrix::Matrix csk = matrix::ColSums(k_);
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix csku, matrix::Multiply(csk, u_));
+  return matrix::Cbind(cst, csku);
+}
+
+Result<matrix::Matrix> NormalizedMatrix::RowSums() const {
+  matrix::Matrix rst = matrix::RowSums(t_);
+  matrix::Matrix rsu = matrix::RowSums(u_);
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix krsu, matrix::Multiply(k_, rsu));
+  return matrix::Add(rst, krsu);
+}
+
+Result<double> NormalizedMatrix::Sum() const {
+  matrix::Matrix csk = matrix::ColSums(k_);
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix csku, matrix::Multiply(csk, u_));
+  return matrix::Sum(t_) + matrix::Sum(csku);
+}
+
+}  // namespace hadad::morpheus

@@ -1,0 +1,55 @@
+#ifndef HADAD_MORPHEUS_NORMALIZED_MATRIX_H_
+#define HADAD_MORPHEUS_NORMALIZED_MATRIX_H_
+
+#include "common/status.h"
+#include "matrix/matrix.h"
+
+namespace hadad::morpheus {
+
+// Morpheus's normalized matrix (Chen et al. [27]): the output of a PK-FK
+// join cast as a matrix, M = [T | K U], kept *factorized*:
+//   T: nS x dS   — the fact table's own features,
+//   K: nS x nR   — the sparse indicator matrix of the FK (one 1 per row),
+//   U: nR x dR   — the joined dimension table's features.
+// Morpheus evaluates LA operators over M by pushing them through the
+// factorization instead of materializing the (large, redundant) join.
+class NormalizedMatrix {
+ public:
+  NormalizedMatrix(matrix::Matrix t, matrix::Matrix k, matrix::Matrix u);
+
+  int64_t rows() const { return t_.rows(); }
+  int64_t cols() const { return t_.cols() + u_.cols(); }
+
+  const matrix::Matrix& t() const { return t_; }
+  const matrix::Matrix& k() const { return k_; }
+  const matrix::Matrix& u() const { return u_; }
+
+  // The denormalized join output [T | K U] — what Morpheus avoids.
+  Result<matrix::Matrix> Materialize() const;
+
+  // --- Factorized operator pushdowns (Morpheus's rewrite rules) -----------
+
+  // M %*% N = T N_top + K (U N_bottom), splitting N's rows at dS.
+  Result<matrix::Matrix> RightMultiply(const matrix::Matrix& n) const;
+
+  // C %*% M = [C T | (C K) U].
+  Result<matrix::Matrix> LeftMultiply(const matrix::Matrix& c) const;
+
+  // colSums(M) = [colSums(T) | colSums(K) U].
+  Result<matrix::Matrix> ColSums() const;
+
+  // rowSums(M) = rowSums(T) + K rowSums(U).
+  Result<matrix::Matrix> RowSums() const;
+
+  // sum(M) = sum(T) + sum(colSums(K) U).
+  Result<double> Sum() const;
+
+ private:
+  matrix::Matrix t_;
+  matrix::Matrix k_;
+  matrix::Matrix u_;
+};
+
+}  // namespace hadad::morpheus
+
+#endif  // HADAD_MORPHEUS_NORMALIZED_MATRIX_H_

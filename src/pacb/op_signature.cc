@@ -1,0 +1,83 @@
+#include "pacb/op_signature.h"
+
+#include <map>
+
+#include "la/vrem.h"
+
+namespace hadad::pacb {
+
+namespace {
+
+namespace vrem = la::vrem;
+using la::OpKind;
+
+std::map<std::string, OpSignature> BuildTable() {
+  std::map<std::string, OpSignature> t;
+  auto unary = [&t](const char* pred, OpKind kind) {
+    t[pred] = OpSignature{{0}, {{1, 0, kind}}};
+  };
+  auto binary = [&t](const char* pred, OpKind kind) {
+    t[pred] = OpSignature{{0, 1}, {{2, 0, kind}}};
+  };
+  unary(vrem::kTr, OpKind::kTranspose);
+  unary(vrem::kInvM, OpKind::kInverse);
+  unary(vrem::kDet, OpKind::kDet);
+  unary(vrem::kTrace, OpKind::kTrace);
+  unary(vrem::kDiag, OpKind::kDiag);
+  unary(vrem::kExp, OpKind::kExp);
+  unary(vrem::kAdj, OpKind::kAdjoint);
+  unary(vrem::kRev, OpKind::kRev);
+  unary(vrem::kSum, OpKind::kSum);
+  unary(vrem::kRowSums, OpKind::kRowSums);
+  unary(vrem::kColSums, OpKind::kColSums);
+  unary(vrem::kMin, OpKind::kMin);
+  unary(vrem::kMax, OpKind::kMax);
+  unary(vrem::kMean, OpKind::kMean);
+  unary(vrem::kVar, OpKind::kVar);
+  unary(vrem::kRowMin, OpKind::kRowMins);
+  unary(vrem::kRowMax, OpKind::kRowMaxs);
+  unary(vrem::kRowMean, OpKind::kRowMeans);
+  unary(vrem::kRowVar, OpKind::kRowVars);
+  unary(vrem::kColMin, OpKind::kColMins);
+  unary(vrem::kColMax, OpKind::kColMaxs);
+  unary(vrem::kColMean, OpKind::kColMeans);
+  unary(vrem::kColVar, OpKind::kColVars);
+  unary(vrem::kCho, OpKind::kCholesky);
+  binary(vrem::kMultiM, OpKind::kMultiply);
+  binary(vrem::kAddM, OpKind::kAdd);
+  binary(vrem::kMultiE, OpKind::kHadamard);
+  binary(vrem::kDivM, OpKind::kDivide);
+  binary(vrem::kDivMS, OpKind::kDivide);
+  binary(vrem::kSumD, OpKind::kDirectSum);
+  binary(vrem::kProductD, OpKind::kKronecker);
+  binary(vrem::kCbind, OpKind::kCbind);
+  // Scalar arithmetic decodes to the 1x1-matrix operators.
+  binary(vrem::kMultiS, OpKind::kHadamard);
+  binary(vrem::kAddS, OpKind::kAdd);
+  binary(vrem::kDivS, OpKind::kDivide);
+  // multiMS(s, M, R): scalar-first product decodes to s * M.
+  binary(vrem::kMultiMS, OpKind::kHadamard);
+  // invS(a, b) decodes via 1/a — handled specially by the decoder.
+  t[vrem::kInvS] = OpSignature{{0}, {{1, 0, OpKind::kDivide}}};
+  // Two-output decompositions.
+  t[vrem::kQr] = OpSignature{
+      {0}, {{1, 0, OpKind::kQrQ}, {2, 1, OpKind::kQrR}}};
+  t[vrem::kLu] = OpSignature{
+      {0}, {{1, 0, OpKind::kLuL}, {2, 1, OpKind::kLuU}}};
+  t[vrem::kLup] = OpSignature{{0},
+                              {{1, 0, OpKind::kPluL},
+                               {2, 1, OpKind::kPluU},
+                               {3, 2, OpKind::kPluP}}};
+  return t;
+}
+
+}  // namespace
+
+const OpSignature* GetOpSignature(const std::string& predicate) {
+  static const auto* kTable = new std::map<std::string, OpSignature>(
+      BuildTable());
+  auto it = kTable->find(predicate);
+  return it == kTable->end() ? nullptr : &it->second;
+}
+
+}  // namespace hadad::pacb

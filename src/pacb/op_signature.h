@@ -1,0 +1,31 @@
+#ifndef HADAD_PACB_OP_SIGNATURE_H_
+#define HADAD_PACB_OP_SIGNATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "la/expr.h"
+
+namespace hadad::pacb {
+
+// Structural description of a VREM operation relation: which argument
+// positions are inputs, which are outputs, and how each output decodes back
+// to an LA operator (dec_LA's table).
+struct OpOutput {
+  int position;        // Argument position of the output class.
+  int output_index;    // Estimator output selector (qr/lu factor).
+  la::OpKind decode_kind;
+};
+
+struct OpSignature {
+  std::vector<int> input_positions;
+  std::vector<OpOutput> outputs;
+};
+
+// Signature for `predicate`, or nullptr when the relation is not an
+// operation (name/size/type/sconst/zero/identity/morpheusJoin).
+const OpSignature* GetOpSignature(const std::string& predicate);
+
+}  // namespace hadad::pacb
+
+#endif  // HADAD_PACB_OP_SIGNATURE_H_

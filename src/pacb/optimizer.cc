@@ -1,0 +1,586 @@
+#include "pacb/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "la/encoder.h"
+#include "la/parser.h"
+#include "la/vrem.h"
+#include "pacb/meta_tracker.h"
+#include "pacb/op_signature.h"
+
+namespace hadad::pacb {
+
+namespace {
+
+namespace vrem = la::vrem;
+using chase::Binding;
+using chase::FactId;
+using chase::Instance;
+using chase::NodeId;
+using la::Expr;
+using la::ExprPtr;
+using la::OpKind;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+
+// One way to obtain a class: scan a named input (base matrix or view), use
+// a scalar literal, or apply the operator of fact `fact` (output
+// `output_slot` of its signature).
+struct Derivation {
+  enum class Kind { kScan, kScalar, kOp };
+  Kind kind;
+  std::string scan_name;   // kScan.
+  double scalar_value = 0; // kScalar.
+  FactId fact = -1;        // kOp.
+  int output_slot = 0;     // kOp: index into OpSignature::outputs.
+};
+
+struct ClassState {
+  double contrib = kInf;  // Min cost of producing this class, counting its
+                          // own output size when operator-derived (§7.1).
+  Derivation best;
+  bool has_option = false;
+};
+
+// The per-call rewriting machinery: one saturated instance per Optimize().
+class RewriteSession {
+ public:
+  RewriteSession(const la::MetaCatalog& catalog,
+                 const OptimizerOptions& options,
+                 const std::vector<chase::Constraint>& constraints,
+                 const std::vector<MorpheusJoinDecl>& morpheus_joins,
+                 const cost::DataCatalog* data,
+                 const cost::SparsityEstimator* estimator)
+      : catalog_(catalog),
+        options_(options),
+        constraints_(constraints),
+        morpheus_joins_(morpheus_joins),
+        data_(data),
+        estimator_(estimator),
+        tracker_(&instance_, estimator) {}
+
+  Result<RewriteResult> Run(const ExprPtr& expr);
+
+ private:
+  const matrix::Matrix* DataFor(const std::string& name) const {
+    if (data_ == nullptr) return nullptr;
+    auto it = data_->find(name);
+    return it == data_->end() ? nullptr : &it->second;
+  }
+
+  Status SeedInstance(const la::EncodedExpr& enc);
+  bool Gate(int32_t constraint_index, const Binding& binding,
+            const std::vector<FactId>& premise);
+  void ComputeContribs();
+  Result<ExprPtr> Decode(NodeId cls, int depth) const;
+
+  const la::MetaCatalog& catalog_;
+  const OptimizerOptions& options_;
+  const std::vector<chase::Constraint>& constraints_;
+  const std::vector<MorpheusJoinDecl>& morpheus_joins_;
+  const cost::DataCatalog* data_;
+  const cost::SparsityEstimator* estimator_;
+
+  Instance instance_;
+  MetaTracker tracker_;
+  double threshold_ = kInf;  // T: cost of the best rewriting known so far.
+  // Pruning bound: max(T, largest class of the original encoding). Chase
+  // steps at the scale of the query's own operands always pass (they belong
+  // to the unpruned chase phase of PACB); only super-linear blowups like
+  // Example 7.2's (MN)M fragment are rejected.
+  double prune_bound_ = kInf;
+  NodeId root_ = chase::kNoNode;
+  std::unordered_map<NodeId, ClassState> classes_;
+};
+
+Status RewriteSession::SeedInstance(const la::EncodedExpr& enc) {
+  std::unordered_map<std::string, NodeId> var_nodes;
+  auto node_of = [&](const chase::Term& t) -> NodeId {
+    if (t.is_constant()) return instance_.InternConstant(t.text);
+    auto it = var_nodes.find(t.text);
+    if (it == var_nodes.end()) {
+      it = var_nodes.emplace(t.text, instance_.FreshNull()).first;
+    }
+    return it->second;
+  };
+  auto add_atom = [&](const chase::Atom& atom) {
+    std::vector<NodeId> args;
+    args.reserve(atom.args.size());
+    for (const chase::Term& t : atom.args) args.push_back(node_of(t));
+    instance_.AddFact(instance_.InternPredicate(atom.predicate),
+                      std::move(args), chase::Derivation{}, /*initial=*/true,
+                      nullptr);
+  };
+  for (const chase::Atom& atom : enc.query.body) add_atom(atom);
+  root_ = var_nodes.at(enc.root_var);
+
+  // Seed base metadata on every named class (and every view name the query
+  // mentions); everything else is derived by propagation.
+  for (const chase::Atom& atom : enc.query.body) {
+    if (atom.predicate != vrem::kName) continue;
+    const std::string& name = atom.args[1].text;
+    auto it = catalog_.find(name);
+    if (it == catalog_.end()) {
+      return Status::NotFound("no metadata for matrix '" + name + "'");
+    }
+    tracker_.Seed(var_nodes.at(atom.args[0].text),
+                  estimator_->MakeBase(it->second, DataFor(name)));
+  }
+
+  // Morpheus normalized-matrix declarations: bind by name (I_name merges
+  // these nodes with the query's if it mentions the same matrices).
+  int32_t name_pred = instance_.InternPredicate(vrem::kName);
+  int32_t mj_pred = instance_.InternPredicate(vrem::kMorpheusJoin);
+  for (const MorpheusJoinDecl& decl : morpheus_joins_) {
+    std::vector<NodeId> nodes;
+    for (const std::string& n : {decl.t, decl.k, decl.u, decl.m}) {
+      auto it = catalog_.find(n);
+      if (it == catalog_.end()) {
+        return Status::NotFound("morpheus join references unknown matrix '" +
+                                n + "'");
+      }
+      NodeId node = instance_.FreshNull();
+      instance_.AddFact(name_pred, {node, instance_.InternConstant(n)},
+                        chase::Derivation{}, /*initial=*/true, nullptr);
+      tracker_.Seed(node, estimator_->MakeBase(it->second, DataFor(n)));
+      nodes.push_back(node);
+    }
+    instance_.AddFact(mj_pred, std::move(nodes), chase::Derivation{},
+                      /*initial=*/true, nullptr);
+  }
+  tracker_.PropagateAll();
+  return Status::OK();
+}
+
+bool RewriteSession::Gate(int32_t constraint_index, const Binding& binding,
+                          const std::vector<FactId>& premise) {
+  // View-IO constraints belong to PACB's chase phase, which is never pruned
+  // (§4.2): their premise is the view's body, but *using* the view computes
+  // none of it. They conclude only `name` atoms.
+  {
+    const chase::Constraint& c =
+        constraints_[static_cast<size_t>(constraint_index)];
+    bool names_only = true;
+    for (const chase::Atom& atom : c.conclusion) {
+      if (atom.predicate != vrem::kName) {
+        names_only = false;
+        break;
+      }
+    }
+    if (names_only) return true;
+  }
+  // (1) Premise-fragment pruning (Example 7.2): the subquery determined by
+  // the premise image must not already cost more than T. Its cost is the
+  // total size of operator outputs consumed *within* the fragment.
+  std::unordered_set<NodeId> used_as_input;
+  std::vector<NodeId> outputs;
+  for (FactId fid : premise) {
+    const chase::Fact& f = instance_.fact(fid);
+    const OpSignature* sig =
+        GetOpSignature(instance_.PredicateName(f.predicate));
+    if (sig == nullptr) continue;
+    for (int pos : sig->input_positions) {
+      used_as_input.insert(instance_.Find(f.args[static_cast<size_t>(pos)]));
+    }
+    for (const OpOutput& out : sig->outputs) {
+      outputs.push_back(
+          instance_.Find(f.args[static_cast<size_t>(out.position)]));
+    }
+  }
+  double fragment = 0.0;
+  for (NodeId n : outputs) {
+    if (used_as_input.count(n) == 0) continue;
+    double s = tracker_.SizeOf(n);
+    if (!std::isinf(s)) fragment += s;
+  }
+  if (fragment > prune_bound_ + kEps) return false;
+
+  // (2) Conclusion-output pruning: an operator output larger than T can
+  // only appear in plans costing more than T (γ is monotone), unless it is
+  // the goal class itself.
+  const chase::Constraint& c =
+      constraints_[static_cast<size_t>(constraint_index)];
+  const NodeId root = instance_.Find(root_);
+  for (const chase::Atom& atom : c.conclusion) {
+    const OpSignature* sig = GetOpSignature(atom.predicate);
+    if (sig == nullptr) continue;
+    std::vector<cost::ClassMeta> inputs;
+    bool all_known = true;
+    for (int pos : sig->input_positions) {
+      const chase::Term& t = atom.args[static_cast<size_t>(pos)];
+      NodeId n = chase::kNoNode;
+      if (t.is_constant()) {
+        n = instance_.LookupConstant(t.text);
+      } else {
+        auto it = binding.find(t.text);
+        if (it != binding.end()) n = it->second;
+      }
+      const cost::ClassMeta* m =
+          (n == chase::kNoNode) ? nullptr : tracker_.Get(n);
+      if (m == nullptr) {
+        all_known = false;
+        break;
+      }
+      inputs.push_back(*m);
+    }
+    if (!all_known) continue;
+    for (const OpOutput& out : sig->outputs) {
+      const chase::Term& t = atom.args[static_cast<size_t>(out.position)];
+      if (t.is_variable()) {
+        auto it = binding.find(t.text);
+        if (it != binding.end() && instance_.Find(it->second) == root) {
+          continue;  // The goal class: its own size never counts.
+        }
+      }
+      auto meta = estimator_->Propagate(atom.predicate, inputs,
+                                        out.output_index);
+      if (meta.has_value() && meta->SizeEstimate() > prune_bound_ + kEps) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void RewriteSession::ComputeContribs() {
+  classes_.clear();
+  // Scan/scalar options.
+  int32_t name_pred = instance_.LookupPredicate(vrem::kName);
+  if (name_pred >= 0) {
+    for (FactId fid : instance_.FactsOf(name_pred)) {
+      const chase::Fact& f = instance_.fact(fid);
+      const std::string& nm = instance_.ConstantValue(f.args[1]);
+      if (catalog_.count(nm) == 0) continue;
+      ClassState& st = classes_[instance_.Find(f.args[0])];
+      if (0.0 < st.contrib) {
+        st.contrib = 0.0;
+        st.best = Derivation{Derivation::Kind::kScan, nm, 0, -1, 0};
+        st.has_option = true;
+      }
+    }
+  }
+  int32_t sconst_pred = instance_.LookupPredicate(vrem::kSconst);
+  if (sconst_pred >= 0) {
+    for (FactId fid : instance_.FactsOf(sconst_pred)) {
+      const chase::Fact& f = instance_.fact(fid);
+      ClassState& st = classes_[instance_.Find(f.args[0])];
+      if (0.0 < st.contrib) {
+        st.contrib = 0.0;
+        st.best = Derivation{Derivation::Kind::kScalar, "",
+                             std::strtod(
+                                 instance_.ConstantValue(f.args[1]).c_str(),
+                                 nullptr),
+                             -1, 0};
+        st.has_option = true;
+      }
+    }
+  }
+  // Operator options, relaxed to fixpoint (derivations can be cyclic; every
+  // operator option has weight ≥ its output size ≥ 1, so Bellman-Ford
+  // converges).
+  struct OpOption {
+    NodeId out;
+    std::vector<NodeId> ins;
+    FactId fact;
+    int slot;
+    double out_size;
+  };
+  std::vector<OpOption> ops;
+  for (FactId fid = 0; fid < instance_.num_facts(); ++fid) {
+    const chase::Fact& f = instance_.fact(fid);
+    const OpSignature* sig =
+        GetOpSignature(instance_.PredicateName(f.predicate));
+    if (sig == nullptr) continue;
+    std::vector<NodeId> ins;
+    ins.reserve(sig->input_positions.size());
+    for (int pos : sig->input_positions) {
+      ins.push_back(instance_.Find(f.args[static_cast<size_t>(pos)]));
+    }
+    for (size_t slot = 0; slot < sig->outputs.size(); ++slot) {
+      NodeId out = instance_.Find(
+          f.args[static_cast<size_t>(sig->outputs[slot].position)]);
+      double out_size = tracker_.SizeOf(out);
+      if (std::isinf(out_size)) continue;
+      ops.push_back(OpOption{out, ins, fid, static_cast<int>(slot),
+                             out_size});
+    }
+  }
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 256) {
+    changed = false;
+    for (const OpOption& op : ops) {
+      double cand = op.out_size;
+      for (NodeId in : op.ins) {
+        auto it = classes_.find(in);
+        if (it == classes_.end() || !it->second.has_option) {
+          cand = kInf;
+          break;
+        }
+        cand += it->second.contrib;
+      }
+      if (std::isinf(cand)) continue;
+      ClassState& st = classes_[op.out];
+      if (cand < st.contrib - kEps) {
+        st.contrib = cand;
+        st.best = Derivation{Derivation::Kind::kOp, "", 0, op.fact, op.slot};
+        st.has_option = true;
+        changed = true;
+      }
+    }
+  }
+}
+
+Result<ExprPtr> RewriteSession::Decode(NodeId cls, int depth) const {
+  if (depth > 256) {
+    return Status::Internal("decode recursion limit hit (cyclic extraction)");
+  }
+  auto it = classes_.find(instance_.Find(cls));
+  if (it == classes_.end() || !it->second.has_option) {
+    return Status::NotFound("class has no decodable derivation");
+  }
+  const Derivation& d = it->second.best;
+  switch (d.kind) {
+    case Derivation::Kind::kScan:
+      return ExprPtr(Expr::MatrixRef(d.scan_name));
+    case Derivation::Kind::kScalar:
+      return ExprPtr(Expr::Scalar(d.scalar_value));
+    case Derivation::Kind::kOp:
+      break;
+  }
+  const chase::Fact& f = instance_.fact(d.fact);
+  const std::string& pred = instance_.PredicateName(f.predicate);
+  const OpSignature* sig = GetOpSignature(pred);
+  HADAD_CHECK(sig != nullptr);
+  std::vector<ExprPtr> kids;
+  kids.reserve(sig->input_positions.size());
+  for (int pos : sig->input_positions) {
+    HADAD_ASSIGN_OR_RETURN(
+        ExprPtr kid,
+        Decode(f.args[static_cast<size_t>(pos)], depth + 1));
+    kids.push_back(std::move(kid));
+  }
+  const OpKind kind =
+      sig->outputs[static_cast<size_t>(d.output_slot)].decode_kind;
+  // Special spellings.
+  if (pred == vrem::kInvS) {
+    return ExprPtr(Expr::Binary(OpKind::kDivide, Expr::Scalar(1.0), kids[0]));
+  }
+  if (la::Arity(kind) == 1) {
+    return ExprPtr(Expr::Unary(kind, kids[0]));
+  }
+  HADAD_CHECK_EQ(kids.size(), 2u);
+  return ExprPtr(Expr::Binary(kind, kids[0], kids[1]));
+}
+
+Result<RewriteResult> RewriteSession::Run(const ExprPtr& expr) {
+  Timer timer;
+  RewriteResult result;
+
+  // γ(E): the threshold T starts at the cost of running E as stated.
+  HADAD_ASSIGN_OR_RETURN(
+      cost::ExprEstimate original,
+      cost::EstimateExpression(*expr, catalog_, *estimator_, data_));
+  result.original_cost = original.cost;
+  threshold_ = original.cost;
+
+  HADAD_ASSIGN_OR_RETURN(la::EncodedExpr enc,
+                         la::EncodeExpression(*expr, catalog_));
+  instance_.SetMergeObserver(
+      [this](NodeId absorbed, NodeId survivor) {
+        tracker_.OnMerge(absorbed, survivor);
+      });
+  HADAD_RETURN_IF_ERROR(SeedInstance(enc));
+  prune_bound_ = std::max(threshold_, tracker_.MaxKnownSize());
+
+  chase::ChaseEngine engine(&instance_, constraints_, options_.chase);
+  engine.set_facts_added_observer(
+      [this](const std::vector<FactId>& ids) { tracker_.OnFactsAdded(ids); });
+  if (options_.prune) {
+    engine.set_gate([this](int32_t ci, const Binding& b,
+                           const std::vector<FactId>& premise) {
+      return Gate(ci, b, premise);
+    });
+  }
+  HADAD_ASSIGN_OR_RETURN(result.chase_stats, engine.Run());
+
+  ComputeContribs();
+
+  // Enumerate goal-class alternatives: the scan/scalar option plus every
+  // operator fact producing the goal class, each with min-cost subplans.
+  const NodeId root = instance_.Find(root_);
+  struct Candidate {
+    ExprPtr expr;
+    double cost;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({expr, result.original_cost});
+  auto try_candidate = [&](const Derivation& d, double cost) {
+    // Temporarily install `d` as the root's best and decode.
+    auto it = classes_.find(root);
+    if (it == classes_.end()) return;
+    ClassState saved = it->second;
+    it->second.best = d;
+    it->second.has_option = true;
+    auto decoded = Decode(root, 0);
+    it->second = saved;
+    if (!decoded.ok()) return;
+    // Re-estimate the decoded tree for the reported cost; fall back to the
+    // extraction cost if estimation fails (it should not).
+    double reported = cost;
+    auto est = cost::EstimateExpression(**decoded, catalog_, *estimator_,
+                                        data_);
+    if (est.ok()) reported = est->cost;
+    candidates.push_back({*decoded, reported});
+  };
+  auto root_state = classes_.find(root);
+  if (root_state != classes_.end() && root_state->second.has_option) {
+    // Scan/scalar option (view-only rewriting, RW_0 of §6.3).
+    if (root_state->second.best.kind != Derivation::Kind::kOp) {
+      try_candidate(root_state->second.best, 0.0);
+    }
+  }
+  for (FactId fid = 0; fid < instance_.num_facts(); ++fid) {
+    const chase::Fact& f = instance_.fact(fid);
+    const std::string& pred = instance_.PredicateName(f.predicate);
+    const OpSignature* sig = GetOpSignature(pred);
+    if (sig == nullptr) continue;
+    for (size_t slot = 0; slot < sig->outputs.size(); ++slot) {
+      NodeId out = instance_.Find(
+          f.args[static_cast<size_t>(sig->outputs[slot].position)]);
+      if (out != root) continue;
+      // Root cost: children contribs only (the root's own size is free).
+      double cost = 0.0;
+      bool ok = true;
+      for (int pos : sig->input_positions) {
+        auto it = classes_.find(
+            instance_.Find(f.args[static_cast<size_t>(pos)]));
+        if (it == classes_.end() || !it->second.has_option) {
+          ok = false;
+          break;
+        }
+        cost += it->second.contrib;
+      }
+      // PACB++ only surfaces minimum-cost-bounded rewritings; the naive
+      // algorithm (prune = false) enumerates all of them (§7.3).
+      if (!ok || (options_.prune && cost > threshold_ + kEps)) continue;
+      try_candidate(
+          Derivation{Derivation::Kind::kOp, "", 0, fid,
+                     static_cast<int>(slot)},
+          cost);
+    }
+  }
+
+  // Dedupe (by rendered text), sort by (cost, tree size, text).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              int64_t sa = a.expr->TreeSize();
+              int64_t sb = b.expr->TreeSize();
+              if (sa != sb) return sa < sb;
+              return ToString(a.expr) < ToString(b.expr);
+            });
+  std::unordered_set<std::string> seen;
+  for (const Candidate& c : candidates) {
+    if (!seen.insert(ToString(c.expr)).second) continue;
+    if (static_cast<int>(result.rewrites.size()) < options_.max_rewrites) {
+      result.rewrites.push_back(c.expr);
+    }
+    if (result.best == nullptr) {
+      result.best = c.expr;
+      result.best_cost = c.cost;
+    }
+  }
+  HADAD_CHECK(result.best != nullptr);  // The original is always a candidate.
+  // Ties on cost fall to the smaller tree (a view scan beats re-evaluating
+  // an equal-cost pipeline, §6.3's RW_0), then to text for determinism.
+  result.improved = !result.best->Equals(*expr);
+  result.optimize_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+Optimizer::Optimizer(la::MetaCatalog catalog, OptimizerOptions options)
+    : catalog_(std::move(catalog)), options_(options) {}
+
+std::unique_ptr<cost::SparsityEstimator> Optimizer::MakeEstimator() const {
+  if (options_.estimator == EstimatorKind::kMnc) {
+    return std::make_unique<cost::MncEstimator>();
+  }
+  return std::make_unique<cost::NaiveMetadataEstimator>();
+}
+
+Status Optimizer::AddView(const std::string& name,
+                          const la::ExprPtr& definition) {
+  if (catalog_.count(name) > 0) {
+    return Status::InvalidArgument("name '" + name + "' already registered");
+  }
+  auto estimator = MakeEstimator();
+  HADAD_ASSIGN_OR_RETURN(
+      cost::ExprEstimate est,
+      cost::EstimateExpression(*definition, catalog_, *estimator, data_));
+  HADAD_ASSIGN_OR_RETURN(
+      std::vector<chase::Constraint> constraints,
+      la::EncodeViewConstraints(name, *definition, catalog_));
+  catalog_[name] = est.output.shape;
+  views_.push_back(ViewDef{name, definition});
+  for (chase::Constraint& c : constraints) {
+    view_constraints_.push_back(std::move(c));
+  }
+  return Status::OK();
+}
+
+Status Optimizer::AddViewText(const std::string& name,
+                              const std::string& definition_text) {
+  HADAD_ASSIGN_OR_RETURN(la::ExprPtr def,
+                         la::ParseExpression(definition_text));
+  return AddView(name, def);
+}
+
+Status Optimizer::AddMorpheusJoin(const MorpheusJoinDecl& decl) {
+  for (const std::string& n : {decl.t, decl.k, decl.u, decl.m}) {
+    if (catalog_.count(n) == 0) {
+      return Status::NotFound("morpheus join references unknown matrix '" +
+                              n + "'");
+    }
+  }
+  morpheus_joins_.push_back(decl);
+  return Status::OK();
+}
+
+void Optimizer::AddConstraints(std::vector<chase::Constraint> constraints) {
+  for (chase::Constraint& c : constraints) {
+    extra_constraints_.push_back(std::move(c));
+  }
+}
+
+Result<RewriteResult> Optimizer::Optimize(const la::ExprPtr& expr) const {
+  auto estimator = MakeEstimator();
+  std::vector<chase::Constraint> constraints = la::BuildMmc(options_.catalog);
+  for (const chase::Constraint& c : view_constraints_) {
+    constraints.push_back(c);
+  }
+  for (const chase::Constraint& c : extra_constraints_) {
+    constraints.push_back(c);
+  }
+  RewriteSession session(catalog_, options_, constraints, morpheus_joins_,
+                         data_, estimator.get());
+  return session.Run(expr);
+}
+
+Result<RewriteResult> Optimizer::OptimizeText(
+    const std::string& expr_text) const {
+  HADAD_ASSIGN_OR_RETURN(la::ExprPtr expr, la::ParseExpression(expr_text));
+  return Optimize(expr);
+}
+
+}  // namespace hadad::pacb

@@ -1,0 +1,108 @@
+#ifndef HADAD_PACB_OPTIMIZER_H_
+#define HADAD_PACB_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chase/engine.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "cost/estimator.h"
+#include "la/catalog.h"
+#include "la/expr.h"
+
+namespace hadad::pacb {
+
+enum class EstimatorKind { kNaive, kMnc };
+
+struct OptimizerOptions {
+  EstimatorKind estimator = EstimatorKind::kNaive;
+  // Prune_prov (§7.3): reject chase steps whose premise fragment or
+  // conclusion outputs exceed the best-known rewriting cost.
+  bool prune = true;
+  la::CatalogOptions catalog;
+  chase::ChaseOptions chase;
+  // Cap on enumerated alternative rewritings returned in RewriteResult.
+  int max_rewrites = 32;
+};
+
+// A materialized view: `name` is its scan name (how rewritings refer to it),
+// `definition` the LA expression it materializes.
+struct ViewDef {
+  std::string name;
+  la::ExprPtr definition;
+};
+
+// A Morpheus normalized-matrix declaration: matrix `m` is the PK-FK join of
+// `t` and `u` with indicator `k` (M = [T | K U]). Lets the Morpheus rewrite
+// rules fire on expressions over `m` (§9.2).
+struct MorpheusJoinDecl {
+  std::string t;
+  std::string k;
+  std::string u;
+  std::string m;
+};
+
+struct RewriteResult {
+  la::ExprPtr best;           // Minimum-cost rewriting (== input if optimal).
+  double best_cost = 0.0;     // γ(best).
+  double original_cost = 0.0; // γ(input).
+  bool improved = false;
+  // Distinct equivalent rewritings discovered (root-level alternatives with
+  // min-cost subplans), sorted by cost; includes `best`.
+  std::vector<la::ExprPtr> rewrites;
+  chase::ChaseStats chase_stats;
+  double optimize_seconds = 0.0;  // RW_find in the paper's terminology.
+};
+
+// HADAD⟨LAprop, V, γ⟩ (§8): relational encoding → PACB++ chase with
+// cost-based pruning → minimum-cost decoding.
+//
+// Construction declares the static environment (base-matrix metadata, views,
+// Morpheus joins, data for MNC base histograms); Optimize() rewrites one
+// expression against it.
+class Optimizer {
+ public:
+  explicit Optimizer(la::MetaCatalog catalog, OptimizerOptions options = {});
+
+  // Registers a materialized view. Its output shape joins the metadata
+  // catalog under `name`, so both queries and rewritings may reference it.
+  Status AddView(const std::string& name, const la::ExprPtr& definition);
+  // Convenience: parse `definition_text` first.
+  Status AddViewText(const std::string& name,
+                     const std::string& definition_text);
+
+  Status AddMorpheusJoin(const MorpheusJoinDecl& decl);
+
+  // Supplies actual matrices (by name) so the MNC estimator can build exact
+  // base histograms; also used for materialized view contents. Not owned;
+  // must outlive the optimizer.
+  void SetData(const cost::DataCatalog* data) { data_ = data; }
+
+  // Extends HADAD's semantic knowledge: appends user constraints to MMC
+  // (the extensibility contract of §1 — declare, don't code).
+  void AddConstraints(std::vector<chase::Constraint> constraints);
+
+  // The metadata catalog including registered view shapes.
+  const la::MetaCatalog& catalog() const { return catalog_; }
+
+  Result<RewriteResult> Optimize(const la::ExprPtr& expr) const;
+  // Convenience: parse + optimize.
+  Result<RewriteResult> OptimizeText(const std::string& expr_text) const;
+
+ private:
+  std::unique_ptr<cost::SparsityEstimator> MakeEstimator() const;
+
+  la::MetaCatalog catalog_;
+  OptimizerOptions options_;
+  std::vector<ViewDef> views_;
+  std::vector<chase::Constraint> view_constraints_;
+  std::vector<chase::Constraint> extra_constraints_;
+  std::vector<MorpheusJoinDecl> morpheus_joins_;
+  const cost::DataCatalog* data_ = nullptr;
+};
+
+}  // namespace hadad::pacb
+
+#endif  // HADAD_PACB_OPTIMIZER_H_

@@ -1,0 +1,69 @@
+#include "relational/casting.h"
+
+namespace hadad::relational {
+
+Result<matrix::Matrix> TableToMatrix(const Table& t,
+                                     const std::vector<std::string>& columns) {
+  std::vector<int64_t> idx;
+  idx.reserve(columns.size());
+  for (const std::string& name : columns) {
+    HADAD_ASSIGN_OR_RETURN(int64_t i, t.ColumnIndex(name));
+    idx.push_back(i);
+  }
+  matrix::DenseMatrix out(t.num_rows(), static_cast<int64_t>(idx.size()));
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < idx.size(); ++c) {
+      HADAD_ASSIGN_OR_RETURN(
+          double v, AsDouble(t.row(r)[static_cast<size_t>(idx[c])]));
+      out.At(r, static_cast<int64_t>(c)) = v;
+    }
+  }
+  return matrix::Matrix(std::move(out));
+}
+
+Result<matrix::Matrix> FactsToSparseMatrix(const Table& t,
+                                           const std::string& row_col,
+                                           const std::string& col_col,
+                                           const std::string& value_col,
+                                           int64_t rows, int64_t cols) {
+  HADAD_ASSIGN_OR_RETURN(int64_t ri, t.ColumnIndex(row_col));
+  HADAD_ASSIGN_OR_RETURN(int64_t ci, t.ColumnIndex(col_col));
+  HADAD_ASSIGN_OR_RETURN(int64_t vi, t.ColumnIndex(value_col));
+  std::vector<matrix::Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(t.num_rows()));
+  for (const Row& row : t.rows()) {
+    HADAD_ASSIGN_OR_RETURN(double r, AsDouble(row[static_cast<size_t>(ri)]));
+    HADAD_ASSIGN_OR_RETURN(double c, AsDouble(row[static_cast<size_t>(ci)]));
+    HADAD_ASSIGN_OR_RETURN(double v, AsDouble(row[static_cast<size_t>(vi)]));
+    int64_t rr = static_cast<int64_t>(r);
+    int64_t cc = static_cast<int64_t>(c);
+    if (rr < 0 || rr >= rows || cc < 0 || cc >= cols) {
+      return Status::OutOfRange("fact coordinate (" + std::to_string(rr) +
+                                "," + std::to_string(cc) +
+                                ") outside matrix bounds");
+    }
+    if (v != 0.0) triplets.push_back({rr, cc, v});
+  }
+  return matrix::Matrix(
+      matrix::SparseMatrix::FromTriplets(rows, cols, std::move(triplets)));
+}
+
+Result<Table> MatrixToTable(const matrix::Matrix& m,
+                            const std::string& prefix) {
+  std::vector<ColumnSpec> schema;
+  schema.reserve(static_cast<size_t>(m.cols()));
+  for (int64_t j = 0; j < m.cols(); ++j) {
+    schema.push_back({prefix + std::to_string(j), ValueType::kDouble});
+  }
+  Table out(std::move(schema));
+  matrix::DenseMatrix d = m.ToDense();
+  for (int64_t i = 0; i < d.rows(); ++i) {
+    Row row;
+    row.reserve(static_cast<size_t>(d.cols()));
+    for (int64_t j = 0; j < d.cols(); ++j) row.push_back(d.At(i, j));
+    HADAD_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+}  // namespace hadad::relational

@@ -1,0 +1,35 @@
+#ifndef HADAD_RELATIONAL_CASTING_H_
+#define HADAD_RELATIONAL_CASTING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "matrix/matrix.h"
+#include "relational/table.h"
+
+namespace hadad::relational {
+
+// The implicit conversions of §3: a relation can be cast into a matrix (row
+// order becomes positional) and back.
+
+// Casts the named numeric columns of `t` into a dense |t| x |columns| matrix.
+Result<matrix::Matrix> TableToMatrix(const Table& t,
+                                     const std::vector<std::string>& columns);
+
+// Casts a (row-id, col-id, value) fact table into a sparse rows x cols
+// matrix — how the Twitter benchmark builds the tweet-hashtag matrix N.
+// Row/col ids must be integers in range.
+Result<matrix::Matrix> FactsToSparseMatrix(const Table& t,
+                                           const std::string& row_col,
+                                           const std::string& col_col,
+                                           const std::string& value_col,
+                                           int64_t rows, int64_t cols);
+
+// Casts a matrix into a relation with double columns named `prefix0..`.
+Result<Table> MatrixToTable(const matrix::Matrix& m,
+                            const std::string& prefix = "c");
+
+}  // namespace hadad::relational
+
+#endif  // HADAD_RELATIONAL_CASTING_H_

@@ -1,0 +1,296 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace hadad::relational {
+
+namespace {
+
+// Three-way comparison of two values with numeric widening.
+Result<int> CompareValues(const Value& a, const Value& b) {
+  if (TypeOf(a) == ValueType::kString || TypeOf(b) == ValueType::kString) {
+    if (TypeOf(a) != ValueType::kString || TypeOf(b) != ValueType::kString) {
+      return Status::InvalidArgument("cannot compare string with number");
+    }
+    const std::string& sa = std::get<std::string>(a);
+    const std::string& sb = std::get<std::string>(b);
+    return sa < sb ? -1 : (sa == sb ? 0 : 1);
+  }
+  HADAD_ASSIGN_OR_RETURN(double da, AsDouble(a));
+  HADAD_ASSIGN_OR_RETURN(double db, AsDouble(b));
+  return da < db ? -1 : (da == db ? 0 : 1);
+}
+
+std::string OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kContains: return "CONTAINS";
+  }
+  return "?";
+}
+
+// Hash key for join matching: type-tagged string form so 1 (int) and 1.0
+// (double) hash-join consistently via numeric widening.
+std::string JoinKey(const Value& v) {
+  if (TypeOf(v) == ValueType::kString) {
+    return "s:" + std::get<std::string>(v);
+  }
+  return "n:" + std::to_string(AsDouble(v).value());
+}
+
+}  // namespace
+
+PredicatePtr Predicate::Compare(std::string column, CompareOp op,
+                                Value literal) {
+  auto p = std::make_shared<Predicate>();
+  p->kind_ = Kind::kCompare;
+  p->column_ = std::move(column);
+  p->op_ = op;
+  p->literal_ = std::move(literal);
+  return p;
+}
+
+PredicatePtr Predicate::And(PredicatePtr lhs, PredicatePtr rhs) {
+  auto p = std::make_shared<Predicate>();
+  p->kind_ = Kind::kAnd;
+  p->lhs_ = std::move(lhs);
+  p->rhs_ = std::move(rhs);
+  return p;
+}
+
+PredicatePtr Predicate::Or(PredicatePtr lhs, PredicatePtr rhs) {
+  auto p = std::make_shared<Predicate>();
+  p->kind_ = Kind::kOr;
+  p->lhs_ = std::move(lhs);
+  p->rhs_ = std::move(rhs);
+  return p;
+}
+
+Result<bool> Predicate::Eval(const Table& table, const Row& row) const {
+  switch (kind_) {
+    case Kind::kAnd: {
+      HADAD_ASSIGN_OR_RETURN(bool l, lhs_->Eval(table, row));
+      if (!l) return false;
+      return rhs_->Eval(table, row);
+    }
+    case Kind::kOr: {
+      HADAD_ASSIGN_OR_RETURN(bool l, lhs_->Eval(table, row));
+      if (l) return true;
+      return rhs_->Eval(table, row);
+    }
+    case Kind::kCompare: {
+      HADAD_ASSIGN_OR_RETURN(int64_t idx, table.ColumnIndex(column_));
+      const Value& cell = row[static_cast<size_t>(idx)];
+      if (op_ == CompareOp::kContains) {
+        if (TypeOf(cell) != ValueType::kString ||
+            TypeOf(literal_) != ValueType::kString) {
+          return Status::InvalidArgument("CONTAINS requires strings");
+        }
+        return std::get<std::string>(cell).find(
+                   std::get<std::string>(literal_)) != std::string::npos;
+      }
+      HADAD_ASSIGN_OR_RETURN(int cmp, CompareValues(cell, literal_));
+      switch (op_) {
+        case CompareOp::kEq: return cmp == 0;
+        case CompareOp::kNe: return cmp != 0;
+        case CompareOp::kLt: return cmp < 0;
+        case CompareOp::kLe: return cmp <= 0;
+        case CompareOp::kGt: return cmp > 0;
+        case CompareOp::kGe: return cmp >= 0;
+        case CompareOp::kContains: break;  // Handled above.
+      }
+      return Status::Internal("unreachable");
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kCompare:
+      return column_ + " " + OpName(op_) + " " + ValueToString(literal_);
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " AND " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " OR " + rhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+Result<Table> Select(const Table& t, const PredicatePtr& pred) {
+  Table out(t.schema());
+  for (const Row& row : t.rows()) {
+    HADAD_ASSIGN_OR_RETURN(bool keep, pred->Eval(t, row));
+    if (keep) HADAD_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& t, const std::vector<std::string>& columns) {
+  std::vector<ColumnSpec> schema;
+  std::vector<int64_t> idx;
+  schema.reserve(columns.size());
+  idx.reserve(columns.size());
+  for (const std::string& name : columns) {
+    HADAD_ASSIGN_OR_RETURN(int64_t i, t.ColumnIndex(name));
+    schema.push_back(t.schema()[static_cast<size_t>(i)]);
+    idx.push_back(i);
+  }
+  Table out(std::move(schema));
+  for (const Row& row : t.rows()) {
+    Row projected;
+    projected.reserve(idx.size());
+    for (int64_t i : idx) projected.push_back(row[static_cast<size_t>(i)]);
+    HADAD_RETURN_IF_ERROR(out.AppendRow(std::move(projected)));
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& t1, const std::string& key1,
+                       const Table& t2, const std::string& key2) {
+  HADAD_ASSIGN_OR_RETURN(int64_t k1, t1.ColumnIndex(key1));
+  HADAD_ASSIGN_OR_RETURN(int64_t k2, t2.ColumnIndex(key2));
+
+  // Output schema: all of t1, then t2 minus its key column.
+  std::vector<ColumnSpec> schema = t1.schema();
+  std::vector<int64_t> right_cols;
+  for (int64_t j = 0; j < t2.num_cols(); ++j) {
+    if (j == k2) continue;
+    ColumnSpec spec = t2.schema()[static_cast<size_t>(j)];
+    for (const ColumnSpec& existing : t1.schema()) {
+      if (existing.name == spec.name) {
+        spec.name += "_r";
+        break;
+      }
+    }
+    schema.push_back(spec);
+    right_cols.push_back(j);
+  }
+  Table out(std::move(schema));
+
+  // Build on t2.
+  std::unordered_map<std::string, std::vector<int64_t>> build;
+  for (int64_t i = 0; i < t2.num_rows(); ++i) {
+    build[JoinKey(t2.row(i)[static_cast<size_t>(k2)])].push_back(i);
+  }
+  // Probe with t1.
+  for (int64_t i = 0; i < t1.num_rows(); ++i) {
+    auto it = build.find(JoinKey(t1.row(i)[static_cast<size_t>(k1)]));
+    if (it == build.end()) continue;
+    for (int64_t j : it->second) {
+      Row row = t1.row(i);
+      for (int64_t c : right_cols) {
+        row.push_back(t2.row(j)[static_cast<size_t>(c)]);
+      }
+      HADAD_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const char* AggName(AggKind agg) {
+  switch (agg) {
+    case AggKind::kSum: return "sum";
+    case AggKind::kCount: return "count";
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+    case AggKind::kMean: return "mean";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<Table> GroupByAggregate(const Table& t, const std::string& key,
+                               const std::string& value, AggKind agg) {
+  HADAD_ASSIGN_OR_RETURN(int64_t ki, t.ColumnIndex(key));
+  HADAD_ASSIGN_OR_RETURN(int64_t vi, t.ColumnIndex(value));
+  struct Acc {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    int64_t count = 0;
+    Value key_value;
+  };
+  // Group in first-seen order for deterministic output.
+  std::unordered_map<std::string, size_t> position;
+  std::vector<Acc> groups;
+  for (const Row& row : t.rows()) {
+    HADAD_ASSIGN_OR_RETURN(double v,
+                           AsDouble(row[static_cast<size_t>(vi)]));
+    const Value& kv = row[static_cast<size_t>(ki)];
+    std::string gk = ValueToString(kv);
+    auto [it, inserted] = position.emplace(gk, groups.size());
+    if (inserted) {
+      groups.push_back(Acc{v, v, v, 1, kv});
+    } else {
+      Acc& acc = groups[it->second];
+      acc.sum += v;
+      acc.min = std::min(acc.min, v);
+      acc.max = std::max(acc.max, v);
+      ++acc.count;
+    }
+  }
+  Table out({t.schema()[static_cast<size_t>(ki)],
+             {std::string(AggName(agg)) + "_" + value, ValueType::kDouble}});
+  for (const Acc& acc : groups) {
+    double result = 0.0;
+    switch (agg) {
+      case AggKind::kSum: result = acc.sum; break;
+      case AggKind::kCount: result = static_cast<double>(acc.count); break;
+      case AggKind::kMin: result = acc.min; break;
+      case AggKind::kMax: result = acc.max; break;
+      case AggKind::kMean:
+        result = acc.sum / static_cast<double>(acc.count);
+        break;
+    }
+    HADAD_RETURN_IF_ERROR(out.AppendRow({acc.key_value, result}));
+  }
+  return out;
+}
+
+Result<Table> OneHotEncode(const Table& t, const std::string& column) {
+  HADAD_ASSIGN_OR_RETURN(int64_t idx, t.ColumnIndex(column));
+  // Collect distinct values in first-seen order.
+  std::vector<std::string> categories;
+  std::unordered_map<std::string, int64_t> position;
+  for (const Row& row : t.rows()) {
+    std::string key = ValueToString(row[static_cast<size_t>(idx)]);
+    if (position.emplace(key, static_cast<int64_t>(categories.size())).second) {
+      categories.push_back(key);
+    }
+  }
+  std::vector<ColumnSpec> schema;
+  for (int64_t j = 0; j < t.num_cols(); ++j) {
+    if (j != idx) schema.push_back(t.schema()[static_cast<size_t>(j)]);
+  }
+  for (const std::string& cat : categories) {
+    schema.push_back({column + "=" + cat, ValueType::kDouble});
+  }
+  Table out(std::move(schema));
+  for (const Row& row : t.rows()) {
+    Row encoded;
+    encoded.reserve(static_cast<size_t>(t.num_cols()) + categories.size() - 1);
+    for (int64_t j = 0; j < t.num_cols(); ++j) {
+      if (j != idx) encoded.push_back(row[static_cast<size_t>(j)]);
+    }
+    std::string key = ValueToString(row[static_cast<size_t>(idx)]);
+    for (size_t c = 0; c < categories.size(); ++c) {
+      encoded.push_back(
+          position[key] == static_cast<int64_t>(c) ? 1.0 : 0.0);
+    }
+    HADAD_RETURN_IF_ERROR(out.AppendRow(std::move(encoded)));
+  }
+  return out;
+}
+
+}  // namespace hadad::relational

@@ -1,0 +1,76 @@
+#ifndef HADAD_RELATIONAL_OPERATORS_H_
+#define HADAD_RELATIONAL_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace hadad::relational {
+
+// ---------------------------------------------------------------------------
+// Predicates. Structured (not opaque lambdas) so that hybrid rewrites can
+// *push selections* from the LA stage into the RA stage (§2's filter-level
+// example) by manipulating predicate trees.
+// ---------------------------------------------------------------------------
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+// A boolean condition over a row: either a comparison of a named column with
+// a literal, or a conjunction/disjunction of sub-predicates.
+class Predicate {
+ public:
+  static PredicatePtr Compare(std::string column, CompareOp op, Value literal);
+  static PredicatePtr And(PredicatePtr lhs, PredicatePtr rhs);
+  static PredicatePtr Or(PredicatePtr lhs, PredicatePtr rhs);
+
+  // Evaluates against `row` under `table`'s schema.
+  Result<bool> Eval(const Table& table, const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kCompare, kAnd, kOr };
+  Kind kind_ = Kind::kCompare;
+  std::string column_;
+  CompareOp op_ = CompareOp::kEq;
+  Value literal_;
+  PredicatePtr lhs_;
+  PredicatePtr rhs_;
+};
+
+// ---------------------------------------------------------------------------
+// Relational operators (the R_ops set of §3: selection, projection, join).
+// ---------------------------------------------------------------------------
+
+// sigma_pred(t).
+Result<Table> Select(const Table& t, const PredicatePtr& pred);
+
+// pi_columns(t); columns are kept in the order given.
+Result<Table> Project(const Table& t, const std::vector<std::string>& columns);
+
+// Equi-join on t1.key1 = t2.key2 (hash join; build side = t2). Output schema
+// is t1's columns followed by t2's columns minus its key (the key appears
+// once), with name collisions suffixed by "_r".
+Result<Table> HashJoin(const Table& t1, const std::string& key1,
+                       const Table& t2, const std::string& key2);
+
+// Grouped aggregation: groups `t` by `key` and aggregates the numeric
+// column `value` per group. Output schema: (key, "<agg>_<value>").
+enum class AggKind { kSum, kCount, kMin, kMax, kMean };
+Result<Table> GroupByAggregate(const Table& t, const std::string& key,
+                               const std::string& value, AggKind agg);
+
+// One-hot encodes a string/int categorical column into indicator columns
+// named "<col>=<value>" (MIMIC preprocessing, §9.2.2). The original column
+// is dropped; indicator columns are appended in first-seen order.
+Result<Table> OneHotEncode(const Table& t, const std::string& column);
+
+}  // namespace hadad::relational
+
+#endif  // HADAD_RELATIONAL_OPERATORS_H_

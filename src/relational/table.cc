@@ -1,0 +1,59 @@
+#include "relational/table.h"
+
+namespace hadad::relational {
+
+ValueType TypeOf(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) return ValueType::kInt;
+  if (std::holds_alternative<double>(v)) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+std::string ValueToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v));
+    case ValueType::kDouble:
+      return std::to_string(std::get<double>(v));
+    case ValueType::kString:
+      return std::get<std::string>(v);
+  }
+  return "";
+}
+
+Result<double> AsDouble(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(v));
+    case ValueType::kDouble:
+      return std::get<double>(v);
+    case ValueType::kString:
+      return Status::InvalidArgument("string value is not numeric: " +
+                                     std::get<std::string>(v));
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<int64_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return static_cast<int64_t>(i);
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        std::to_string(schema_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (TypeOf(row[i]) != schema_[i].type) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     schema_[i].name + "'");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+}  // namespace hadad::relational

@@ -1,0 +1,58 @@
+#ifndef HADAD_RELATIONAL_TABLE_H_
+#define HADAD_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hadad::relational {
+
+// A cell value. The paper's hybrid model (§3) draws attribute values from
+// typed domains D_i; we support integers, reals and strings.
+using Value = std::variant<int64_t, double, std::string>;
+
+enum class ValueType { kInt, kDouble, kString };
+
+ValueType TypeOf(const Value& v);
+std::string ValueToString(const Value& v);
+
+// Numeric view of a value (ints widen to double); strings are an error.
+Result<double> AsDouble(const Value& v);
+
+struct ColumnSpec {
+  std::string name;
+  ValueType type;
+};
+
+using Row = std::vector<Value>;
+
+// Row-oriented relation with a named, typed schema. The RA substrate the
+// hybrid queries' preprocessing stage (Q_RA) runs on.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<ColumnSpec> schema) : schema_(std::move(schema)) {}
+
+  const std::vector<ColumnSpec>& schema() const { return schema_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  int64_t num_cols() const { return static_cast<int64_t>(schema_.size()); }
+
+  // Index of a column by name, or NotFound.
+  Result<int64_t> ColumnIndex(const std::string& name) const;
+
+  Status AppendRow(Row row);
+
+  const Row& row(int64_t i) const { return rows_[static_cast<size_t>(i)]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<ColumnSpec> schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hadad::relational
+
+#endif  // HADAD_RELATIONAL_TABLE_H_

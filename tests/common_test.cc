@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace hadad {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status err = Status::NotFound("missing thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  HADAD_ASSIGN_OR_RETURN(int h, Half(x));
+  HADAD_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());   // 6/2 = 3 is odd.
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(StringsTest, SplitTrimJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_TRUE(StartsWith("%%MatrixMarket", "%%"));
+  EXPECT_FALSE(StartsWith("x", "xyz"));
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(Rng(7).Next(), c.Next());
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_LT(r.NextBelow(10), 10u);
+    double u = r.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace hadad

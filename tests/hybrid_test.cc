@@ -1,0 +1,146 @@
+#include "hybrid/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "engine/evaluator.h"
+#include "hybrid/dataset.h"
+#include "la/parser.h"
+
+namespace hadad::hybrid {
+namespace {
+
+DatasetConfig SmallConfig(BenchmarkKind kind) {
+  DatasetConfig config;
+  config.kind = kind;
+  config.num_entities = 300;
+  config.num_dims = 60;
+  config.num_categories = 40;
+  config.selection_fraction = 0.5;
+  config.facts_per_entity = 2.0;
+  return config;
+}
+
+TEST(DatasetTest, GeneratesConsistentTables) {
+  Rng rng(1);
+  Dataset ds = GenerateDataset(rng, SmallConfig(BenchmarkKind::kTwitter));
+  EXPECT_EQ(ds.fact_table.num_rows(), 300);
+  EXPECT_EQ(ds.dim_table.num_rows(), 60);
+  EXPECT_EQ(ds.sparse_facts.num_rows(), 600);
+  EXPECT_EQ(ds.fact_features.size(), 7u);
+  EXPECT_EQ(ds.dim_features.size(), 5u);
+}
+
+TEST(DatasetTest, PreprocessBuildsJoinAndSparseMatrix) {
+  Rng rng(2);
+  Dataset ds = GenerateDataset(rng, SmallConfig(BenchmarkKind::kTwitter));
+  auto pre = Preprocess(ds, /*push_level_filter=*/false, 4.0);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->m.rows(), 300);
+  EXPECT_EQ(pre->m.cols(), 12);  // 7 fact + 5 dim features.
+  EXPECT_EQ(pre->n.rows(), 300);
+  EXPECT_EQ(pre->n.cols(), 40);
+  EXPECT_TRUE(pre->n.is_sparse());
+  // Roughly half the facts survive the keyword+country selection.
+  EXPECT_GT(pre->n.Nnz(), 100);
+  EXPECT_LT(pre->n.Nnz(), 500);
+  // M really is [T | K U].
+  auto ku = matrix::Multiply(pre->k, pre->u);
+  auto m2 = matrix::Cbind(pre->t, *ku);
+  EXPECT_TRUE(pre->m.ApproxEquals(*m2));
+}
+
+TEST(DatasetTest, FilterPushdownMatchesLaStageFilter) {
+  // Selecting level <= 4 relationally (HADAD's combined rewriting) must
+  // produce the same N as filtering in LA-land afterwards.
+  Rng rng(3);
+  Dataset ds = GenerateDataset(rng, SmallConfig(BenchmarkKind::kTwitter));
+  auto unpushed = Preprocess(ds, false, 4.0);
+  auto pushed = Preprocess(ds, true, 4.0);
+  ASSERT_TRUE(unpushed.ok());
+  ASSERT_TRUE(pushed.ok());
+  matrix::Matrix la_filtered = FilterLevelAtMost(unpushed->n, 4.0);
+  EXPECT_TRUE(pushed->n.ApproxEquals(la_filtered));
+  EXPECT_LT(pushed->n.Nnz(), unpushed->n.Nnz());
+}
+
+TEST(DatasetTest, MimicVariantWorksIdentically) {
+  Rng rng(4);
+  Dataset ds = GenerateDataset(rng, SmallConfig(BenchmarkKind::kMimic));
+  auto pre = Preprocess(ds, false, 2.0);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->m.cols(), 12);
+  EXPECT_TRUE(pre->n.is_sparse());
+}
+
+class HybridQueriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    Dataset ds = GenerateDataset(rng, SmallConfig(BenchmarkKind::kTwitter));
+    auto pre = Preprocess(ds, false, 4.0);
+    ASSERT_TRUE(pre.ok());
+    matrix::Matrix nf = FilterLevelAtMost(pre->n, 4.0);
+    auto session = BuildHybridSession(rng, *pre, std::move(nf),
+                                      pacb::EstimatorKind::kNaive);
+    ASSERT_TRUE(session.ok());
+    session_ = std::move(*session);
+  }
+
+  std::unique_ptr<HybridSession> session_;
+};
+
+TEST_F(HybridQueriesTest, AllTenQueriesExecute) {
+  for (const HybridQuery& q : MicroBenchmarkQueries()) {
+    auto expr = la::ParseExpression(q.qla);
+    ASSERT_TRUE(expr.ok()) << q.id;
+    auto out = engine::Execute(**expr, session_->workspace);
+    EXPECT_TRUE(out.ok()) << q.id << ": " << out.status().ToString();
+  }
+}
+
+TEST_F(HybridQueriesTest, ViewsMatchTheirSemantics) {
+  // V3 = rowSums(M), V4 = colSums(M), V5 = C5 M.
+  const engine::Workspace& ws = session_->workspace;
+  auto m = ws.Get("M").value();
+  EXPECT_TRUE(ws.Get("V3").value()->ApproxEquals(matrix::RowSums(*m), 1e-8));
+  EXPECT_TRUE(ws.Get("V4").value()->ApproxEquals(matrix::ColSums(*m), 1e-8));
+  auto c5m = matrix::Multiply(*ws.Get("C5").value(), *m);
+  EXPECT_TRUE(ws.Get("V5").value()->ApproxEquals(*c5m, 1e-8));
+}
+
+TEST_F(HybridQueriesTest, RewritesPreserveValuesAndReachViews) {
+  int used_views = 0;
+  for (const HybridQuery& q : MicroBenchmarkQueries()) {
+    auto r = session_->optimizer->OptimizeText(q.qla);
+    ASSERT_TRUE(r.ok()) << q.id << ": " << r.status().ToString();
+    auto original = engine::Execute(*la::ParseExpression(q.qla).value(),
+                                    session_->workspace);
+    ASSERT_TRUE(original.ok()) << q.id;
+    auto rewritten = engine::Execute(*r->best, session_->workspace);
+    ASSERT_TRUE(rewritten.ok())
+        << q.id << " -> " << la::ToString(r->best);
+    EXPECT_TRUE(original->ApproxEquals(*rewritten, 1e-6))
+        << q.id << " -> " << la::ToString(r->best);
+    std::string best = la::ToString(r->best);
+    if (best.find("V3") != std::string::npos ||
+        best.find("V4") != std::string::npos ||
+        best.find("V5") != std::string::npos) {
+      ++used_views;
+    }
+  }
+  // The hybrid views must be reachable through Morpheus rules + LA
+  // properties for at least a handful of the ten queries.
+  EXPECT_GE(used_views, 3) << "views under-used";
+}
+
+TEST_F(HybridQueriesTest, Q1FindsTheDistributionRewrite) {
+  auto r = session_->optimizer->OptimizeText(
+      MicroBenchmarkQueries()[0].qla);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->improved);
+  EXPECT_LT(r->best_cost, r->original_cost);
+}
+
+}  // namespace
+}  // namespace hadad::hybrid

@@ -1,0 +1,174 @@
+#include "la/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "la/parser.h"
+
+namespace hadad::la {
+namespace {
+
+MetaCatalog TestCatalog() {
+  MetaCatalog catalog;
+  catalog["M"] = {.rows = 50, .cols = 10, .nnz = 500};
+  catalog["N"] = {.rows = 10, .cols = 50, .nnz = 500};
+  catalog["C"] = {.rows = 20, .cols = 20, .nnz = 400};
+  catalog["D"] = {.rows = 20, .cols = 20, .nnz = 400};
+  catalog["v"] = {.rows = 10, .cols = 1, .nnz = 10};
+  return catalog;
+}
+
+ExprPtr Parse(const std::string& s) {
+  auto r = ParseExpression(s);
+  HADAD_CHECK_MSG(r.ok(), s.c_str());
+  return r.value();
+}
+
+TEST(ParserTest, PrecedenceMirrorsR) {
+  // %*% binds tighter than *, which binds tighter than +.
+  ExprPtr e = Parse("A + B * C %*% D");
+  EXPECT_EQ(e->kind(), OpKind::kAdd);
+  EXPECT_EQ(e->child(1)->kind(), OpKind::kHadamard);
+  EXPECT_EQ(e->child(1)->child(1)->kind(), OpKind::kMultiply);
+}
+
+TEST(ParserTest, SubtractionDesugarsToScaledAdd) {
+  ExprPtr e = Parse("A - B");
+  EXPECT_EQ(e->kind(), OpKind::kAdd);
+  const Expr& rhs = *e->child(1);
+  EXPECT_EQ(rhs.kind(), OpKind::kHadamard);
+  EXPECT_EQ(rhs.child(0)->kind(), OpKind::kScalarConst);
+  EXPECT_DOUBLE_EQ(rhs.child(0)->scalar_value(), -1.0);
+}
+
+TEST(ParserTest, FunctionsAndNesting) {
+  ExprPtr e = Parse("inv(t(X) %*% X) %*% (t(X) %*% y)");
+  EXPECT_EQ(e->kind(), OpKind::kMultiply);
+  EXPECT_EQ(e->child(0)->kind(), OpKind::kInverse);
+  EXPECT_EQ(e->child(0)->child(0)->kind(), OpKind::kMultiply);
+  EXPECT_EQ(e->child(0)->child(0)->child(0)->kind(), OpKind::kTranspose);
+}
+
+TEST(ParserTest, BinaryFunctions) {
+  ExprPtr e = Parse("dsum(A, B)");
+  EXPECT_EQ(e->kind(), OpKind::kDirectSum);
+  EXPECT_EQ(Parse("kron(A, B)")->kind(), OpKind::kKronecker);
+  EXPECT_EQ(Parse("cbind(A, B)")->kind(), OpKind::kCbind);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseExpression("A +").ok());
+  EXPECT_FALSE(ParseExpression("foo(A)").ok());
+  EXPECT_FALSE(ParseExpression("t(A, B)").ok());
+  EXPECT_FALSE(ParseExpression("dsum(A)").ok());
+  EXPECT_FALSE(ParseExpression("(A").ok());
+  EXPECT_FALSE(ParseExpression("A B").ok());
+  EXPECT_FALSE(ParseExpression("A % B").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  for (const char* text : {
+           "t(M %*% N)",
+           "inv(C) %*% inv(D)",
+           "(C + D) %*% v",
+           "sum(t(colSums(M)) * rowSums(N))",
+           "trace(C %*% D) + trace(D)",
+           "M * (t(N) / (M %*% N %*% t(N)))",
+           "colSums(M) %*% N",
+           "2.5 * M",
+       }) {
+    ExprPtr once = Parse(text);
+    ExprPtr twice = Parse(ToString(once));
+    EXPECT_TRUE(once->Equals(*twice)) << text << " vs " << ToString(once);
+  }
+}
+
+TEST(InferShapeTest, MatmulShapes) {
+  MetaCatalog catalog = TestCatalog();
+  auto shape = InferShape(*Parse("M %*% N"), catalog);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->rows, 50);
+  EXPECT_EQ(shape->cols, 50);
+  // Inner mismatch: M (50x10) times M.
+  EXPECT_FALSE(InferShape(*Parse("M %*% M"), catalog).ok());
+}
+
+TEST(InferShapeTest, ScalarsBroadcast) {
+  MetaCatalog catalog = TestCatalog();
+  auto shape = InferShape(*Parse("3 * M"), catalog);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->rows, 50);
+  auto s2 = InferShape(*Parse("det(C) * det(D)"), catalog);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->rows, 1);
+  EXPECT_EQ(s2->cols, 1);
+}
+
+TEST(InferShapeTest, SquareOnlyOperators) {
+  MetaCatalog catalog = TestCatalog();
+  EXPECT_TRUE(InferShape(*Parse("inv(C)"), catalog).ok());
+  EXPECT_FALSE(InferShape(*Parse("inv(M)"), catalog).ok());
+  EXPECT_FALSE(InferShape(*Parse("det(M)"), catalog).ok());
+  EXPECT_FALSE(InferShape(*Parse("trace(M)"), catalog).ok());
+  EXPECT_TRUE(InferShape(*Parse("exp(C)"), catalog).ok());
+}
+
+TEST(InferShapeTest, Aggregations) {
+  MetaCatalog catalog = TestCatalog();
+  auto rs = InferShape(*Parse("rowSums(M)"), catalog);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows, 50);
+  EXPECT_EQ(rs->cols, 1);
+  auto cs = InferShape(*Parse("colSums(M)"), catalog);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->rows, 1);
+  EXPECT_EQ(cs->cols, 10);
+  auto s = InferShape(*Parse("sum(M)"), catalog);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->rows, 1);
+}
+
+TEST(InferShapeTest, DiagBothDirections) {
+  MetaCatalog catalog = TestCatalog();
+  auto d1 = InferShape(*Parse("diag(v)"), catalog);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->rows, 10);
+  EXPECT_EQ(d1->cols, 10);
+  auto d2 = InferShape(*Parse("diag(C)"), catalog);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->cols, 1);
+}
+
+TEST(InferShapeTest, DecompositionFactorsCarryTypeFlags) {
+  MetaCatalog catalog = TestCatalog();
+  auto l = InferShape(*Parse("cho(C)"), catalog);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(l->lower_triangular);
+  auto q = InferShape(*Parse("qr_q(C)"), catalog);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->orthogonal);
+  auto r = InferShape(*Parse("qr_r(C)"), catalog);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->upper_triangular);
+}
+
+TEST(InferShapeTest, UnknownMatrixIsNotFound) {
+  MetaCatalog catalog = TestCatalog();
+  auto r = InferShape(*Parse("Zz"), catalog);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExprTest, TreeSizeAndEquality) {
+  ExprPtr a = Parse("t(M) %*% N + M");
+  ExprPtr b = Parse("t(M) %*% N + M");
+  ExprPtr c = Parse("t(M) %*% N + N");
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_EQ(Parse("M")->TreeSize(), 1);
+  EXPECT_EQ(Parse("t(M)")->TreeSize(), 2);
+  EXPECT_EQ(Parse("M %*% N")->TreeSize(), 3);
+}
+
+}  // namespace
+}  // namespace hadad::la

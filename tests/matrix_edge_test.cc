@@ -1,0 +1,186 @@
+// Edge-case and failure-injection coverage for the matrix substrate:
+// degenerate shapes, representation boundaries, and numerical corner cases
+// the main suite's happy paths do not reach.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/decompositions.h"
+#include "matrix/generate.h"
+#include "matrix/matrix.h"
+
+namespace hadad::matrix {
+namespace {
+
+TEST(EdgeTest, OneByOneMatrixBehavesAsScalarEverywhere) {
+  Matrix s = Matrix::Scalar(3.0);
+  EXPECT_TRUE(s.IsSquare());
+  EXPECT_DOUBLE_EQ(Determinant(s).value(), 3.0);
+  EXPECT_DOUBLE_EQ(Trace(s).value(), 3.0);
+  EXPECT_DOUBLE_EQ(Sum(s), 3.0);
+  EXPECT_TRUE(Inverse(s)->ApproxEquals(Matrix::Scalar(1.0 / 3.0)));
+  EXPECT_TRUE(Multiply(s, s)->ApproxEquals(Matrix::Scalar(9.0)));
+  EXPECT_TRUE(Transpose(s).ApproxEquals(s));
+}
+
+TEST(EdgeTest, VectorTimesVector) {
+  // Outer product u v^T and inner product v^T v.
+  Matrix u(DenseMatrix(3, 1, {1, 2, 3}));
+  Matrix v(DenseMatrix(3, 1, {4, 5, 6}));
+  auto outer = Multiply(u, Transpose(v));
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ(outer->rows(), 3);
+  EXPECT_EQ(outer->cols(), 3);
+  EXPECT_DOUBLE_EQ(outer->At(2, 0), 12.0);
+  auto inner = Multiply(Transpose(v), u);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_TRUE(inner->IsScalar());
+  EXPECT_DOUBLE_EQ(inner->ScalarValue(), 32.0);
+}
+
+TEST(EdgeTest, EmptySparseMatrix) {
+  SparseMatrix s(5, 4);
+  EXPECT_EQ(s.nnz(), 0);
+  Matrix m(s);
+  EXPECT_DOUBLE_EQ(Sum(m), 0.0);
+  EXPECT_DOUBLE_EQ(Min(m), 0.0);
+  EXPECT_DOUBLE_EQ(Max(m), 0.0);
+  EXPECT_TRUE(Transpose(m).is_sparse());
+  EXPECT_EQ(Transpose(m).rows(), 4);
+  Matrix rs = RowSums(m);
+  EXPECT_DOUBLE_EQ(rs.At(0, 0), 0.0);
+}
+
+TEST(EdgeTest, ScalarMultiplyByZeroPrunesSparse) {
+  Rng rng(1);
+  Matrix sp = RandomSparse(rng, 10, 10, 0.3);
+  Matrix z = ScalarMultiply(0.0, sp);
+  ASSERT_TRUE(z.is_sparse());
+  EXPECT_EQ(z.sparse().nnz(), 0);
+}
+
+TEST(EdgeTest, AddCancellationPrunesSparse) {
+  Rng rng(2);
+  Matrix sp = RandomSparse(rng, 8, 8, 0.4);
+  auto z = Add(sp, ScalarMultiply(-1.0, sp));
+  ASSERT_TRUE(z.ok());
+  ASSERT_TRUE(z->is_sparse());
+  EXPECT_EQ(z->sparse().nnz(), 0);
+}
+
+TEST(EdgeTest, ReverseOnSparseStaysSparse) {
+  SparseMatrix s = SparseMatrix::FromTriplets(3, 2, {{0, 1, 7.0}});
+  Matrix r = Reverse(Matrix(s));
+  EXPECT_TRUE(r.is_sparse());
+  EXPECT_DOUBLE_EQ(r.At(2, 1), 7.0);
+  EXPECT_DOUBLE_EQ(r.At(0, 1), 0.0);
+}
+
+TEST(EdgeTest, DirectSumMixedRepresentations) {
+  Rng rng(3);
+  Matrix dense = RandomDense(rng, 3, 3);
+  Matrix sparse = RandomSparse(rng, 2, 2, 0.5);
+  Matrix both = DirectSum(dense, sparse);
+  EXPECT_TRUE(both.is_sparse());  // One sparse input keeps the block form.
+  EXPECT_EQ(both.rows(), 5);
+  Matrix dd = DirectSum(dense, dense);
+  EXPECT_TRUE(dd.is_dense());
+}
+
+TEST(EdgeTest, KroneckerSizeGuard) {
+  Matrix big(DenseMatrix(40000, 1));
+  Matrix wide(DenseMatrix(1, 60000));
+  auto r = KroneckerProduct(big, wide);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EdgeTest, DiagOfOneByOne) {
+  // 1x1 is square: diag extracts the single diagonal.
+  auto d = Diag(Matrix::Scalar(5.0));
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->IsScalar());
+  EXPECT_DOUBLE_EQ(d->ScalarValue(), 5.0);
+}
+
+TEST(EdgeTest, TriangularSolvePathsInInverse) {
+  // Inverse of a triangular matrix (PLU pivoting exercises row swaps).
+  Matrix l(DenseMatrix(3, 3, {2, 0, 0, 1, 3, 0, 4, 5, 6}));
+  auto inv = Inverse(l);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(Multiply(l, *inv)->ApproxEquals(Matrix::Identity(3), 1e-10));
+}
+
+TEST(EdgeTest, NearSingularInverseRejected) {
+  DenseMatrix a(3, 3, {1, 2, 3, 2, 4, 6.0000000000001, 1, 1, 1});
+  auto inv = Inverse(Matrix(a));
+  // Either rejected as singular or produced; if produced, A*inv(A) must be
+  // close to identity (no silent garbage).
+  if (inv.ok()) {
+    auto prod = Multiply(Matrix(a), *inv);
+    EXPECT_TRUE(prod->ApproxEquals(Matrix::Identity(3), 1e-2));
+  } else {
+    EXPECT_EQ(inv.status().code(), StatusCode::kNotInvertible);
+  }
+}
+
+TEST(EdgeTest, ApproxEqualsToleratesRepresentation) {
+  Rng rng(4);
+  Matrix dense = RandomDense(rng, 6, 6);
+  Matrix as_sparse(SparseMatrix::FromDense(dense.dense()));
+  EXPECT_TRUE(dense.ApproxEquals(as_sparse));
+  EXPECT_TRUE(as_sparse.ApproxEquals(dense));
+  EXPECT_FALSE(dense.ApproxEquals(Matrix::Identity(6)));
+  EXPECT_FALSE(dense.ApproxEquals(Matrix::Zero(6, 5)));
+}
+
+TEST(EdgeTest, MatrixExpOfLargeNormUsesSquaring) {
+  // Norm >> 0.5 forces the scaling-and-squaring path.
+  Matrix a(DenseMatrix(2, 2, {0, 6, -6, 0}));  // exp = rotation by 6 rad.
+  auto e = MatrixExp(a);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->At(0, 0), std::cos(6.0), 1e-9);
+  EXPECT_NEAR(e->At(0, 1), std::sin(6.0), 1e-9);
+  // exp(A) exp(-A) = I.
+  auto em = MatrixExp(ScalarMultiply(-1.0, a));
+  EXPECT_TRUE(Multiply(*e, *em)->ApproxEquals(Matrix::Identity(2), 1e-9));
+}
+
+TEST(EdgeTest, SparseAtOutOfRangeDies) {
+  SparseMatrix s = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}});
+  EXPECT_DEATH(s.At(5, 0), "HADAD_CHECK");
+}
+
+TEST(EdgeTest, ScalarValueOnMatrixDies) {
+  Matrix m(DenseMatrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_DEATH(m.ScalarValue(), "ScalarValue");
+}
+
+// Hadamard of two sparse matrices intersects supports.
+TEST(EdgeTest, SparseSparseHadamardIntersects) {
+  SparseMatrix a = SparseMatrix::FromTriplets(3, 3, {{0, 0, 2.0},
+                                                     {1, 1, 3.0}});
+  SparseMatrix b = SparseMatrix::FromTriplets(3, 3, {{1, 1, 4.0},
+                                                     {2, 2, 5.0}});
+  auto h = ElementwiseMultiply(Matrix(a), Matrix(b));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->sparse().nnz(), 1);
+  EXPECT_DOUBLE_EQ(h->At(1, 1), 12.0);
+}
+
+TEST(EdgeTest, CholeskyOnIdentityIsIdentity) {
+  auto l = CholeskyDecompose(Matrix::Identity(5));
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(l->ApproxEquals(Matrix::Identity(5)));
+}
+
+TEST(EdgeTest, AdjugateOfOneByOneIsOne) {
+  auto adj = Adjugate(Matrix::Scalar(7.0));
+  ASSERT_TRUE(adj.ok());
+  EXPECT_DOUBLE_EQ(adj->ScalarValue(), 1.0);
+}
+
+}  // namespace
+}  // namespace hadad::matrix

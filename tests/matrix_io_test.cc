@@ -1,0 +1,83 @@
+#include "matrix/matrix_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/generate.h"
+
+namespace hadad::matrix {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  Rng rng(1);
+  Matrix m = RandomDense(rng, 5, 4, -3.0, 3.0);
+  std::string path = TempPath("m.csv");
+  ASSERT_TRUE(WriteCsv(m, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ApproxEquals(m, 1e-12));
+}
+
+TEST(CsvIoTest, MissingFileIsIoError) {
+  auto r = ReadCsv(TempPath("nonexistent-file.csv"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvIoTest, MalformedNumberIsIoError) {
+  std::string path = TempPath("bad.csv");
+  std::ofstream(path) << "1,2\n3,abc\n";
+  auto r = ReadCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvIoTest, RaggedRowsAreIoError) {
+  std::string path = TempPath("ragged.csv");
+  std::ofstream(path) << "1,2\n3\n";
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST(MtxIoTest, RoundTripPreservesSparsity) {
+  Rng rng(2);
+  Matrix m = RandomSparse(rng, 40, 30, 0.05);
+  std::string path = TempPath("m.mtx");
+  ASSERT_TRUE(WriteMtx(m, path).ok());
+  auto back = ReadMtx(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back->is_sparse());
+  EXPECT_EQ(back->sparse().nnz(), m.sparse().nnz());
+  EXPECT_TRUE(back->ApproxEquals(m, 1e-12));
+}
+
+TEST(MtxIoTest, HeaderValidation) {
+  std::string path = TempPath("noheader.mtx");
+  std::ofstream(path) << "2 2 1\n1 1 5.0\n";
+  auto r = ReadMtx(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(MtxIoTest, OutOfRangeCoordinateIsError) {
+  std::string path = TempPath("oob.mtx");
+  std::ofstream(path) << "%%MatrixMarket matrix coordinate real general\n"
+                      << "2 2 1\n5 1 1.0\n";
+  EXPECT_FALSE(ReadMtx(path).ok());
+}
+
+TEST(MtxIoTest, TruncatedEntriesIsError) {
+  std::string path = TempPath("trunc.mtx");
+  std::ofstream(path) << "%%MatrixMarket matrix coordinate real general\n"
+                      << "2 2 3\n1 1 1.0\n";
+  EXPECT_FALSE(ReadMtx(path).ok());
+}
+
+}  // namespace
+}  // namespace hadad::matrix

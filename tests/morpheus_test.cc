@@ -1,0 +1,174 @@
+#include "morpheus/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "la/parser.h"
+#include "matrix/generate.h"
+#include "morpheus/generator.h"
+
+namespace hadad::morpheus {
+namespace {
+
+la::ExprPtr Parse(const std::string& s) {
+  auto r = la::ParseExpression(s);
+  HADAD_CHECK_MSG(r.ok(), s.c_str());
+  return r.value();
+}
+
+NormalizedMatrix SmallNm(uint64_t seed = 3) {
+  Rng rng(seed);
+  PkFkConfig config;
+  config.n_r = 40;
+  config.d_s = 5;
+  config.tuple_ratio = 4.0;   // nS = 160.
+  config.feature_ratio = 2.0; // dR = 10.
+  return GeneratePkFk(rng, config);
+}
+
+TEST(NormalizedMatrixTest, ShapeAndMaterialization) {
+  NormalizedMatrix nm = SmallNm();
+  EXPECT_EQ(nm.rows(), 160);
+  EXPECT_EQ(nm.cols(), 15);
+  auto m = nm.Materialize();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 160);
+  EXPECT_EQ(m->cols(), 15);
+  // Every K row has exactly one 1 (PK-FK).
+  matrix::Matrix rs = matrix::RowSums(nm.k());
+  for (int64_t i = 0; i < rs.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(rs.At(i, 0), 1.0);
+  }
+}
+
+TEST(NormalizedMatrixTest, FactorizedOpsMatchMaterialized) {
+  NormalizedMatrix nm = SmallNm();
+  matrix::Matrix m = nm.Materialize().value();
+  Rng rng(9);
+  // Right multiply.
+  matrix::Matrix n = matrix::RandomDense(rng, nm.cols(), 7);
+  EXPECT_TRUE(nm.RightMultiply(n)->ApproxEquals(
+      matrix::Multiply(m, n).value(), 1e-9));
+  // Left multiply.
+  matrix::Matrix c = matrix::RandomDense(rng, 6, nm.rows());
+  EXPECT_TRUE(nm.LeftMultiply(c)->ApproxEquals(
+      matrix::Multiply(c, m).value(), 1e-9));
+  // Aggregates.
+  EXPECT_TRUE(nm.ColSums()->ApproxEquals(matrix::ColSums(m), 1e-9));
+  EXPECT_TRUE(nm.RowSums()->ApproxEquals(matrix::RowSums(m), 1e-9));
+  EXPECT_NEAR(nm.Sum().value(), matrix::Sum(m), 1e-7);
+}
+
+TEST(NormalizedMatrixTest, DimensionErrors) {
+  NormalizedMatrix nm = SmallNm();
+  Rng rng(1);
+  matrix::Matrix bad = matrix::RandomDense(rng, nm.cols() + 1, 3);
+  EXPECT_FALSE(nm.RightMultiply(bad).ok());
+  EXPECT_FALSE(nm.LeftMultiply(bad).ok());
+}
+
+class MorpheusEngineTest : public ::testing::Test {
+ protected:
+  MorpheusEngineTest() : engine_(&workspace_) {
+    nm_ = std::make_unique<NormalizedMatrix>(SmallNm());
+    m_ = nm_->Materialize().value();
+    engine_.Register("M", *nm_);
+    Rng rng(21);
+    workspace_.Put("N", matrix::RandomDense(rng, 15, 9));
+    workspace_.Put("X", matrix::RandomDense(rng, 9, 160));
+    workspace_.Put("plainM", m_);
+  }
+
+  engine::Workspace workspace_;
+  MorpheusEngine engine_;
+  std::unique_ptr<NormalizedMatrix> nm_;
+  matrix::Matrix m_;
+};
+
+TEST_F(MorpheusEngineTest, PushdownPatternsMatchPlainEvaluation) {
+  struct Case {
+    const char* morpheus_text;  // Over normalized "M".
+    const char* plain_text;     // Over materialized "plainM".
+  };
+  const Case cases[] = {
+      {"colSums(M)", "colSums(plainM)"},
+      {"rowSums(M)", "rowSums(plainM)"},
+      {"sum(M)", "sum(plainM)"},
+      {"M %*% N", "plainM %*% N"},
+      {"X %*% M", "X %*% plainM"},
+      {"colSums(t(M))", "colSums(t(plainM))"},
+      {"rowSums(t(M))", "rowSums(t(plainM))"},
+      {"sum(t(M))", "sum(t(plainM))"},
+      {"t(M) %*% t(X)", "t(plainM) %*% t(X)"},
+      {"colSums(M %*% N)", "colSums(plainM %*% N)"},
+      {"sum(rowSums(M))", "sum(rowSums(plainM))"},
+      {"sum(M %*% N + M %*% N)", "sum(plainM %*% N + plainM %*% N)"},
+  };
+  for (const Case& c : cases) {
+    auto factorized = engine_.Run(Parse(c.morpheus_text));
+    ASSERT_TRUE(factorized.ok()) << c.morpheus_text;
+    auto plain = engine::Execute(*Parse(c.plain_text), workspace_);
+    ASSERT_TRUE(plain.ok()) << c.plain_text;
+    EXPECT_TRUE(factorized->ApproxEquals(*plain, 1e-8)) << c.morpheus_text;
+  }
+}
+
+TEST_F(MorpheusEngineTest, FactorizedAggregateAvoidsMaterialization) {
+  // colSums(M) factorized touches only T, K, U — the intermediate stats
+  // must be far below materializing M (160x15).
+  engine::ExecStats factorized_stats;
+  ASSERT_TRUE(engine_.Run(Parse("colSums(M)"), &factorized_stats).ok());
+  engine::ExecStats materialized_stats;
+  ASSERT_TRUE(engine::Execute(*Parse("colSums(plainM)"), workspace_,
+                              &materialized_stats)
+                  .ok());
+  // The plain path scans the materialized matrix but creates no
+  // intermediates; what matters is the factorized path stays small too.
+  EXPECT_LT(factorized_stats.intermediate_nnz, 100.0);
+}
+
+TEST_F(MorpheusEngineTest, ElementwiseOpsMaterialize) {
+  // Morpheus does not factorize element-wise operations (P2.11): N + M
+  // materializes M. The value must still be correct.
+  Rng rng(33);
+  workspace_.Put("E", matrix::RandomDense(rng, 160, 15));
+  auto out = engine_.Run(Parse("sum(E + M)"));
+  ASSERT_TRUE(out.ok());
+  auto plain = engine::Execute(*Parse("sum(E + plainM)"), workspace_);
+  EXPECT_NEAR(out->ScalarValue(), plain->ScalarValue(), 1e-7);
+}
+
+TEST_F(MorpheusEngineTest, HadadRewriteEnablesBetterPushdown) {
+  // The §2 example: colSums(M N) runs the factorized multiply first
+  // (intermediate nS x 9), while HADAD's rewriting colSums(M) N enables the
+  // colSums pushdown (intermediate 1 x 15): far smaller intermediates, same
+  // value.
+  engine::ExecStats original_stats;
+  auto original = engine_.Run(Parse("colSums(M %*% N)"), &original_stats);
+  ASSERT_TRUE(original.ok());
+  engine::ExecStats rewrite_stats;
+  auto rewrite = engine_.Run(Parse("colSums(M) %*% N"), &rewrite_stats);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(original->ApproxEquals(*rewrite, 1e-8));
+  EXPECT_LT(rewrite_stats.intermediate_nnz,
+            original_stats.intermediate_nnz / 10);
+}
+
+TEST(GeneratorTest, RespectsRatios) {
+  Rng rng(7);
+  PkFkConfig config;
+  config.n_r = 100;
+  config.d_s = 4;
+  config.tuple_ratio = 3.0;
+  config.feature_ratio = 5.0;
+  NormalizedMatrix nm = GeneratePkFk(rng, config);
+  EXPECT_EQ(nm.rows(), 300);
+  EXPECT_EQ(nm.t().cols(), 4);
+  EXPECT_EQ(nm.u().cols(), 20);
+  EXPECT_EQ(nm.k().cols(), 100);
+  EXPECT_TRUE(nm.k().is_sparse());
+}
+
+}  // namespace
+}  // namespace hadad::morpheus

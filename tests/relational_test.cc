@@ -1,0 +1,217 @@
+#include "relational/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/casting.h"
+#include "relational/table.h"
+
+namespace hadad::relational {
+namespace {
+
+Table MakeUsers() {
+  Table t({{"id", ValueType::kInt},
+           {"name", ValueType::kString},
+           {"followers", ValueType::kInt}});
+  HADAD_CHECK(t.AppendRow({int64_t{1}, std::string("ada"), int64_t{100}}).ok());
+  HADAD_CHECK(t.AppendRow({int64_t{2}, std::string("bob"), int64_t{5}}).ok());
+  HADAD_CHECK(t.AppendRow({int64_t{3}, std::string("eve"), int64_t{42}}).ok());
+  return t;
+}
+
+Table MakeTweets() {
+  Table t({{"tid", ValueType::kInt},
+           {"uid", ValueType::kInt},
+           {"text", ValueType::kString},
+           {"retweets", ValueType::kDouble}});
+  HADAD_CHECK(
+      t.AppendRow({int64_t{10}, int64_t{1}, std::string("covid news"), 3.0})
+          .ok());
+  HADAD_CHECK(
+      t.AppendRow({int64_t{11}, int64_t{1}, std::string("hello"), 0.0}).ok());
+  HADAD_CHECK(
+      t.AppendRow({int64_t{12}, int64_t{3}, std::string("covid again"), 7.0})
+          .ok());
+  HADAD_CHECK(
+      t.AppendRow({int64_t{13}, int64_t{9}, std::string("orphan"), 1.0}).ok());
+  return t;
+}
+
+TEST(TableTest, SchemaEnforcement) {
+  Table t({{"a", ValueType::kInt}});
+  EXPECT_TRUE(t.AppendRow({int64_t{1}}).ok());
+  EXPECT_FALSE(t.AppendRow({std::string("x")}).ok());
+  EXPECT_FALSE(t.AppendRow({int64_t{1}, int64_t{2}}).ok());
+  EXPECT_FALSE(t.ColumnIndex("missing").ok());
+  EXPECT_EQ(t.ColumnIndex("a").value(), 0);
+}
+
+TEST(SelectTest, ComparisonPredicates) {
+  Table users = MakeUsers();
+  auto rich = Select(
+      users, Predicate::Compare("followers", CompareOp::kGt, int64_t{10}));
+  ASSERT_TRUE(rich.ok());
+  EXPECT_EQ(rich->num_rows(), 2);
+  auto exact =
+      Select(users, Predicate::Compare("name", CompareOp::kEq,
+                                       std::string("bob")));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->num_rows(), 1);
+}
+
+TEST(SelectTest, ContainsAndBooleanComposition) {
+  Table tweets = MakeTweets();
+  auto covid = Select(tweets, Predicate::Compare("text", CompareOp::kContains,
+                                                 std::string("covid")));
+  ASSERT_TRUE(covid.ok());
+  EXPECT_EQ(covid->num_rows(), 2);
+  auto both = Select(
+      tweets,
+      Predicate::And(Predicate::Compare("text", CompareOp::kContains,
+                                        std::string("covid")),
+                     Predicate::Compare("retweets", CompareOp::kGe, 5.0)));
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->num_rows(), 1);
+  auto either = Select(
+      tweets,
+      Predicate::Or(Predicate::Compare("retweets", CompareOp::kEq, 0.0),
+                    Predicate::Compare("retweets", CompareOp::kEq, 1.0)));
+  ASSERT_TRUE(either.ok());
+  EXPECT_EQ(either->num_rows(), 2);
+}
+
+TEST(SelectTest, TypeMismatchIsError) {
+  Table users = MakeUsers();
+  auto bad = Select(
+      users, Predicate::Compare("name", CompareOp::kLt, int64_t{3}));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ProjectTest, ReordersAndDrops) {
+  Table users = MakeUsers();
+  auto p = Project(users, {"followers", "id"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_cols(), 2);
+  EXPECT_EQ(p->schema()[0].name, "followers");
+  EXPECT_EQ(std::get<int64_t>(p->row(0)[1]), 1);
+  EXPECT_FALSE(Project(users, {"nope"}).ok());
+}
+
+TEST(HashJoinTest, PkFkJoin) {
+  Table users = MakeUsers();
+  Table tweets = MakeTweets();
+  auto joined = HashJoin(tweets, "uid", users, "id");
+  ASSERT_TRUE(joined.ok());
+  // Tweets 10, 11 (ada) and 12 (eve) match; 13 is dangling.
+  EXPECT_EQ(joined->num_rows(), 3);
+  // Schema: tweets' 4 cols + users' (name, followers).
+  EXPECT_EQ(joined->num_cols(), 6);
+  EXPECT_TRUE(joined->ColumnIndex("name").ok());
+  EXPECT_TRUE(joined->ColumnIndex("followers").ok());
+}
+
+TEST(HashJoinTest, NameCollisionGetsSuffix) {
+  Table a({{"id", ValueType::kInt}, {"x", ValueType::kInt}});
+  Table b({{"id", ValueType::kInt}, {"x", ValueType::kInt}});
+  HADAD_CHECK(a.AppendRow({int64_t{1}, int64_t{2}}).ok());
+  HADAD_CHECK(b.AppendRow({int64_t{1}, int64_t{3}}).ok());
+  auto j = HashJoin(a, "id", b, "id");
+  ASSERT_TRUE(j.ok());
+  EXPECT_TRUE(j->ColumnIndex("x").ok());
+  EXPECT_TRUE(j->ColumnIndex("x_r").ok());
+}
+
+TEST(OneHotTest, EncodesCategoricals) {
+  Table t({{"unit", ValueType::kString}, {"age", ValueType::kInt}});
+  HADAD_CHECK(t.AppendRow({std::string("CCU"), int64_t{60}}).ok());
+  HADAD_CHECK(t.AppendRow({std::string("MICU"), int64_t{50}}).ok());
+  HADAD_CHECK(t.AppendRow({std::string("CCU"), int64_t{70}}).ok());
+  auto enc = OneHotEncode(t, "unit");
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->num_cols(), 3);  // age + 2 indicators.
+  int64_t ccu = enc->ColumnIndex("unit=CCU").value();
+  int64_t micu = enc->ColumnIndex("unit=MICU").value();
+  EXPECT_DOUBLE_EQ(std::get<double>(enc->row(0)[static_cast<size_t>(ccu)]),
+                   1.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(enc->row(1)[static_cast<size_t>(micu)]),
+                   1.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(enc->row(1)[static_cast<size_t>(ccu)]),
+                   0.0);
+}
+
+TEST(CastingTest, TableToMatrix) {
+  Table users = MakeUsers();
+  auto m = TableToMatrix(users, {"id", "followers"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 3);
+  EXPECT_EQ(m->cols(), 2);
+  EXPECT_DOUBLE_EQ(m->At(2, 1), 42.0);
+  // String column cannot be cast.
+  EXPECT_FALSE(TableToMatrix(users, {"name"}).ok());
+}
+
+TEST(CastingTest, FactsToSparseMatrix) {
+  Table facts({{"r", ValueType::kInt},
+               {"c", ValueType::kInt},
+               {"v", ValueType::kDouble}});
+  HADAD_CHECK(facts.AppendRow({int64_t{0}, int64_t{2}, 3.0}).ok());
+  HADAD_CHECK(facts.AppendRow({int64_t{4}, int64_t{1}, 2.0}).ok());
+  auto m = FactsToSparseMatrix(facts, "r", "c", "v", 5, 3);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->is_sparse());
+  EXPECT_EQ(m->sparse().nnz(), 2);
+  EXPECT_DOUBLE_EQ(m->At(4, 1), 2.0);
+  // Out-of-bounds coordinate is an error.
+  Table bad = facts;
+  HADAD_CHECK(bad.AppendRow({int64_t{9}, int64_t{0}, 1.0}).ok());
+  EXPECT_FALSE(FactsToSparseMatrix(bad, "r", "c", "v", 5, 3).ok());
+}
+
+TEST(CastingTest, MatrixToTableRoundTrip) {
+  matrix::DenseMatrix d(2, 2, {1, 2, 3, 4});
+  auto t = MatrixToTable(matrix::Matrix(d), "f");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->schema()[1].name, "f1");
+  auto back = TableToMatrix(*t, {"f0", "f1"});
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ApproxEquals(matrix::Matrix(d)));
+}
+
+TEST(GroupByTest, AggregatesPerGroup) {
+  Table t({{"g", ValueType::kString}, {"x", ValueType::kDouble}});
+  HADAD_CHECK(t.AppendRow({std::string("a"), 1.0}).ok());
+  HADAD_CHECK(t.AppendRow({std::string("b"), 10.0}).ok());
+  HADAD_CHECK(t.AppendRow({std::string("a"), 3.0}).ok());
+  HADAD_CHECK(t.AppendRow({std::string("b"), 2.0}).ok());
+  auto sum = GroupByAggregate(t, "g", "x", AggKind::kSum);
+  ASSERT_TRUE(sum.ok());
+  ASSERT_EQ(sum->num_rows(), 2);
+  EXPECT_EQ(sum->schema()[1].name, "sum_x");
+  EXPECT_DOUBLE_EQ(std::get<double>(sum->row(0)[1]), 4.0);   // Group "a".
+  EXPECT_DOUBLE_EQ(std::get<double>(sum->row(1)[1]), 12.0);  // Group "b".
+  auto cnt = GroupByAggregate(t, "g", "x", AggKind::kCount);
+  EXPECT_DOUBLE_EQ(std::get<double>(cnt->row(0)[1]), 2.0);
+  auto mn = GroupByAggregate(t, "g", "x", AggKind::kMin);
+  EXPECT_DOUBLE_EQ(std::get<double>(mn->row(1)[1]), 2.0);
+  auto mx = GroupByAggregate(t, "g", "x", AggKind::kMax);
+  EXPECT_DOUBLE_EQ(std::get<double>(mx->row(1)[1]), 10.0);
+  auto mean = GroupByAggregate(t, "g", "x", AggKind::kMean);
+  EXPECT_DOUBLE_EQ(std::get<double>(mean->row(0)[1]), 2.0);
+}
+
+TEST(GroupByTest, ErrorsOnNonNumericValueColumn) {
+  Table t({{"g", ValueType::kInt}, {"s", ValueType::kString}});
+  HADAD_CHECK(t.AppendRow({int64_t{1}, std::string("x")}).ok());
+  EXPECT_FALSE(GroupByAggregate(t, "g", "s", AggKind::kSum).ok());
+  EXPECT_FALSE(GroupByAggregate(t, "nope", "s", AggKind::kSum).ok());
+}
+
+TEST(PredicateTest, ToStringIsReadable) {
+  auto p = Predicate::And(
+      Predicate::Compare("filter_level", CompareOp::kLt, int64_t{4}),
+      Predicate::Compare("country", CompareOp::kEq, std::string("US")));
+  EXPECT_EQ(p->ToString(), "(filter_level < 4 AND country = US)");
+}
+
+}  // namespace
+}  // namespace hadad::relational
