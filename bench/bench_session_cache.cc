@@ -1,0 +1,136 @@
+// api::Session plan-cache benchmark: the serving-path story behind
+// Session::Run(). A cold Run() pays parse + RW_find (the PACB chase) +
+// execution; a warm Run() of the same canonical expression fetches the
+// cached plan under a shared lock and pays execution only. This driver
+// measures both paths per pipeline, reports the hit-path speedup, and
+// finishes with a multi-threaded serving loop where every thread shares
+// one session (and therefore one plan cache).
+//
+//   $ ./build/bench/bench_session_cache
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/hadad.h"
+
+using namespace hadad;  // NOLINT
+
+namespace {
+
+std::shared_ptr<api::Session> MakeBenchSession() {
+  Rng rng(42);
+  core::LaBenchConfig config;
+  engine::Workspace ws = core::MakeLaBenchWorkspace(rng, config);
+  api::SessionBuilder builder;
+  for (const auto& [name, m] : ws.data()) builder.Put(name, m);
+  auto session = builder.Build();
+  if (!session.ok()) {
+    std::printf("session failed: %s\n", session.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *session;
+}
+
+struct PathTimes {
+  double cold_ms = 0.0;  // Run() with an empty cache: RW_find + execution.
+  double warm_ms = 0.0;  // Run() with a cached plan: execution only.
+};
+
+PathTimes MeasurePipeline(api::Session& session, const std::string& text,
+                          int repeats) {
+  PathTimes times;
+  double cold_best = 1e300;
+  double warm_best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    session.ClearPlanCache();
+    Timer cold;
+    if (!session.Run(text).ok()) return times;
+    cold_best = std::min(cold_best, cold.ElapsedSeconds());
+    Timer warm;
+    if (!session.Run(text).ok()) return times;
+    warm_best = std::min(warm_best, warm.ElapsedSeconds());
+  }
+  times.cold_ms = cold_best * 1e3;
+  times.warm_ms = warm_best * 1e3;
+  return times;
+}
+
+}  // namespace
+
+int main() {
+  std::shared_ptr<api::Session> session = MakeBenchSession();
+  // A serving mix: P¬Opt pipelines (RW_find buys a better plan) and P_Opt
+  // ones (RW_find is pure overhead — exactly what the cache erases).
+  const std::vector<std::string> ids = {"P1.1",  "P1.4",  "P1.13", "P1.15",
+                                        "P2.10", "P2.21", "P1.29"};
+
+  std::printf("== Session plan cache: cold Run (RW_find + exec) vs warm Run "
+              "(cached plan) ==\n");
+  std::printf("%-7s %12s %12s %10s\n", "id", "cold[ms]", "warm[ms]",
+              "speedup");
+  double total_cold = 0.0;
+  double total_warm = 0.0;
+  for (const std::string& id : ids) {
+    const core::Pipeline* p = core::FindPipeline(id);
+    if (p == nullptr) continue;
+    PathTimes t = MeasurePipeline(*session, p->text, /*repeats=*/3);
+    if (t.cold_ms == 0.0 && t.warm_ms == 0.0) {
+      std::printf("%-7s failed\n", id.c_str());
+      continue;
+    }
+    total_cold += t.cold_ms;
+    total_warm += t.warm_ms;
+    std::printf("%-7s %12.3f %12.3f %9.2fx\n", id.c_str(), t.cold_ms,
+                t.warm_ms, t.warm_ms > 0 ? t.cold_ms / t.warm_ms : 0.0);
+  }
+  std::printf("%-7s %12.3f %12.3f %9.2fx   <- cache hit-path speedup\n",
+              "total", total_cold, total_warm,
+              total_warm > 0 ? total_cold / total_warm : 0.0);
+
+  // Multi-threaded serving: every thread Run()s the same mix against one
+  // shared session. After the first miss per pipeline, all traffic is
+  // hit-path and the shared_mutex lets readers proceed in parallel.
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 25;
+  session->ClearPlanCache();
+  const api::SessionStats before = session->stats();
+  std::atomic<int> failures{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&session, &ids, &failures, t] {
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        const core::Pipeline* p =
+            core::FindPipeline(ids[static_cast<size_t>(t + i) % ids.size()]);
+        if (p == nullptr || !session->Run(p->text).ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+
+  const api::SessionStats after = session->stats();
+  const auto runs = after.runs - before.runs;
+  const auto prepares = after.prepares - before.prepares;
+  const auto hits = after.cache_hits - before.cache_hits;
+  const auto misses = after.cache_misses - before.cache_misses;
+  std::printf("\n== %d threads x %d runs, one shared session ==\n", kThreads,
+              kRunsPerThread);
+  std::printf("wall %.1f ms, %.0f runs/s, failures %d\n", wall_s * 1e3,
+              static_cast<double>(runs) / wall_s, failures.load());
+  std::printf("optimizer calls %lld, cache hits %lld (%.1f%% hit rate), "
+              "cached plans %lld\n",
+              static_cast<long long>(prepares),
+              static_cast<long long>(hits),
+              100.0 * static_cast<double>(hits) /
+                  static_cast<double>(hits + misses),
+              static_cast<long long>(session->plan_cache_size()));
+  return failures.load() == 0 ? 0 : 1;
+}

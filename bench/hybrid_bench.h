@@ -56,46 +56,45 @@ inline int RunMicroHybrid(hybrid::BenchmarkKind kind,
     std::printf("session failed: %s\n", session.status().ToString().c_str());
     return 1;
   }
-  engine::Workspace& ws = (*session)->workspace;
 
   std::printf("%-5s %9s %9s %9s | %9s %9s %9s %8s %6s  %s\n", "query",
               "QRA[ms]", "QFLA[ms]", "QLA[ms]", "RWRA[ms]", "RWfnd[ms]",
               "RWLA[ms]", "speedup", "agree", "rewriting");
   for (const hybrid::HybridQuery& q : hybrid::MicroBenchmarkQueries()) {
-    la::ExprPtr qla = la::ParseExpression(q.qla).value();
+    auto prepared = (*session)->Prepare(q.qla);
+    if (!prepared.ok()) {
+      std::printf("%s optimize failed: %s\n", q.id.c_str(),
+                  prepared.status().ToString().c_str());
+      return 1;
+    }
     engine::ExecStats original_stats;
-    auto original_value = engine::Execute(*qla, ws, &original_stats);
+    auto original_value = prepared->ExecuteOriginal(&original_stats);
     if (!original_value.ok()) {
       std::printf("%s original failed: %s\n", q.id.c_str(),
                   original_value.status().ToString().c_str());
       return 1;
     }
-    auto rewrite = (*session)->optimizer->Optimize(qla);
-    if (!rewrite.ok()) {
-      std::printf("%s optimize failed: %s\n", q.id.c_str(),
-                  rewrite.status().ToString().c_str());
-      return 1;
-    }
     engine::ExecStats rewrite_stats;
-    auto rewrite_value = engine::Execute(*rewrite->best, ws, &rewrite_stats);
+    auto rewrite_value = prepared->Execute(&rewrite_stats);
     if (!rewrite_value.ok()) {
       std::printf("%s rewrite failed (%s): %s\n", q.id.c_str(),
-                  la::ToString(rewrite->best).c_str(),
+                  la::ToString(prepared->plan()).c_str(),
                   rewrite_value.status().ToString().c_str());
       return 1;
     }
+    const double rw_find_seconds = prepared->rewrite().optimize_seconds;
     const bool agree = original_value->ApproxEquals(*rewrite_value, 1e-5);
     const double total_original =
         unpushed->ra_seconds + qfla_seconds + original_stats.seconds;
-    const double total_hadad = pushed->ra_seconds +
-                               rewrite->optimize_seconds +
-                               rewrite_stats.seconds;
+    const double total_hadad =
+        pushed->ra_seconds + rw_find_seconds + rewrite_stats.seconds;
     std::printf("%-5s %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f %7.2fx %6s  %s\n",
                 q.id.c_str(), unpushed->ra_seconds * 1e3, qfla_seconds * 1e3,
                 original_stats.seconds * 1e3, pushed->ra_seconds * 1e3,
-                rewrite->optimize_seconds * 1e3, rewrite_stats.seconds * 1e3,
+                rw_find_seconds * 1e3, rewrite_stats.seconds * 1e3,
                 total_hadad > 0 ? total_original / total_hadad : 1.0,
-                agree ? "yes" : "NO", la::ToString(rewrite->best).c_str());
+                agree ? "yes" : "NO",
+                la::ToString(prepared->plan()).c_str());
   }
   return 0;
 }

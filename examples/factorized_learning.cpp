@@ -29,36 +29,41 @@ int main() {
               static_cast<long long>(nm.u().rows()),
               static_cast<long long>(nm.u().cols()));
 
-  engine::Workspace ws;
-  ws.Put("G", matrix::RandomDense(rng, nm.cols(), 100));
-  morpheus::MorpheusEngine morpheus_engine(&ws);
-  morpheus_engine.Register("M", nm);
-
-  la::MetaCatalog catalog = ws.BuildMetaCatalog();
-  catalog["M"] = {.rows = nm.rows(), .cols = nm.cols(),
-                  .nnz = static_cast<double>(nm.rows() * nm.cols())};
-  pacb::Optimizer optimizer(catalog);
+  // Registering M as a normalized matrix routes the session's execution
+  // through the Morpheus engine (factorized pushdowns where its rules
+  // allow) while the optimizer sees M's denormalized shape.
+  const int64_t m_cols = nm.cols();
+  auto session = api::SessionBuilder()
+                     .Put("G", matrix::RandomDense(rng, m_cols, 100))
+                     .AddNormalizedMatrix("M", std::move(nm))
+                     .Build();
+  if (!session.ok()) {
+    std::printf("session failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
 
   const std::string pipeline = "colSums(M %*% G)";
-  auto rewrite = optimizer.OptimizeText(pipeline);
-  if (!rewrite.ok()) return 1;
+  auto prepared = (*session)->Prepare(pipeline);
+  if (!prepared.ok()) {
+    std::printf("prepare failed: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
   std::printf("pipeline:  %s\n", pipeline.c_str());
   std::printf("rewriting: %s (RW_find %.1f ms)\n",
-              la::ToString(rewrite->best).c_str(),
-              rewrite->optimize_seconds * 1e3);
+              la::ToString(prepared->plan()).c_str(),
+              prepared->rewrite().optimize_seconds * 1e3);
 
+  const int64_t m_rows = (*session)->morpheus()->Lookup("M")->rows();
   engine::ExecStats base_stats, hadad_stats;
-  auto base = morpheus_engine.Run(la::ParseExpression(pipeline).value(),
-                                  &base_stats);
-  auto with_hadad = morpheus_engine.Run(rewrite->best, &hadad_stats);
+  auto base = prepared->ExecuteOriginal(&base_stats);
+  auto with_hadad = prepared->Execute(&hadad_stats);
   if (!base.ok() || !with_hadad.ok()) return 1;
   std::printf("Morpheus alone: %.1f ms (multiplication factorized, "
               "intermediate %lld x 100)\n",
-              base_stats.seconds * 1e3, static_cast<long long>(nm.rows()));
+              base_stats.seconds * 1e3, static_cast<long long>(m_rows));
   std::printf("with HADAD:     %.1f ms (colSums pushdown enabled, "
               "intermediate 1 x %lld)\n",
-              hadad_stats.seconds * 1e3,
-              static_cast<long long>(nm.cols()));
+              hadad_stats.seconds * 1e3, static_cast<long long>(m_cols));
   std::printf("speedup %.1fx; results agree: %s (paper: up to 125x)\n",
               base_stats.seconds / hadad_stats.seconds,
               base->ApproxEquals(*with_hadad, 1e-6) ? "yes" : "NO");

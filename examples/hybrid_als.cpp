@@ -41,25 +41,32 @@ int main() {
               static_cast<long long>(nf.Nnz()), pre->ra_seconds * 1e3,
               qfla * 1e3);
 
-  engine::Workspace ws;
-  ws.Put("N", nf);
-  ws.Put("u", matrix::RandomDense(rng, nf.rows(), 1));
-  ws.Put("v", matrix::RandomDense(rng, nf.cols(), 1));
-  pacb::Optimizer optimizer(ws.BuildMetaCatalog());
-  optimizer.SetData(&ws.data());
+  const int64_t n_rows = nf.rows();
+  const int64_t n_cols = nf.cols();
+  auto session = api::SessionBuilder()
+                     .Put("N", std::move(nf))
+                     .Put("u", matrix::RandomDense(rng, n_rows, 1))
+                     .Put("v", matrix::RandomDense(rng, n_cols, 1))
+                     .Build();
+  if (!session.ok()) {
+    std::printf("session failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
 
   const std::string als = "(u %*% t(v) - N) %*% v";
-  auto rewrite = optimizer.OptimizeText(als);
-  if (!rewrite.ok()) return 1;
+  auto prepared = (*session)->Prepare(als);
+  if (!prepared.ok()) {
+    std::printf("prepare failed: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
   std::printf("ALS step:  %s\n", als.c_str());
   std::printf("rewriting: %s (RW_find %.1f ms)\n",
-              la::ToString(rewrite->best).c_str(),
-              rewrite->optimize_seconds * 1e3);
+              la::ToString(prepared->plan()).c_str(),
+              prepared->rewrite().optimize_seconds * 1e3);
 
-  engine::Engine engine(engine::Profile::kNaive, &ws);
   engine::ExecStats q_stats, rw_stats;
-  auto a = engine.Run(la::ParseExpression(als).value(), &q_stats);
-  auto b = engine.Run(rewrite->best, &rw_stats);
+  auto a = prepared->ExecuteOriginal(&q_stats);
+  auto b = prepared->Execute(&rw_stats);
   if (!a.ok() || !b.ok()) return 1;
   std::printf("Q_exec %.1f ms -> RW_exec %.1f ms (%.1fx); agree: %s "
               "(paper: 14x at 2Mx1000)\n",

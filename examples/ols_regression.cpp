@@ -16,41 +16,42 @@ using namespace hadad;  // NOLINT
 int main() {
   const int64_t n = 700;
   Rng rng(7);
-  engine::Workspace ws;
-  ws.Put("X", matrix::RandomInvertible(rng, n));
-  ws.Put("y", matrix::RandomDense(rng, n, 1));
 
-  // Materialize the view V = X^{-1} (the paper stores it as V.csv; we keep
-  // it in the workspace and also demonstrate the CSV round trip).
-  engine::ViewCatalog views(&ws);
-  if (!views.MaterializeText("V", "inv(X)").ok()) return 1;
+  // The builder materializes V = X^{-1} at Build() and registers it with
+  // the optimizer, so rewritings may answer the query from it.
+  auto session = api::SessionBuilder()
+                     .Put("X", matrix::RandomInvertible(rng, n))
+                     .Put("y", matrix::RandomDense(rng, n, 1))
+                     .AddView("V", "inv(X)")
+                     .Build();
+  if (!session.ok()) {
+    std::printf("session failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+
+  // The paper stores V as V.csv; we keep it in the session workspace and
+  // also demonstrate the CSV round trip.
   const std::string csv = "/tmp/hadad_ols_view.csv";
-  if (!matrix::WriteCsv(*ws.Get("V").value(), csv).ok()) return 1;
+  auto view = (*session)->workspace().Get("V");
+  if (!view.ok() || !matrix::WriteCsv(**view, csv).ok()) return 1;
   std::printf("materialized V = inv(X) (%lldx%lld), archived to %s\n",
               static_cast<long long>(n), static_cast<long long>(n),
               csv.c_str());
 
-  la::MetaCatalog catalog = ws.BuildMetaCatalog();
-  catalog.erase("V");
-  pacb::Optimizer optimizer(catalog);
-  optimizer.SetData(&ws.data());
-  if (!optimizer.AddViewText("V", "inv(X)").ok()) return 1;
-
   const std::string ols = "inv(t(X) %*% X) %*% (t(X) %*% y)";
-  auto rewrite = optimizer.OptimizeText(ols);
-  if (!rewrite.ok()) {
-    std::printf("optimize failed: %s\n", rewrite.status().ToString().c_str());
+  auto prepared = (*session)->Prepare(ols);
+  if (!prepared.ok()) {
+    std::printf("prepare failed: %s\n", prepared.status().ToString().c_str());
     return 1;
   }
   std::printf("OLS:       %s\n", ols.c_str());
   std::printf("rewriting: %s (RW_find %.1f ms)\n",
-              la::ToString(rewrite->best).c_str(),
-              rewrite->optimize_seconds * 1e3);
+              la::ToString(prepared->plan()).c_str(),
+              prepared->rewrite().optimize_seconds * 1e3);
 
-  engine::Engine engine(engine::Profile::kNaive, &ws);
   engine::ExecStats q_stats, rw_stats;
-  auto original = engine.Run(la::ParseExpression(ols).value(), &q_stats);
-  auto rewritten = engine.Run(rewrite->best, &rw_stats);
+  auto original = prepared->ExecuteOriginal(&q_stats);
+  auto rewritten = prepared->Execute(&rw_stats);
   if (!original.ok() || !rewritten.ok()) return 1;
   std::printf("Q_exec %.1f ms -> RW_exec %.1f ms (%.0fx); coefficients "
               "agree: %s\n",

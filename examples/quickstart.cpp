@@ -1,10 +1,11 @@
-// Quickstart: optimize and run one LA pipeline.
+// Quickstart: optimize and run one LA pipeline through api::Session.
 //
 //   $ ./build/examples/quickstart
 //
-// Walks the full HADAD loop: put matrices in a workspace, build an
-// optimizer over their metadata, rewrite a pipeline, and execute both
-// versions to compare.
+// One object is the whole loop: a SessionBuilder declares the data, and the
+// frozen Session prepares (parse + PACB rewrite, once), explains, and
+// executes pipelines. Every failure surfaces as a Status — no exceptions,
+// no crashes on bad input.
 
 #include <cstdio>
 
@@ -13,41 +14,57 @@
 using namespace hadad;  // NOLINT
 
 int main() {
-  // 1. Data: M (4000 x 100) and N (100 x 4000), both dense.
+  // 1. Data: M (4000 x 100) and N (100 x 4000), both dense. Build() freezes
+  //    the workspace, the optimizer over its metadata, and the engine.
   Rng rng(1);
-  engine::Workspace ws;
-  ws.Put("M", matrix::RandomDense(rng, 4000, 100));
-  ws.Put("N", matrix::RandomDense(rng, 100, 4000));
-
-  // 2. An optimizer over the workspace's metadata (shapes + non-zero
-  //    counts). This is all HADAD needs — it never touches the data.
-  pacb::Optimizer optimizer(ws.BuildMetaCatalog());
-
-  // 3. The pipeline (MN)M from Example 7.2: evaluated as stated it builds a
-  //    4000 x 4000 intermediate; reassociated it needs only 100 x 100.
-  const std::string pipeline = "(M %*% N) %*% M";
-  auto rewrite = optimizer.OptimizeText(pipeline);
-  if (!rewrite.ok()) {
-    std::printf("optimize failed: %s\n", rewrite.status().ToString().c_str());
+  auto session = api::SessionBuilder()
+                     .Put("M", matrix::RandomDense(rng, 4000, 100))
+                     .Put("N", matrix::RandomDense(rng, 100, 4000))
+                     .Build();
+  if (!session.ok()) {
+    std::printf("session failed: %s\n", session.status().ToString().c_str());
     return 1;
   }
-  std::printf("pipeline:  %s   (estimated cost %.0f)\n", pipeline.c_str(),
-              rewrite->original_cost);
-  std::printf("rewriting: %s   (estimated cost %.0f, found in %.1f ms)\n",
-              la::ToString(rewrite->best).c_str(), rewrite->best_cost,
-              rewrite->optimize_seconds * 1e3);
 
-  // 4. Execute both and compare.
-  engine::Engine engine(engine::Profile::kNaive, &ws);
+  // 2. The pipeline (MN)M from Example 7.2: evaluated as stated it builds a
+  //    4000 x 4000 intermediate; reassociated it needs only 100 x 100.
+  //    Prepare() parses and rewrites once; parse errors come back as Status.
+  const std::string pipeline = "(M %*% N) %*% M";
+  auto prepared = (*session)->Prepare(pipeline);
+  if (!prepared.ok()) {
+    std::printf("prepare failed: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  const pacb::RewriteResult& rewrite = prepared->rewrite();
+  std::printf("pipeline:  %s   (estimated cost %.0f)\n", pipeline.c_str(),
+              rewrite.original_cost);
+  std::printf("rewriting: %s   (estimated cost %.0f, found in %.1f ms)\n",
+              la::ToString(rewrite.best).c_str(), rewrite.best_cost,
+              rewrite.optimize_seconds * 1e3);
+
+  // 3. Execute both versions of the prepared plan and compare.
   engine::ExecStats original_stats, rewrite_stats;
-  auto original = engine.Run(la::ParseExpression(pipeline).value(),
-                             &original_stats);
-  auto rewritten = engine.Run(rewrite->best, &rewrite_stats);
+  auto original = prepared->ExecuteOriginal(&original_stats);
+  auto rewritten = prepared->Execute(&rewrite_stats);
   if (!original.ok() || !rewritten.ok()) return 1;
   std::printf("as stated: %.1f ms;  rewritten: %.1f ms;  speedup %.1fx;  "
               "results agree: %s\n",
               original_stats.seconds * 1e3, rewrite_stats.seconds * 1e3,
               original_stats.seconds / rewrite_stats.seconds,
               original->ApproxEquals(*rewritten, 1e-8) ? "yes" : "NO");
+
+  // 4. The serving-path one-liner: Run() consults the session's plan cache,
+  //    so the second call skips RW_find entirely.
+  if (!(*session)->Run(pipeline).ok()) return 1;
+  if (!(*session)->Run(pipeline).ok()) return 1;
+  api::SessionStats stats = (*session)->stats();
+  std::printf("plan cache: %lld optimizer call(s), %lld cache hit(s)\n",
+              static_cast<long long>(stats.prepares),
+              static_cast<long long>(stats.cache_hits));
+
+  // 5. Malformed input never crashes the session.
+  auto bad = (*session)->Run("t(M %*%");
+  std::printf("parse error surfaces as Status: %s\n",
+              bad.status().ToString().c_str());
   return 0;
 }

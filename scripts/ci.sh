@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure (with -Wall -Wextra, set unconditionally by the
+# root CMakeLists), build everything, run the test suite.
+set -euxo pipefail
+
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

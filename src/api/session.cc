@@ -1,0 +1,282 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "engine/evaluator.h"
+#include "la/parser.h"
+
+namespace hadad::api {
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+// ---------------------------------------------------------------------------
+
+Result<matrix::Matrix> PreparedQuery::Execute(engine::ExecStats* stats) const {
+  return session_->ExecuteExpr(plan_->rewrite.best, stats);
+}
+
+Result<matrix::Matrix> PreparedQuery::ExecuteOriginal(
+    engine::ExecStats* stats) const {
+  return session_->ExecuteExpr(plan_->original, stats);
+}
+
+std::string PreparedQuery::Explain() const {
+  const pacb::RewriteResult& rw = plan_->rewrite;
+  std::ostringstream out;
+  out << "pipeline:  " << plan_->canonical << "\n";
+  out << "  γ estimate " << rw.original_cost << "\n";
+  if (rw.improved) {
+    out << "rewriting: " << la::ToString(rw.best) << "\n";
+    out << "  γ estimate " << rw.best_cost << "\n";
+  } else {
+    out << "rewriting: (already optimal as stated)\n";
+  }
+  out << "RW_find:   " << rw.optimize_seconds * 1e3 << " ms";
+  out << "  (chase: " << rw.chase_stats.rounds << " rounds, "
+      << rw.chase_stats.tgd_applications << " TGD applications, "
+      << rw.chase_stats.facts_added << " facts, "
+      << rw.chase_stats.pruned_applications << " pruned";
+  if (rw.chase_stats.budget_exhausted) out << ", budget exhausted";
+  out << ")\n";
+  out << "alternatives: " << rw.rewrites.size() << " equivalent rewriting"
+      << (rw.rewrites.size() == 1 ? "" : "s") << "\n";
+  constexpr size_t kMaxListed = 5;
+  for (size_t i = 0; i < rw.rewrites.size() && i < kMaxListed; ++i) {
+    out << "  " << (i + 1) << ". " << la::ToString(rw.rewrites[i]) << "\n";
+  }
+  if (rw.rewrites.size() > kMaxListed) {
+    out << "  ... " << rw.rewrites.size() - kMaxListed << " more\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
+    const std::string& text, bool* from_cache) const {
+  HADAD_ASSIGN_OR_RETURN(la::ExprPtr expr, la::ParseExpression(text));
+  std::string canonical = la::ToString(expr);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = plan_cache_.find(canonical);
+    if (it != plan_cache_.end()) {
+      ++cache_hits_;
+      *from_cache = true;
+      return it->second;
+    }
+  }
+  ++cache_misses_;
+  // Optimize outside any lock: RW_find dominates, and concurrent misses on
+  // different expressions must not serialize.
+  HADAD_ASSIGN_OR_RETURN(pacb::RewriteResult rewrite,
+                         optimizer_->Optimize(expr));
+  auto plan = std::make_shared<PreparedPlan>();
+  plan->canonical = std::move(canonical);
+  plan->original = std::move(expr);
+  plan->rewrite = std::move(rewrite);
+  ++prepares_;
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  // Two threads may have optimized the same expression concurrently; first
+  // insertion wins so every holder shares one plan.
+  auto [it, inserted] = plan_cache_.emplace(plan->canonical, plan);
+  *from_cache = false;
+  return it->second;
+}
+
+Result<matrix::Matrix> Session::ExecuteExpr(const la::ExprPtr& expr,
+                                            engine::ExecStats* stats) const {
+  if (morpheus_ != nullptr) return morpheus_->Run(expr, stats);
+  return engine_->Run(expr, stats);
+}
+
+Result<PreparedQuery> Session::Prepare(const std::string& text) const {
+  bool from_cache = false;
+  HADAD_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
+                         GetOrBuildPlan(text, &from_cache));
+  return PreparedQuery(shared_from_this(), std::move(plan), from_cache);
+}
+
+Result<matrix::Matrix> Session::Run(const std::string& text,
+                                    engine::ExecStats* stats) const {
+  bool from_cache = false;
+  HADAD_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
+                         GetOrBuildPlan(text, &from_cache));
+  ++runs_;
+  return ExecuteExpr(plan->rewrite.best, stats);
+}
+
+SessionStats Session::stats() const {
+  SessionStats s;
+  s.prepares = prepares_.load();
+  s.cache_hits = cache_hits_.load();
+  s.cache_misses = cache_misses_.load();
+  s.runs = runs_.load();
+  return s;
+}
+
+int64_t Session::plan_cache_size() const {
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  return static_cast<int64_t>(plan_cache_.size());
+}
+
+void Session::ClearPlanCache() {
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  plan_cache_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// SessionBuilder
+// ---------------------------------------------------------------------------
+
+SessionBuilder& SessionBuilder::Put(std::string name, matrix::Matrix m) {
+  matrices_.emplace_back(std::move(name), std::move(m));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::AddView(std::string name,
+                                        std::string definition_text) {
+  views_.push_back(PendingView{std::move(name), std::move(definition_text)});
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::AddMorpheusJoin(pacb::MorpheusJoinDecl decl) {
+  morpheus_joins_.push_back(std::move(decl));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::AddNormalizedMatrix(
+    std::string name, morpheus::NormalizedMatrix nm) {
+  normalized_.emplace_back(std::move(name), std::move(nm));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::SetEstimator(pacb::EstimatorKind kind) {
+  estimator_ = kind;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::SetProfile(engine::Profile profile) {
+  profile_ = profile;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::SetOptimizerOptions(
+    pacb::OptimizerOptions options) {
+  options_ = options;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::AddConstraints(
+    std::vector<chase::Constraint> constraints) {
+  for (chase::Constraint& c : constraints) {
+    constraints_.push_back(std::move(c));
+  }
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::SetFlagDetectLimit(int64_t limit) {
+  flag_detect_limit_ = limit;
+  return *this;
+}
+
+Result<std::shared_ptr<Session>> SessionBuilder::Build() {
+  if (built_) {
+    return Status::InvalidArgument(
+        "SessionBuilder::Build() already called; builders are single-use");
+  }
+  built_ = true;
+
+  // Every bound name — base matrix, view, normalized matrix — must be
+  // distinct; catching collisions here beats a confusing late failure.
+  std::set<std::string> names;
+  auto claim = [&names](const std::string& name,
+                        const char* what) -> Status {
+    if (name.empty()) {
+      return Status::InvalidArgument(std::string(what) + " with empty name");
+    }
+    if (!names.insert(name).second) {
+      return Status::InvalidArgument("name '" + name +
+                                     "' bound more than once in the session");
+    }
+    return Status::OK();
+  };
+  for (const auto& [name, m] : matrices_) {
+    HADAD_RETURN_IF_ERROR(claim(name, "matrix"));
+  }
+  for (const PendingView& v : views_) {
+    HADAD_RETURN_IF_ERROR(claim(v.name, "view"));
+  }
+  for (const auto& [name, nm] : normalized_) {
+    HADAD_RETURN_IF_ERROR(claim(name, "normalized matrix"));
+  }
+
+  auto session = std::shared_ptr<Session>(new Session());
+  for (auto& [name, m] : matrices_) {
+    session->workspace_.Put(name, std::move(m));
+  }
+
+  // The optimizer's base catalog: stored matrices plus the shapes of any
+  // normalized matrices (their data lives in the Morpheus engine, not the
+  // workspace). View shapes are registered below by AddView itself.
+  la::MetaCatalog catalog =
+      session->workspace_.BuildMetaCatalog(flag_detect_limit_);
+  if (!normalized_.empty()) {
+    session->morpheus_ =
+        std::make_unique<morpheus::MorpheusEngine>(&session->workspace_);
+    for (auto& [name, nm] : normalized_) {
+      la::MatrixMeta meta;
+      meta.rows = nm.rows();
+      meta.cols = nm.cols();
+      meta.nnz = static_cast<double>(nm.rows()) *
+                 static_cast<double>(nm.cols());
+      catalog[name] = meta;
+      session->morpheus_->Register(name, std::move(nm));
+    }
+  }
+
+  pacb::OptimizerOptions options = options_;
+  if (estimator_.has_value()) options.estimator = *estimator_;
+  session->optimizer_ =
+      std::make_unique<pacb::Optimizer>(std::move(catalog), options);
+  session->optimizer_->SetData(&session->workspace_.data());
+
+  // Materialize views into the workspace (so execution can scan them) and
+  // register their definitions with the optimizer (so rewritings can reach
+  // them). Later views may reference earlier ones; definitions over
+  // normalized matrices evaluate through the Morpheus engine.
+  for (const PendingView& v : views_) {
+    auto def = la::ParseExpression(v.text);
+    if (!def.ok()) {
+      return Status(def.status().code(), "view '" + v.name +
+                                             "': " + def.status().message());
+    }
+    Result<matrix::Matrix> value =
+        session->morpheus_ != nullptr
+            ? session->morpheus_->Run(def.value())
+            : engine::Execute(*def.value(), session->workspace_);
+    if (!value.ok()) {
+      return Status(value.status().code(),
+                    "view '" + v.name + "': " + value.status().message());
+    }
+    session->workspace_.Put(v.name, std::move(value).value());
+    HADAD_RETURN_IF_ERROR(session->optimizer_->AddView(v.name, def.value()));
+  }
+
+  for (const pacb::MorpheusJoinDecl& decl : morpheus_joins_) {
+    HADAD_RETURN_IF_ERROR(session->optimizer_->AddMorpheusJoin(decl));
+  }
+  if (!constraints_.empty()) {
+    session->optimizer_->AddConstraints(std::move(constraints_));
+  }
+
+  session->engine_ = std::make_unique<engine::Engine>(profile_,
+                                                      &session->workspace_);
+  return session;
+}
+
+}  // namespace hadad::api

@@ -1,0 +1,219 @@
+#ifndef HADAD_API_SESSION_H_
+#define HADAD_API_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "chase/ast.h"
+#include "common/status.h"
+#include "engine/profiles.h"
+#include "engine/workspace.h"
+#include "la/expr.h"
+#include "matrix/matrix.h"
+#include "morpheus/engine.h"
+#include "morpheus/normalized_matrix.h"
+#include "pacb/optimizer.h"
+
+namespace hadad::api {
+
+class Session;
+
+// Counters a Session accumulates across Prepare()/Run() calls. `prepares`
+// counts optimizer invocations (each one pays RW_find); `cache_hits` counts
+// the Prepare()/Run() calls that reused a cached plan instead.
+struct SessionStats {
+  int64_t prepares = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t runs = 0;
+};
+
+// An immutable optimized plan: the parsed pipeline plus HADAD's rewriting of
+// it. Shared between the session's plan cache and any PreparedQuery handles.
+struct PreparedPlan {
+  std::string canonical;  // ToString(original): the plan-cache key.
+  la::ExprPtr original;
+  pacb::RewriteResult rewrite;
+};
+
+// A reusable optimized pipeline bound to its session. Parse + PACB rewrite
+// already happened (once); Execute() only pays execution. Copyable; keeps the
+// session alive, so it may outlive the caller's session handle.
+class PreparedQuery {
+ public:
+  // Runs the minimum-cost rewriting.
+  Result<matrix::Matrix> Execute(engine::ExecStats* stats = nullptr) const;
+  // Runs the pipeline exactly as stated (the paper's Q_exec baseline).
+  Result<matrix::Matrix> ExecuteOriginal(engine::ExecStats* stats = nullptr) const;
+
+  // Human-readable report: original vs. rewritten expression, γ estimates,
+  // RW_find time, chase statistics, and the alternative rewritings found.
+  std::string Explain() const;
+
+  const la::ExprPtr& original() const { return plan_->original; }
+  // The expression Execute() runs (== rewrite().best).
+  const la::ExprPtr& plan() const { return plan_->rewrite.best; }
+  const pacb::RewriteResult& rewrite() const { return plan_->rewrite; }
+  const std::string& canonical_text() const { return plan_->canonical; }
+  // True when Prepare() found this plan in the session's cache instead of
+  // invoking the optimizer.
+  bool from_cache() const { return from_cache_; }
+
+ private:
+  friend class Session;
+  PreparedQuery(std::shared_ptr<const Session> session,
+                std::shared_ptr<const PreparedPlan> plan, bool from_cache)
+      : session_(std::move(session)),
+        plan_(std::move(plan)),
+        from_cache_(from_cache) {}
+
+  std::shared_ptr<const Session> session_;
+  std::shared_ptr<const PreparedPlan> plan_;
+  bool from_cache_;
+};
+
+// The library's front door: one object owning the workspace (data + views),
+// the PACB optimizer, and an execution engine, with a plan cache in front of
+// the optimizer so repeated pipelines pay RW_find once (§9.1.3's "overhead
+// must stay negligible" contract).
+//
+//   auto session = api::SessionBuilder()
+//                      .Put("M", ...).Put("N", ...)
+//                      .Build().value();
+//   auto result = session->Run("(M %*% N) %*% M");
+//
+// Prepare()/Run() are safe to call concurrently from multiple threads: the
+// plan cache is guarded by a shared_mutex (readers run in parallel) and
+// execution only reads the immutable workspace.
+//
+// The expert layers stay reachable — workspace()/optimizer()/engine() — but
+// a Session never exposes mutation after Build() freezes it.
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Parse + optimize `text` (or fetch the cached plan for its canonical
+  // form) and return a reusable handle. Errors (parse failure, unknown
+  // names, shape mismatches) surface as Status — never exceptions.
+  Result<PreparedQuery> Prepare(const std::string& text) const;
+
+  // One-liner: Prepare (cache-backed) + Execute the best rewriting.
+  Result<matrix::Matrix> Run(const std::string& text,
+                             engine::ExecStats* stats = nullptr) const;
+
+  const engine::Workspace& workspace() const { return workspace_; }
+  const pacb::Optimizer& optimizer() const { return *optimizer_; }
+  const engine::Engine& engine() const { return *engine_; }
+  // Non-null iff normalized matrices were registered; execution then routes
+  // through the Morpheus engine.
+  const morpheus::MorpheusEngine* morpheus() const { return morpheus_.get(); }
+
+  SessionStats stats() const;
+  int64_t plan_cache_size() const;
+  void ClearPlanCache();
+
+ private:
+  friend class SessionBuilder;
+  friend class PreparedQuery;
+  Session() = default;
+
+  // Cache lookup by canonical text; on miss runs the optimizer and inserts.
+  Result<std::shared_ptr<const PreparedPlan>> GetOrBuildPlan(
+      const std::string& text, bool* from_cache) const;
+  Result<matrix::Matrix> ExecuteExpr(const la::ExprPtr& expr,
+                                     engine::ExecStats* stats) const;
+
+  engine::Workspace workspace_;
+  std::unique_ptr<pacb::Optimizer> optimizer_;
+  std::unique_ptr<engine::Engine> engine_;
+  std::unique_ptr<morpheus::MorpheusEngine> morpheus_;
+
+  mutable std::shared_mutex cache_mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const PreparedPlan>>
+      plan_cache_;
+  mutable std::atomic<int64_t> prepares_{0};
+  mutable std::atomic<int64_t> cache_hits_{0};
+  mutable std::atomic<int64_t> cache_misses_{0};
+  mutable std::atomic<int64_t> runs_{0};
+};
+
+// Fluent configuration for a Session. Declare data, views, Morpheus joins,
+// estimator/engine choices, and extra MMC constraints, then Build() freezes
+// them into an immutable Session:
+//
+//   auto session = api::SessionBuilder()
+//                      .Put("X", x).Put("y", y)
+//                      .AddView("V", "inv(X)")
+//                      .SetEstimator(pacb::EstimatorKind::kMnc)
+//                      .Build();
+//
+// Configuration errors (bad view definitions, duplicate names, unknown
+// Morpheus operands) are deferred to Build(), which returns the first
+// failure as a Status. A builder is single-use: Build() consumes it.
+class SessionBuilder {
+ public:
+  SessionBuilder() = default;
+
+  // Binds matrix `name` in the session workspace (base data).
+  SessionBuilder& Put(std::string name, matrix::Matrix m);
+
+  // Registers a materialized view: `definition_text` is evaluated once at
+  // Build() (materialized into the workspace) and registered with the
+  // optimizer so rewritings may answer queries from it. Views may reference
+  // earlier views.
+  SessionBuilder& AddView(std::string name, std::string definition_text);
+
+  // Declares m = [t | k u] so the Morpheus factorization rules fire on
+  // expressions over `m` (§9.2). All four names must be bound.
+  SessionBuilder& AddMorpheusJoin(pacb::MorpheusJoinDecl decl);
+
+  // Registers `name` as a normalized (factorized) matrix. Execution then
+  // routes through the Morpheus engine, which pushes operators through the
+  // factorization where its rules allow.
+  SessionBuilder& AddNormalizedMatrix(std::string name,
+                                      morpheus::NormalizedMatrix nm);
+
+  // Sparsity estimator for the cost model γ (default: naive metadata).
+  SessionBuilder& SetEstimator(pacb::EstimatorKind kind);
+  // Execution profile (default: kNaive, run-as-stated).
+  SessionBuilder& SetProfile(engine::Profile profile);
+  // Full optimizer control (chase budgets, pruning, rewrite caps). A later
+  // SetEstimator() still wins for the estimator field.
+  SessionBuilder& SetOptimizerOptions(pacb::OptimizerOptions options);
+  // Extends the MMC constraint knowledge base (§1's extensibility contract).
+  SessionBuilder& AddConstraints(std::vector<chase::Constraint> constraints);
+  // Detect structural flags (triangular/orthogonal/SPD) for square matrices
+  // up to `limit` rows when building the metadata catalog.
+  SessionBuilder& SetFlagDetectLimit(int64_t limit);
+
+  Result<std::shared_ptr<Session>> Build();
+
+ private:
+  struct PendingView {
+    std::string name;
+    std::string text;
+  };
+
+  std::vector<std::pair<std::string, matrix::Matrix>> matrices_;
+  std::vector<PendingView> views_;
+  std::vector<pacb::MorpheusJoinDecl> morpheus_joins_;
+  std::vector<std::pair<std::string, morpheus::NormalizedMatrix>> normalized_;
+  std::vector<chase::Constraint> constraints_;
+  pacb::OptimizerOptions options_;
+  std::optional<pacb::EstimatorKind> estimator_;
+  engine::Profile profile_ = engine::Profile::kNaive;
+  int64_t flag_detect_limit_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace hadad::api
+
+#endif  // HADAD_API_SESSION_H_

@@ -171,7 +171,7 @@ bool Instance::HasFact(int32_t predicate,
                        const std::vector<NodeId>& args) const {
   std::vector<NodeId> canonical = args;
   for (NodeId& a : canonical) a = Find(a);
-  return fact_index_.count(FactKey(predicate, canonical)) > 0;
+  return fact_index_.contains(FactKey(predicate, canonical));
 }
 
 const std::vector<FactId>& Instance::FactsOf(int32_t predicate) const {

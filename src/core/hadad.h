@@ -3,14 +3,22 @@
 
 // Umbrella header: the public API of the HADAD library.
 //
-// Quick tour (see examples/quickstart.cc):
-//   1. Put matrices into an engine::Workspace.
-//   2. Build a pacb::Optimizer over workspace.BuildMetaCatalog(); register
-//      views (AddViewText) and Morpheus joins (AddMorpheusJoin).
-//   3. OptimizeText("t(M %*% N)") returns the minimum-cost equivalent
-//      rewriting under the MMC constraint knowledge base.
-//   4. Execute either expression with engine::Engine.
+// Quick tour (see examples/quickstart.cpp):
+//   1. Declare data, views, and Morpheus joins on an api::SessionBuilder;
+//      Build() freezes them into an api::Session — the library's front door.
+//   2. session->Prepare("t(M %*% N)") parses + rewrites once (the PACB
+//      chase under the MMC constraint knowledge base) and returns a
+//      reusable PreparedQuery with Execute()/ExecuteOriginal()/Explain().
+//   3. session->Run(text) is the serving one-liner: a shared plan cache
+//      keyed by the canonical expression makes repeated pipelines pay
+//      RW_find once, even across threads.
+//
+// Expert layers (what Session wires together) remain public: put matrices
+// in an engine::Workspace, build a pacb::Optimizer over
+// workspace.BuildMetaCatalog(), and execute with engine::Engine or
+// morpheus::MorpheusEngine.
 
+#include "api/session.h"
 #include "core/data.h"
 #include "core/report.h"
 #include "core/workloads.h"

@@ -21,14 +21,17 @@ class Workspace {
     data_.insert_or_assign(name, std::move(m));
   }
 
-  bool Has(const std::string& name) const { return data_.count(name) > 0; }
+  bool Has(const std::string& name) const { return Find(name) != nullptr; }
 
   Result<const matrix::Matrix*> Get(const std::string& name) const {
+    if (const matrix::Matrix* m = Find(name)) return m;
+    return Status::NotFound("no matrix named '" + name + "' in workspace");
+  }
+
+  // Single-lookup access; nullptr when absent.
+  const matrix::Matrix* Find(const std::string& name) const {
     auto it = data_.find(name);
-    if (it == data_.end()) {
-      return Status::NotFound("no matrix named '" + name + "' in workspace");
-    }
-    return &it->second;
+    return it == data_.end() ? nullptr : &it->second;
   }
 
   const cost::DataCatalog& data() const { return data_; }

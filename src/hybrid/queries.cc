@@ -1,7 +1,5 @@
 #include "hybrid/queries.h"
 
-#include "engine/view_catalog.h"
-#include "la/parser.h"
 #include "matrix/generate.h"
 
 namespace hadad::hybrid {
@@ -40,58 +38,43 @@ std::vector<HybridView> HybridViews() {
   };
 }
 
-Result<std::unique_ptr<HybridSession>> BuildHybridSession(
+Result<std::shared_ptr<api::Session>> BuildHybridSession(
     Rng& rng, const Preprocessed& pre, matrix::Matrix nf,
     pacb::EstimatorKind estimator) {
-  auto session = std::make_unique<HybridSession>();
-  engine::Workspace& ws = session->workspace;
   const int64_t n_s = pre.m.rows();
   const int64_t d_m = pre.m.cols();
   const int64_t n_h = nf.cols();
   const int64_t q = 50;
 
-  ws.Put("T", pre.t);
-  ws.Put("K", pre.k);
-  ws.Put("U", pre.u);
-  ws.Put("M", pre.m);
-  ws.Put("NF", std::move(nf));
-  ws.Put("X", matrix::RandomDense(rng, q, n_s));
-  ws.Put("X2", matrix::RandomDense(rng, n_s, n_h));
-  ws.Put("X4", matrix::RandomDense(rng, q, n_s));
-  ws.Put("C5", matrix::RandomDense(rng, q, n_s));
-  ws.Put("C2", matrix::RandomDense(rng, n_h, n_h));
-  ws.Put("Y", matrix::RandomDense(rng, d_m, n_h));
-  ws.Put("u", matrix::RandomDense(rng, n_s, 1));
-  ws.Put("v", matrix::RandomDense(rng, n_h, 1));
-  ws.Put("u5", matrix::RandomDense(rng, n_h, 1));
-  ws.Put("u6", matrix::RandomDense(rng, n_h, 1));
-
-  // Materialize the hybrid views into the workspace.
-  engine::ViewCatalog views(&ws);
-  for (const HybridView& v : HybridViews()) {
-    HADAD_RETURN_IF_ERROR(views.MaterializeText(v.name, v.definition));
-  }
-
-  // The optimizer sees base metadata (without the view names, which AddView
-  // registers itself).
-  la::MetaCatalog catalog = ws.BuildMetaCatalog();
-  for (const HybridView& v : HybridViews()) catalog.erase(v.name);
   pacb::OptimizerOptions options;
   options.estimator = estimator;
   // Micro-hybrid pipelines need only short derivation chains to reach the
   // views; capping rounds keeps RW_find low (the paper's overhead story).
   options.chase.max_rounds = 6;
   options.chase.max_facts = 9000;
-  session->optimizer =
-      std::make_unique<pacb::Optimizer>(std::move(catalog), options);
-  session->optimizer->SetData(&ws.data());
-  HADAD_RETURN_IF_ERROR(
-      session->optimizer->AddMorpheusJoin({"T", "K", "U", "M"}));
+
+  api::SessionBuilder builder;
+  builder.SetOptimizerOptions(options)
+      .Put("T", pre.t)
+      .Put("K", pre.k)
+      .Put("U", pre.u)
+      .Put("M", pre.m)
+      .Put("NF", std::move(nf))
+      .Put("X", matrix::RandomDense(rng, q, n_s))
+      .Put("X2", matrix::RandomDense(rng, n_s, n_h))
+      .Put("X4", matrix::RandomDense(rng, q, n_s))
+      .Put("C5", matrix::RandomDense(rng, q, n_s))
+      .Put("C2", matrix::RandomDense(rng, n_h, n_h))
+      .Put("Y", matrix::RandomDense(rng, d_m, n_h))
+      .Put("u", matrix::RandomDense(rng, n_s, 1))
+      .Put("v", matrix::RandomDense(rng, n_h, 1))
+      .Put("u5", matrix::RandomDense(rng, n_h, 1))
+      .Put("u6", matrix::RandomDense(rng, n_h, 1))
+      .AddMorpheusJoin({"T", "K", "U", "M"});
   for (const HybridView& v : HybridViews()) {
-    HADAD_ASSIGN_OR_RETURN(la::ExprPtr def, la::ParseExpression(v.definition));
-    HADAD_RETURN_IF_ERROR(session->optimizer->AddView(v.name, def));
+    builder.AddView(v.name, v.definition);
   }
-  return session;
+  return builder.Build();
 }
 
 }  // namespace hadad::hybrid

@@ -5,9 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "api/session.h"
 #include "common/rng.h"
 #include "common/status.h"
-#include "engine/workspace.h"
 #include "hybrid/dataset.h"
 #include "pacb/optimizer.h"
 
@@ -35,17 +35,11 @@ struct HybridView {
 };
 std::vector<HybridView> HybridViews();
 
-// Everything a benchmark run needs: the workspace with T/K/U/M/NF, aux
-// matrices and materialized views, plus a HADAD optimizer configured with
-// the morpheusJoin declaration and the view constraints.
-struct HybridSession {
-  engine::Workspace workspace;
-  std::unique_ptr<pacb::Optimizer> optimizer;
-};
-
-// Builds a session from preprocessed data. `nf` is the (already filtered)
-// analysis matrix bound as "NF".
-Result<std::unique_ptr<HybridSession>> BuildHybridSession(
+// Builds the benchmark api::Session: workspace with T/K/U/M/NF, aux
+// matrices and the materialized hybrid views, optimizer configured with the
+// morpheusJoin declaration and view constraints. `nf` is the (already
+// filtered) analysis matrix bound as "NF".
+Result<std::shared_ptr<api::Session>> BuildHybridSession(
     Rng& rng, const Preprocessed& pre, matrix::Matrix nf,
     pacb::EstimatorKind estimator);
 

@@ -114,12 +114,15 @@ void MetaTracker::OnMerge(chase::NodeId absorbed, chase::NodeId survivor) {
 }
 
 bool MetaTracker::TryPropagate(chase::FactId id) {
-  const chase::Fact& f = instance_->fact(id);
+  // Copy, not reference: SetMeta below emits size/type facts, and the
+  // resulting AddFact can reallocate the instance's fact storage, which
+  // would dangle a reference mid-loop.
+  const chase::Fact f = instance_->fact(id);
   const std::string& pred = instance_->PredicateName(f.predicate);
   // Scalar literals carry their own metadata.
   if (pred == vrem::kSconst) {
     chase::NodeId node = instance_->Find(f.args[0]);
-    if (meta_.count(node) > 0) return false;
+    if (meta_.contains(node)) return false;
     cost::ClassMeta meta;
     meta.shape.rows = 1;
     meta.shape.cols = 1;
@@ -145,7 +148,7 @@ bool MetaTracker::TryPropagate(chase::FactId id) {
   for (const OpOutput& out : sig->outputs) {
     chase::NodeId out_node =
         instance_->Find(f.args[static_cast<size_t>(out.position)]);
-    if (meta_.count(out_node) > 0) continue;
+    if (meta_.contains(out_node)) continue;
     auto derived = estimator_->Propagate(pred, inputs, out.output_index);
     if (!derived.has_value()) continue;
     SetMeta(out_node, std::move(*derived));

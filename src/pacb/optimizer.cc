@@ -197,7 +197,7 @@ bool RewriteSession::Gate(int32_t constraint_index, const Binding& binding,
   }
   double fragment = 0.0;
   for (NodeId n : outputs) {
-    if (used_as_input.count(n) == 0) continue;
+    if (!used_as_input.contains(n)) continue;
     double s = tracker_.SizeOf(n);
     if (!std::isinf(s)) fragment += s;
   }
@@ -258,7 +258,7 @@ void RewriteSession::ComputeContribs() {
     for (FactId fid : instance_.FactsOf(name_pred)) {
       const chase::Fact& f = instance_.fact(fid);
       const std::string& nm = instance_.ConstantValue(f.args[1]);
-      if (catalog_.count(nm) == 0) continue;
+      if (!catalog_.contains(nm)) continue;
       ClassState& st = classes_[instance_.Find(f.args[0])];
       if (0.0 < st.contrib) {
         st.contrib = 0.0;
@@ -521,7 +521,7 @@ std::unique_ptr<cost::SparsityEstimator> Optimizer::MakeEstimator() const {
 
 Status Optimizer::AddView(const std::string& name,
                           const la::ExprPtr& definition) {
-  if (catalog_.count(name) > 0) {
+  if (catalog_.contains(name)) {
     return Status::InvalidArgument("name '" + name + "' already registered");
   }
   auto estimator = MakeEstimator();
@@ -548,7 +548,7 @@ Status Optimizer::AddViewText(const std::string& name,
 
 Status Optimizer::AddMorpheusJoin(const MorpheusJoinDecl& decl) {
   for (const std::string& n : {decl.t, decl.k, decl.u, decl.m}) {
-    if (catalog_.count(n) == 0) {
+    if (!catalog_.contains(n)) {
       return Status::NotFound("morpheus join references unknown matrix '" +
                               n + "'");
     }

@@ -87,21 +87,21 @@ class HybridQueriesTest : public ::testing::Test {
     session_ = std::move(*session);
   }
 
-  std::unique_ptr<HybridSession> session_;
+  std::shared_ptr<api::Session> session_;
 };
 
 TEST_F(HybridQueriesTest, AllTenQueriesExecute) {
   for (const HybridQuery& q : MicroBenchmarkQueries()) {
-    auto expr = la::ParseExpression(q.qla);
-    ASSERT_TRUE(expr.ok()) << q.id;
-    auto out = engine::Execute(**expr, session_->workspace);
+    auto prepared = session_->Prepare(q.qla);
+    ASSERT_TRUE(prepared.ok()) << q.id;
+    auto out = prepared->ExecuteOriginal();
     EXPECT_TRUE(out.ok()) << q.id << ": " << out.status().ToString();
   }
 }
 
 TEST_F(HybridQueriesTest, ViewsMatchTheirSemantics) {
   // V3 = rowSums(M), V4 = colSums(M), V5 = C5 M.
-  const engine::Workspace& ws = session_->workspace;
+  const engine::Workspace& ws = session_->workspace();
   auto m = ws.Get("M").value();
   EXPECT_TRUE(ws.Get("V3").value()->ApproxEquals(matrix::RowSums(*m), 1e-8));
   EXPECT_TRUE(ws.Get("V4").value()->ApproxEquals(matrix::ColSums(*m), 1e-8));
@@ -112,17 +112,17 @@ TEST_F(HybridQueriesTest, ViewsMatchTheirSemantics) {
 TEST_F(HybridQueriesTest, RewritesPreserveValuesAndReachViews) {
   int used_views = 0;
   for (const HybridQuery& q : MicroBenchmarkQueries()) {
-    auto r = session_->optimizer->OptimizeText(q.qla);
-    ASSERT_TRUE(r.ok()) << q.id << ": " << r.status().ToString();
-    auto original = engine::Execute(*la::ParseExpression(q.qla).value(),
-                                    session_->workspace);
+    auto prepared = session_->Prepare(q.qla);
+    ASSERT_TRUE(prepared.ok()) << q.id << ": "
+                               << prepared.status().ToString();
+    auto original = prepared->ExecuteOriginal();
     ASSERT_TRUE(original.ok()) << q.id;
-    auto rewritten = engine::Execute(*r->best, session_->workspace);
+    auto rewritten = prepared->Execute();
     ASSERT_TRUE(rewritten.ok())
-        << q.id << " -> " << la::ToString(r->best);
+        << q.id << " -> " << la::ToString(prepared->plan());
     EXPECT_TRUE(original->ApproxEquals(*rewritten, 1e-6))
-        << q.id << " -> " << la::ToString(r->best);
-    std::string best = la::ToString(r->best);
+        << q.id << " -> " << la::ToString(prepared->plan());
+    std::string best = la::ToString(prepared->plan());
     if (best.find("V3") != std::string::npos ||
         best.find("V4") != std::string::npos ||
         best.find("V5") != std::string::npos) {
@@ -135,11 +135,11 @@ TEST_F(HybridQueriesTest, RewritesPreserveValuesAndReachViews) {
 }
 
 TEST_F(HybridQueriesTest, Q1FindsTheDistributionRewrite) {
-  auto r = session_->optimizer->OptimizeText(
-      MicroBenchmarkQueries()[0].qla);
-  ASSERT_TRUE(r.ok());
-  EXPECT_TRUE(r->improved);
-  EXPECT_LT(r->best_cost, r->original_cost);
+  auto prepared = session_->Prepare(MicroBenchmarkQueries()[0].qla);
+  ASSERT_TRUE(prepared.ok());
+  const pacb::RewriteResult& r = prepared->rewrite();
+  EXPECT_TRUE(r.improved);
+  EXPECT_LT(r.best_cost, r.original_cost);
 }
 
 }  // namespace
