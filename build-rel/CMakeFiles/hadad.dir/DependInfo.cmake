@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/session.cc" "CMakeFiles/hadad.dir/src/api/session.cc.o" "gcc" "CMakeFiles/hadad.dir/src/api/session.cc.o.d"
+  "/root/repo/src/chase/ast.cc" "CMakeFiles/hadad.dir/src/chase/ast.cc.o" "gcc" "CMakeFiles/hadad.dir/src/chase/ast.cc.o.d"
+  "/root/repo/src/chase/engine.cc" "CMakeFiles/hadad.dir/src/chase/engine.cc.o" "gcc" "CMakeFiles/hadad.dir/src/chase/engine.cc.o.d"
+  "/root/repo/src/chase/homomorphism.cc" "CMakeFiles/hadad.dir/src/chase/homomorphism.cc.o" "gcc" "CMakeFiles/hadad.dir/src/chase/homomorphism.cc.o.d"
+  "/root/repo/src/chase/instance.cc" "CMakeFiles/hadad.dir/src/chase/instance.cc.o" "gcc" "CMakeFiles/hadad.dir/src/chase/instance.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/hadad.dir/src/common/status.cc.o" "gcc" "CMakeFiles/hadad.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "CMakeFiles/hadad.dir/src/common/strings.cc.o" "gcc" "CMakeFiles/hadad.dir/src/common/strings.cc.o.d"
+  "/root/repo/src/core/data.cc" "CMakeFiles/hadad.dir/src/core/data.cc.o" "gcc" "CMakeFiles/hadad.dir/src/core/data.cc.o.d"
+  "/root/repo/src/core/report.cc" "CMakeFiles/hadad.dir/src/core/report.cc.o" "gcc" "CMakeFiles/hadad.dir/src/core/report.cc.o.d"
+  "/root/repo/src/core/workloads.cc" "CMakeFiles/hadad.dir/src/core/workloads.cc.o" "gcc" "CMakeFiles/hadad.dir/src/core/workloads.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "CMakeFiles/hadad.dir/src/cost/cost_model.cc.o" "gcc" "CMakeFiles/hadad.dir/src/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/estimator.cc" "CMakeFiles/hadad.dir/src/cost/estimator.cc.o" "gcc" "CMakeFiles/hadad.dir/src/cost/estimator.cc.o.d"
+  "/root/repo/src/engine/evaluator.cc" "CMakeFiles/hadad.dir/src/engine/evaluator.cc.o" "gcc" "CMakeFiles/hadad.dir/src/engine/evaluator.cc.o.d"
+  "/root/repo/src/engine/profiles.cc" "CMakeFiles/hadad.dir/src/engine/profiles.cc.o" "gcc" "CMakeFiles/hadad.dir/src/engine/profiles.cc.o.d"
+  "/root/repo/src/engine/view_catalog.cc" "CMakeFiles/hadad.dir/src/engine/view_catalog.cc.o" "gcc" "CMakeFiles/hadad.dir/src/engine/view_catalog.cc.o.d"
+  "/root/repo/src/engine/workspace.cc" "CMakeFiles/hadad.dir/src/engine/workspace.cc.o" "gcc" "CMakeFiles/hadad.dir/src/engine/workspace.cc.o.d"
+  "/root/repo/src/hybrid/dataset.cc" "CMakeFiles/hadad.dir/src/hybrid/dataset.cc.o" "gcc" "CMakeFiles/hadad.dir/src/hybrid/dataset.cc.o.d"
+  "/root/repo/src/hybrid/queries.cc" "CMakeFiles/hadad.dir/src/hybrid/queries.cc.o" "gcc" "CMakeFiles/hadad.dir/src/hybrid/queries.cc.o.d"
+  "/root/repo/src/la/catalog.cc" "CMakeFiles/hadad.dir/src/la/catalog.cc.o" "gcc" "CMakeFiles/hadad.dir/src/la/catalog.cc.o.d"
+  "/root/repo/src/la/encoder.cc" "CMakeFiles/hadad.dir/src/la/encoder.cc.o" "gcc" "CMakeFiles/hadad.dir/src/la/encoder.cc.o.d"
+  "/root/repo/src/la/expr.cc" "CMakeFiles/hadad.dir/src/la/expr.cc.o" "gcc" "CMakeFiles/hadad.dir/src/la/expr.cc.o.d"
+  "/root/repo/src/la/parser.cc" "CMakeFiles/hadad.dir/src/la/parser.cc.o" "gcc" "CMakeFiles/hadad.dir/src/la/parser.cc.o.d"
+  "/root/repo/src/matrix/decompositions.cc" "CMakeFiles/hadad.dir/src/matrix/decompositions.cc.o" "gcc" "CMakeFiles/hadad.dir/src/matrix/decompositions.cc.o.d"
+  "/root/repo/src/matrix/dense_matrix.cc" "CMakeFiles/hadad.dir/src/matrix/dense_matrix.cc.o" "gcc" "CMakeFiles/hadad.dir/src/matrix/dense_matrix.cc.o.d"
+  "/root/repo/src/matrix/generate.cc" "CMakeFiles/hadad.dir/src/matrix/generate.cc.o" "gcc" "CMakeFiles/hadad.dir/src/matrix/generate.cc.o.d"
+  "/root/repo/src/matrix/matrix.cc" "CMakeFiles/hadad.dir/src/matrix/matrix.cc.o" "gcc" "CMakeFiles/hadad.dir/src/matrix/matrix.cc.o.d"
+  "/root/repo/src/matrix/matrix_io.cc" "CMakeFiles/hadad.dir/src/matrix/matrix_io.cc.o" "gcc" "CMakeFiles/hadad.dir/src/matrix/matrix_io.cc.o.d"
+  "/root/repo/src/matrix/sparse_matrix.cc" "CMakeFiles/hadad.dir/src/matrix/sparse_matrix.cc.o" "gcc" "CMakeFiles/hadad.dir/src/matrix/sparse_matrix.cc.o.d"
+  "/root/repo/src/morpheus/engine.cc" "CMakeFiles/hadad.dir/src/morpheus/engine.cc.o" "gcc" "CMakeFiles/hadad.dir/src/morpheus/engine.cc.o.d"
+  "/root/repo/src/morpheus/generator.cc" "CMakeFiles/hadad.dir/src/morpheus/generator.cc.o" "gcc" "CMakeFiles/hadad.dir/src/morpheus/generator.cc.o.d"
+  "/root/repo/src/morpheus/normalized_matrix.cc" "CMakeFiles/hadad.dir/src/morpheus/normalized_matrix.cc.o" "gcc" "CMakeFiles/hadad.dir/src/morpheus/normalized_matrix.cc.o.d"
+  "/root/repo/src/pacb/meta_tracker.cc" "CMakeFiles/hadad.dir/src/pacb/meta_tracker.cc.o" "gcc" "CMakeFiles/hadad.dir/src/pacb/meta_tracker.cc.o.d"
+  "/root/repo/src/pacb/op_signature.cc" "CMakeFiles/hadad.dir/src/pacb/op_signature.cc.o" "gcc" "CMakeFiles/hadad.dir/src/pacb/op_signature.cc.o.d"
+  "/root/repo/src/pacb/optimizer.cc" "CMakeFiles/hadad.dir/src/pacb/optimizer.cc.o" "gcc" "CMakeFiles/hadad.dir/src/pacb/optimizer.cc.o.d"
+  "/root/repo/src/relational/casting.cc" "CMakeFiles/hadad.dir/src/relational/casting.cc.o" "gcc" "CMakeFiles/hadad.dir/src/relational/casting.cc.o.d"
+  "/root/repo/src/relational/operators.cc" "CMakeFiles/hadad.dir/src/relational/operators.cc.o" "gcc" "CMakeFiles/hadad.dir/src/relational/operators.cc.o.d"
+  "/root/repo/src/relational/table.cc" "CMakeFiles/hadad.dir/src/relational/table.cc.o" "gcc" "CMakeFiles/hadad.dir/src/relational/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_sparse.dir/bench_appendix_sparse.cc.o"
+  "CMakeFiles/bench_appendix_sparse.dir/bench_appendix_sparse.cc.o.d"
+  "bench_appendix_sparse"
+  "bench_appendix_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

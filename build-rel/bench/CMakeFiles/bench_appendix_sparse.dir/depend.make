@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_appendix_sparse.
+# This may be replaced when dependencies are built.

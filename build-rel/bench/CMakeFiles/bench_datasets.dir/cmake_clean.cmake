@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datasets.dir/bench_datasets.cc.o"
+  "CMakeFiles/bench_datasets.dir/bench_datasets.cc.o.d"
+  "bench_datasets"
+  "bench_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

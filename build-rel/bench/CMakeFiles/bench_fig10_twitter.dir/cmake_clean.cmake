@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_twitter.dir/bench_fig10_twitter.cc.o"
+  "CMakeFiles/bench_fig10_twitter.dir/bench_fig10_twitter.cc.o.d"
+  "bench_fig10_twitter"
+  "bench_fig10_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mimic.dir/bench_fig11_mimic.cc.o"
+  "CMakeFiles/bench_fig11_mimic.dir/bench_fig11_mimic.cc.o.d"
+  "bench_fig11_mimic"
+  "bench_fig11_mimic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mimic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

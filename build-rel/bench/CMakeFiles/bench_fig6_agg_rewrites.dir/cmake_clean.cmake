@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_agg_rewrites.dir/bench_fig6_agg_rewrites.cc.o"
+  "CMakeFiles/bench_fig6_agg_rewrites.dir/bench_fig6_agg_rewrites.cc.o.d"
+  "bench_fig6_agg_rewrites"
+  "bench_fig6_agg_rewrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_agg_rewrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

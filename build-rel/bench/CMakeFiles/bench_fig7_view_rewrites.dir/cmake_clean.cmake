@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_view_rewrites.dir/bench_fig7_view_rewrites.cc.o"
+  "CMakeFiles/bench_fig7_view_rewrites.dir/bench_fig7_view_rewrites.cc.o.d"
+  "bench_fig7_view_rewrites"
+  "bench_fig7_view_rewrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_view_rewrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

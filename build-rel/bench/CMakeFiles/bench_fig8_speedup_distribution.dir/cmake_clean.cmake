@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_speedup_distribution.dir/bench_fig8_speedup_distribution.cc.o"
+  "CMakeFiles/bench_fig8_speedup_distribution.dir/bench_fig8_speedup_distribution.cc.o.d"
+  "bench_fig8_speedup_distribution"
+  "bench_fig8_speedup_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_speedup_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

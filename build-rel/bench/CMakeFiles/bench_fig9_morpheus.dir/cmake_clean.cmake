@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_morpheus.dir/bench_fig9_morpheus.cc.o"
+  "CMakeFiles/bench_fig9_morpheus.dir/bench_fig9_morpheus.cc.o.d"
+  "bench_fig9_morpheus"
+  "bench_fig9_morpheus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_morpheus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_session_cache.dir/bench_session_cache.cc.o"
+  "CMakeFiles/bench_session_cache.dir/bench_session_cache.cc.o.d"
+  "bench_session_cache"
+  "bench_session_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_session_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_3_pipelines.dir/bench_table2_3_pipelines.cc.o"
+  "CMakeFiles/bench_table2_3_pipelines.dir/bench_table2_3_pipelines.cc.o.d"
+  "bench_table2_3_pipelines"
+  "bench_table2_3_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_3_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factorized_learning.dir/factorized_learning.cpp.o"
+  "CMakeFiles/factorized_learning.dir/factorized_learning.cpp.o.d"
+  "factorized_learning"
+  "factorized_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factorized_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

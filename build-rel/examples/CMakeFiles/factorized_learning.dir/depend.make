@@ -1,0 +1,2 @@
+# Empty dependencies file for factorized_learning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_als.dir/hybrid_als.cpp.o"
+  "CMakeFiles/hybrid_als.dir/hybrid_als.cpp.o.d"
+  "hybrid_als"
+  "hybrid_als.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_als.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

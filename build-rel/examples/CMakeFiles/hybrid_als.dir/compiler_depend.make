@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hybrid_als.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hybrid_als.
+# This may be replaced when dependencies are built.

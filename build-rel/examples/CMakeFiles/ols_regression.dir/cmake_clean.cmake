@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ols_regression.dir/ols_regression.cpp.o"
+  "CMakeFiles/ols_regression.dir/ols_regression.cpp.o.d"
+  "ols_regression"
+  "ols_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ols_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ols_regression.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_test.dir/chase_test.cc.o"
+  "CMakeFiles/chase_test.dir/chase_test.cc.o.d"
+  "chase_test"
+  "chase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

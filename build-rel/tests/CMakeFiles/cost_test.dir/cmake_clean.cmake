@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_test.dir/cost_test.cc.o"
+  "CMakeFiles/cost_test.dir/cost_test.cc.o.d"
+  "cost_test"
+  "cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

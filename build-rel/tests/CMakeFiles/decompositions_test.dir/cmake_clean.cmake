@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompositions_test.dir/decompositions_test.cc.o"
+  "CMakeFiles/decompositions_test.dir/decompositions_test.cc.o.d"
+  "decompositions_test"
+  "decompositions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompositions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expected_rewrites_test.dir/expected_rewrites_test.cc.o"
+  "CMakeFiles/expected_rewrites_test.dir/expected_rewrites_test.cc.o.d"
+  "expected_rewrites_test"
+  "expected_rewrites_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expected_rewrites_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_encoding_test.dir/la_encoding_test.cc.o"
+  "CMakeFiles/la_encoding_test.dir/la_encoding_test.cc.o.d"
+  "la_encoding_test"
+  "la_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_expr_test.dir/la_expr_test.cc.o"
+  "CMakeFiles/la_expr_test.dir/la_expr_test.cc.o.d"
+  "la_expr_test"
+  "la_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

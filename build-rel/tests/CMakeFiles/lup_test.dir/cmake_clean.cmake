@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lup_test.dir/lup_test.cc.o"
+  "CMakeFiles/lup_test.dir/lup_test.cc.o.d"
+  "lup_test"
+  "lup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_edge_test.dir/matrix_edge_test.cc.o"
+  "CMakeFiles/matrix_edge_test.dir/matrix_edge_test.cc.o.d"
+  "matrix_edge_test"
+  "matrix_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

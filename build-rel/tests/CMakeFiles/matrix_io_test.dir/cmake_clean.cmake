@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_io_test.dir/matrix_io_test.cc.o"
+  "CMakeFiles/matrix_io_test.dir/matrix_io_test.cc.o.d"
+  "matrix_io_test"
+  "matrix_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_test.dir/morpheus_test.cc.o"
+  "CMakeFiles/morpheus_test.dir/morpheus_test.cc.o.d"
+  "morpheus_test"
+  "morpheus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_edge_test.dir/optimizer_edge_test.cc.o"
+  "CMakeFiles/optimizer_edge_test.dir/optimizer_edge_test.cc.o.d"
+  "optimizer_edge_test"
+  "optimizer_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for optimizer_edge_test.
+# This may be replaced when dependencies are built.

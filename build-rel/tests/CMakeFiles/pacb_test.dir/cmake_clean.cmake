@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacb_test.dir/pacb_test.cc.o"
+  "CMakeFiles/pacb_test.dir/pacb_test.cc.o.d"
+  "pacb_test"
+  "pacb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_test.dir/relational_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational_test.cc.o.d"
+  "relational_test"
+  "relational_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

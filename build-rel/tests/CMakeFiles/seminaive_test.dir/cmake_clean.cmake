@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminaive_test.dir/seminaive_test.cc.o"
+  "CMakeFiles/seminaive_test.dir/seminaive_test.cc.o.d"
+  "seminaive_test"
+  "seminaive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminaive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_test.dir/session_test.cc.o"
+  "CMakeFiles/session_test.dir/session_test.cc.o.d"
+  "session_test"
+  "session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
