@@ -1,10 +1,33 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure (with -Wall -Wextra, set unconditionally by the
-# root CMakeLists), build everything, run the test suite.
+# CI entry points.
+#   ./scripts/ci.sh          tier-1 verify: configure, build, full ctest run
+#   ./scripts/ci.sh tsan     ThreadSanitizer build of the concurrency-bearing
+#                            targets (exec_test, session_test)
 set -euxo pipefail
 
 cd "$(dirname "$0")/.."
-cmake -B build -S .
-cmake --build build -j
-cd build
-ctest --output-on-failure -j
+mode="${1:-tier1}"
+
+case "$mode" in
+  tier1)
+    cmake -B build -S .
+    cmake --build build -j
+    cd build
+    ctest --output-on-failure -j
+    ;;
+  tsan)
+    cmake -B build-tsan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+      -DHADAD_BUILD_BENCHMARKS=OFF \
+      -DHADAD_BUILD_EXAMPLES=OFF
+    cmake --build build-tsan -j --target exec_test session_test
+    ./build-tsan/tests/exec_test
+    ./build-tsan/tests/session_test
+    ;;
+  *)
+    echo "unknown mode: $mode (expected: tier1 | tsan)" >&2
+    exit 2
+    ;;
+esac

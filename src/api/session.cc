@@ -91,6 +91,12 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
 Result<matrix::Matrix> Session::ExecuteExpr(const la::ExprPtr& expr,
                                             engine::ExecStats* stats) const {
   if (morpheus_ != nullptr) return morpheus_->Run(expr, stats);
+  if (executor_ != nullptr) {
+    // Respect the engine profile (kSmart applies its internal rewrites
+    // before execution), then hand the plan to the parallel DAG engine.
+    HADAD_ASSIGN_OR_RETURN(la::ExprPtr planned, engine_->Plan(expr));
+    return executor_->Run(planned, workspace_, stats, &exec_catalog_);
+  }
   return engine_->Run(expr, stats);
 }
 
@@ -152,6 +158,11 @@ SessionBuilder& SessionBuilder::AddMorpheusJoin(pacb::MorpheusJoinDecl decl) {
 SessionBuilder& SessionBuilder::AddNormalizedMatrix(
     std::string name, morpheus::NormalizedMatrix nm) {
   normalized_.emplace_back(std::move(name), std::move(nm));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::Threads(int n) {
+  exec_threads_ = n;
   return *this;
 }
 
@@ -276,6 +287,14 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
 
   session->engine_ = std::make_unique<engine::Engine>(profile_,
                                                       &session->workspace_);
+  if (exec_threads_.has_value()) {
+    engine::ExecOptions exec_options;
+    exec_options.threads = *exec_threads_;
+    session->executor_ = std::make_unique<exec::Executor>(exec_options);
+    // Rebuild after view materialization so view leaves resolve without a
+    // per-query workspace scan.
+    session->exec_catalog_ = session->workspace_.BuildMetaCatalog();
+  }
   return session;
 }
 

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "engine/profiles.h"
 #include "engine/workspace.h"
+#include "exec/executor.h"
 #include "la/expr.h"
 #include "matrix/matrix.h"
 #include "morpheus/engine.h"
@@ -115,6 +116,9 @@ class Session : public std::enable_shared_from_this<Session> {
   // Non-null iff normalized matrices were registered; execution then routes
   // through the Morpheus engine.
   const morpheus::MorpheusEngine* morpheus() const { return morpheus_.get(); }
+  // Non-null iff SessionBuilder::Threads was called; execution then routes
+  // through the parallel DAG engine (src/exec/).
+  const exec::Executor* executor() const { return executor_.get(); }
 
   SessionStats stats() const;
   int64_t plan_cache_size() const;
@@ -135,6 +139,10 @@ class Session : public std::enable_shared_from_this<Session> {
   std::unique_ptr<pacb::Optimizer> optimizer_;
   std::unique_ptr<engine::Engine> engine_;
   std::unique_ptr<morpheus::MorpheusEngine> morpheus_;
+  std::unique_ptr<exec::Executor> executor_;
+  // Frozen leaf metadata (shapes + exact nnz, views included) handed to the
+  // plan compiler so Execute never rescans the workspace.
+  la::MetaCatalog exec_catalog_;
 
   mutable std::shared_mutex cache_mu_;
   mutable std::unordered_map<std::string, std::shared_ptr<const PreparedPlan>>
@@ -181,6 +189,14 @@ class SessionBuilder {
   SessionBuilder& AddNormalizedMatrix(std::string name,
                                       morpheus::NormalizedMatrix nm);
 
+  // Routes execution through the parallel DAG engine (src/exec/): plans are
+  // compiled to a physical operator DAG (CSE + blocked kernels) and
+  // scheduled on a session-owned pool of `n` threads (0 = one per hardware
+  // core; 1 = sequential DAG execution, still with CSE). Without this call
+  // the session keeps the single-threaded tree-walking evaluator. Sessions
+  // with normalized (Morpheus) matrices keep the Morpheus engine regardless.
+  SessionBuilder& Threads(int n);
+
   // Sparsity estimator for the cost model γ (default: naive metadata).
   SessionBuilder& SetEstimator(pacb::EstimatorKind kind);
   // Execution profile (default: kNaive, run-as-stated).
@@ -209,6 +225,7 @@ class SessionBuilder {
   std::vector<chase::Constraint> constraints_;
   pacb::OptimizerOptions options_;
   std::optional<pacb::EstimatorKind> estimator_;
+  std::optional<int> exec_threads_;
   engine::Profile profile_ = engine::Profile::kNaive;
   int64_t flag_detect_limit_ = 0;
   bool built_ = false;

@@ -1,6 +1,10 @@
 #ifndef HADAD_ENGINE_EVALUATOR_H_
 #define HADAD_ENGINE_EVALUATOR_H_
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/status.h"
 #include "engine/workspace.h"
 #include "la/expr.h"
@@ -8,14 +12,40 @@
 
 namespace hadad::engine {
 
+// Aggregated wall-clock per operator kind, accumulated by the exec:: DAG
+// runtime (the tree-walking evaluator leaves `op_timings` empty).
+struct OpTiming {
+  std::string op;        // la::OpName of the operator kind.
+  int64_t count = 0;     // Physical nodes executed with this kind.
+  double seconds = 0.0;  // Summed kernel wall-clock.
+};
+
 struct ExecStats {
   // Wall-clock seconds for the evaluation.
   double seconds = 0.0;
   // Actual total non-zeros across all intermediate results (every internal
   // node except the root) — the ground truth of the paper's cost measure γ.
+  // Under the DAG engine a CSE-shared intermediate counts once.
   double intermediate_nnz = 0.0;
   // Number of operator applications executed.
   int64_t operators = 0;
+
+  // --- DAG-engine breakdown (zero / empty under the tree evaluator) -------
+  // Expression-tree nodes folded into already-compiled DAG nodes by
+  // common-subexpression elimination.
+  int64_t cse_hits = 0;
+  // Physical plan nodes (leaves included) in the executed DAG.
+  int64_t plan_nodes = 0;
+  // Degree of parallelism the run was scheduled with.
+  int threads = 1;
+  // Total kernel wall-clock summed over nodes ("work") and the longest
+  // dependency chain of kernel times ("span"). work / span bounds the
+  // achievable parallel speedup of the plan, so `parallel_speedup` is ready
+  // to be read off as total_operator_seconds / critical_path_seconds.
+  double total_operator_seconds = 0.0;
+  double critical_path_seconds = 0.0;
+  // Per-operator-kind timing, sorted by descending total seconds.
+  std::vector<OpTiming> op_timings;
 };
 
 // Evaluates `expr` over `workspace` bottom-up, in the exact syntactic order
@@ -24,6 +54,36 @@ struct ExecStats {
 Result<matrix::Matrix> Execute(const la::Expr& expr,
                                const Workspace& workspace,
                                ExecStats* stats = nullptr);
+
+// Options for the parallel DAG engine (src/exec/): how many threads to
+// schedule on and whether to hash-cons repeated subexpressions.
+struct ExecOptions {
+  // Degree of parallelism; 0 resolves to hardware_concurrency(), 1 runs the
+  // DAG sequentially (still with CSE and blocked kernels).
+  int threads = 0;
+  // Fold structurally identical subtrees into one plan node.
+  bool enable_cse = true;
+  // Outputs with fewer cells than this run on the generic sequential
+  // kernels; at or above it the compiler picks blocked/partitioned ones.
+  int64_t parallel_cell_threshold = 4096;
+};
+
+// Compiles `expr` into a physical operator DAG (CSE + representation-aware
+// kernel selection) and executes it on a transient thread pool. Semantics
+// match Execute() above; results are bit-for-bit identical at any thread
+// count. Implemented in src/exec/executor.cc. Callers with a long-lived
+// session should prefer exec::Executor (or api::SessionBuilder::Threads),
+// which reuses one pool across runs.
+Result<matrix::Matrix> Execute(const la::Expr& expr,
+                               const Workspace& workspace,
+                               const ExecOptions& options,
+                               ExecStats* stats = nullptr);
+
+// Applies a single operator to already-evaluated inputs — the per-node
+// kernel shared by the tree-walking evaluator and the exec:: DAG runtime.
+// `e` supplies the operator kind only; inputs.size() must equal its arity.
+Result<matrix::Matrix> ApplyOp(const la::Expr& e,
+                               const std::vector<const matrix::Matrix*>& inputs);
 
 }  // namespace hadad::engine
 

@@ -1,0 +1,44 @@
+#include "exec/executor.h"
+
+#include "common/timer.h"
+
+namespace hadad::exec {
+
+Executor::Executor(const engine::ExecOptions& options) : options_(options) {
+  compile_options_.enable_cse = options.enable_cse;
+  compile_options_.parallel_cell_threshold = options.parallel_cell_threshold;
+  pool_ = std::make_unique<ThreadPool>(options.threads);
+}
+
+Result<CompiledPlan> Executor::Compile(const la::ExprPtr& expr,
+                                       const engine::Workspace& workspace,
+                                       const la::MetaCatalog* catalog) const {
+  return exec::Compile(expr, workspace, catalog, compile_options_);
+}
+
+Result<matrix::Matrix> Executor::Run(const la::ExprPtr& expr,
+                                     const engine::Workspace& workspace,
+                                     engine::ExecStats* stats,
+                                     const la::MetaCatalog* catalog) const {
+  HADAD_ASSIGN_OR_RETURN(CompiledPlan plan, Compile(expr, workspace, catalog));
+  Scheduler scheduler(pool_.get());
+  return scheduler.Run(plan, workspace, stats);
+}
+
+}  // namespace hadad::exec
+
+namespace hadad::engine {
+
+// Declared in engine/evaluator.h; lives here so engine/ carries no link-time
+// dependency cycle — the exec subsystem implements the overload.
+Result<matrix::Matrix> Execute(const la::Expr& expr,
+                               const Workspace& workspace,
+                               const ExecOptions& options, ExecStats* stats) {
+  // The Expr tree is immutable and outlives this call; alias it without
+  // taking ownership so callers keep passing `const la::Expr&`.
+  la::ExprPtr alias(&expr, [](const la::Expr*) {});
+  exec::Executor executor(options);
+  return executor.Run(alias, workspace, stats);
+}
+
+}  // namespace hadad::engine

@@ -1,0 +1,53 @@
+#ifndef HADAD_EXEC_EXECUTOR_H_
+#define HADAD_EXEC_EXECUTOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "engine/evaluator.h"
+#include "engine/workspace.h"
+#include "exec/plan.h"
+#include "exec/scheduler.h"
+#include "exec/thread_pool.h"
+#include "la/expr.h"
+#include "matrix/matrix.h"
+
+namespace hadad::exec {
+
+// The parallel physical engine's front door: owns one ThreadPool across
+// runs (spawning threads per query would dominate small pipelines) and
+// compiles + schedules each expression. Thread-safe: concurrent Run()s
+// share the pool.
+//
+//   exec::Executor executor(engine::ExecOptions{.threads = 8});
+//   auto result = executor.Run(expr, workspace, &stats);
+class Executor {
+ public:
+  explicit Executor(const engine::ExecOptions& options = {});
+
+  // The resolved degree of parallelism (>= 1).
+  int threads() const { return pool_->threads(); }
+  const engine::ExecOptions& options() const { return options_; }
+
+  // Compile (CSE + kernel selection) and execute over `workspace`.
+  // `catalog`, when non-null, supplies leaf metadata without rescanning the
+  // workspace (api::Session passes its frozen catalog).
+  Result<matrix::Matrix> Run(const la::ExprPtr& expr,
+                             const engine::Workspace& workspace,
+                             engine::ExecStats* stats = nullptr,
+                             const la::MetaCatalog* catalog = nullptr) const;
+
+  // The physical plan Run() would execute; exposed for tests and Explain.
+  Result<CompiledPlan> Compile(const la::ExprPtr& expr,
+                               const engine::Workspace& workspace,
+                               const la::MetaCatalog* catalog = nullptr) const;
+
+ private:
+  engine::ExecOptions options_;
+  CompileOptions compile_options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace hadad::exec
+
+#endif  // HADAD_EXEC_EXECUTOR_H_

@@ -1,0 +1,285 @@
+#include "exec/plan.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "cost/cost_model.h"
+
+namespace hadad::exec {
+
+namespace {
+
+using la::Expr;
+using la::ExprPtr;
+using la::OpKind;
+
+bool IsScalarMeta(const cost::ClassMeta& m) {
+  return m.shape.rows == 1 && m.shape.cols == 1;
+}
+
+// Estimated density in [0, 1]; unknown nnz counts as fully dense.
+double EstimatedDensity(const cost::ClassMeta& m) {
+  return m.shape.Sparsity();
+}
+
+class Compiler {
+ public:
+  Compiler(const engine::Workspace& workspace, const la::MetaCatalog* catalog,
+           const CompileOptions& options)
+      : workspace_(workspace), catalog_(catalog), options_(options) {}
+
+  Result<CompiledPlan> Run(const ExprPtr& expr) {
+    plan_.root_expr = expr;
+    HADAD_ASSIGN_OR_RETURN(int32_t root, Lower(expr));
+    plan_.root = root;
+    for (int32_t id = 0; id < static_cast<int32_t>(plan_.nodes.size()); ++id) {
+      for (int32_t in : plan_.nodes[static_cast<size_t>(id)].inputs) {
+        plan_.nodes[static_cast<size_t>(in)].consumers.push_back(id);
+      }
+    }
+    return std::move(plan_);
+  }
+
+ private:
+  // Lowers one expression tree node, returning its DAG node id. Children
+  // are lowered first, so node order is topological by construction.
+  Result<int32_t> Lower(const ExprPtr& e) {
+    std::string key;
+    if (options_.enable_cse) {
+      key = la::ToString(e);
+      auto it = memo_.find(key);
+      if (it != memo_.end()) {
+        ++plan_.cse_hits;
+        return it->second;
+      }
+    }
+
+    PlanNode node;
+    node.op = e->kind();
+    node.expr = e.get();
+
+    switch (e->kind()) {
+      case OpKind::kMatrixRef: {
+        node.kernel = KernelKind::kLoad;
+        HADAD_ASSIGN_OR_RETURN(node.meta, LeafMeta(e->name()));
+        break;
+      }
+      case OpKind::kScalarConst: {
+        node.kernel = KernelKind::kScalarConst;
+        node.meta.shape.rows = 1;
+        node.meta.shape.cols = 1;
+        node.meta.shape.nnz = e->scalar_value() == 0.0 ? 0.0 : 1.0;
+        break;
+      }
+      default: {
+        // Transpose fusion: lower t(A) %*% B as one fused node over A and B
+        // when both operands look dense and the product is heavy enough for
+        // the blocked kernels. The transpose node itself is only created if
+        // fusion declines or some other consumer references it.
+        if (e->kind() == OpKind::kMultiply &&
+            e->child(0)->kind() == OpKind::kTranspose) {
+          return LowerTransposedMultiply(e, std::move(key));
+        }
+        std::vector<cost::ClassMeta> in_meta;
+        for (const ExprPtr& c : e->children()) {
+          HADAD_ASSIGN_OR_RETURN(int32_t id, Lower(c));
+          node.inputs.push_back(id);
+          in_meta.push_back(plan_.nodes[static_cast<size_t>(id)].meta);
+        }
+        HADAD_ASSIGN_OR_RETURN(node.meta, PropagateMeta(*e, in_meta));
+        node.kernel = SelectKernel(*e, in_meta, node.meta);
+        break;
+      }
+    }
+
+    return Emit(std::move(node), std::move(key));
+  }
+
+  // Lowers (t(inner)) %*% rhs. Children are lowered once; the fused kernel
+  // is chosen when the operands qualify, otherwise an explicit transpose
+  // node feeds a generically-selected multiply.
+  Result<int32_t> LowerTransposedMultiply(const ExprPtr& e, std::string key) {
+    const ExprPtr& transpose = e->child(0);
+    const ExprPtr& inner = transpose->child(0);
+    const ExprPtr& rhs = e->child(1);
+    HADAD_ASSIGN_OR_RETURN(int32_t inner_id, Lower(inner));
+    HADAD_ASSIGN_OR_RETURN(int32_t rhs_id, Lower(rhs));
+    const cost::ClassMeta am = plan_.nodes[static_cast<size_t>(inner_id)].meta;
+    const cost::ClassMeta bm = plan_.nodes[static_cast<size_t>(rhs_id)].meta;
+
+    const double cells = static_cast<double>(am.shape.cols) *
+                         static_cast<double>(bm.shape.cols);
+    const bool fusible =
+        !IsScalarMeta(am) && !IsScalarMeta(bm) &&
+        am.shape.rows == bm.shape.rows &&
+        EstimatedDensity(am) >= options_.dense_sparsity_threshold &&
+        EstimatedDensity(bm) >= options_.dense_sparsity_threshold &&
+        cells >= static_cast<double>(options_.parallel_cell_threshold);
+    if (fusible) {
+      PlanNode node;
+      node.op = OpKind::kMultiply;
+      node.expr = e.get();
+      node.kernel = KernelKind::kGemmFusedTranspose;
+      node.inputs = {inner_id, rhs_id};
+      node.meta.shape.rows = am.shape.cols;
+      node.meta.shape.cols = bm.shape.cols;
+      node.meta.shape.nnz = -1.0;  // Dense product: treat as full.
+      return Emit(std::move(node), std::move(key));
+    }
+
+    // No fusion: materialize the transpose, then multiply generically.
+    int32_t t_id;
+    std::string t_key;
+    if (options_.enable_cse) {
+      t_key = la::ToString(transpose);
+      auto it = memo_.find(t_key);
+      if (it != memo_.end()) {
+        ++plan_.cse_hits;
+        t_id = it->second;
+      } else {
+        HADAD_ASSIGN_OR_RETURN(t_id, EmitTranspose(transpose, inner_id, am,
+                                                   std::move(t_key)));
+      }
+    } else {
+      HADAD_ASSIGN_OR_RETURN(t_id,
+                             EmitTranspose(transpose, inner_id, am, ""));
+    }
+
+    PlanNode node;
+    node.op = e->kind();
+    node.expr = e.get();
+    node.inputs = {t_id, rhs_id};
+    const std::vector<cost::ClassMeta> in_meta = {
+        plan_.nodes[static_cast<size_t>(t_id)].meta, bm};
+    HADAD_ASSIGN_OR_RETURN(node.meta, PropagateMeta(*e, in_meta));
+    node.kernel = SelectKernel(*e, in_meta, node.meta);
+    return Emit(std::move(node), std::move(key));
+  }
+
+  Result<int32_t> EmitTranspose(const ExprPtr& transpose, int32_t inner_id,
+                                const cost::ClassMeta& inner_meta,
+                                std::string key) {
+    PlanNode node;
+    node.op = OpKind::kTranspose;
+    node.expr = transpose.get();
+    node.kernel = KernelKind::kGeneric;
+    node.inputs = {inner_id};
+    HADAD_ASSIGN_OR_RETURN(node.meta,
+                           PropagateMeta(*transpose, {inner_meta}));
+    return Emit(std::move(node), std::move(key));
+  }
+
+  int32_t Emit(PlanNode node, std::string key) {
+    const int32_t id = static_cast<int32_t>(plan_.nodes.size());
+    plan_.nodes.push_back(std::move(node));
+    if (options_.enable_cse) memo_.emplace(std::move(key), id);
+    return id;
+  }
+
+  Result<cost::ClassMeta> LeafMeta(const std::string& name) {
+    if (catalog_ != nullptr) {
+      auto it = catalog_->find(name);
+      if (it != catalog_->end()) {
+        return estimator_.MakeBase(it->second, workspace_.Find(name));
+      }
+    }
+    const matrix::Matrix* m = workspace_.Find(name);
+    if (m == nullptr) {
+      return Status::NotFound("no matrix named '" + name + "' in workspace");
+    }
+    la::MatrixMeta meta;
+    meta.rows = m->rows();
+    meta.cols = m->cols();
+    meta.nnz = static_cast<double>(m->Nnz());
+    return estimator_.MakeBase(meta, m);
+  }
+
+  // Shape + nnz propagation through the same VREM relations the cost model
+  // estimates γ with.
+  Result<cost::ClassMeta> PropagateMeta(
+      const Expr& e, const std::vector<cost::ClassMeta>& in_meta) {
+    const bool lhs_scalar = !in_meta.empty() && IsScalarMeta(in_meta[0]);
+    const bool rhs_scalar = in_meta.size() > 1 && IsScalarMeta(in_meta[1]);
+    HADAD_ASSIGN_OR_RETURN(cost::OpRelation rel,
+                           cost::RelationFor(e, lhs_scalar, rhs_scalar));
+    std::vector<cost::ClassMeta> inputs = in_meta;
+    if (rel.swap_args && inputs.size() == 2) {
+      std::swap(inputs[0], inputs[1]);
+    }
+    auto meta = estimator_.Propagate(rel.relation, inputs, rel.output_index);
+    if (!meta.has_value()) {
+      return Status::DimensionMismatch("cannot compile " + la::ToString(e) +
+                                       ": incompatible operand shapes");
+    }
+    return *meta;
+  }
+
+  KernelKind SelectKernel(const Expr& e,
+                          const std::vector<cost::ClassMeta>& in_meta,
+                          const cost::ClassMeta& out_meta) const {
+    if (e.kind() != OpKind::kMultiply || in_meta.size() != 2) {
+      return KernelKind::kGeneric;
+    }
+    const cost::ClassMeta& a = in_meta[0];
+    const cost::ClassMeta& b = in_meta[1];
+    if (IsScalarMeta(a) || IsScalarMeta(b)) return KernelKind::kGeneric;
+    if (a.shape.cols != b.shape.rows) return KernelKind::kGeneric;
+    if (out_meta.shape.Cells() <
+        static_cast<double>(options_.parallel_cell_threshold)) {
+      return KernelKind::kGeneric;
+    }
+    const bool b_dense =
+        EstimatedDensity(b) >= options_.dense_sparsity_threshold;
+    if (!b_dense) return KernelKind::kGeneric;  // Sparse rhs: Gustavson path.
+    if (EstimatedDensity(a) >= options_.dense_sparsity_threshold) {
+      return KernelKind::kGemmBlocked;
+    }
+    return KernelKind::kSpmm;
+  }
+
+  const engine::Workspace& workspace_;
+  const la::MetaCatalog* catalog_;
+  const CompileOptions& options_;
+  cost::NaiveMetadataEstimator estimator_;
+  CompiledPlan plan_;
+  std::unordered_map<std::string, int32_t> memo_;
+};
+
+}  // namespace
+
+const char* KernelName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kLoad: return "load";
+    case KernelKind::kScalarConst: return "const";
+    case KernelKind::kGemmBlocked: return "gemm_blocked";
+    case KernelKind::kGemmFusedTranspose: return "gemm_tn_fused";
+    case KernelKind::kSpmm: return "spmm_row_parallel";
+    case KernelKind::kGeneric: return "generic";
+  }
+  return "unknown";
+}
+
+std::string CompiledPlan::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const PlanNode& n = nodes[i];
+    out << "#" << i << " " << la::OpName(n.op) << " [" << KernelName(n.kernel)
+        << "] " << n.meta.shape.rows << "x" << n.meta.shape.cols << " <-";
+    for (int32_t in : n.inputs) out << " #" << in;
+    if (n.op == la::OpKind::kMatrixRef) out << " '" << n.expr->name() << "'";
+    out << "\n";
+  }
+  out << "root #" << root << ", cse_hits " << cse_hits << "\n";
+  return out.str();
+}
+
+Result<CompiledPlan> Compile(const ExprPtr& expr,
+                             const engine::Workspace& workspace,
+                             const la::MetaCatalog* catalog,
+                             const CompileOptions& options) {
+  Compiler compiler(workspace, catalog, options);
+  return compiler.Run(expr);
+}
+
+}  // namespace hadad::exec

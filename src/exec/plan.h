@@ -1,0 +1,75 @@
+#ifndef HADAD_EXEC_PLAN_H_
+#define HADAD_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/estimator.h"
+#include "engine/workspace.h"
+#include "la/expr.h"
+
+namespace hadad::exec {
+
+// Physical kernel chosen per node at compile time from operand shapes, nnz
+// estimates, and representations (cost::Estimator stats over the same VREM
+// relations the optimizer costs with). The scheduler re-checks the actual
+// runtime representation and falls back to kGeneric on a mismatch — an
+// estimate can never make a result wrong, only slower.
+enum class KernelKind {
+  kLoad,         // Leaf: borrow the named matrix from the workspace.
+  kScalarConst,  // Leaf: materialize a 1x1 constant.
+  kGemmBlocked,  // Dense x dense product: cache-blocked, row-partitioned.
+  kGemmFusedTranspose,  // t(A) x B on dense A, B without materializing t(A).
+  kSpmm,         // Sparse (CSR) x dense product, row-parallel; covers SpMV.
+  kGeneric,      // Sequential engine::ApplyOp (everything else).
+};
+
+const char* KernelName(KernelKind kind);
+
+// One physical operator of the compiled DAG. `inputs`/`consumers` index
+// into CompiledPlan::nodes; nodes are stored in a topological order
+// (inputs strictly before their consumers).
+struct PlanNode {
+  la::OpKind op = la::OpKind::kMatrixRef;
+  const la::Expr* expr = nullptr;  // Borrowed; CompiledPlan keeps the root.
+  KernelKind kernel = KernelKind::kGeneric;
+  std::vector<int32_t> inputs;
+  std::vector<int32_t> consumers;
+  cost::ClassMeta meta;  // Estimated shape + nnz of this node's output.
+};
+
+struct CompiledPlan {
+  la::ExprPtr root_expr;  // Owns every Expr the nodes borrow.
+  std::vector<PlanNode> nodes;
+  int32_t root = -1;
+  // Expression-tree nodes folded into existing DAG nodes by hash-consing on
+  // the canonical (la::ToString) form — the plan cache's key, reused here.
+  int64_t cse_hits = 0;
+
+  std::string ToString() const;  // One node per line, for tests/debugging.
+};
+
+struct CompileOptions {
+  bool enable_cse = true;
+  // Products whose output has fewer cells than this stay on kGeneric.
+  int64_t parallel_cell_threshold = 4096;
+  // Estimated density at or above which an operand is treated as dense when
+  // choosing between kGemmBlocked and kSpmm.
+  double dense_sparsity_threshold = 0.5;
+};
+
+// Lowers `expr` into a physical DAG: hash-consing CSE over canonical
+// subexpression text, estimator-driven kernel selection, transpose fusion
+// for t(A) %*% B. Leaf metadata comes from `catalog` when present, else
+// from the workspace matrix itself (exact shape + nnz). Unknown names and
+// shape mismatches surface as Status.
+Result<CompiledPlan> Compile(const la::ExprPtr& expr,
+                             const engine::Workspace& workspace,
+                             const la::MetaCatalog* catalog,
+                             const CompileOptions& options);
+
+}  // namespace hadad::exec
+
+#endif  // HADAD_EXEC_PLAN_H_

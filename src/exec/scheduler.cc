@@ -1,0 +1,303 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "matrix/blocked_kernels.h"
+
+namespace hadad::exec {
+
+namespace {
+
+using matrix::Matrix;
+
+// Result slot of one plan node: either a borrowed pointer into the
+// workspace (kLoad — no copy) or an owned intermediate.
+struct Slot {
+  const Matrix* view = nullptr;
+  std::optional<Matrix> owned;
+
+  const Matrix* get() const { return owned.has_value() ? &*owned : view; }
+  void Set(Matrix m) {
+    owned.emplace(std::move(m));
+    view = nullptr;
+  }
+  void Release() {
+    owned.reset();
+    view = nullptr;
+  }
+};
+
+// Adapts the shared pool to the matrix kernels' RangeRunner signature with
+// a fixed grain, so chunking (and results) never depend on thread count.
+matrix::RangeRunner PoolRunner(ThreadPool* pool) {
+  if (pool == nullptr || pool->worker_count() == 0) return nullptr;
+  return [pool](int64_t n, const std::function<void(int64_t, int64_t)>& body) {
+    pool->ParallelFor(n, matrix::kRowGrain, body);
+  };
+}
+
+// Per-run mutable state, shared by all node tasks.
+struct RunState {
+  const CompiledPlan* plan = nullptr;
+  ThreadPool* pool = nullptr;
+  bool collect_stats = false;
+
+  std::vector<Slot> slots;
+  std::vector<std::atomic<int>> pending;         // Unfinished inputs.
+  std::vector<std::atomic<int>> consumers_left;  // For early release.
+  std::vector<double> node_seconds;
+  std::vector<double> node_nnz;
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status error;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int64_t outstanding = 0;  // Scheduled-but-unfinished node tasks.
+
+  explicit RunState(size_t n)
+      : slots(n), pending(n), consumers_left(n), node_seconds(n, 0.0),
+        node_nnz(n, 0.0) {}
+
+  void Fail(Status status) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true)) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      error = std::move(status);
+    }
+  }
+};
+
+Result<Matrix> EvalNode(RunState& state, int32_t id) {
+  const PlanNode& node = state.plan->nodes[static_cast<size_t>(id)];
+  std::vector<const Matrix*> in;
+  in.reserve(node.inputs.size());
+  for (int32_t input : node.inputs) {
+    const Matrix* m = state.slots[static_cast<size_t>(input)].get();
+    HADAD_CHECK_MSG(m != nullptr, "input slot released before use");
+    in.push_back(m);
+  }
+
+  switch (node.kernel) {
+    case KernelKind::kLoad: {
+      // Resolved during setup; unreachable here.
+      return Status::Internal("load node reached EvalNode");
+    }
+    case KernelKind::kScalarConst:
+      return Matrix::Scalar(node.expr->scalar_value());
+    case KernelKind::kGemmBlocked:
+      if (in[0]->is_dense() && in[1]->is_dense()) {
+        return Matrix(matrix::MultiplyDenseBlocked(in[0]->dense(),
+                                                   in[1]->dense(),
+                                                   PoolRunner(state.pool)));
+      }
+      break;  // Estimate was wrong about representation: generic fallback.
+    case KernelKind::kSpmm:
+      if (in[0]->is_sparse() && in[1]->is_dense()) {
+        return Matrix(matrix::MultiplySparseDenseParallel(
+            in[0]->sparse(), in[1]->dense(), PoolRunner(state.pool)));
+      }
+      break;
+    case KernelKind::kGemmFusedTranspose:
+      if (in[0]->is_dense() && in[1]->is_dense()) {
+        return Matrix(matrix::MultiplyTransposedDenseBlocked(
+            in[0]->dense(), in[1]->dense(), PoolRunner(state.pool)));
+      }
+      // Fallback must reproduce t(A) %*% B, not A %*% B.
+      {
+        const Matrix t = matrix::Transpose(*in[0]);
+        return matrix::Multiply(t, *in[1]);
+      }
+    case KernelKind::kGeneric:
+      break;
+  }
+  return engine::ApplyOp(*node.expr, in);
+}
+
+// Runs node `id`'s kernel, stores its result, releases exhausted inputs,
+// and returns the consumers that became ready.
+std::vector<int32_t> CompleteNode(RunState& state, int32_t id) {
+  const PlanNode& node = state.plan->nodes[static_cast<size_t>(id)];
+  if (!state.failed.load(std::memory_order_acquire)) {
+    Timer timer;
+    Result<Matrix> out = EvalNode(state, id);
+    if (out.ok()) {
+      state.node_seconds[static_cast<size_t>(id)] = timer.ElapsedSeconds();
+      if (state.collect_stats && id != state.plan->root &&
+          node.kernel != KernelKind::kLoad) {
+        state.node_nnz[static_cast<size_t>(id)] =
+            static_cast<double>(out.value().Nnz());
+      }
+      state.slots[static_cast<size_t>(id)].Set(std::move(out).value());
+    } else {
+      state.Fail(out.status());
+    }
+  }
+
+  // Release inputs whose consumers have all finished (even on failure, so
+  // memory drains); never release the root.
+  for (int32_t input : node.inputs) {
+    if (state.consumers_left[static_cast<size_t>(input)].fetch_sub(
+            1, std::memory_order_acq_rel) == 1 &&
+        input != state.plan->root) {
+      state.slots[static_cast<size_t>(input)].Release();
+    }
+  }
+
+  std::vector<int32_t> ready;
+  if (!state.failed.load(std::memory_order_acquire)) {
+    for (int32_t consumer : node.consumers) {
+      if (state.pending[static_cast<size_t>(consumer)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        ready.push_back(consumer);
+      }
+    }
+  }
+  return ready;
+}
+
+void ScheduleNode(RunState& state, int32_t id);
+
+void NodeTask(RunState& state, int32_t id) {
+  std::vector<int32_t> ready = CompleteNode(state, id);
+  {
+    std::lock_guard<std::mutex> lock(state.done_mu);
+    state.outstanding += static_cast<int64_t>(ready.size()) - 1;
+    if (state.outstanding == 0) state.done_cv.notify_all();
+  }
+  for (int32_t next : ready) ScheduleNode(state, next);
+}
+
+void ScheduleNode(RunState& state, int32_t id) {
+  state.pool->Submit([&state, id] { NodeTask(state, id); });
+}
+
+void FillStats(const RunState& state, const CompiledPlan& plan,
+               engine::ExecStats* stats) {
+  stats->cse_hits = plan.cse_hits;
+  stats->plan_nodes = static_cast<int64_t>(plan.nodes.size());
+  std::map<std::string, engine::OpTiming> by_op;
+  std::vector<double> span(plan.nodes.size(), 0.0);
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    const double secs = state.node_seconds[i];
+    double input_span = 0.0;
+    for (int32_t in : node.inputs) {
+      input_span = std::max(input_span, span[static_cast<size_t>(in)]);
+    }
+    span[i] = input_span + secs;
+    if (node.kernel == KernelKind::kLoad ||
+        node.kernel == KernelKind::kScalarConst) {
+      continue;
+    }
+    ++stats->operators;
+    stats->intermediate_nnz += state.node_nnz[i];
+    stats->total_operator_seconds += secs;
+    engine::OpTiming& t = by_op[la::OpName(node.op)];
+    t.op = la::OpName(node.op);
+    ++t.count;
+    t.seconds += secs;
+  }
+  stats->critical_path_seconds =
+      plan.root >= 0 ? span[static_cast<size_t>(plan.root)] : 0.0;
+  stats->op_timings.reserve(by_op.size());
+  for (auto& [name, timing] : by_op) stats->op_timings.push_back(timing);
+  std::sort(stats->op_timings.begin(), stats->op_timings.end(),
+            [](const engine::OpTiming& a, const engine::OpTiming& b) {
+              return a.seconds > b.seconds;
+            });
+}
+
+}  // namespace
+
+Result<Matrix> Scheduler::Run(const CompiledPlan& plan,
+                              const engine::Workspace& workspace,
+                              engine::ExecStats* stats) const {
+  Timer timer;
+  if (plan.root < 0 || plan.nodes.empty()) {
+    return Status::InvalidArgument("empty plan");
+  }
+  RunState state(plan.nodes.size());
+  state.plan = &plan;
+  state.pool = pool_;
+  state.collect_stats = stats != nullptr;
+
+  // Resolve loads up front (borrowed views, no copy) and wire counters.
+  std::vector<int32_t> initial_ready;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    state.pending[i].store(static_cast<int>(node.inputs.size()),
+                           std::memory_order_relaxed);
+    state.consumers_left[i].store(static_cast<int>(node.consumers.size()),
+                                  std::memory_order_relaxed);
+    if (node.kernel == KernelKind::kLoad) {
+      HADAD_ASSIGN_OR_RETURN(const Matrix* m,
+                             workspace.Get(node.expr->name()));
+      state.slots[i].view = m;
+    }
+  }
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    if (node.kernel == KernelKind::kLoad) {
+      // Already resolved: only propagate readiness to consumers.
+      for (int32_t consumer : node.consumers) {
+        if (state.pending[static_cast<size_t>(consumer)].fetch_sub(
+                1, std::memory_order_relaxed) == 1) {
+          initial_ready.push_back(consumer);
+        }
+      }
+    } else if (node.inputs.empty()) {
+      initial_ready.push_back(static_cast<int32_t>(i));
+    }
+  }
+
+  const bool parallel = pool_ != nullptr && pool_->worker_count() > 0;
+  if (!parallel) {
+    // Sequential: nodes are already in topological order.
+    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+      if (plan.nodes[i].kernel == KernelKind::kLoad) continue;
+      CompleteNode(state, static_cast<int32_t>(i));
+      if (state.failed.load(std::memory_order_relaxed)) break;
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(state.done_mu);
+      state.outstanding = static_cast<int64_t>(initial_ready.size());
+    }
+    // A plan whose root is a bare load has no tasks at all.
+    if (!initial_ready.empty()) {
+      for (int32_t id : initial_ready) ScheduleNode(state, id);
+      std::unique_lock<std::mutex> lock(state.done_mu);
+      state.done_cv.wait(lock, [&state] { return state.outstanding == 0; });
+    }
+  }
+
+  if (state.failed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(state.error_mu);
+    return state.error;
+  }
+  Slot& root_slot = state.slots[static_cast<size_t>(plan.root)];
+  HADAD_CHECK_MSG(root_slot.get() != nullptr,
+                  "scheduler finished without a root result");
+  // Move an owned root out; a bare-load root copies the workspace matrix.
+  Matrix result = root_slot.owned.has_value() ? std::move(*root_slot.owned)
+                                              : *root_slot.view;
+  if (stats != nullptr) {
+    stats->threads = pool_ == nullptr ? 1 : pool_->threads();
+    FillStats(state, plan, stats);
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return result;
+}
+
+}  // namespace hadad::exec

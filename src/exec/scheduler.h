@@ -1,0 +1,40 @@
+#ifndef HADAD_EXEC_SCHEDULER_H_
+#define HADAD_EXEC_SCHEDULER_H_
+
+#include "common/status.h"
+#include "engine/evaluator.h"
+#include "engine/workspace.h"
+#include "exec/plan.h"
+#include "exec/thread_pool.h"
+#include "matrix/matrix.h"
+
+namespace hadad::exec {
+
+// Executes a CompiledPlan over a workspace. Inter-operator parallelism:
+// every node carries a dependency count; when it drops to zero the node is
+// submitted to the pool, so independent subtrees run concurrently.
+// Intra-operator parallelism: the blocked kernels split their row range via
+// ThreadPool::ParallelFor. With a pool in inline mode (<= 1 thread) the DAG
+// runs sequentially in topological order — same kernels, same results.
+//
+// An intermediate is freed as soon as its last consumer finished, so peak
+// memory tracks the DAG frontier, not the whole plan.
+class Scheduler {
+ public:
+  explicit Scheduler(ThreadPool* pool) : pool_(pool) {}
+
+  // Runs `plan`; on success returns the root node's result. The first
+  // kernel error aborts the run (queued nodes finish, new ones are not
+  // scheduled) and is returned. When `stats` is set, fills the per-operator
+  // breakdown (op_timings, work/span, cse_hits, plan_nodes, threads).
+  Result<matrix::Matrix> Run(const CompiledPlan& plan,
+                             const engine::Workspace& workspace,
+                             engine::ExecStats* stats = nullptr) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace hadad::exec
+
+#endif  // HADAD_EXEC_SCHEDULER_H_

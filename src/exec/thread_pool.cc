@@ -1,0 +1,127 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace hadad::exec {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  threads_ = threads;
+  if (threads_ <= 1) return;  // Inline mode.
+  workers_.reserve(static_cast<size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    HADAD_CHECK_MSG(!stop_, "Submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+namespace {
+
+// Shared by the caller and any helper tasks of one ParallelFor. Heap-held
+// via shared_ptr: a helper task may start (and immediately find no chunk
+// left) after the caller already returned.
+struct ParallelForState {
+  int64_t n = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  std::function<void(int64_t, int64_t)> body;
+
+  std::atomic<int64_t> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int64_t done_chunks = 0;
+
+  // Claims and runs chunks until none remain; returns how many it ran.
+  int64_t Drain() {
+    int64_t ran = 0;
+    for (;;) {
+      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const int64_t begin = c * grain;
+      const int64_t end = std::min(n, begin + grain);
+      body(begin, end);
+      ++ran;
+    }
+    return ran;
+  }
+
+  void MarkDone(int64_t count) {
+    if (count == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    done_chunks += count;
+    if (done_chunks == num_chunks) cv.notify_all();
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(int64_t n, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  HADAD_CHECK_GT(grain, 0);
+  if (workers_.empty() || n <= grain) {
+    body(0, n);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = (n + grain - 1) / grain;
+  state->body = body;
+
+  // One helper per worker, capped at chunks-1 (the caller takes chunks too).
+  const int64_t helpers =
+      std::min<int64_t>(worker_count(), state->num_chunks - 1);
+  for (int64_t h = 0; h < helpers; ++h) {
+    Submit([state] { state->MarkDone(state->Drain()); });
+  }
+  state->MarkDone(state->Drain());
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&state] { return state->done_chunks == state->num_chunks; });
+}
+
+}  // namespace hadad::exec

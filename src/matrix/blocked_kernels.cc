@@ -1,0 +1,103 @@
+#include "matrix/blocked_kernels.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hadad::matrix {
+
+namespace {
+
+// Inner-dimension tile: kKTile rows of `b` (kKTile * cols doubles) are kept
+// hot while a chunk of output rows accumulates into them.
+constexpr int64_t kKTile = 256;
+
+void RunRange(const RangeRunner& runner, int64_t n,
+              const std::function<void(int64_t, int64_t)>& body) {
+  if (runner) {
+    runner(n, body);
+  } else {
+    body(0, n);
+  }
+}
+
+}  // namespace
+
+DenseMatrix MultiplyDenseBlocked(const DenseMatrix& a, const DenseMatrix& b,
+                                 const RangeRunner& runner) {
+  HADAD_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix out(a.rows(), b.cols());
+  const int64_t k = a.cols();
+  const int64_t m = b.cols();
+  RunRange(runner, a.rows(), [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t kk = 0; kk < k; kk += kKTile) {
+      const int64_t kend = std::min(k, kk + kKTile);
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        double* out_row = out.row(i);
+        const double* a_row = a.row(i);
+        for (int64_t p = kk; p < kend; ++p) {
+          const double av = a_row[p];
+          if (av == 0.0) continue;
+          const double* b_row = b.row(p);
+          for (int64_t j = 0; j < m; ++j) {
+            out_row[j] += av * b_row[j];
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+DenseMatrix MultiplyTransposedDenseBlocked(const DenseMatrix& a,
+                                           const DenseMatrix& b,
+                                           const RangeRunner& runner) {
+  HADAD_CHECK_EQ(a.rows(), b.rows());
+  DenseMatrix out(a.cols(), b.cols());
+  const int64_t k = a.rows();  // Shared dimension: rows of both inputs.
+  const int64_t m = b.cols();
+  RunRange(runner, a.cols(), [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t kk = 0; kk < k; kk += kKTile) {
+      const int64_t kend = std::min(k, kk + kKTile);
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        double* out_row = out.row(i);
+        for (int64_t p = kk; p < kend; ++p) {
+          const double av = a.At(p, i);
+          if (av == 0.0) continue;
+          const double* b_row = b.row(p);
+          for (int64_t j = 0; j < m; ++j) {
+            out_row[j] += av * b_row[j];
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+DenseMatrix MultiplySparseDenseParallel(const SparseMatrix& a,
+                                        const DenseMatrix& b,
+                                        const RangeRunner& runner) {
+  HADAD_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix out(a.rows(), b.cols());
+  const int64_t m = b.cols();
+  const auto& rptr = a.row_ptr();
+  const auto& cidx = a.col_idx();
+  const auto& vals = a.values();
+  RunRange(runner, a.rows(), [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      double* out_row = out.row(i);
+      for (int64_t p = rptr[static_cast<size_t>(i)];
+           p < rptr[static_cast<size_t>(i) + 1]; ++p) {
+        const double av = vals[static_cast<size_t>(p)];
+        const double* b_row = b.row(cidx[static_cast<size_t>(p)]);
+        for (int64_t j = 0; j < m; ++j) {
+          out_row[j] += av * b_row[j];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace hadad::matrix

@@ -1,0 +1,50 @@
+#ifndef HADAD_MATRIX_BLOCKED_KERNELS_H_
+#define HADAD_MATRIX_BLOCKED_KERNELS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "matrix/dense_matrix.h"
+#include "matrix/sparse_matrix.h"
+
+namespace hadad::matrix {
+
+// Partitioning hook the parallel kernels below use to split their row range:
+// runner(n, body) must invoke body(begin, end) over a disjoint cover of
+// [0, n), possibly concurrently (exec::ThreadPool::ParallelFor adapts to
+// this signature). A null runner means sequential: body(0, n).
+//
+// Every kernel assigns each output row to exactly one chunk and keeps its
+// per-row accumulation order independent of the partition, so results are
+// bit-for-bit identical at every thread count — and bit-for-bit identical
+// to the naive kernels in matrix.cc, which these supersede on large inputs.
+using RangeRunner =
+    std::function<void(int64_t n, const std::function<void(int64_t, int64_t)>&)>;
+
+// Recommended partition grain (rows per chunk) for these kernels. Callers
+// adapting a thread pool should split row ranges at multiples of this so
+// chunking stays independent of the worker count.
+inline constexpr int64_t kRowGrain = 64;
+
+// Cache-blocked, row-partitioned dense GEMM: out = a * b. Tiles the inner
+// (k) dimension so the active rows of `b` stay hot in cache while a block of
+// output rows is computed; parallelism partitions the output rows.
+DenseMatrix MultiplyDenseBlocked(const DenseMatrix& a, const DenseMatrix& b,
+                                 const RangeRunner& runner = nullptr);
+
+// Transpose-fused dense GEMM: out = t(a) * b without materializing t(a).
+// a is read row-wise (row p of `a` contributes a[p][i] to output row i), so
+// the fused kernel streams both inputs sequentially.
+DenseMatrix MultiplyTransposedDenseBlocked(const DenseMatrix& a,
+                                           const DenseMatrix& b,
+                                           const RangeRunner& runner = nullptr);
+
+// Row-parallel CSR SpMM: out = a * b with a sparse, b dense. Covers SpMV as
+// the b.cols() == 1 case. Each output row depends on one CSR row only.
+DenseMatrix MultiplySparseDenseParallel(const SparseMatrix& a,
+                                        const DenseMatrix& b,
+                                        const RangeRunner& runner = nullptr);
+
+}  // namespace hadad::matrix
+
+#endif  // HADAD_MATRIX_BLOCKED_KERNELS_H_

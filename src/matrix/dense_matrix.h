@@ -2,6 +2,7 @@
 #define HADAD_MATRIX_DENSE_MATRIX_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -13,15 +14,12 @@ namespace hadad::matrix {
 class DenseMatrix {
  public:
   DenseMatrix() : rows_(0), cols_(0) {}
-  DenseMatrix(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0) {
-    HADAD_CHECK_GE(rows, 0);
-    HADAD_CHECK_GE(cols, 0);
+  DenseMatrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+    data_.assign(CheckedCells(rows, cols), 0.0);
   }
   DenseMatrix(int64_t rows, int64_t cols, std::vector<double> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
-    HADAD_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+    HADAD_CHECK_EQ(data_.size(), CheckedCells(rows, cols));
   }
 
   DenseMatrix(const DenseMatrix&) = default;
@@ -64,6 +62,24 @@ class DenseMatrix {
 
   // Number of non-zero entries (exact count).
   int64_t CountNonZeros() const;
+
+  // Validates a rows x cols shape and returns its cell count. The product
+  // is formed in size_t (each factor cast *before* multiplying — the naive
+  // `rows * cols` overflows int64_t first on huge shapes, which is UB) and
+  // checked to fit, so every constructor rejects shapes whose cell count
+  // cannot be represented instead of silently allocating a wrapped size.
+  static size_t CheckedCells(int64_t rows, int64_t cols) {
+    HADAD_CHECK_GE(rows, 0);
+    HADAD_CHECK_GE(cols, 0);
+    const size_t cells = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+    HADAD_CHECK_MSG(
+        rows == 0 || (cells / static_cast<size_t>(rows) ==
+                          static_cast<size_t>(cols) &&
+                      cells <= static_cast<size_t>(
+                                   std::numeric_limits<int64_t>::max())),
+        "rows * cols overflows");
+    return cells;
+  }
 
   // True iff every cell differs from `other` by at most `tol`.
   bool ApproxEquals(const DenseMatrix& other, double tol = 1e-9) const;

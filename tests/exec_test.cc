@@ -1,0 +1,388 @@
+// Tests for the parallel physical execution engine (src/exec/): thread
+// pool, DAG compilation (CSE + kernel selection), scheduler equivalence
+// with the tree-walking evaluator, determinism across thread counts, and
+// the api::Session Threads() routing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "common/rng.h"
+#include "core/data.h"
+#include "core/workloads.h"
+#include "engine/evaluator.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "exec/thread_pool.h"
+#include "la/parser.h"
+#include "matrix/blocked_kernels.h"
+#include "matrix/generate.h"
+
+namespace hadad::exec {
+namespace {
+
+using engine::ExecOptions;
+using engine::ExecStats;
+using matrix::Matrix;
+
+la::ExprPtr Parse(const std::string& text) {
+  auto e = la::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return *e;
+}
+
+// Bit-for-bit equality on the dense view (ApproxEquals would mask
+// non-determinism).
+bool ExactlyEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  matrix::DenseMatrix da = a.ToDense();
+  matrix::DenseMatrix db = b.ToDense();
+  for (int64_t i = 0; i < da.size(); ++i) {
+    if (da.data()[i] != db.data()[i]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ResolvesThreadCounts) {
+  EXPECT_GE(ThreadPool(0).threads(), 1);
+  EXPECT_EQ(ThreadPool(1).threads(), 1);
+  EXPECT_EQ(ThreadPool(1).worker_count(), 0);  // Inline mode.
+  EXPECT_EQ(ThreadPool(4).threads(), 4);
+  EXPECT_EQ(ThreadPool(4).worker_count(), 4);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    constexpr int64_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, 7, [&hits](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        hits[static_cast<size_t>(i)].fetch_add(1);
+      }
+    });
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(8, 1, [&pool, &total](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      pool.ParallelFor(10, 2, [&total](int64_t b, int64_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked kernels: bit-identical to the naive kernels in matrix.cc.
+// ---------------------------------------------------------------------------
+
+TEST(BlockedKernelTest, MatchesNaiveKernelsBitForBit) {
+  Rng rng(7);
+  const Matrix a = matrix::RandomDense(rng, 137, 310);
+  const Matrix b = matrix::RandomDense(rng, 310, 71);
+  const Matrix naive = matrix::Multiply(a, b).value();
+
+  ThreadPool pool(4);
+  matrix::RangeRunner runner = [&pool](int64_t n,
+                                       const std::function<void(
+                                           int64_t, int64_t)>& body) {
+    pool.ParallelFor(n, matrix::kRowGrain, body);
+  };
+  const Matrix blocked_seq =
+      Matrix(matrix::MultiplyDenseBlocked(a.dense(), b.dense()));
+  const Matrix blocked_par =
+      Matrix(matrix::MultiplyDenseBlocked(a.dense(), b.dense(), runner));
+  EXPECT_TRUE(ExactlyEqual(naive, blocked_seq));
+  EXPECT_TRUE(ExactlyEqual(naive, blocked_par));
+
+  // Transpose-fused: t(a) * a against materialize-then-multiply.
+  const Matrix t_naive =
+      matrix::Multiply(matrix::Transpose(a), a).value();
+  const Matrix t_fused =
+      Matrix(matrix::MultiplyTransposedDenseBlocked(a.dense(), a.dense(),
+                                                    runner));
+  EXPECT_TRUE(ExactlyEqual(t_naive, t_fused));
+
+  // SpMM row-parallel against the sequential sparse-dense kernel.
+  const Matrix s = matrix::RandomSparse(rng, 200, 310, 0.05);
+  const Matrix spmm_naive = matrix::Multiply(s, b).value();
+  const Matrix spmm_par = Matrix(
+      matrix::MultiplySparseDenseParallel(s.sparse(), b.dense(), runner));
+  EXPECT_TRUE(ExactlyEqual(spmm_naive, spmm_par));
+}
+
+// ---------------------------------------------------------------------------
+// Plan compilation: CSE and kernel selection.
+// ---------------------------------------------------------------------------
+
+class CompileTest : public ::testing::Test {
+ protected:
+  CompileTest() {
+    Rng rng(3);
+    workspace_.Put("X", matrix::RandomDense(rng, 120, 90));
+    workspace_.Put("Y", matrix::RandomDense(rng, 90, 120));
+    workspace_.Put("S", matrix::RandomSparse(rng, 200, 90, 0.02));
+  }
+
+  CompiledPlan MustCompile(const std::string& text,
+                           const CompileOptions& options = {}) {
+    auto plan = Compile(Parse(text), workspace_, nullptr, options);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(plan).value();
+  }
+
+  // Kernel of the first node with the given op.
+  KernelKind KernelOf(const CompiledPlan& plan, la::OpKind op) {
+    for (const PlanNode& n : plan.nodes) {
+      if (n.op == op && n.kernel != KernelKind::kLoad) return n.kernel;
+    }
+    ADD_FAILURE() << "no node with op " << la::OpName(op);
+    return KernelKind::kGeneric;
+  }
+
+  engine::Workspace workspace_;
+};
+
+TEST_F(CompileTest, CseFoldsRepeatedSubtrees) {
+  // X %*% Y appears twice; the second occurrence folds (its subtree,
+  // leaves included, is never revisited).
+  CompiledPlan plan = MustCompile("(X %*% Y) + (X %*% Y)");
+  EXPECT_EQ(plan.cse_hits, 1);
+  // Nodes: X, Y, X%*%Y, add. The expression tree has 7.
+  EXPECT_EQ(plan.nodes.size(), 4u);
+  EXPECT_EQ(Parse("(X %*% Y) + (X %*% Y)")->TreeSize(), 7);
+}
+
+TEST_F(CompileTest, CseDisabledKeepsTreeShape) {
+  CompileOptions options;
+  options.enable_cse = false;
+  CompiledPlan plan = MustCompile("(X %*% Y) + (X %*% Y)", options);
+  EXPECT_EQ(plan.cse_hits, 0);
+  EXPECT_EQ(plan.nodes.size(), 7u);
+}
+
+TEST_F(CompileTest, SelectsBlockedGemmForLargeDenseProduct) {
+  CompiledPlan plan = MustCompile("X %*% Y");
+  EXPECT_EQ(KernelOf(plan, la::OpKind::kMultiply), KernelKind::kGemmBlocked);
+}
+
+TEST_F(CompileTest, SelectsSpmmForSparseLhs) {
+  CompiledPlan plan = MustCompile("S %*% Y");
+  EXPECT_EQ(KernelOf(plan, la::OpKind::kMultiply), KernelKind::kSpmm);
+}
+
+TEST_F(CompileTest, FusesTransposedLhs) {
+  CompiledPlan plan = MustCompile("t(X) %*% X");
+  EXPECT_EQ(KernelOf(plan, la::OpKind::kMultiply),
+            KernelKind::kGemmFusedTranspose);
+  // The transpose was not materialized as its own node.
+  for (const PlanNode& n : plan.nodes) {
+    EXPECT_NE(n.op, la::OpKind::kTranspose);
+  }
+}
+
+TEST_F(CompileTest, SmallProductsStayGeneric) {
+  CompileOptions options;
+  options.parallel_cell_threshold = 1 << 30;
+  CompiledPlan plan = MustCompile("X %*% Y", options);
+  EXPECT_EQ(KernelOf(plan, la::OpKind::kMultiply), KernelKind::kGeneric);
+}
+
+TEST_F(CompileTest, UnknownNameFails) {
+  auto plan = Compile(Parse("X %*% Missing"), workspace_, nullptr, {});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CompileTest, ShapeMismatchFails) {
+  auto plan = Compile(Parse("X + Y"), workspace_, nullptr, {});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kDimensionMismatch);
+}
+
+// ---------------------------------------------------------------------------
+// Execution equivalence with the tree-walking evaluator.
+// ---------------------------------------------------------------------------
+
+core::LaBenchConfig TestConfig() {
+  core::LaBenchConfig config;
+  config.n_a = 800;
+  config.n_m = 200;
+  config.k = 30;
+  config.n_c = 48;
+  config.n_r = 30;
+  config.x_rows = 300;
+  config.x_cols = 200;
+  return config;
+}
+
+TEST(ExecEquivalenceTest, MatchesSequentialAcrossBenchmarkPipelines) {
+  Rng rng(17);
+  engine::Workspace workspace = core::MakeLaBenchWorkspace(rng, TestConfig());
+  Executor executor(ExecOptions{.threads = 2});
+  int checked = 0;
+  for (const core::Pipeline& p : core::LaBenchmark()) {
+    la::ExprPtr expr = Parse(p.text);
+    Result<Matrix> sequential = engine::Execute(*expr, workspace);
+    Result<Matrix> parallel = executor.Run(expr, workspace);
+    ASSERT_EQ(sequential.ok(), parallel.ok()) << p.id;
+    if (!sequential.ok()) continue;
+    EXPECT_TRUE(sequential->ApproxEquals(*parallel, 1e-9))
+        << p.id << ": " << p.text;
+    ++checked;
+  }
+  EXPECT_GT(checked, 40);  // The benchmark defines 57 pipelines.
+}
+
+TEST(ExecEquivalenceTest, DeterministicAcrossThreadCounts) {
+  Rng rng(23);
+  engine::Workspace workspace;
+  workspace.Put("X", matrix::RandomDense(rng, 150, 130));
+  workspace.Put("Y", matrix::RandomDense(rng, 130, 150));
+  workspace.Put("S", matrix::RandomSparse(rng, 150, 150, 0.03));
+  const std::vector<std::string> cases = {
+      "(X %*% Y) %*% (X %*% Y)",
+      "t(X) %*% X",
+      "S %*% (X %*% Y)",
+      "colSums(X %*% Y) %*% rowSums(X %*% Y)",
+  };
+  for (const std::string& text : cases) {
+    la::ExprPtr expr = Parse(text);
+    Result<Matrix> baseline =
+        Executor(ExecOptions{.threads = 1}).Run(expr, workspace);
+    ASSERT_TRUE(baseline.ok()) << text << ": " << baseline.status().ToString();
+    for (int threads : {2, 4, 8}) {
+      Executor executor(ExecOptions{.threads = threads});
+      // Repeat: scheduling races would make results flap run to run.
+      for (int rep = 0; rep < 3; ++rep) {
+        Result<Matrix> out = executor.Run(expr, workspace);
+        ASSERT_TRUE(out.ok()) << text;
+        EXPECT_TRUE(ExactlyEqual(*baseline, *out))
+            << text << " at " << threads << " threads, rep " << rep;
+      }
+    }
+  }
+}
+
+TEST(ExecEquivalenceTest, ExecOptionsOverloadOfExecute) {
+  Rng rng(29);
+  engine::Workspace workspace;
+  workspace.Put("X", matrix::RandomDense(rng, 100, 80));
+  workspace.Put("Y", matrix::RandomDense(rng, 80, 100));
+  la::ExprPtr expr = Parse("(X %*% Y) + (X %*% Y)");
+
+  ExecStats stats;
+  Result<Matrix> parallel =
+      engine::Execute(*expr, workspace, ExecOptions{.threads = 4}, &stats);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  Result<Matrix> sequential = engine::Execute(*expr, workspace);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_TRUE(ExactlyEqual(*sequential, *parallel));
+
+  EXPECT_EQ(stats.threads, 4);
+  EXPECT_EQ(stats.cse_hits, 1);
+  EXPECT_EQ(stats.plan_nodes, 4);
+  EXPECT_EQ(stats.operators, 2);  // One shared product + one add.
+  EXPECT_FALSE(stats.op_timings.empty());
+  EXPECT_GE(stats.total_operator_seconds, stats.critical_path_seconds);
+  EXPECT_GT(stats.critical_path_seconds, 0.0);
+}
+
+TEST(ExecEquivalenceTest, ErrorsSurfaceAsStatusInParallelRuns) {
+  Rng rng(31);
+  engine::Workspace workspace;
+  workspace.Put("C", matrix::RandomDense(rng, 64, 64));
+  // A zero matrix: inv(Z) fails at runtime, mid-DAG.
+  workspace.Put("Z", Matrix(matrix::DenseMatrix(64, 64)));
+  la::ExprPtr expr = Parse("C %*% inv(Z)");
+  Executor executor(ExecOptions{.threads = 4});
+  Result<Matrix> out = executor.Run(expr, workspace);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotInvertible);
+}
+
+// ---------------------------------------------------------------------------
+// api::Session integration
+// ---------------------------------------------------------------------------
+
+TEST(SessionThreadsTest, ThreadsRoutesThroughDagEngine) {
+  Rng rng(41);
+  const Matrix x = matrix::RandomDense(rng, 150, 100);
+  const Matrix y = matrix::RandomDense(rng, 100, 150);
+
+  auto sequential =
+      api::SessionBuilder().Put("X", x).Put("Y", y).Build().value();
+  auto parallel = api::SessionBuilder()
+                      .Put("X", x)
+                      .Put("Y", y)
+                      .Threads(4)
+                      .Build()
+                      .value();
+  ASSERT_NE(parallel->executor(), nullptr);
+  EXPECT_EQ(parallel->executor()->threads(), 4);
+  EXPECT_EQ(sequential->executor(), nullptr);
+
+  const std::string text = "(X %*% Y) %*% (X %*% Y)";
+  ExecStats stats;
+  Result<Matrix> par = parallel->Run(text, &stats);
+  Result<Matrix> seq = sequential->Run(text);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  ASSERT_TRUE(seq.ok());
+  EXPECT_TRUE(ExactlyEqual(*seq, *par));
+  EXPECT_EQ(stats.threads, 4);
+  EXPECT_GT(stats.cse_hits, 0);
+
+  // PreparedQuery handles route through the same engine.
+  auto prepared = parallel->Prepare(text);
+  ASSERT_TRUE(prepared.ok());
+  ExecStats prep_stats;
+  Result<Matrix> via_prepared = prepared->Execute(&prep_stats);
+  ASSERT_TRUE(via_prepared.ok());
+  EXPECT_TRUE(ExactlyEqual(*seq, *via_prepared));
+  EXPECT_EQ(prep_stats.threads, 4);
+}
+
+TEST(SessionThreadsTest, ViewsResolveUnderDagEngine) {
+  Rng rng(43);
+  auto session = api::SessionBuilder()
+                     .Put("X", matrix::RandomDense(rng, 120, 80))
+                     .AddView("V", "t(X) %*% X")
+                     .Threads(2)
+                     .Build()
+                     .value();
+  Result<Matrix> out = session->Run("V %*% t(X)");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->rows(), 80);
+  EXPECT_EQ(out->cols(), 120);
+}
+
+}  // namespace
+}  // namespace hadad::exec

@@ -182,5 +182,14 @@ TEST(EdgeTest, AdjugateOfOneByOneIsOne) {
   EXPECT_DOUBLE_EQ(adj->ScalarValue(), 1.0);
 }
 
+TEST(EdgeDeathTest, DenseShapeProductOverflowIsCaught) {
+  // 2^33 x 2^33 cells overflow both int64_t and size_t; the constructor
+  // must trip its HADAD_CHECK instead of allocating a wrapped size.
+  const int64_t huge = int64_t{1} << 33;
+  EXPECT_DEATH(DenseMatrix(huge, huge), "overflow");
+  // A product that fits size_t but not int64_t is rejected too.
+  EXPECT_DEATH(DenseMatrix(int64_t{1} << 32, int64_t{1} << 31), "overflow");
+}
+
 }  // namespace
 }  // namespace hadad::matrix
