@@ -1,0 +1,150 @@
+// Adaptive materialized views: repeated-workload sweep. Three serving
+// configurations run the same query mix — pipelines sharing the expensive
+// subexpression t(X) %*% X:
+//
+//   cold    plain session: every Run() recomputes the pipeline (the plan
+//           cache only spares RW_find);
+//   warmed  AdaptiveViews session after the advisor observed the workload,
+//           materialized the hot subexpressions in the background, and the
+//           rewrites landed on them;
+//   oracle  a human pre-materialized the shared subexpression as a view at
+//           build time (the paper's hand-tuned V_exp setup).
+//
+// Results of every configuration are verified against the cold path at
+// 1e-9; the driver exits non-zero on a mismatch or if the warmed path is
+// not at least 1.5x faster than cold.
+//
+//   $ ./build/bench/bench_adaptive_views
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "matrix/generate.h"
+#include "views/adaptive.h"
+
+using namespace hadad;  // NOLINT
+
+namespace {
+
+constexpr int kQueries = 3;
+constexpr int kTimedRounds = 30;
+
+std::vector<std::string> QueryMix() {
+  std::vector<std::string> queries;
+  for (int k = 0; k < kQueries; ++k) {
+    queries.push_back("(t(X) %*% X) + R" + std::to_string(k));
+  }
+  return queries;
+}
+
+api::SessionBuilder MakeBuilder() {
+  Rng rng(42);
+  api::SessionBuilder builder;
+  builder.Put("X", matrix::RandomDense(rng, 1000, 50));
+  for (int k = 0; k < kQueries; ++k) {
+    builder.Put("R" + std::to_string(k), matrix::RandomDense(rng, 50, 50));
+  }
+  return builder;
+}
+
+// Runs the full mix kTimedRounds times; returns total seconds, or a
+// negative value on failure/mismatch.
+double TimedSweep(api::Session& session,
+                  const std::vector<std::string>& queries,
+                  const std::vector<matrix::Matrix>& expected) {
+  Timer timer;
+  for (int round = 0; round < kTimedRounds; ++round) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto result = session.Run(queries[q]);
+      if (!result.ok()) {
+        std::printf("run failed: %s\n", result.status().ToString().c_str());
+        return -1.0;
+      }
+      if (!result->ApproxEquals(expected[q], 1e-9)) {
+        std::printf("VERIFICATION FAILED for %s\n", queries[q].c_str());
+        return -1.0;
+      }
+    }
+  }
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> queries = QueryMix();
+
+  // Cold configuration doubles as the ground truth.
+  auto cold_session = MakeBuilder().Build().value();
+  std::vector<matrix::Matrix> expected;
+  for (const std::string& q : queries) {
+    auto r = cold_session->Run(q);
+    if (!r.ok()) {
+      std::printf("baseline failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(*r);
+  }
+  const double cold_s = TimedSweep(*cold_session, queries, expected);
+
+  // Warmed adaptive configuration: observe, materialize, re-serve.
+  views::AdaptiveOptions options;
+  options.budget_bytes = int64_t{64} << 20;
+  options.min_hits = 2;
+  auto adaptive_session = MakeBuilder().AdaptiveViews(options).Build().value();
+  for (int warm = 0; warm < 3; ++warm) {
+    for (const std::string& q : queries) {
+      if (!adaptive_session->Run(q).ok()) {
+        std::printf("warmup failed\n");
+        return 1;
+      }
+    }
+    // Let queued materializations land so the advisor reaches steady state
+    // before timing (background installs race warmup runs otherwise).
+    adaptive_session->WaitForAdaptiveViews();
+  }
+  const double warmed_s = TimedSweep(*adaptive_session, queries, expected);
+
+  // Oracle configuration: the shared subexpression pre-materialized by hand.
+  auto oracle_session =
+      MakeBuilder().AddView("G", "t(X) %*% X").Build().value();
+  const double oracle_s = TimedSweep(*oracle_session, queries, expected);
+
+  if (cold_s < 0 || warmed_s < 0 || oracle_s < 0) return 1;
+
+  const int runs = kTimedRounds * kQueries;
+  std::printf("== adaptive views: repeated-workload sweep "
+              "(%d queries x %d rounds, verified at 1e-9) ==\n",
+              kQueries, kTimedRounds);
+  std::printf("%-22s %12s %14s %10s\n", "configuration", "total[ms]",
+              "per-run[us]", "speedup");
+  auto row = [&](const char* name, double seconds) {
+    std::printf("%-22s %12.2f %14.1f %9.2fx\n", name, seconds * 1e3,
+                seconds * 1e6 / runs, seconds > 0 ? cold_s / seconds : 0.0);
+  };
+  row("cold (no views)", cold_s);
+  row("warmed (adaptive)", warmed_s);
+  row("oracle (hand views)", oracle_s);
+
+  api::SessionStats stats = adaptive_session->stats();
+  std::printf("\nadaptive store: %lld views created, %lld evicted, "
+              "%lld view-hit runs, %lld / %lld budget bytes\n",
+              static_cast<long long>(stats.adaptive_views_created),
+              static_cast<long long>(stats.adaptive_views_evicted),
+              static_cast<long long>(stats.adaptive_view_hit_runs),
+              static_cast<long long>(stats.adaptive_bytes_in_use),
+              static_cast<long long>(stats.adaptive_budget_bytes));
+
+  const double speedup = warmed_s > 0 ? cold_s / warmed_s : 0.0;
+  if (speedup < 1.5) {
+    std::printf("FAILED: warmed speedup %.2fx < 1.5x\n", speedup);
+    return 1;
+  }
+  std::printf("warmed-path speedup %.2fx (>= 1.5x required)\n", speedup);
+  return 0;
+}

@@ -2,7 +2,8 @@
 # CI entry points.
 #   ./scripts/ci.sh          tier-1 verify: configure, build, full ctest run
 #   ./scripts/ci.sh tsan     ThreadSanitizer build of the concurrency-bearing
-#                            targets (exec_test, session_test)
+#                            targets (exec_test, session_test, views_test)
+#   ./scripts/ci.sh asan     AddressSanitizer+UBSan build, full ctest run
 set -euxo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,12 +23,24 @@ case "$mode" in
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
       -DHADAD_BUILD_BENCHMARKS=OFF \
       -DHADAD_BUILD_EXAMPLES=OFF
-    cmake --build build-tsan -j --target exec_test session_test
+    cmake --build build-tsan -j --target exec_test session_test views_test
     ./build-tsan/tests/exec_test
     ./build-tsan/tests/session_test
+    ./build-tsan/tests/views_test
+    ;;
+  asan)
+    cmake -B build-asan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+      -DHADAD_BUILD_BENCHMARKS=OFF \
+      -DHADAD_BUILD_EXAMPLES=OFF
+    cmake --build build-asan -j
+    cd build-asan
+    ctest --output-on-failure -j
     ;;
   *)
-    echo "unknown mode: $mode (expected: tier1 | tsan)" >&2
+    echo "unknown mode: $mode (expected: tier1 | tsan | asan)" >&2
     exit 2
     ;;
 esac

@@ -15,12 +15,12 @@ namespace hadad::api {
 // ---------------------------------------------------------------------------
 
 Result<matrix::Matrix> PreparedQuery::Execute(engine::ExecStats* stats) const {
-  return session_->ExecuteExpr(plan_->rewrite.best, stats);
+  return session_->RunPlan(plan_, stats, /*original=*/false);
 }
 
 Result<matrix::Matrix> PreparedQuery::ExecuteOriginal(
     engine::ExecStats* stats) const {
-  return session_->ExecuteExpr(plan_->original, stats);
+  return session_->RunPlan(plan_, stats, /*original=*/true);
 }
 
 std::string PreparedQuery::Explain() const {
@@ -61,29 +61,42 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
     const std::string& text, bool* from_cache) const {
   HADAD_ASSIGN_OR_RETURN(la::ExprPtr expr, la::ParseExpression(text));
   std::string canonical = la::ToString(expr);
+  // Snapshot the view generation before optimizing: a view that lands
+  // mid-optimize leaves the plan stamped stale, so its next use re-derives.
+  const int64_t generation = view_generation_.load(std::memory_order_acquire);
   {
     std::shared_lock<std::shared_mutex> lock(cache_mu_);
     auto it = plan_cache_.find(canonical);
-    if (it != plan_cache_.end()) {
+    if (it != plan_cache_.end() && it->second->generation == generation) {
       ++cache_hits_;
       *from_cache = true;
       return it->second;
     }
   }
   ++cache_misses_;
-  // Optimize outside any lock: RW_find dominates, and concurrent misses on
-  // different expressions must not serialize.
-  HADAD_ASSIGN_OR_RETURN(pacb::RewriteResult rewrite,
-                         optimizer_->Optimize(expr));
+  // Optimize outside the cache lock: RW_find dominates, and concurrent
+  // misses on different expressions must not serialize. Adaptive sessions
+  // hold the state lock shared so views cannot be dropped mid-optimize.
+  Result<pacb::RewriteResult> rewrite = [&]() -> Result<pacb::RewriteResult> {
+    std::shared_lock<std::shared_mutex> state(views_mu_, std::defer_lock);
+    if (adaptive_ != nullptr) state.lock();
+    return optimizer_->Optimize(expr);
+  }();
+  if (!rewrite.ok()) return rewrite.status();
   auto plan = std::make_shared<PreparedPlan>();
   plan->canonical = std::move(canonical);
   plan->original = std::move(expr);
-  plan->rewrite = std::move(rewrite);
+  plan->rewrite = std::move(rewrite).value();
+  plan->generation = generation;
   ++prepares_;
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   // Two threads may have optimized the same expression concurrently; first
-  // insertion wins so every holder shares one plan.
-  auto [it, inserted] = plan_cache_.emplace(plan->canonical, plan);
+  // insertion wins so every holder shares one plan — unless ours was derived
+  // under a newer view generation, which supersedes the cached one.
+  auto [it, inserted] = plan_cache_.try_emplace(plan->canonical, plan);
+  if (!inserted && it->second->generation < plan->generation) {
+    it->second = plan;
+  }
   *from_cache = false;
   return it->second;
 }
@@ -95,9 +108,82 @@ Result<matrix::Matrix> Session::ExecuteExpr(const la::ExprPtr& expr,
     // Respect the engine profile (kSmart applies its internal rewrites
     // before execution), then hand the plan to the parallel DAG engine.
     HADAD_ASSIGN_OR_RETURN(la::ExprPtr planned, engine_->Plan(expr));
+    ++compiled_plans_;
     return executor_->Run(planned, workspace_, stats, &exec_catalog_);
   }
   return engine_->Run(expr, stats);
+}
+
+Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
+    const PreparedPlan& plan) const {
+  {
+    std::lock_guard<std::mutex> lock(plan.compile_mu);
+    if (plan.compiled != nullptr) return plan.compiled;
+  }
+  HADAD_ASSIGN_OR_RETURN(la::ExprPtr planned,
+                         engine_->Plan(plan.rewrite.best));
+  HADAD_ASSIGN_OR_RETURN(
+      exec::CompiledPlan compiled,
+      executor_->Compile(planned, workspace_, &exec_catalog_));
+  ++compiled_plans_;
+  std::lock_guard<std::mutex> lock(plan.compile_mu);
+  if (plan.compiled == nullptr) {
+    plan.compiled =
+        std::make_shared<const exec::CompiledPlan>(std::move(compiled));
+  }
+  return plan.compiled;
+}
+
+Result<matrix::Matrix> Session::RunPlan(
+    std::shared_ptr<const PreparedPlan> plan, engine::ExecStats* stats,
+    bool original) const {
+  const bool adaptive = adaptive_ != nullptr;
+  // A plan derived before the last view install/evict may miss the new view
+  // (or reference an evicted one): re-derive through the cache, bounded in
+  // case the view set keeps churning.
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0;; ++attempt) {
+    if (adaptive && !original &&
+        plan->generation != view_generation_.load(std::memory_order_acquire)) {
+      bool from_cache = false;
+      auto fresh = GetOrBuildPlan(plan->canonical, &from_cache);
+      if (fresh.ok()) plan = std::move(*fresh);
+    }
+    std::shared_lock<std::shared_mutex> state(views_mu_, std::defer_lock);
+    if (adaptive) state.lock();
+    // Under the shared lock the view set cannot move: a generation match
+    // means every view the rewrite references is installed.
+    const bool stale =
+        adaptive && !original &&
+        plan->generation != view_generation_.load(std::memory_order_acquire);
+    if (stale && attempt + 1 < kMaxAttempts) continue;
+    // Extreme-churn fallback: the original expression references only
+    // session-durable names, so it always executes.
+    const bool use_original = original || stale;
+
+    engine::ExecStats local_stats;
+    engine::ExecStats* exec_stats =
+        stats != nullptr ? stats
+                         : (adaptive && !original ? &local_stats : nullptr);
+    Result<matrix::Matrix> result = [&]() -> Result<matrix::Matrix> {
+      if (use_original) return ExecuteExpr(plan->original, exec_stats);
+      if (morpheus_ == nullptr && executor_ != nullptr) {
+        // Hit path for executor sessions: reuse the physical DAG cached in
+        // the plan instead of recompiling it.
+        auto compiled = GetOrCompile(*plan);
+        if (!compiled.ok()) return compiled.status();
+        return executor_->RunCompiled(**compiled, workspace_, exec_stats);
+      }
+      return ExecuteExpr(plan->rewrite.best, exec_stats);
+    }();
+
+    if (adaptive && !original && result.ok()) {
+      state.unlock();  // OnExecution takes the state lock itself.
+      adaptive_->OnExecution(
+          use_original ? plan->original : plan->rewrite.best, exec_stats);
+    }
+    return result;
+  }
 }
 
 Result<PreparedQuery> Session::Prepare(const std::string& text) const {
@@ -113,7 +199,11 @@ Result<matrix::Matrix> Session::Run(const std::string& text,
   HADAD_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
                          GetOrBuildPlan(text, &from_cache));
   ++runs_;
-  return ExecuteExpr(plan->rewrite.best, stats);
+  return RunPlan(std::move(plan), stats, /*original=*/false);
+}
+
+void Session::WaitForAdaptiveViews() const {
+  if (adaptive_ != nullptr) adaptive_->Drain();
 }
 
 SessionStats Session::stats() const {
@@ -122,6 +212,15 @@ SessionStats Session::stats() const {
   s.cache_hits = cache_hits_.load();
   s.cache_misses = cache_misses_.load();
   s.runs = runs_.load();
+  s.compiled_plans = compiled_plans_.load();
+  if (adaptive_ != nullptr) {
+    views::AdaptiveViewStats a = adaptive_->stats();
+    s.adaptive_views_created = a.views_created;
+    s.adaptive_views_evicted = a.views_evicted;
+    s.adaptive_view_hit_runs = a.view_hit_runs;
+    s.adaptive_bytes_in_use = a.bytes_in_use;
+    s.adaptive_budget_bytes = a.budget_bytes;
+  }
   return s;
 }
 
@@ -163,6 +262,19 @@ SessionBuilder& SessionBuilder::AddNormalizedMatrix(
 
 SessionBuilder& SessionBuilder::Threads(int n) {
   exec_threads_ = n;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::AdaptiveViews(int64_t budget_bytes,
+                                              int64_t min_hits) {
+  views::AdaptiveOptions options;
+  options.budget_bytes = budget_bytes;
+  options.min_hits = min_hits;
+  return AdaptiveViews(options);
+}
+
+SessionBuilder& SessionBuilder::AdaptiveViews(views::AdaptiveOptions options) {
+  adaptive_ = options;
   return *this;
 }
 
@@ -294,6 +406,31 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
     // Rebuild after view materialization so view leaves resolve without a
     // per-query workspace scan.
     session->exec_catalog_ = session->workspace_.BuildMetaCatalog();
+  }
+
+  if (adaptive_.has_value()) {
+    std::unique_ptr<cost::SparsityEstimator> advisor_estimator;
+    if (estimator_.has_value() && *estimator_ == pacb::EstimatorKind::kMnc) {
+      advisor_estimator = std::make_unique<cost::MncEstimator>();
+    } else {
+      advisor_estimator = std::make_unique<cost::NaiveMetadataEstimator>();
+    }
+    views::AdaptiveViewManager::Host host;
+    Session* raw = session.get();  // The manager is a member; never outlives.
+    host.workspace = &raw->workspace_;
+    host.optimizer = raw->optimizer_.get();
+    host.exec_catalog =
+        exec_threads_.has_value() ? &raw->exec_catalog_ : nullptr;
+    host.state_mu = &raw->views_mu_;
+    host.evaluate = [raw](const la::ExprPtr& def) -> Result<matrix::Matrix> {
+      if (raw->morpheus_ != nullptr) return raw->morpheus_->Run(def);
+      return engine::Execute(*def, raw->workspace_);
+    };
+    host.on_views_changed = [raw] {
+      raw->view_generation_.fetch_add(1, std::memory_order_release);
+    };
+    session->adaptive_ = std::make_unique<views::AdaptiveViewManager>(
+        std::move(host), *adaptive_, std::move(advisor_estimator));
   }
   return session;
 }

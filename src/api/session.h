@@ -21,6 +21,7 @@
 #include "morpheus/engine.h"
 #include "morpheus/normalized_matrix.h"
 #include "pacb/optimizer.h"
+#include "views/adaptive.h"
 
 namespace hadad::api {
 
@@ -28,12 +29,22 @@ class Session;
 
 // Counters a Session accumulates across Prepare()/Run() calls. `prepares`
 // counts optimizer invocations (each one pays RW_find); `cache_hits` counts
-// the Prepare()/Run() calls that reused a cached plan instead.
+// the Prepare()/Run() calls that reused a cached plan instead. The
+// `adaptive_*` fields mirror the adaptive-view subsystem (all zero unless
+// SessionBuilder::AdaptiveViews was called); `compiled_plans` counts
+// physical-DAG compilations (executor sessions only — the hit path reuses
+// the plan cached inside PreparedPlan instead of recompiling).
 struct SessionStats {
   int64_t prepares = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t runs = 0;
+  int64_t compiled_plans = 0;
+  int64_t adaptive_views_created = 0;
+  int64_t adaptive_views_evicted = 0;
+  int64_t adaptive_view_hit_runs = 0;
+  int64_t adaptive_bytes_in_use = 0;
+  int64_t adaptive_budget_bytes = 0;
 };
 
 // An immutable optimized plan: the parsed pipeline plus HADAD's rewriting of
@@ -42,6 +53,16 @@ struct PreparedPlan {
   std::string canonical;  // ToString(original): the plan-cache key.
   la::ExprPtr original;
   pacb::RewriteResult rewrite;
+  // View generation the optimizer saw. When the adaptive subsystem lands or
+  // evicts a view the session generation moves past this and the plan is
+  // re-derived on its next use (so rewrites can reach the new views).
+  int64_t generation = 0;
+
+  // Lazily compiled physical DAG of rewrite.best (executor sessions): built
+  // on first execution, reused afterwards so the hit path skips DAG
+  // recompilation. Guarded by compile_mu.
+  mutable std::mutex compile_mu;
+  mutable std::shared_ptr<const exec::CompiledPlan> compiled;
 };
 
 // A reusable optimized pipeline bound to its session. Parse + PACB rewrite
@@ -119,6 +140,15 @@ class Session : public std::enable_shared_from_this<Session> {
   // Non-null iff SessionBuilder::Threads was called; execution then routes
   // through the parallel DAG engine (src/exec/).
   const exec::Executor* executor() const { return executor_.get(); }
+  // Non-null iff SessionBuilder::AdaptiveViews was called.
+  const views::AdaptiveViewManager* adaptive() const {
+    return adaptive_.get();
+  }
+
+  // Blocks until queued adaptive-view materializations are installed.
+  // No-op without AdaptiveViews; tests and benchmarks use it to make the
+  // warmed state deterministic.
+  void WaitForAdaptiveViews() const;
 
   SessionStats stats() const;
   int64_t plan_cache_size() const;
@@ -129,11 +159,23 @@ class Session : public std::enable_shared_from_this<Session> {
   friend class PreparedQuery;
   Session() = default;
 
-  // Cache lookup by canonical text; on miss runs the optimizer and inserts.
+  // Cache lookup by canonical text; on miss (or when the cached plan
+  // predates the current view generation) runs the optimizer and inserts.
   Result<std::shared_ptr<const PreparedPlan>> GetOrBuildPlan(
       const std::string& text, bool* from_cache) const;
+  // Executes a prepared plan (rewrite.best, or `original` as stated),
+  // re-deriving it first when adaptive views moved the generation, and
+  // feeding the adaptive monitor afterwards.
+  Result<matrix::Matrix> RunPlan(std::shared_ptr<const PreparedPlan> plan,
+                                 engine::ExecStats* stats,
+                                 bool original) const;
+  // Raw single-expression execution; when the session is adaptive the
+  // caller must hold views_mu_ (shared).
   Result<matrix::Matrix> ExecuteExpr(const la::ExprPtr& expr,
                                      engine::ExecStats* stats) const;
+  // The cached physical DAG for plan.rewrite.best (compiles on first use).
+  Result<std::shared_ptr<const exec::CompiledPlan>> GetOrCompile(
+      const PreparedPlan& plan) const;
 
   engine::Workspace workspace_;
   std::unique_ptr<pacb::Optimizer> optimizer_;
@@ -141,7 +183,8 @@ class Session : public std::enable_shared_from_this<Session> {
   std::unique_ptr<morpheus::MorpheusEngine> morpheus_;
   std::unique_ptr<exec::Executor> executor_;
   // Frozen leaf metadata (shapes + exact nnz, views included) handed to the
-  // plan compiler so Execute never rescans the workspace.
+  // plan compiler so Execute never rescans the workspace. Adaptive sessions
+  // mutate it (under views_mu_) when views land or are evicted.
   la::MetaCatalog exec_catalog_;
 
   mutable std::shared_mutex cache_mu_;
@@ -151,6 +194,19 @@ class Session : public std::enable_shared_from_this<Session> {
   mutable std::atomic<int64_t> cache_hits_{0};
   mutable std::atomic<int64_t> cache_misses_{0};
   mutable std::atomic<int64_t> runs_{0};
+  mutable std::atomic<int64_t> compiled_plans_{0};
+
+  // Adaptive-view state. views_mu_ guards the mutable session state
+  // (workspace contents, optimizer views, exec_catalog_): execution and
+  // optimization take it shared, view install/evict takes it unique. Never
+  // write-locked without AdaptiveViews, so non-adaptive sessions keep their
+  // immutable-workspace behavior. view_generation_ increments on every
+  // view-set change; plans remember the generation they were derived under.
+  mutable std::shared_mutex views_mu_;
+  mutable std::atomic<int64_t> view_generation_{0};
+  // Declared last: destroyed first, joining background materializations
+  // while the state they touch is still alive.
+  std::unique_ptr<views::AdaptiveViewManager> adaptive_;
 };
 
 // Fluent configuration for a Session. Declare data, views, Morpheus joins,
@@ -197,6 +253,15 @@ class SessionBuilder {
   // with normalized (Morpheus) matrices keep the Morpheus engine regardless.
   SessionBuilder& Threads(int n);
 
+  // Turns on the adaptive materialized-view subsystem (src/views/): the
+  // session monitors executed plans, and subexpressions recomputed at least
+  // `min_hits` times are materialized in the background (within
+  // `budget_bytes`, with benefit-weighted eviction) and registered so later
+  // rewrites answer from them — exactly like user views, no query changes.
+  SessionBuilder& AdaptiveViews(int64_t budget_bytes, int64_t min_hits);
+  // Full control (materialization mode, store caps, sweep width).
+  SessionBuilder& AdaptiveViews(views::AdaptiveOptions options);
+
   // Sparsity estimator for the cost model γ (default: naive metadata).
   SessionBuilder& SetEstimator(pacb::EstimatorKind kind);
   // Execution profile (default: kNaive, run-as-stated).
@@ -226,6 +291,7 @@ class SessionBuilder {
   pacb::OptimizerOptions options_;
   std::optional<pacb::EstimatorKind> estimator_;
   std::optional<int> exec_threads_;
+  std::optional<views::AdaptiveOptions> adaptive_;
   engine::Profile profile_ = engine::Profile::kNaive;
   int64_t flag_detect_limit_ = 0;
   bool built_ = false;

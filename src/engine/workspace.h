@@ -23,6 +23,9 @@ class Workspace {
 
   bool Has(const std::string& name) const { return Find(name) != nullptr; }
 
+  // Removes `name`; false when absent. Used by adaptive-view eviction.
+  bool Erase(const std::string& name) { return data_.erase(name) > 0; }
+
   Result<const matrix::Matrix*> Get(const std::string& name) const {
     if (const matrix::Matrix* m = Find(name)) return m;
     return Status::NotFound("no matrix named '" + name + "' in workspace");

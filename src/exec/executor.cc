@@ -21,6 +21,12 @@ Result<matrix::Matrix> Executor::Run(const la::ExprPtr& expr,
                                      engine::ExecStats* stats,
                                      const la::MetaCatalog* catalog) const {
   HADAD_ASSIGN_OR_RETURN(CompiledPlan plan, Compile(expr, workspace, catalog));
+  return RunCompiled(plan, workspace, stats);
+}
+
+Result<matrix::Matrix> Executor::RunCompiled(
+    const CompiledPlan& plan, const engine::Workspace& workspace,
+    engine::ExecStats* stats) const {
   Scheduler scheduler(pool_.get());
   return scheduler.Run(plan, workspace, stats);
 }

@@ -42,6 +42,13 @@ class Executor {
                                const engine::Workspace& workspace,
                                const la::MetaCatalog* catalog = nullptr) const;
 
+  // Executes an already-compiled plan (api::PreparedQuery caches one per
+  // plan so the hit path skips DAG recompilation). The plan must have been
+  // compiled against a workspace whose referenced names still resolve.
+  Result<matrix::Matrix> RunCompiled(const CompiledPlan& plan,
+                                     const engine::Workspace& workspace,
+                                     engine::ExecStats* stats = nullptr) const;
+
  private:
   engine::ExecOptions options_;
   CompileOptions compile_options_;

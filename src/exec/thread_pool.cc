@@ -9,13 +9,13 @@
 
 namespace hadad::exec {
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, bool always_spawn) {
   if (threads <= 0) {
     unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 1 : static_cast<int>(hw);
   }
   threads_ = threads;
-  if (threads_ <= 1) return;  // Inline mode.
+  if (threads_ <= 1 && !always_spawn) return;  // Inline mode.
   workers_.reserve(static_cast<size_t>(threads_));
   for (int i = 0; i < threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

@@ -23,7 +23,11 @@ namespace hadad::exec {
 class ThreadPool {
  public:
   // `threads <= 0` resolves to std::thread::hardware_concurrency().
-  explicit ThreadPool(int threads);
+  // `always_spawn` forces spawning workers even at 1 thread, so Submit()
+  // runs tasks asynchronously — background services (the adaptive view
+  // materializer) need a real worker where query execution wants the
+  // inline fast path.
+  explicit ThreadPool(int threads, bool always_spawn = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -787,4 +787,14 @@ Result<Matrix> Cbind(const Matrix& a, const Matrix& b) {
   return Matrix(std::move(out));
 }
 
+int64_t ApproxBytes(const Matrix& a) {
+  if (a.is_dense()) {
+    return a.dense().size() * static_cast<int64_t>(sizeof(double));
+  }
+  const SparseMatrix& s = a.sparse();
+  const int64_t per_entry = sizeof(double) + sizeof(int64_t);
+  return s.nnz() * per_entry +
+         (s.rows() + 1) * static_cast<int64_t>(sizeof(int64_t));
+}
+
 }  // namespace hadad::matrix

@@ -150,6 +150,10 @@ Matrix ColVars(const Matrix& a);
 // Horizontal concatenation [A | B]; rows must match (used by Morpheus).
 Result<Matrix> Cbind(const Matrix& a, const Matrix& b);
 
+// Approximate resident payload size: dense cells, or the CSR value/index/
+// row-pointer arrays. The adaptive view store budgets against this.
+int64_t ApproxBytes(const Matrix& a);
+
 }  // namespace hadad::matrix
 
 #endif  // HADAD_MATRIX_MATRIX_H_

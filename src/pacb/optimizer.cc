@@ -532,10 +532,7 @@ Status Optimizer::AddView(const std::string& name,
       std::vector<chase::Constraint> constraints,
       la::EncodeViewConstraints(name, *definition, catalog_));
   catalog_[name] = est.output.shape;
-  views_.push_back(ViewDef{name, definition});
-  for (chase::Constraint& c : constraints) {
-    view_constraints_.push_back(std::move(c));
-  }
+  views_.push_back(ViewDef{name, definition, std::move(constraints)});
   return Status::OK();
 }
 
@@ -544,6 +541,17 @@ Status Optimizer::AddViewText(const std::string& name,
   HADAD_ASSIGN_OR_RETURN(la::ExprPtr def,
                          la::ParseExpression(definition_text));
   return AddView(name, def);
+}
+
+Status Optimizer::RemoveView(const std::string& name) {
+  auto it = std::find_if(views_.begin(), views_.end(),
+                         [&name](const ViewDef& v) { return v.name == name; });
+  if (it == views_.end()) {
+    return Status::NotFound("no view named '" + name + "' registered");
+  }
+  views_.erase(it);
+  catalog_.erase(name);
+  return Status::OK();
 }
 
 Status Optimizer::AddMorpheusJoin(const MorpheusJoinDecl& decl) {
@@ -566,8 +574,10 @@ void Optimizer::AddConstraints(std::vector<chase::Constraint> constraints) {
 Result<RewriteResult> Optimizer::Optimize(const la::ExprPtr& expr) const {
   auto estimator = MakeEstimator();
   std::vector<chase::Constraint> constraints = la::BuildMmc(options_.catalog);
-  for (const chase::Constraint& c : view_constraints_) {
-    constraints.push_back(c);
+  for (const ViewDef& v : views_) {
+    for (const chase::Constraint& c : v.constraints) {
+      constraints.push_back(c);
+    }
   }
   for (const chase::Constraint& c : extra_constraints_) {
     constraints.push_back(c);

@@ -28,10 +28,13 @@ struct OptimizerOptions {
 };
 
 // A materialized view: `name` is its scan name (how rewritings refer to it),
-// `definition` the LA expression it materializes.
+// `definition` the LA expression it materializes, `constraints` the view-IO
+// TGDs encoded from the definition (kept per view so RemoveView can retract
+// them).
 struct ViewDef {
   std::string name;
   la::ExprPtr definition;
+  std::vector<chase::Constraint> constraints;
 };
 
 // A Morpheus normalized-matrix declaration: matrix `m` is the PK-FK join of
@@ -72,6 +75,12 @@ class Optimizer {
   // Convenience: parse `definition_text` first.
   Status AddViewText(const std::string& name,
                      const std::string& definition_text);
+  // Unregisters a view added with AddView: drops its catalog entry and its
+  // view-IO constraints, so later Optimize() calls can no longer answer
+  // queries from it. NotFound when `name` is not a registered view. The
+  // adaptive view store calls this on eviction.
+  Status RemoveView(const std::string& name);
+  const std::vector<ViewDef>& views() const { return views_; }
 
   Status AddMorpheusJoin(const MorpheusJoinDecl& decl);
 
@@ -97,7 +106,6 @@ class Optimizer {
   la::MetaCatalog catalog_;
   OptimizerOptions options_;
   std::vector<ViewDef> views_;
-  std::vector<chase::Constraint> view_constraints_;
   std::vector<chase::Constraint> extra_constraints_;
   std::vector<MorpheusJoinDecl> morpheus_joins_;
   const cost::DataCatalog* data_ = nullptr;

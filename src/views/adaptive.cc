@@ -1,0 +1,249 @@
+#include "views/adaptive.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hadad::views {
+
+namespace {
+
+void CollectLeafNames(const la::Expr& e, std::set<std::string>* out) {
+  if (e.kind() == la::OpKind::kMatrixRef) {
+    out->insert(e.name());
+    return;
+  }
+  for (const la::ExprPtr& child : e.children()) {
+    CollectLeafNames(*child, out);
+  }
+}
+
+}  // namespace
+
+AdaptiveViewManager::AdaptiveViewManager(
+    Host host, AdaptiveOptions options,
+    std::unique_ptr<cost::SparsityEstimator> estimator)
+    : host_(std::move(host)),
+      options_(options),
+      advisor_(std::move(estimator)),
+      store_(host_.workspace, options.budget_bytes, options.max_views) {
+  if (!options_.synchronous) {
+    worker_ = std::make_unique<exec::ThreadPool>(1, /*always_spawn=*/true);
+  }
+}
+
+AdaptiveViewManager::~AdaptiveViewManager() {
+  // The pool destructor drains queued tasks; waiting here keeps the
+  // invariant explicit and surfaces a stuck task as a hang in the owner's
+  // destructor rather than a use-after-free.
+  Drain();
+}
+
+void AdaptiveViewManager::OnExecution(const la::ExprPtr& executed,
+                                      const engine::ExecStats* stats) {
+  if (executed == nullptr) return;
+  monitor_.Observe(executed, stats);
+
+  std::set<std::string> leaves;
+  CollectLeafNames(*executed, &leaves);
+  {
+    std::lock_guard<std::mutex> admin(admin_mu_);
+    ++hit_seq_;
+    bool any = false;
+    for (const std::string& name : leaves) {
+      if (!store_.ContainsName(name)) continue;
+      store_.RecordHit(name, hit_seq_);
+      any = true;
+    }
+    if (any) hit_runs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  MaybeScheduleMaterializations();
+}
+
+void AdaptiveViewManager::MaybeScheduleMaterializations() {
+  // Copy the exclusion state up front so the advisor's skip callback runs
+  // lock-free (state_mu is held shared while it scores; admin_mu_ must
+  // stay inner to it).
+  std::set<std::string> excluded_canonicals;
+  std::set<std::string> adaptive_names;
+  {
+    std::lock_guard<std::mutex> admin(admin_mu_);
+    // One materialization wave at a time: while any is in flight the sweep
+    // (snapshot + candidate scoring) is skipped outright, keeping the
+    // steady-state foreground overhead to this lock + check.
+    if (!pending_.empty()) return;
+    excluded_canonicals = failed_;
+    for (const auto& [name, v] : store_.views()) {
+      excluded_canonicals.insert(v.canonical);
+      adaptive_names.insert(name);
+    }
+  }
+
+  AdvisorOptions advisor_options;
+  advisor_options.min_hits = options_.min_hits;
+  advisor_options.max_recommendations = options_.max_candidates;
+  advisor_options.max_bytes = options_.budget_bytes;
+  auto skip = [&excluded_canonicals,
+               &adaptive_names](const SubexprStat& stat) {
+    if (excluded_canonicals.contains(stat.canonical)) return true;
+    // Views over adaptive views would chain eviction dependencies; keep
+    // every definition in terms of the session's durable names.
+    std::set<std::string> leaves;
+    CollectLeafNames(*stat.expr, &leaves);
+    for (const std::string& leaf : leaves) {
+      if (adaptive_names.contains(leaf)) return true;
+    }
+    return false;
+  };
+
+  std::vector<Recommendation> recs;
+  {
+    std::shared_lock<std::shared_mutex> state(*host_.state_mu);
+    recs = advisor_.Recommend(monitor_.Snapshot(), host_.optimizer->catalog(),
+                              &host_.workspace->data(), advisor_options, skip);
+  }
+
+  int scheduled = 0;
+  for (Recommendation& rec : recs) {
+    if (scheduled >= options_.max_views_per_sweep) break;
+    {
+      std::lock_guard<std::mutex> admin(admin_mu_);
+      if (pending_.contains(rec.canonical) ||
+          store_.ContainsCanonical(rec.canonical)) {
+        continue;  // Raced with another sweep.
+      }
+      pending_.insert(rec.canonical);
+    }
+    ++scheduled;
+    if (worker_ != nullptr) {
+      worker_->Submit([this, rec = std::move(rec)]() mutable {
+        MaterializeOne(std::move(rec));
+      });
+    } else {
+      MaterializeOne(std::move(rec));
+    }
+  }
+}
+
+void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
+  // Compute outside any exclusive lock: foreground queries keep running
+  // (they share the state lock) while the view value materializes.
+  Result<matrix::Matrix> value = [&]() -> Result<matrix::Matrix> {
+    std::shared_lock<std::shared_mutex> state(*host_.state_mu);
+    return host_.evaluate(rec.definition);
+  }();
+  if (!value.ok()) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    FinishPending(rec.canonical, /*failed=*/true);
+    return;
+  }
+
+  la::MatrixMeta value_meta;
+  value_meta.rows = value->rows();
+  value_meta.cols = value->cols();
+  value_meta.nnz = static_cast<double>(value->Nnz());
+  const int64_t bytes = matrix::ApproxBytes(*value);
+
+  bool changed = false;
+  bool installed = false;
+  {
+    std::unique_lock<std::shared_mutex> state(*host_.state_mu);
+    std::lock_guard<std::mutex> admin(admin_mu_);
+    std::vector<std::string> evict;
+    if (!store_.PlanAdmission(bytes, &evict)) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      for (const std::string& name : evict) {
+        if (!store_.Evict(name).ok()) continue;
+        (void)host_.optimizer->RemoveView(name);
+        if (host_.exec_catalog != nullptr) host_.exec_catalog->erase(name);
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+        changed = true;
+      }
+      const std::string name = NextViewName();
+      StoredView meta;
+      meta.name = name;
+      meta.canonical = rec.canonical;
+      meta.definition = rec.definition;
+      meta.bytes = bytes;
+      meta.benefit = rec.score;
+      meta.last_use = hit_seq_;
+      Status admitted = store_.Admit(std::move(meta), std::move(*value));
+      if (!admitted.ok()) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        Status registered = host_.optimizer->AddView(name, rec.definition);
+        if (!registered.ok()) {
+          (void)store_.Evict(name);
+          failures_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          if (host_.exec_catalog != nullptr) {
+            (*host_.exec_catalog)[name] = value_meta;
+          }
+          created_.fetch_add(1, std::memory_order_relaxed);
+          changed = true;
+          installed = true;
+        }
+      }
+    }
+    if (changed && host_.on_views_changed) host_.on_views_changed();
+  }
+  // Subtrees of the new view stop being recomputed once rewrites land on
+  // it; their accumulated counts would otherwise look like benefit. A
+  // rejected candidate's stats go too — its canonical is blacklisted, so
+  // keeping them would only waste monitor capacity.
+  monitor_.Forget(rec.definition);
+  FinishPending(rec.canonical, /*failed=*/!installed);
+}
+
+void AdaptiveViewManager::FinishPending(const std::string& canonical,
+                                        bool failed) {
+  {
+    std::lock_guard<std::mutex> admin(admin_mu_);
+    pending_.erase(canonical);
+    if (failed) failed_.insert(canonical);
+  }
+  drain_cv_.notify_all();
+}
+
+std::string AdaptiveViewManager::NextViewName() {
+  // Caller holds both the unique state lock (workspace reads) and
+  // admin_mu_ (name_seq_).
+  for (;;) {
+    std::string name = "av_" + std::to_string(name_seq_++);
+    if (!host_.workspace->Has(name)) return name;
+  }
+}
+
+void AdaptiveViewManager::Drain() {
+  std::unique_lock<std::mutex> admin(admin_mu_);
+  drain_cv_.wait(admin, [this] { return pending_.empty(); });
+}
+
+AdaptiveViewStats AdaptiveViewManager::stats() const {
+  AdaptiveViewStats s;
+  s.views_created = created_.load(std::memory_order_relaxed);
+  s.views_evicted = evicted_.load(std::memory_order_relaxed);
+  s.view_hit_runs = hit_runs_.load(std::memory_order_relaxed);
+  s.materialize_failures = failures_.load(std::memory_order_relaxed);
+  s.budget_bytes = options_.budget_bytes;
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  s.bytes_in_use = store_.bytes_in_use();
+  s.pending = static_cast<int64_t>(pending_.size());
+  return s;
+}
+
+std::vector<StoredView> AdaptiveViewManager::StoredViews() const {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  std::vector<StoredView> out;
+  out.reserve(store_.views().size());
+  for (const auto& [name, v] : store_.views()) out.push_back(v);
+  return out;
+}
+
+bool AdaptiveViewManager::IsAdaptiveViewName(const std::string& name) const {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  return store_.ContainsName(name);
+}
+
+}  // namespace hadad::views

@@ -1,0 +1,146 @@
+#ifndef HADAD_VIEWS_ADAPTIVE_H_
+#define HADAD_VIEWS_ADAPTIVE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/estimator.h"
+#include "engine/workspace.h"
+#include "exec/thread_pool.h"
+#include "la/expr.h"
+#include "matrix/matrix.h"
+#include "pacb/optimizer.h"
+#include "views/advisor.h"
+#include "views/view_store.h"
+#include "views/workload_monitor.h"
+
+namespace hadad::views {
+
+struct AdaptiveOptions {
+  // Byte budget for all adaptively materialized views together; the store
+  // never exceeds it (eviction runs before admission).
+  int64_t budget_bytes = int64_t{256} << 20;
+  // Executions of a subexpression before it becomes a candidate.
+  int64_t min_hits = 3;
+  // At most this many materializations are queued per advisor sweep (one
+  // sweep runs after each observed execution, skipped while one is
+  // already in flight).
+  int max_views_per_sweep = 1;
+  // Entry-count cap for the store (each view extends the rewrite search).
+  size_t max_views = 16;
+  // Candidates the advisor ranks per sweep.
+  size_t max_candidates = 4;
+  // Materialize inline inside OnExecution instead of on the background
+  // worker — deterministic single-threaded behavior for tests.
+  bool synchronous = false;
+};
+
+struct AdaptiveViewStats {
+  int64_t views_created = 0;
+  int64_t views_evicted = 0;
+  // Executions whose plan scanned at least one adaptive view.
+  int64_t view_hit_runs = 0;
+  int64_t materialize_failures = 0;
+  int64_t bytes_in_use = 0;
+  int64_t budget_bytes = 0;
+  int64_t pending = 0;  // Materializations queued or in flight.
+};
+
+// Closes the loop from observed workload to rewrite-usable views: monitors
+// executed plans, asks the advisor for candidates, materializes winners in
+// the background, and installs them into the host's workspace + optimizer
+// so subsequent rewrites can answer from them — with budgeted eviction
+// keeping the store bounded.
+//
+// Locking contract: `host.state_mu` guards the host's workspace, optimizer,
+// and exec catalog. The manager takes it shared to evaluate definitions and
+// score candidates, and unique to install/evict views. Callers must NOT
+// hold it when invoking OnExecution. `host.on_views_changed` is called
+// (under the unique lock) whenever the view set changes; hosts use it to
+// invalidate cached plans (api::Session bumps its view generation).
+class AdaptiveViewManager {
+ public:
+  struct Host {
+    engine::Workspace* workspace = nullptr;
+    pacb::Optimizer* optimizer = nullptr;
+    // Optional: the host's frozen leaf-metadata catalog for the exec plan
+    // compiler; installed/evicted views are mirrored into it.
+    la::MetaCatalog* exec_catalog = nullptr;
+    std::shared_mutex* state_mu = nullptr;
+    // Evaluates a view definition over the host's data (called under the
+    // shared state lock; must not take state_mu itself).
+    std::function<Result<matrix::Matrix>(const la::ExprPtr&)> evaluate;
+    // View-set change notification, called under the unique state lock.
+    std::function<void()> on_views_changed;
+  };
+
+  // `estimator` drives advisor scoring (nullptr = naive metadata).
+  AdaptiveViewManager(Host host, AdaptiveOptions options,
+                      std::unique_ptr<cost::SparsityEstimator> estimator);
+  // Drains in-flight materializations before destruction.
+  ~AdaptiveViewManager();
+
+  AdaptiveViewManager(const AdaptiveViewManager&) = delete;
+  AdaptiveViewManager& operator=(const AdaptiveViewManager&) = delete;
+
+  // Feeds one executed plan into the monitor, credits view hits, and — when
+  // a candidate crosses min_hits — queues its background materialization.
+  void OnExecution(const la::ExprPtr& executed,
+                   const engine::ExecStats* stats);
+
+  // Blocks until every queued materialization has been installed (or
+  // failed). Foreground queries never need this; tests and benchmarks use
+  // it to make warm-up deterministic.
+  void Drain();
+
+  AdaptiveViewStats stats() const;
+  // Current adaptive views, deterministically ordered by name.
+  std::vector<StoredView> StoredViews() const;
+  bool IsAdaptiveViewName(const std::string& name) const;
+  const AdaptiveOptions& options() const { return options_; }
+
+ private:
+  void MaybeScheduleMaterializations();
+  void MaterializeOne(Recommendation rec);
+  void FinishPending(const std::string& canonical, bool failed);
+  std::string NextViewName();
+
+  const Host host_;
+  const AdaptiveOptions options_;
+  WorkloadMonitor monitor_;
+  ViewAdvisor advisor_;
+
+  // Guards store_, pending_, and name_seq_. Ordering: state_mu (outer)
+  // before admin_mu_ (inner); never the reverse.
+  mutable std::mutex admin_mu_;
+  std::condition_variable drain_cv_;
+  ViewStore store_;
+  std::set<std::string> pending_;  // Canonical texts queued or in flight.
+  // Canonicals whose materialization failed (evaluation error or over
+  // budget): never re-queued, so a doomed candidate cannot thrash.
+  std::set<std::string> failed_;
+  int64_t name_seq_ = 0;
+  int64_t hit_seq_ = 0;
+
+  std::atomic<int64_t> created_{0};
+  std::atomic<int64_t> evicted_{0};
+  std::atomic<int64_t> hit_runs_{0};
+  std::atomic<int64_t> failures_{0};
+
+  // Single background worker; null in synchronous mode. Declared last so
+  // its destructor joins in-flight tasks while everything above is alive.
+  std::unique_ptr<exec::ThreadPool> worker_;
+};
+
+}  // namespace hadad::views
+
+#endif  // HADAD_VIEWS_ADAPTIVE_H_

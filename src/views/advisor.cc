@@ -1,0 +1,89 @@
+#include "views/advisor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hadad::views {
+
+namespace {
+
+bool ReferencesAnyMatrix(const la::Expr& e) {
+  if (e.kind() == la::OpKind::kMatrixRef) return true;
+  for (const la::ExprPtr& child : e.children()) {
+    if (ReferencesAnyMatrix(*child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double EstimateBytes(const cost::ClassMeta& meta) {
+  const double cells = meta.shape.Cells();
+  const double nnz = meta.shape.NnzOrDense();
+  const double dense_bytes = cells * 8.0;
+  // CSR: value + column index per non-zero, plus the row-pointer array.
+  const double sparse_bytes =
+      nnz * 16.0 + (static_cast<double>(meta.shape.rows) + 1.0) * 8.0;
+  return (cells > 0 && nnz / cells < 0.5) ? sparse_bytes : dense_bytes;
+}
+
+ViewAdvisor::ViewAdvisor(std::unique_ptr<cost::SparsityEstimator> estimator)
+    : estimator_(std::move(estimator)) {
+  if (estimator_ == nullptr) {
+    estimator_ = std::make_unique<cost::NaiveMetadataEstimator>();
+  }
+}
+
+std::vector<Recommendation> ViewAdvisor::Recommend(
+    const std::vector<SubexprStat>& observed, const la::MetaCatalog& catalog,
+    const cost::DataCatalog* data, const AdvisorOptions& options,
+    const std::function<bool(const SubexprStat&)>& skip) const {
+  std::vector<Recommendation> recs;
+  for (const SubexprStat& stat : observed) {
+    if (stat.hits < options.min_hits) continue;
+    if (stat.expr == nullptr || stat.expr->is_leaf()) continue;
+    // A view of pure scalar arithmetic saves nothing worth storing.
+    if (!ReferencesAnyMatrix(*stat.expr)) continue;
+    if (skip != nullptr && skip(stat)) continue;
+
+    auto est = cost::EstimateExpression(*stat.expr, catalog, *estimator_,
+                                        data);
+    if (!est.ok()) continue;  // Shape moved under us; not a candidate.
+
+    Recommendation rec;
+    rec.canonical = stat.canonical;
+    rec.definition = stat.expr;
+    rec.hits = stat.hits;
+    // Recompute estimate: intermediates (γ) plus producing the output
+    // itself — reading a materialized view pays neither.
+    rec.est_recompute_cost = est->cost + est->output.SizeEstimate();
+    rec.est_bytes = EstimateBytes(est->output);
+    if (options.max_bytes > 0 &&
+        rec.est_bytes > static_cast<double>(options.max_bytes)) {
+      continue;
+    }
+    rec.measured_seconds_per_hit =
+        stat.hits > 0 ? stat.measured_seconds / static_cast<double>(stat.hits)
+                      : 0.0;
+    // Benefit per execution: prefer the measured signal; fall back to the
+    // size-based estimate when the engine reported no timings. Either way
+    // the unit is consistent across one session's candidates.
+    const double per_hit = rec.measured_seconds_per_hit > 0.0
+                               ? rec.measured_seconds_per_hit
+                               : rec.est_recompute_cost;
+    rec.score = static_cast<double>(rec.hits) * per_hit /
+                std::max(1.0, rec.est_bytes);
+    recs.push_back(std::move(rec));
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.canonical < b.canonical;
+            });
+  if (recs.size() > options.max_recommendations) {
+    recs.resize(options.max_recommendations);
+  }
+  return recs;
+}
+
+}  // namespace hadad::views

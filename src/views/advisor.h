@@ -1,0 +1,73 @@
+#ifndef HADAD_VIEWS_ADVISOR_H_
+#define HADAD_VIEWS_ADVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/estimator.h"
+#include "la/expr.h"
+#include "views/workload_monitor.h"
+
+namespace hadad::views {
+
+struct AdvisorOptions {
+  // A subexpression must have been executed at least this often to qualify.
+  int64_t min_hits = 3;
+  // Ranked recommendations returned per call.
+  size_t max_recommendations = 4;
+  // Candidates whose estimated materialized size exceeds this are skipped
+  // outright (<= 0 disables the check).
+  int64_t max_bytes = 0;
+};
+
+// One advisor-ranked materialization candidate.
+struct Recommendation {
+  std::string canonical;   // Canonical definition text (plan-cache form).
+  la::ExprPtr definition;
+  int64_t hits = 0;
+  // γ-based recomputation estimate (intermediates + output, in estimated
+  // non-zeros) from cost::Estimator over the session catalog.
+  double est_recompute_cost = 0.0;
+  // Estimated materialized size, from the estimator's output ClassMeta.
+  double est_bytes = 0.0;
+  // Observed per-execution seconds (0 when the engine reports no timings).
+  double measured_seconds_per_hit = 0.0;
+  // Ranking key: frequency x per-recompute benefit per materialized byte.
+  double score = 0.0;
+};
+
+// Scores WorkloadMonitor statistics into a ranked recommendation set:
+// benefit is the estimated recomputation cost (measured seconds when the
+// DAG engine reported op timings, else the γ estimate) times observed
+// frequency, weighed against the estimated materialized size. Ranking is
+// deterministic for identical inputs: ties fall to canonical text.
+class ViewAdvisor {
+ public:
+  // `estimator` scores candidates (nullptr falls back to the naive
+  // metadata estimator).
+  explicit ViewAdvisor(std::unique_ptr<cost::SparsityEstimator> estimator);
+
+  // `catalog`/`data` describe the session's current leaves (views
+  // included); `skip` filters candidates the caller already materialized
+  // or queued — return true to drop the candidate.
+  std::vector<Recommendation> Recommend(
+      const std::vector<SubexprStat>& observed, const la::MetaCatalog& catalog,
+      const cost::DataCatalog* data, const AdvisorOptions& options,
+      const std::function<bool(const SubexprStat&)>& skip = nullptr) const;
+
+ private:
+  std::unique_ptr<cost::SparsityEstimator> estimator_;
+};
+
+// Estimated resident bytes of a matrix with metadata `meta` (CSR when the
+// estimated density is below 0.5, dense otherwise) — the admission-control
+// counterpart of matrix::ApproxBytes.
+double EstimateBytes(const cost::ClassMeta& meta);
+
+}  // namespace hadad::views
+
+#endif  // HADAD_VIEWS_ADVISOR_H_

@@ -1,0 +1,80 @@
+#ifndef HADAD_VIEWS_VIEW_STORE_H_
+#define HADAD_VIEWS_VIEW_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/view_catalog.h"
+#include "engine/workspace.h"
+#include "la/expr.h"
+#include "matrix/matrix.h"
+
+namespace hadad::views {
+
+// Bookkeeping for one adaptively materialized view.
+struct StoredView {
+  std::string name;       // Workspace/scan name (e.g. "av_3").
+  std::string canonical;  // Canonical definition text.
+  la::ExprPtr definition;
+  int64_t bytes = 0;      // Actual matrix::ApproxBytes of the value.
+  double benefit = 0.0;   // Advisor score at admission.
+  int64_t hits = 0;       // Executed plans that scanned this view.
+  int64_t last_use = 0;   // Monotone sequence number of the last hit.
+};
+
+// A byte-budgeted store of adaptively materialized views wrapping
+// engine::ViewCatalog (which does the workspace bookkeeping). Admission
+// never exceeds the budget: PlanAdmission picks evictions — lowest
+// benefit-weighted-LRU retention first — and fails when even a full sweep
+// cannot make room. Not thread-safe; the AdaptiveViewManager serializes
+// access under its host's state lock.
+class ViewStore {
+ public:
+  // `max_views` additionally caps the entry count (each view adds rewrite-
+  // search constraints, so unbounded counts would tax RW_find).
+  ViewStore(engine::Workspace* workspace, int64_t budget_bytes,
+            size_t max_views = 16);
+
+  int64_t budget_bytes() const { return budget_bytes_; }
+  int64_t bytes_in_use() const { return catalog_.total_bytes(); }
+  size_t size() const { return views_.size(); }
+
+  bool ContainsCanonical(const std::string& canonical) const;
+  bool ContainsName(const std::string& name) const;
+  // Deterministically ordered (by name).
+  const std::map<std::string, StoredView>& views() const { return views_; }
+
+  // Chooses the evictions required to admit `bytes` more: fills `evict`
+  // (possibly empty) and returns true, or returns false when the candidate
+  // cannot fit even with every current view evicted. Eviction order is
+  // ascending retention = benefit x (1 + hits) / bytes, ties to least
+  // recently used, then name.
+  bool PlanAdmission(int64_t bytes, std::vector<std::string>* evict) const;
+
+  // Installs an already-materialized value under `meta.name` (value bytes
+  // are measured here, overriding meta.bytes). Fails if the name is taken
+  // or admission would exceed the budget — call PlanAdmission + Evict
+  // first.
+  Status Admit(StoredView meta, matrix::Matrix value);
+
+  // Drops `name` from the store, the catalog, and the workspace.
+  Status Evict(const std::string& name);
+
+  // Records that an executed plan scanned `name` (no-op for unknown names).
+  void RecordHit(const std::string& name, int64_t sequence);
+
+ private:
+  double Retention(const StoredView& v) const;
+
+  int64_t budget_bytes_;
+  size_t max_views_;
+  engine::ViewCatalog catalog_;
+  std::map<std::string, StoredView> views_;
+};
+
+}  // namespace hadad::views
+
+#endif  // HADAD_VIEWS_VIEW_STORE_H_

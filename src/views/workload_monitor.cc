@@ -1,0 +1,104 @@
+#include "views/workload_monitor.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace hadad::views {
+
+namespace {
+
+// Sums the per-operator average seconds over every operator node of `e`.
+double AttributeSeconds(
+    const la::Expr& e,
+    const std::unordered_map<std::string, double>& avg_op_seconds) {
+  if (e.is_leaf()) return 0.0;
+  double total = 0.0;
+  auto it = avg_op_seconds.find(la::OpName(e.kind()));
+  if (it != avg_op_seconds.end()) total += it->second;
+  for (const la::ExprPtr& child : e.children()) {
+    total += AttributeSeconds(*child, avg_op_seconds);
+  }
+  return total;
+}
+
+// Collects each distinct non-leaf subtree (by canonical text) once.
+void CollectSubtrees(const la::ExprPtr& e,
+                     std::map<std::string, la::ExprPtr>* out) {
+  if (e->is_leaf()) return;
+  out->emplace(la::ToString(e), e);
+  for (const la::ExprPtr& child : e->children()) {
+    CollectSubtrees(child, out);
+  }
+}
+
+}  // namespace
+
+void WorkloadMonitor::Observe(const la::ExprPtr& executed,
+                              const engine::ExecStats* stats) {
+  if (executed == nullptr) return;
+  std::unordered_map<std::string, double> avg_op_seconds;
+  if (stats != nullptr) {
+    for (const engine::OpTiming& t : stats->op_timings) {
+      if (t.count > 0) avg_op_seconds[t.op] = t.seconds / t.count;
+    }
+  }
+  std::map<std::string, la::ExprPtr> subtrees;
+  CollectSubtrees(executed, &subtrees);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++runs_;
+  for (auto& [canonical, expr] : subtrees) {
+    auto it = stats_.find(canonical);
+    if (it == stats_.end()) {
+      if (stats_.size() >= max_tracked_) {
+        // Replace a cold singleton so a burst of one-off forms cannot
+        // permanently blind the advisor; repeated forms (hits > 1) stay.
+        auto victim =
+            std::find_if(stats_.begin(), stats_.end(),
+                         [](const auto& kv) { return kv.second.hits <= 1; });
+        if (victim == stats_.end()) continue;
+        stats_.erase(victim);
+      }
+      it = stats_.emplace(canonical, SubexprStat{canonical, expr, 0, 0.0})
+               .first;
+    }
+    it->second.hits += 1;
+    it->second.measured_seconds += AttributeSeconds(*expr, avg_op_seconds);
+  }
+}
+
+std::vector<SubexprStat> WorkloadMonitor::Snapshot() const {
+  std::vector<SubexprStat> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(stats_.size());
+    for (const auto& [canonical, stat] : stats_) out.push_back(stat);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SubexprStat& a, const SubexprStat& b) {
+              return a.canonical < b.canonical;
+            });
+  return out;
+}
+
+void WorkloadMonitor::Forget(const la::ExprPtr& root) {
+  if (root == nullptr) return;
+  std::map<std::string, la::ExprPtr> subtrees;
+  CollectSubtrees(root, &subtrees);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [canonical, expr] : subtrees) stats_.erase(canonical);
+}
+
+int64_t WorkloadMonitor::observed_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_;
+}
+
+void WorkloadMonitor::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+  runs_ = 0;
+}
+
+}  // namespace hadad::views

@@ -1,0 +1,72 @@
+#ifndef HADAD_VIEWS_WORKLOAD_MONITOR_H_
+#define HADAD_VIEWS_WORKLOAD_MONITOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/evaluator.h"
+#include "la/expr.h"
+
+namespace hadad::views {
+
+// One canonical subexpression observed across the session's executed plans.
+struct SubexprStat {
+  // The plan-cache canonical form (la::ToString) — the same key the exec
+  // compiler hash-conses DAG nodes on, so a subexpression shared by many
+  // pipelines accumulates into one entry.
+  std::string canonical;
+  la::ExprPtr expr;  // A representative tree for this canonical form.
+  // Executions that computed this subexpression (counted once per run, the
+  // hash-consed-DAG view of a plan: `A + A` hits `A` once).
+  int64_t hits = 0;
+  // Summed wall-clock attributed to recomputing this subtree, derived from
+  // ExecStats::op_timings (per-operator-kind average seconds mapped over
+  // the subtree's operators). Zero under the tree-walking evaluator, which
+  // leaves op_timings empty; the advisor then falls back to γ estimates.
+  double measured_seconds = 0.0;
+};
+
+// Records the canonical subexpressions of every executed plan with hit
+// counts and measured costs — the workload signal the ViewAdvisor scores.
+// Thread-safe: concurrent Observe()/Snapshot() calls are serialized on an
+// internal mutex (Observe is off the execution critical path).
+class WorkloadMonitor {
+ public:
+  // `max_tracked` caps the number of distinct canonical forms kept. At
+  // capacity a new form replaces a single-hit entry (one-off forms churn,
+  // repeated ones stay); if every entry repeats, new forms are dropped.
+  explicit WorkloadMonitor(size_t max_tracked = 1024)
+      : max_tracked_(max_tracked) {}
+
+  // Records every non-leaf subexpression of `executed` (each counted once
+  // per call). `stats`, when it carries op_timings, supplies the measured
+  // per-node cost attribution.
+  void Observe(const la::ExprPtr& executed, const engine::ExecStats* stats);
+
+  // Stable-ordered copy of the accumulated statistics (sorted by canonical
+  // text, for deterministic advisor input).
+  std::vector<SubexprStat> Snapshot() const;
+
+  // Drops the statistics of `root` and every subtree of it. Called when a
+  // view over `root` materializes: pipelines rewritten onto the view stop
+  // recomputing these, so their accumulated benefit is no longer evidence
+  // (a subexpression still computed elsewhere re-accumulates from later
+  // observations).
+  void Forget(const la::ExprPtr& root);
+
+  int64_t observed_runs() const;
+  void Clear();
+
+ private:
+  const size_t max_tracked_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SubexprStat> stats_;
+  int64_t runs_ = 0;
+};
+
+}  // namespace hadad::views
+
+#endif  // HADAD_VIEWS_WORKLOAD_MONITOR_H_

@@ -1,0 +1,559 @@
+// The adaptive materialized-view subsystem (src/views/): workload
+// monitoring, advisor ranking, the budgeted store, catalog drop/size
+// accounting, and the end-to-end Session loop — a repeated query gets
+// auto-rewritten onto an advisor-created view with identical results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "common/rng.h"
+#include "engine/evaluator.h"
+#include "engine/view_catalog.h"
+#include "engine/workspace.h"
+#include "la/parser.h"
+#include "matrix/generate.h"
+#include "pacb/optimizer.h"
+#include "views/adaptive.h"
+#include "views/advisor.h"
+#include "views/view_store.h"
+#include "views/workload_monitor.h"
+
+namespace hadad::views {
+namespace {
+
+la::ExprPtr Parse(const std::string& text) {
+  auto e = la::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return e.value();
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadMonitor
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadMonitorTest, CountsEachSubexpressionOncePerRun) {
+  WorkloadMonitor monitor;
+  // t(X) %*% X appears twice in one run; hash-consed DAG semantics count
+  // it once per execution.
+  la::ExprPtr e = Parse("(t(X) %*% X) + (t(X) %*% X)");
+  monitor.Observe(e, nullptr);
+  monitor.Observe(e, nullptr);
+
+  std::vector<SubexprStat> snapshot = monitor.Snapshot();
+  int64_t product_hits = 0;
+  int64_t root_hits = 0;
+  for (const SubexprStat& s : snapshot) {
+    if (s.canonical == la::ToString(Parse("t(X) %*% X"))) {
+      product_hits = s.hits;
+    }
+    if (s.canonical == la::ToString(e)) root_hits = s.hits;
+  }
+  EXPECT_EQ(product_hits, 2);
+  EXPECT_EQ(root_hits, 2);
+  EXPECT_EQ(monitor.observed_runs(), 2);
+  // Leaves are never candidates.
+  for (const SubexprStat& s : snapshot) {
+    EXPECT_FALSE(s.expr->is_leaf()) << s.canonical;
+  }
+}
+
+TEST(WorkloadMonitorTest, AttributesMeasuredSecondsFromOpTimings) {
+  WorkloadMonitor monitor;
+  engine::ExecStats stats;
+  stats.op_timings.push_back({"%*%", 2, 0.2});  // 0.1s per product.
+  stats.op_timings.push_back({"t", 1, 0.05});
+  monitor.Observe(Parse("t(X) %*% X"), &stats);
+
+  for (const SubexprStat& s : monitor.Snapshot()) {
+    if (s.canonical == la::ToString(Parse("t(X) %*% X"))) {
+      EXPECT_NEAR(s.measured_seconds, 0.15, 1e-12);  // product + transpose.
+    }
+  }
+}
+
+TEST(WorkloadMonitorTest, ForgetDropsSubtreesButKeepsParents) {
+  WorkloadMonitor monitor;
+  monitor.Observe(Parse("(t(X) %*% X) + R"), nullptr);
+  monitor.Observe(Parse("t(X) %*% Y"), nullptr);
+  monitor.Forget(Parse("t(X) %*% X"));
+
+  bool saw_parent = false;
+  for (const SubexprStat& s : monitor.Snapshot()) {
+    EXPECT_NE(s.canonical, la::ToString(Parse("t(X) %*% X")));
+    EXPECT_NE(s.canonical, la::ToString(Parse("t(X)")));
+    if (s.canonical == la::ToString(Parse("(t(X) %*% X) + R"))) {
+      saw_parent = true;
+    }
+  }
+  EXPECT_TRUE(saw_parent);
+  // A forgotten subexpression still computed elsewhere re-accumulates.
+  monitor.Observe(Parse("t(X) %*% Y"), nullptr);
+  bool transpose_back = false;
+  for (const SubexprStat& s : monitor.Snapshot()) {
+    if (s.canonical == la::ToString(Parse("t(X)"))) {
+      transpose_back = true;
+      EXPECT_EQ(s.hits, 1);  // Re-counted from scratch.
+    }
+  }
+  EXPECT_TRUE(transpose_back);
+}
+
+TEST(WorkloadMonitorTest, SnapshotIsDeterministicallyOrdered) {
+  WorkloadMonitor monitor;
+  monitor.Observe(Parse("t(B) %*% A"), nullptr);
+  monitor.Observe(Parse("t(A)"), nullptr);
+  std::vector<SubexprStat> a = monitor.Snapshot();
+  std::vector<SubexprStat> b = monitor.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].canonical, b[i].canonical);
+  }
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LT(a[i - 1].canonical, a[i].canonical);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ViewAdvisor
+// ---------------------------------------------------------------------------
+
+la::MetaCatalog AdvisorCatalog() {
+  la::MetaCatalog catalog;
+  la::MatrixMeta x;
+  x.rows = 200;
+  x.cols = 10;
+  x.nnz = 2000;
+  catalog["X"] = x;
+  la::MatrixMeta r;
+  r.rows = 10;
+  r.cols = 10;
+  r.nnz = 100;
+  catalog["R"] = r;
+  return catalog;
+}
+
+std::vector<SubexprStat> AdvisorInput() {
+  std::vector<SubexprStat> stats;
+  stats.push_back({la::ToString(Parse("(t(X) %*% X) + R")),
+                   Parse("(t(X) %*% X) + R"), 5, 0.0});
+  stats.push_back(
+      {la::ToString(Parse("t(X) %*% X")), Parse("t(X) %*% X"), 5, 0.0});
+  stats.push_back({la::ToString(Parse("t(X)")), Parse("t(X)"), 5, 0.0});
+  stats.push_back({la::ToString(Parse("R + R")), Parse("R + R"), 1, 0.0});
+  return stats;
+}
+
+TEST(ViewAdvisorTest, RankingIsDeterministic) {
+  ViewAdvisor advisor(nullptr);
+  AdvisorOptions options;
+  options.min_hits = 3;
+  la::MetaCatalog catalog = AdvisorCatalog();
+
+  auto first = advisor.Recommend(AdvisorInput(), catalog, nullptr, options);
+  auto second = advisor.Recommend(AdvisorInput(), catalog, nullptr, options);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].canonical, second[i].canonical);
+    EXPECT_DOUBLE_EQ(first[i].score, second[i].score);
+  }
+  // Scores are non-increasing (ranked), and the whole-pipeline candidate
+  // with the largest recompute-per-byte wins.
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_GE(first[i - 1].score, first[i].score);
+  }
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first[0].canonical, la::ToString(Parse("(t(X) %*% X) + R")));
+}
+
+TEST(ViewAdvisorTest, MinHitsAndSkipFilterCandidates) {
+  ViewAdvisor advisor(nullptr);
+  AdvisorOptions options;
+  options.min_hits = 3;
+  la::MetaCatalog catalog = AdvisorCatalog();
+
+  auto recs = advisor.Recommend(AdvisorInput(), catalog, nullptr, options);
+  for (const Recommendation& r : recs) {
+    EXPECT_NE(r.canonical, la::ToString(Parse("R + R")));  // Only 1 hit.
+    EXPECT_GE(r.hits, options.min_hits);
+  }
+
+  const std::string product = la::ToString(Parse("t(X) %*% X"));
+  auto skipped = advisor.Recommend(
+      AdvisorInput(), catalog, nullptr, options,
+      [&product](const SubexprStat& s) { return s.canonical == product; });
+  for (const Recommendation& r : skipped) {
+    EXPECT_NE(r.canonical, product);
+  }
+  EXPECT_EQ(skipped.size() + 1, recs.size());
+}
+
+TEST(ViewAdvisorTest, MeasuredSecondsOverrideSizeEstimates) {
+  ViewAdvisor advisor(nullptr);
+  AdvisorOptions options;
+  options.min_hits = 1;
+  la::MetaCatalog catalog = AdvisorCatalog();
+  // By size estimates t(X) %*% X dominates t(X); measured timings say the
+  // transpose is (pathologically) more expensive — measurements win.
+  std::vector<SubexprStat> stats;
+  stats.push_back(
+      {la::ToString(Parse("t(X) %*% X")), Parse("t(X) %*% X"), 4, 0.04});
+  stats.push_back({la::ToString(Parse("t(X)")), Parse("t(X)"), 4, 40.0});
+  auto recs = advisor.Recommend(stats, catalog, nullptr, options);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].canonical, la::ToString(Parse("t(X)")));
+}
+
+// ---------------------------------------------------------------------------
+// engine::ViewCatalog size accounting + Drop
+// ---------------------------------------------------------------------------
+
+TEST(ViewCatalogTest, TracksBytesAndDrops) {
+  Rng rng(3);
+  engine::Workspace ws;
+  ws.Put("M", matrix::RandomDense(rng, 8, 4));
+  engine::ViewCatalog catalog(&ws);
+
+  ASSERT_TRUE(catalog.MaterializeText("V", "t(M)").ok());
+  ASSERT_TRUE(catalog.MaterializeText("W", "M %*% t(M)").ok());
+  const engine::ViewCatalog::Entry* v = catalog.FindEntry("V");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->bytes, 8 * 4 * static_cast<int64_t>(sizeof(double)));
+  EXPECT_EQ(catalog.total_bytes(),
+            (8 * 4 + 8 * 8) * static_cast<int64_t>(sizeof(double)));
+
+  ASSERT_TRUE(catalog.Drop("V").ok());
+  EXPECT_FALSE(ws.Has("V"));
+  EXPECT_TRUE(ws.Has("W"));
+  EXPECT_EQ(catalog.FindEntry("V"), nullptr);
+  EXPECT_EQ(catalog.total_bytes(),
+            8 * 8 * static_cast<int64_t>(sizeof(double)));
+
+  Status missing = catalog.Drop("V");
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+  // Base matrices are not droppable through the catalog.
+  EXPECT_EQ(catalog.Drop("M").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(ws.Has("M"));
+}
+
+// ---------------------------------------------------------------------------
+// ViewStore budget + eviction
+// ---------------------------------------------------------------------------
+
+StoredView MakeMeta(const std::string& name, const std::string& def_text,
+                    double benefit) {
+  StoredView v;
+  v.name = name;
+  v.canonical = la::ToString(Parse(def_text));
+  v.definition = Parse(def_text);
+  v.benefit = benefit;
+  return v;
+}
+
+TEST(ViewStoreTest, NeverExceedsBudgetAndEvictsLowestBenefit) {
+  engine::Workspace ws;
+  constexpr int64_t kMatrixBytes = 10 * 10 * sizeof(double);  // 800 each.
+  ViewStore store(&ws, /*budget_bytes=*/2 * kMatrixBytes);
+
+  auto value = [] { return matrix::Matrix(matrix::DenseMatrix(10, 10)); };
+  ASSERT_TRUE(store.Admit(MakeMeta("a", "t(A)", /*benefit=*/1.0), value())
+                  .ok());
+  ASSERT_TRUE(store.Admit(MakeMeta("b", "t(B)", /*benefit=*/50.0), value())
+                  .ok());
+  EXPECT_EQ(store.bytes_in_use(), 2 * kMatrixBytes);
+
+  // A third view cannot fit without eviction; Admit alone refuses (budget
+  // is a hard invariant)...
+  Status full = store.Admit(MakeMeta("c", "t(C)", 10.0), value());
+  EXPECT_FALSE(full.ok());
+  EXPECT_LE(store.bytes_in_use(), store.budget_bytes());
+
+  // ...and PlanAdmission picks the lowest-benefit victim.
+  std::vector<std::string> evict;
+  ASSERT_TRUE(store.PlanAdmission(kMatrixBytes, &evict));
+  ASSERT_EQ(evict.size(), 1u);
+  EXPECT_EQ(evict[0], "a");
+  for (const std::string& name : evict) {
+    ASSERT_TRUE(store.Evict(name).ok());
+  }
+  ASSERT_TRUE(store.Admit(MakeMeta("c", "t(C)", 10.0), value()).ok());
+  EXPECT_LE(store.bytes_in_use(), store.budget_bytes());
+  EXPECT_FALSE(store.ContainsName("a"));
+  EXPECT_TRUE(store.ContainsName("b"));
+  EXPECT_TRUE(store.ContainsName("c"));
+  EXPECT_FALSE(ws.Has("a"));
+
+  // A candidate bigger than the whole budget is inadmissible outright.
+  EXPECT_FALSE(store.PlanAdmission(3 * kMatrixBytes, &evict));
+}
+
+TEST(ViewStoreTest, HitsWeightEvictionOrder) {
+  engine::Workspace ws;
+  constexpr int64_t kMatrixBytes = 10 * 10 * sizeof(double);
+  ViewStore store(&ws, 2 * kMatrixBytes);
+  auto value = [] { return matrix::Matrix(matrix::DenseMatrix(10, 10)); };
+  // Equal admission benefit; runtime hits must break the tie.
+  ASSERT_TRUE(store.Admit(MakeMeta("cold", "t(A)", 1.0), value()).ok());
+  ASSERT_TRUE(store.Admit(MakeMeta("hot", "t(B)", 1.0), value()).ok());
+  store.RecordHit("hot", 1);
+  store.RecordHit("hot", 2);
+
+  std::vector<std::string> evict;
+  ASSERT_TRUE(store.PlanAdmission(kMatrixBytes, &evict));
+  ASSERT_EQ(evict.size(), 1u);
+  EXPECT_EQ(evict[0], "cold");
+}
+
+// ---------------------------------------------------------------------------
+// pacb::Optimizer::RemoveView
+// ---------------------------------------------------------------------------
+
+TEST(OptimizerRemoveViewTest, RemovedViewsStopAnsweringQueries) {
+  Rng rng(7);
+  engine::Workspace ws;
+  ws.Put("M", matrix::RandomDense(rng, 20, 6));
+  ws.Put("N", matrix::RandomDense(rng, 6, 20));
+  pacb::Optimizer optimizer(ws.BuildMetaCatalog());
+  optimizer.SetData(&ws.data());
+  ASSERT_TRUE(optimizer.AddViewText("V", "M %*% N").ok());
+
+  auto with_view = optimizer.OptimizeText("M %*% N");
+  ASSERT_TRUE(with_view.ok());
+  EXPECT_EQ(la::ToString(with_view->best), "V");
+
+  ASSERT_TRUE(optimizer.RemoveView("V").ok());
+  EXPECT_FALSE(optimizer.catalog().contains("V"));
+  auto without_view = optimizer.OptimizeText("M %*% N");
+  ASSERT_TRUE(without_view.ok());
+  EXPECT_EQ(la::ToString(without_view->best), "M %*% N");
+
+  EXPECT_EQ(optimizer.RemoveView("V").code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: Session closes the loop
+// ---------------------------------------------------------------------------
+
+struct E2eData {
+  matrix::Matrix x;
+  matrix::Matrix r;
+};
+
+E2eData MakeE2eData() {
+  Rng rng(21);
+  return E2eData{matrix::RandomDense(rng, 80, 12),
+                 matrix::RandomDense(rng, 12, 12)};
+}
+
+constexpr char kPipeline[] = "(t(X) %*% X) + R";
+
+TEST(AdaptiveSessionTest, RepeatedQueryAutoMaterializesAndRewrites) {
+  E2eData d = MakeE2eData();
+  // View-free baseline for the ground truth.
+  auto baseline =
+      api::SessionBuilder().Put("X", d.x).Put("R", d.r).Build().value();
+  auto expected = baseline->Run(kPipeline);
+  ASSERT_TRUE(expected.ok());
+
+  views::AdaptiveOptions options;
+  options.budget_bytes = 1 << 20;
+  options.min_hits = 2;
+  options.synchronous = true;  // Deterministic single-threaded loop.
+  auto session = api::SessionBuilder()
+                     .Put("X", d.x)
+                     .Put("R", d.r)
+                     .AdaptiveViews(options)
+                     .Build()
+                     .value();
+
+  // Run 1 and 2: executed as stated; run 2 crosses min_hits and (in
+  // synchronous mode) installs the view before returning.
+  for (int i = 0; i < 2; ++i) {
+    auto result = session->Run(kPipeline);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->ApproxEquals(*expected, 0.0));  // Bit-identical.
+  }
+  api::SessionStats mid = session->stats();
+  ASSERT_GE(mid.adaptive_views_created, 1);
+  ASSERT_NE(session->adaptive(), nullptr);
+  std::vector<StoredView> stored = session->adaptive()->StoredViews();
+  ASSERT_FALSE(stored.empty());
+
+  // Run 3: the plan cache notices the view-generation change, re-derives,
+  // and the rewrite lands on the adaptive view — visible in the prepared
+  // plan and Explain, with bit-identical results.
+  auto result = session->Run(kPipeline);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ApproxEquals(*expected, 0.0));
+
+  auto prepared = session->Prepare(kPipeline);
+  ASSERT_TRUE(prepared.ok());
+  bool uses_adaptive_view = false;
+  for (const StoredView& v : stored) {
+    if (la::ToString(prepared->plan()).find(v.name) != std::string::npos) {
+      uses_adaptive_view = true;
+      EXPECT_NE(prepared->Explain().find(v.name), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(uses_adaptive_view)
+      << "rewritten plan: " << la::ToString(prepared->plan());
+  EXPECT_GE(session->stats().adaptive_view_hit_runs, 1);
+  EXPECT_LE(session->stats().adaptive_bytes_in_use,
+            session->stats().adaptive_budget_bytes);
+}
+
+TEST(AdaptiveSessionTest, StalePreparedQueryRederivesAfterViewLands) {
+  E2eData d = MakeE2eData();
+  auto baseline =
+      api::SessionBuilder().Put("X", d.x).Put("R", d.r).Build().value();
+  auto expected = baseline->Run(kPipeline);
+  ASSERT_TRUE(expected.ok());
+
+  views::AdaptiveOptions options;
+  options.budget_bytes = 1 << 20;
+  options.min_hits = 2;
+  options.synchronous = true;
+  auto session = api::SessionBuilder()
+                     .Put("X", d.x)
+                     .Put("R", d.r)
+                     .AdaptiveViews(options)
+                     .Build()
+                     .value();
+
+  auto prepared = session->Prepare(kPipeline);  // Derived pre-view.
+  ASSERT_TRUE(prepared.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(session->Run(kPipeline).ok());
+  }
+  ASSERT_GE(session->stats().adaptive_views_created, 1);
+  // The stale handle still executes — against the refreshed plan, which
+  // now scans the adaptive view — and stays bit-identical.
+  const int64_t hit_runs_before = session->stats().adaptive_view_hit_runs;
+  auto via_stale = prepared->Execute();
+  ASSERT_TRUE(via_stale.ok());
+  EXPECT_TRUE(via_stale->ApproxEquals(*expected, 0.0));
+  EXPECT_GT(session->stats().adaptive_view_hit_runs, hit_runs_before);
+}
+
+TEST(AdaptiveSessionTest, BudgetIsNeverExceededUnderEvictionPressure) {
+  Rng rng(5);
+  api::SessionBuilder builder;
+  for (int k = 0; k < 4; ++k) {
+    builder.Put("R" + std::to_string(k), matrix::RandomDense(rng, 10, 10));
+  }
+  views::AdaptiveOptions options;
+  // Room for two 10x10 results; four hot disjoint pipelines force the
+  // store to evict.
+  options.budget_bytes = 2 * 10 * 10 * sizeof(double) + 64;
+  options.min_hits = 2;
+  options.synchronous = true;
+  auto session = builder.AdaptiveViews(options).Build().value();
+
+  for (int round = 0; round < 4; ++round) {
+    for (int k = 0; k < 4; ++k) {
+      std::string text =
+          "t(R" + std::to_string(k) + ") %*% R" + std::to_string(k);
+      ASSERT_TRUE(session->Run(text).ok());
+      api::SessionStats s = session->stats();
+      EXPECT_LE(s.adaptive_bytes_in_use, s.adaptive_budget_bytes);
+    }
+  }
+  api::SessionStats s = session->stats();
+  EXPECT_GE(s.adaptive_views_created, 2);
+  EXPECT_GE(s.adaptive_views_evicted, 1);
+  EXPECT_LE(s.adaptive_bytes_in_use, s.adaptive_budget_bytes);
+}
+
+TEST(AdaptiveSessionTest, BackgroundMaterializationIsRaceSafe) {
+  E2eData d = MakeE2eData();
+  auto baseline =
+      api::SessionBuilder().Put("X", d.x).Put("R", d.r).Build().value();
+  std::vector<std::string> pipelines = {kPipeline, "t(X) %*% X",
+                                        "(t(X) %*% X) %*% R", "t(R) + R"};
+  std::vector<matrix::Matrix> expected;
+  for (const std::string& text : pipelines) {
+    auto r = baseline->Run(text);
+    ASSERT_TRUE(r.ok()) << text;
+    expected.push_back(*r);
+  }
+
+  views::AdaptiveOptions options;
+  // Tight budget: concurrent installs and evictions race with serving.
+  options.budget_bytes = 2 * 12 * 12 * sizeof(double) + 64;
+  options.min_hits = 2;
+  options.synchronous = false;  // Real background worker.
+  auto session = api::SessionBuilder()
+                     .Put("X", d.x)
+                     .Put("R", d.r)
+                     .AdaptiveViews(options)
+                     .Build()
+                     .value();
+
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 16;
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        const size_t q = static_cast<size_t>(t + i) % pipelines.size();
+        auto result = session->Run(pipelines[q]);
+        if (!result.ok()) {
+          ++failures;
+        } else if (!result->ApproxEquals(expected[q], 1e-12)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  session->WaitForAdaptiveViews();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  api::SessionStats s = session->stats();
+  EXPECT_LE(s.adaptive_bytes_in_use, s.adaptive_budget_bytes);
+  // Post-drain serving still agrees with the baseline.
+  for (size_t q = 0; q < pipelines.size(); ++q) {
+    auto result = session->Run(pipelines[q]);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->ApproxEquals(expected[q], 1e-12));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery compiled-plan caching (executor sessions)
+// ---------------------------------------------------------------------------
+
+TEST(CompiledPlanCacheTest, HitPathSkipsDagRecompilation) {
+  Rng rng(17);
+  auto session = api::SessionBuilder()
+                     .Put("M", matrix::RandomDense(rng, 30, 8))
+                     .Put("N", matrix::RandomDense(rng, 8, 30))
+                     .Threads(1)
+                     .Build()
+                     .value();
+
+  auto prepared = session->Prepare("(M %*% N) %*% M");
+  ASSERT_TRUE(prepared.ok());
+  auto first = prepared->Execute();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(session->stats().compiled_plans, 1);
+
+  auto second = prepared->Execute();
+  ASSERT_TRUE(second.ok());
+  // Run() shares the cached PreparedPlan, so it reuses the same DAG too.
+  ASSERT_TRUE(session->Run("(M %*% N) %*% M").ok());
+  EXPECT_EQ(session->stats().compiled_plans, 1);
+  EXPECT_TRUE(second->ApproxEquals(*first, 0.0));
+}
+
+}  // namespace
+}  // namespace hadad::views
