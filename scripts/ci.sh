@@ -2,8 +2,10 @@
 # CI entry points.
 #   ./scripts/ci.sh          tier-1 verify: configure, build, full ctest run
 #   ./scripts/ci.sh tsan     ThreadSanitizer build of the concurrency-bearing
-#                            targets (exec_test, session_test, views_test)
+#                            targets (exec, session, views, mutation tests)
 #   ./scripts/ci.sh asan     AddressSanitizer+UBSan build, full ctest run
+#   ./scripts/ci.sh bench    Release-mode bench smoke: builds and runs one
+#                            small benchmark so perf binaries can't rot
 set -euxo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,10 +25,12 @@ case "$mode" in
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
       -DHADAD_BUILD_BENCHMARKS=OFF \
       -DHADAD_BUILD_EXAMPLES=OFF
-    cmake --build build-tsan -j --target exec_test session_test views_test
+    cmake --build build-tsan -j --target exec_test session_test views_test \
+      mutation_test
     ./build-tsan/tests/exec_test
     ./build-tsan/tests/session_test
     ./build-tsan/tests/views_test
+    ./build-tsan/tests/mutation_test
     ;;
   asan)
     cmake -B build-asan -S . \
@@ -39,8 +43,18 @@ case "$mode" in
     cd build-asan
     ctest --output-on-failure -j
     ;;
+  bench)
+    cmake -B build-bench -S . \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DBUILD_TESTING=OFF \
+      -DHADAD_BUILD_EXAMPLES=OFF
+    cmake --build build-bench -j --target bench_session_cache \
+      bench_update_refresh
+    ./build-bench/bench/bench_session_cache
+    ./build-bench/bench/bench_update_refresh
+    ;;
   *)
-    echo "unknown mode: $mode (expected: tier1 | tsan | asan)" >&2
+    echo "unknown mode: $mode (expected: tier1 | tsan | asan | bench)" >&2
     exit 2
     ;;
 esac

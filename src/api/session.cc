@@ -7,6 +7,7 @@
 
 #include "engine/evaluator.h"
 #include "la/parser.h"
+#include "views/maintenance.h"
 
 namespace hadad::api {
 
@@ -57,44 +58,69 @@ std::string PreparedQuery::Explain() const {
 // Session
 // ---------------------------------------------------------------------------
 
+bool Session::PlanFresh(const PreparedPlan& plan) const {
+  if (plan.generation != view_generation_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const int64_t gen = workspace_.generation();
+  if (plan.verified_generation.load(std::memory_order_acquire) == gen) {
+    return true;
+  }
+  // The workspace moved since the last verification — but only mutations of
+  // the plan's own leaves matter. Re-verify per leaf and restore the fast
+  // path (stamping the pre-check generation: a mutation racing the check
+  // forces one more per-leaf pass, never a wrong hit).
+  if (!workspace_.SnapshotCurrent(plan.data_snapshot)) return false;
+  plan.verified_generation.store(gen, std::memory_order_release);
+  return true;
+}
+
 Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
     const std::string& text, bool* from_cache) const {
   HADAD_ASSIGN_OR_RETURN(la::ExprPtr expr, la::ParseExpression(text));
   std::string canonical = la::ToString(expr);
-  // Snapshot the view generation before optimizing: a view that lands
-  // mid-optimize leaves the plan stamped stale, so its next use re-derives.
-  const int64_t generation = view_generation_.load(std::memory_order_acquire);
   {
     std::shared_lock<std::shared_mutex> lock(cache_mu_);
     auto it = plan_cache_.find(canonical);
-    if (it != plan_cache_.end() && it->second->generation == generation) {
+    if (it != plan_cache_.end() && PlanFresh(*it->second)) {
       ++cache_hits_;
       *from_cache = true;
       return it->second;
     }
   }
   ++cache_misses_;
-  // Optimize outside the cache lock: RW_find dominates, and concurrent
-  // misses on different expressions must not serialize. Adaptive sessions
-  // hold the state lock shared so views cannot be dropped mid-optimize.
-  Result<pacb::RewriteResult> rewrite = [&]() -> Result<pacb::RewriteResult> {
-    std::shared_lock<std::shared_mutex> state(views_mu_, std::defer_lock);
-    if (adaptive_ != nullptr) state.lock();
-    return optimizer_->Optimize(expr);
-  }();
-  if (!rewrite.ok()) return rewrite.status();
   auto plan = std::make_shared<PreparedPlan>();
+  // Optimize outside the cache lock: RW_find dominates, and concurrent
+  // misses on different expressions must not serialize. The state lock is
+  // held shared so neither views nor data can move mid-optimize — the
+  // generation and leaf epochs stamped below are exactly what the rewrite
+  // was derived against.
+  {
+    std::shared_lock<std::shared_mutex> state(views_mu_);
+    Result<pacb::RewriteResult> rewrite = optimizer_->Optimize(expr);
+    if (!rewrite.ok()) return rewrite.status();
+    plan->rewrite = std::move(rewrite).value();
+    plan->generation = view_generation_.load(std::memory_order_acquire);
+    std::set<std::string> leaves;
+    la::CollectMatrixRefs(*expr, &leaves);
+    la::CollectMatrixRefs(*plan->rewrite.best, &leaves);
+    plan->data_snapshot = workspace_.SnapshotFor(
+        std::vector<std::string>(leaves.begin(), leaves.end()));
+    plan->verified_generation.store(plan->data_snapshot.generation,
+                                    std::memory_order_release);
+  }
   plan->canonical = std::move(canonical);
   plan->original = std::move(expr);
-  plan->rewrite = std::move(rewrite).value();
-  plan->generation = generation;
   ++prepares_;
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   // Two threads may have optimized the same expression concurrently; first
-  // insertion wins so every holder shares one plan — unless ours was derived
-  // under a newer view generation, which supersedes the cached one.
+  // insertion wins so every holder shares one plan — unless the resident
+  // plan is stale (older view generation or moved leaf epochs), which ours
+  // supersedes.
   auto [it, inserted] = plan_cache_.try_emplace(plan->canonical, plan);
-  if (!inserted && it->second->generation < plan->generation) {
+  if (!inserted && it->second != plan &&
+      (it->second->generation < plan->generation ||
+       !workspace_.SnapshotCurrent(it->second->data_snapshot))) {
     it->second = plan;
   }
   *from_cache = false;
@@ -138,27 +164,24 @@ Result<matrix::Matrix> Session::RunPlan(
     std::shared_ptr<const PreparedPlan> plan, engine::ExecStats* stats,
     bool original) const {
   const bool adaptive = adaptive_ != nullptr;
-  // A plan derived before the last view install/evict may miss the new view
-  // (or reference an evicted one): re-derive through the cache, bounded in
-  // case the view set keeps churning.
+  // A plan derived before the last view install/evict or data mutation may
+  // reference a gone view or carry kernels chosen for stale shapes:
+  // re-derive through the cache, bounded in case the state keeps churning.
   constexpr int kMaxAttempts = 3;
   for (int attempt = 0;; ++attempt) {
-    if (adaptive && !original &&
-        plan->generation != view_generation_.load(std::memory_order_acquire)) {
+    if (!original && !PlanFresh(*plan)) {
       bool from_cache = false;
       auto fresh = GetOrBuildPlan(plan->canonical, &from_cache);
       if (fresh.ok()) plan = std::move(*fresh);
     }
-    std::shared_lock<std::shared_mutex> state(views_mu_, std::defer_lock);
-    if (adaptive) state.lock();
-    // Under the shared lock the view set cannot move: a generation match
-    // means every view the rewrite references is installed.
-    const bool stale =
-        adaptive && !original &&
-        plan->generation != view_generation_.load(std::memory_order_acquire);
+    std::shared_lock<std::shared_mutex> state(views_mu_);
+    // Under the shared lock neither the view set nor the data can move: a
+    // fresh plan here stays consistent through the whole execution (the
+    // snapshot-isolation contract for in-flight queries).
+    const bool stale = !original && !PlanFresh(*plan);
     if (stale && attempt + 1 < kMaxAttempts) continue;
     // Extreme-churn fallback: the original expression references only
-    // session-durable names, so it always executes.
+    // session-durable names, so it executes against the current data.
     const bool use_original = original || stale;
 
     engine::ExecStats local_stats;
@@ -206,6 +229,260 @@ void Session::WaitForAdaptiveViews() const {
   if (adaptive_ != nullptr) adaptive_->Drain();
 }
 
+// ---------------------------------------------------------------------------
+// Mutable data layer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Workspace name the appended rows ride under while a user-view delta
+// evaluates (reserved; never visible to queries — it exists only inside the
+// unique state lock).
+constexpr char kUserDeltaName[] = "__delta_rows";
+
+bool ReferencesAny(const la::Expr& e, const std::set<std::string>& names) {
+  std::set<std::string> leaves;
+  la::CollectMatrixRefs(e, &leaves);
+  for (const std::string& leaf : leaves) {
+    if (names.contains(leaf)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<matrix::Matrix> Session::EvaluateDefinition(
+    const la::ExprPtr& def) const {
+  if (morpheus_ != nullptr) return morpheus_->Run(def);
+  return engine::Execute(*def, workspace_);
+}
+
+Status Session::Update(const std::string& name, matrix::Matrix m) {
+  std::unique_lock<std::shared_mutex> state(views_mu_);
+  return MutateLocked(name, MutationKind::kUpdate, &m, nullptr);
+}
+
+Status Session::Append(const std::string& name, const matrix::Matrix& rows) {
+  std::unique_lock<std::shared_mutex> state(views_mu_);
+  return MutateLocked(name, MutationKind::kAppend, nullptr, &rows);
+}
+
+Status Session::Remove(const std::string& name) {
+  std::unique_lock<std::shared_mutex> state(views_mu_);
+  return MutateLocked(name, MutationKind::kRemove, nullptr, nullptr);
+}
+
+Status Session::MutateLocked(const std::string& name, MutationKind kind,
+                             matrix::Matrix* value,
+                             const matrix::Matrix* rows) {
+  // --- Validation: nothing is applied until the whole mutation is known
+  //     to leave every layer well-defined. ---------------------------------
+  if (morpheus_names_.contains(name)) {
+    return Status::InvalidArgument(
+        "'" + name + "' is bound into a Morpheus declaration; declared "
+        "factorizations are immutable");
+  }
+  for (const auto& [vname, def] : user_views_) {
+    if (vname == name) {
+      return Status::InvalidArgument(
+          "'" + name + "' is a view; views are derived — mutate the base "
+          "matrices their definitions reference");
+    }
+  }
+  if (adaptive_ != nullptr && adaptive_->IsAdaptiveViewName(name)) {
+    return Status::InvalidArgument(
+        "'" + name + "' is an adaptive view; mutate base matrices instead");
+  }
+  const matrix::Matrix* existing = workspace_.Find(name);
+  if (existing == nullptr) {
+    return Status::NotFound("no matrix named '" + name + "' in workspace");
+  }
+  if (kind == MutationKind::kAppend && rows->cols() != existing->cols()) {
+    return Status::DimensionMismatch(
+        "cannot append " + std::to_string(rows->rows()) + "x" +
+        std::to_string(rows->cols()) + " rows to '" + name + "' (" +
+        std::to_string(existing->rows()) + "x" +
+        std::to_string(existing->cols()) + ")");
+  }
+  if (kind == MutationKind::kRemove) {
+    for (const auto& [vname, def] : user_views_) {
+      if (la::ReferencesMatrix(*def, name)) {
+        return Status::InvalidArgument("cannot remove '" + name +
+                                       "': view '" + vname +
+                                       "' references it");
+      }
+    }
+  }
+
+  // Dry-run shape inference: every dependent user view must stay
+  // well-typed against the mutated catalog (a view over inv(X) breaks if X
+  // stops being square, a product breaks if an appended dimension no
+  // longer matches). Rejecting here keeps mutations atomic.
+  {
+    la::MetaCatalog trial = optimizer_->catalog();
+    std::set<std::string> trial_changed = {name};
+    switch (kind) {
+      case MutationKind::kUpdate:
+        trial[name].rows = value->rows();
+        trial[name].cols = value->cols();
+        trial[name].nnz = -1.0;
+        break;
+      case MutationKind::kAppend:
+        trial[name].rows += rows->rows();
+        break;
+      case MutationKind::kRemove:
+        trial.erase(name);
+        break;
+    }
+    for (const auto& [vname, def] : user_views_) {
+      if (!ReferencesAny(*def, trial_changed)) continue;
+      Result<la::MatrixMeta> shape = la::InferShape(*def, trial);
+      if (!shape.ok()) {
+        return Status::InvalidArgument(
+            "mutation of '" + name + "' breaks view '" + vname +
+            "': " + shape.status().message());
+      }
+      trial[vname] = std::move(shape).value();
+      trial_changed.insert(vname);
+    }
+  }
+
+  // --- Apply the base mutation, keeping what a rollback needs: the shape
+  //     dry-run above cannot catch value-level refresh failures (e.g. a
+  //     singular matrix under inv), and a half-applied mutation would let
+  //     queries silently serve stale views. -------------------------------
+  const int64_t old_rows = existing->rows();
+  std::optional<matrix::Matrix> old_base;  // kUpdate only.
+  switch (kind) {
+    case MutationKind::kUpdate:
+      old_base = workspace_.Take(name);
+      workspace_.Put(name, std::move(*value));
+      break;
+    case MutationKind::kAppend:
+      HADAD_RETURN_IF_ERROR(workspace_.Append(name, *rows));
+      break;
+    case MutationKind::kRemove:
+      // Nothing after this point can fail for a removal: no user view
+      // references the name (validated above), so no rollback is needed.
+      workspace_.Erase(name);
+      HADAD_RETURN_IF_ERROR(optimizer_->RemoveBaseMeta(name));
+      exec_catalog_.erase(name);
+      break;
+  }
+  if (kind != MutationKind::kRemove) {
+    la::MatrixMeta meta = engine::Workspace::MetaFor(*workspace_.Find(name),
+                                                     flag_detect_limit_);
+    HADAD_RETURN_IF_ERROR(optimizer_->UpdateBaseMeta(name, meta));
+    if (executor_ != nullptr) exec_catalog_[name] = meta;
+  }
+
+  // --- User-view maintenance, in registration order (later definitions
+  //     may reference earlier names, so refreshed values cascade). On a
+  //     refresh failure everything applied so far is restored — optimizer
+  //     and exec-catalog entries re-derive from the restored values. ------
+  struct RefreshedView {
+    std::string name;
+    la::ExprPtr def;
+    matrix::Matrix old_value;
+  };
+  std::vector<RefreshedView> refreshed;  // In registration order.
+  bool delta_staged = false;
+  auto rollback = [&]() {
+    if (delta_staged) workspace_.Erase(kUserDeltaName);
+    // Restore every workspace value first — view catalog entries derive
+    // from the catalog, so re-registration must wait until the base facts
+    // (and all earlier values) describe the restored state again.
+    for (RefreshedView& v : refreshed) {
+      workspace_.Put(v.name, std::move(v.old_value));
+    }
+    if (kind == MutationKind::kUpdate) {
+      workspace_.Put(name, std::move(*old_base));
+    } else {  // kAppend: drop the appended rows in place.
+      std::optional<matrix::Matrix> grown = workspace_.Take(name);
+      (void)matrix::TruncateRows(&*grown, old_rows);
+      workspace_.Put(name, std::move(*grown));
+    }
+    la::MatrixMeta meta = engine::Workspace::MetaFor(*workspace_.Find(name),
+                                                     flag_detect_limit_);
+    (void)optimizer_->UpdateBaseMeta(name, meta);
+    if (executor_ != nullptr) exec_catalog_[name] = meta;
+    // Re-register in forward registration order, as Build() did: each
+    // entry's shape/constraints then derive from already-restored names.
+    for (const RefreshedView& v : refreshed) {
+      (void)optimizer_->RemoveView(v.name);
+      (void)optimizer_->AddView(v.name, v.def);
+      if (executor_ != nullptr) {
+        exec_catalog_[v.name] =
+            engine::Workspace::MetaFor(*workspace_.Find(v.name));
+      }
+    }
+  };
+
+  std::set<std::string> changed;  // Names whose value changed arbitrarily.
+  if (kind != MutationKind::kAppend) changed.insert(name);
+  for (const auto& [vname, def] : user_views_) {
+    const bool touches_changed = ReferencesAny(*def, changed);
+    const bool touches_append = kind == MutationKind::kAppend &&
+                                la::ReferencesMatrix(*def, name);
+    if (!touches_changed && !touches_append) continue;
+    Result<matrix::Matrix> fresh = [&]() -> Result<matrix::Matrix> {
+      if (!touches_changed) {
+        // Only the appended leaf moved: refresh incrementally when the
+        // definition is append-additive in it. The delta rows are staged
+        // into the workspace once per mutation, not once per view.
+        std::optional<la::ExprPtr> delta_expr =
+            views::BuildAppendDelta(def, name, kUserDeltaName);
+        if (delta_expr.has_value()) {
+          if (!delta_staged) {
+            workspace_.Put(kUserDeltaName, *rows);
+            delta_staged = true;
+          }
+          Result<matrix::Matrix> delta = EvaluateDefinition(*delta_expr);
+          if (delta.ok()) {
+            return matrix::Add(*workspace_.Find(vname), *delta);
+          }
+        }
+      }
+      return EvaluateDefinition(def);
+    }();
+    if (!fresh.ok()) {
+      rollback();
+      return Status(fresh.status().code(), "refreshing view '" + vname +
+                                               "': " +
+                                               fresh.status().message() +
+                                               " (mutation rolled back)");
+    }
+    refreshed.push_back(
+        RefreshedView{vname, def, std::move(*workspace_.Take(vname))});
+    workspace_.Put(vname, std::move(*fresh));
+    // Re-register so the catalog entry and view-IO constraints track the
+    // refreshed value.
+    Status reregistered = optimizer_->RemoveView(vname);
+    if (reregistered.ok()) reregistered = optimizer_->AddView(vname, def);
+    if (!reregistered.ok()) {
+      rollback();
+      return Status(reregistered.code(),
+                    "re-registering view '" + vname + "': " +
+                        reregistered.message() + " (mutation rolled back)");
+    }
+    if (executor_ != nullptr) {
+      exec_catalog_[vname] =
+          engine::Workspace::MetaFor(*workspace_.Find(vname));
+    }
+    changed.insert(vname);
+  }
+  if (delta_staged) workspace_.Erase(kUserDeltaName);
+
+  // --- Adaptive propagation: invalidate or queue delta refreshes. ---------
+  if (adaptive_ != nullptr) {
+    adaptive_->OnDataMutation(
+        changed, kind == MutationKind::kAppend ? &name : nullptr,
+        kind == MutationKind::kAppend ? rows : nullptr);
+  }
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 SessionStats Session::stats() const {
   SessionStats s;
   s.prepares = prepares_.load();
@@ -213,10 +490,13 @@ SessionStats Session::stats() const {
   s.cache_misses = cache_misses_.load();
   s.runs = runs_.load();
   s.compiled_plans = compiled_plans_.load();
+  s.data_mutations = mutations_.load();
   if (adaptive_ != nullptr) {
     views::AdaptiveViewStats a = adaptive_->stats();
     s.adaptive_views_created = a.views_created;
     s.adaptive_views_evicted = a.views_evicted;
+    s.adaptive_views_invalidated = a.views_invalidated;
+    s.adaptive_views_refreshed = a.views_refreshed;
     s.adaptive_view_hit_runs = a.view_hit_runs;
     s.adaptive_bytes_in_use = a.bytes_in_use;
     s.adaptive_budget_bytes = a.budget_bytes;
@@ -322,6 +602,12 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
     if (name.empty()) {
       return Status::InvalidArgument(std::string(what) + " with empty name");
     }
+    if (name.rfind("__delta", 0) == 0) {
+      // Reserved for the incremental-refresh machinery: the appended rows
+      // ride in the workspace under these names while a delta evaluates.
+      return Status::InvalidArgument(std::string(what) + " name '" + name +
+                                     "' uses the reserved '__delta' prefix");
+    }
     if (!names.insert(name).second) {
       return Status::InvalidArgument("name '" + name +
                                      "' bound more than once in the session");
@@ -388,11 +674,19 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
     }
     session->workspace_.Put(v.name, std::move(value).value());
     HADAD_RETURN_IF_ERROR(session->optimizer_->AddView(v.name, def.value()));
+    session->user_views_.emplace_back(v.name, def.value());
   }
 
   for (const pacb::MorpheusJoinDecl& decl : morpheus_joins_) {
     HADAD_RETURN_IF_ERROR(session->optimizer_->AddMorpheusJoin(decl));
+    for (const std::string& n : {decl.t, decl.k, decl.u, decl.m}) {
+      session->morpheus_names_.insert(n);
+    }
   }
+  for (const auto& [name, nm] : normalized_) {
+    session->morpheus_names_.insert(name);
+  }
+  session->flag_detect_limit_ = flag_detect_limit_;
   if (!constraints_.empty()) {
     session->optimizer_->AddConstraints(std::move(constraints_));
   }

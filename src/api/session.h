@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -40,8 +41,14 @@ struct SessionStats {
   int64_t cache_misses = 0;
   int64_t runs = 0;
   int64_t compiled_plans = 0;
+  // Successful Update()/Append()/Remove() calls.
+  int64_t data_mutations = 0;
   int64_t adaptive_views_created = 0;
   int64_t adaptive_views_evicted = 0;
+  // Adaptive views dropped because a mutation changed a referenced leaf.
+  int64_t adaptive_views_invalidated = 0;
+  // Append-driven incremental refreshes installed (V ← V + f(Δ)).
+  int64_t adaptive_views_refreshed = 0;
   int64_t adaptive_view_hit_runs = 0;
   int64_t adaptive_bytes_in_use = 0;
   int64_t adaptive_budget_bytes = 0;
@@ -57,6 +64,14 @@ struct PreparedPlan {
   // evicts a view the session generation moves past this and the plan is
   // re-derived on its next use (so rewrites can reach the new views).
   int64_t generation = 0;
+  // Leaf dependency set recorded at derivation time: the epoch of every
+  // workspace name the original or rewritten form scans. A mutation that
+  // moves any of them (Update/Append/Remove, user-view refresh) makes the
+  // plan re-derive on next use; mutating unrelated names leaves it warm.
+  engine::WorkspaceSnapshot data_snapshot;
+  // Workspace generation at which data_snapshot was last verified current —
+  // the per-run fast path (one atomic compare) when nothing mutated.
+  mutable std::atomic<int64_t> verified_generation{-1};
 
   // Lazily compiled physical DAG of rewrite.best (executor sessions): built
   // on first execution, reused afterwards so the hit path skips DAG
@@ -113,10 +128,21 @@ class PreparedQuery {
 //
 // Prepare()/Run() are safe to call concurrently from multiple threads: the
 // plan cache is guarded by a shared_mutex (readers run in parallel) and
-// execution only reads the immutable workspace.
+// execution holds the session state lock shared, so queries run in
+// parallel with each other and serialize only against mutations.
 //
-// The expert layers stay reachable — workspace()/optimizer()/engine() — but
-// a Session never exposes mutation after Build() freezes it.
+// The data layer is *versioned and mutable*: Update()/Append()/Remove()
+// change base matrices after Build() and propagate through every dependent
+// layer — optimizer base-metadata facts, user views (refreshed in place,
+// incrementally on appends when the definition allows), adaptive views
+// (invalidated or delta-refreshed in the background), the exec leaf
+// catalog, and the plan cache (per-leaf epoch invalidation). In-flight
+// queries are snapshot-isolated: they never observe a half-applied
+// mutation.
+//
+// The expert layers stay reachable — workspace()/optimizer()/engine() —
+// as read-only views; all mutation goes through the Session so every layer
+// stays consistent.
 class Session : public std::enable_shared_from_this<Session> {
  public:
   Session(const Session&) = delete;
@@ -130,6 +156,30 @@ class Session : public std::enable_shared_from_this<Session> {
   // One-liner: Prepare (cache-backed) + Execute the best rewriting.
   Result<matrix::Matrix> Run(const std::string& text,
                              engine::ExecStats* stats = nullptr) const;
+
+  // --- Mutable data layer --------------------------------------------------
+
+  // Replaces base matrix `name` (shape, sparsity, and representation may
+  // all change). Dependent user views are re-materialized synchronously (in
+  // registration order, so views over views cascade); dependent adaptive
+  // views are invalidated; cached plans whose leaves moved re-derive on
+  // next use. Errors: NotFound (unknown name), InvalidArgument (views and
+  // Morpheus-declared names are derived/declared, not updatable — and a
+  // new shape that breaks a dependent view's definition is rejected before
+  // anything is applied).
+  Status Update(const std::string& name, matrix::Matrix m);
+
+  // Appends rows below base matrix `name` (column counts must match).
+  // Dependent user views whose definitions are append-additive refresh
+  // incrementally (V ← V + f(Δ)); others re-materialize. Dependent
+  // adaptive views delta-refresh on the background worker when additive,
+  // and are invalidated otherwise. Same error contract as Update.
+  Status Append(const std::string& name, const matrix::Matrix& rows);
+
+  // Unbinds base matrix `name`. InvalidArgument while a user view or a
+  // Morpheus declaration references it; adaptive views over it are
+  // invalidated. Cached plans over it fail on their next use (NotFound).
+  Status Remove(const std::string& name);
 
   const engine::Workspace& workspace() const { return workspace_; }
   const pacb::Optimizer& optimizer() const { return *optimizer_; }
@@ -159,18 +209,30 @@ class Session : public std::enable_shared_from_this<Session> {
   friend class PreparedQuery;
   Session() = default;
 
-  // Cache lookup by canonical text; on miss (or when the cached plan
-  // predates the current view generation) runs the optimizer and inserts.
+  enum class MutationKind { kUpdate, kAppend, kRemove };
+
+  // Cache lookup by canonical text; on miss (or when the cached plan is
+  // stale — view generation or a leaf epoch moved) runs the optimizer and
+  // inserts.
   Result<std::shared_ptr<const PreparedPlan>> GetOrBuildPlan(
       const std::string& text, bool* from_cache) const;
+  // True when the plan's view generation matches and none of its recorded
+  // leaf epochs moved. Lock-free fast path on the verified generation.
+  bool PlanFresh(const PreparedPlan& plan) const;
+  // The shared mutation path; caller holds views_mu_ unique. `value` is
+  // consumed for kUpdate; `rows` borrowed for kAppend.
+  Status MutateLocked(const std::string& name, MutationKind kind,
+                      matrix::Matrix* value, const matrix::Matrix* rows);
+  // Evaluates a view definition over the current workspace (Morpheus-aware).
+  Result<matrix::Matrix> EvaluateDefinition(const la::ExprPtr& def) const;
   // Executes a prepared plan (rewrite.best, or `original` as stated),
   // re-deriving it first when adaptive views moved the generation, and
   // feeding the adaptive monitor afterwards.
   Result<matrix::Matrix> RunPlan(std::shared_ptr<const PreparedPlan> plan,
                                  engine::ExecStats* stats,
                                  bool original) const;
-  // Raw single-expression execution; when the session is adaptive the
-  // caller must hold views_mu_ (shared).
+  // Raw single-expression execution; the caller must hold views_mu_
+  // (shared) so the workspace cannot mutate mid-evaluation.
   Result<matrix::Matrix> ExecuteExpr(const la::ExprPtr& expr,
                                      engine::ExecStats* stats) const;
   // The cached physical DAG for plan.rewrite.best (compiles on first use).
@@ -182,9 +244,17 @@ class Session : public std::enable_shared_from_this<Session> {
   std::unique_ptr<engine::Engine> engine_;
   std::unique_ptr<morpheus::MorpheusEngine> morpheus_;
   std::unique_ptr<exec::Executor> executor_;
-  // Frozen leaf metadata (shapes + exact nnz, views included) handed to the
-  // plan compiler so Execute never rescans the workspace. Adaptive sessions
-  // mutate it (under views_mu_) when views land or are evicted.
+  // User views in registration order (later definitions may reference
+  // earlier names), for maintenance under mutation.
+  std::vector<std::pair<std::string, la::ExprPtr>> user_views_;
+  // Names bound into Morpheus declarations (join members, normalized
+  // matrices): immutable — the declared relationships would silently break.
+  std::set<std::string> morpheus_names_;
+  int64_t flag_detect_limit_ = 0;
+  // Leaf metadata (shapes + exact nnz, views included) handed to the plan
+  // compiler so Execute never rescans the workspace. Kept current under
+  // views_mu_: data mutations, view refreshes, and adaptive install/evict
+  // all write through it.
   la::MetaCatalog exec_catalog_;
 
   mutable std::shared_mutex cache_mu_;
@@ -195,13 +265,15 @@ class Session : public std::enable_shared_from_this<Session> {
   mutable std::atomic<int64_t> cache_misses_{0};
   mutable std::atomic<int64_t> runs_{0};
   mutable std::atomic<int64_t> compiled_plans_{0};
+  mutable std::atomic<int64_t> mutations_{0};
 
-  // Adaptive-view state. views_mu_ guards the mutable session state
-  // (workspace contents, optimizer views, exec_catalog_): execution and
-  // optimization take it shared, view install/evict takes it unique. Never
-  // write-locked without AdaptiveViews, so non-adaptive sessions keep their
-  // immutable-workspace behavior. view_generation_ increments on every
-  // view-set change; plans remember the generation they were derived under.
+  // The session state lock: views_mu_ guards the mutable session state
+  // (workspace contents, optimizer facts and views, exec_catalog_).
+  // Execution and optimization take it shared; data mutation and view
+  // install/evict/refresh take it unique — that is the snapshot-isolation
+  // boundary for in-flight queries. view_generation_ increments on every
+  // view-set change; plans remember the generation they were derived under
+  // (per-leaf data staleness is tracked separately via workspace epochs).
   mutable std::shared_mutex views_mu_;
   mutable std::atomic<int64_t> view_generation_{0};
   // Declared last: destroyed first, joining background materializations
@@ -210,8 +282,9 @@ class Session : public std::enable_shared_from_this<Session> {
 };
 
 // Fluent configuration for a Session. Declare data, views, Morpheus joins,
-// estimator/engine choices, and extra MMC constraints, then Build() freezes
-// them into an immutable Session:
+// estimator/engine choices, and extra MMC constraints, then Build() turns
+// them into a live Session (base data stays mutable through
+// Session::Update/Append/Remove):
 //
 //   auto session = api::SessionBuilder()
 //                      .Put("X", x).Put("y", y)

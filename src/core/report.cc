@@ -16,9 +16,10 @@ Result<double> TimeExecution(const engine::Engine& eng,
   double best = 1e300;
   for (int i = 0; i < repeats; ++i) {
     engine::ExecStats stats;
-    HADAD_ASSIGN_OR_RETURN(matrix::Matrix out, eng.Run(expr, &stats));
+    Result<matrix::Matrix> out = eng.Run(expr, &stats);
+    if (!out.ok()) return out.status();
     best = std::min(best, stats.seconds);
-    if (last_result != nullptr) *last_result = std::move(out);
+    if (last_result != nullptr) *last_result = std::move(out).value();
   }
   return best;
 }

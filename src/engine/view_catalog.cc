@@ -1,6 +1,7 @@
 #include "engine/view_catalog.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "engine/evaluator.h"
@@ -47,6 +48,20 @@ Status ViewCatalog::Drop(const std::string& name) {
   entries_.erase(it);
   workspace_->Erase(name);
   return Status::OK();
+}
+
+Result<matrix::Matrix> ViewCatalog::Detach(const std::string& name) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&name](const Entry& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    return Status::NotFound("no view named '" + name + "' in catalog");
+  }
+  entries_.erase(it);
+  std::optional<matrix::Matrix> value = workspace_->Take(name);
+  if (!value.has_value()) {
+    return Status::Internal("view '" + name + "' missing from workspace");
+  }
+  return std::move(*value);
 }
 
 const ViewCatalog::Entry* ViewCatalog::FindEntry(

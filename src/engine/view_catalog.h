@@ -36,6 +36,10 @@ class ViewCatalog {
   // catalog holds no such view (base matrices are never dropped here).
   Status Drop(const std::string& name);
 
+  // Drop, but moves the materialized value out instead of destroying it —
+  // incremental view refresh reuses it (V ← V + f(Δ)).
+  Result<matrix::Matrix> Detach(const std::string& name);
+
   struct Entry {
     std::string name;
     la::ExprPtr definition;

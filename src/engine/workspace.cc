@@ -4,23 +4,113 @@
 
 namespace hadad::engine {
 
+void Workspace::Bump(const std::string& name) {
+  const int64_t gen =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  epochs_[name] = gen;
+}
+
+void Workspace::Put(const std::string& name, matrix::Matrix m) {
+  data_.insert_or_assign(name, std::move(m));
+  Bump(name);
+}
+
+Status Workspace::Update(const std::string& name, matrix::Matrix m) {
+  auto it = data_.find(name);
+  if (it == data_.end()) {
+    return Status::NotFound("no matrix named '" + name + "' in workspace");
+  }
+  it->second = std::move(m);
+  Bump(name);
+  return Status::OK();
+}
+
+Status Workspace::Append(const std::string& name,
+                         const matrix::Matrix& rows) {
+  auto it = data_.find(name);
+  if (it == data_.end()) {
+    return Status::NotFound("no matrix named '" + name + "' in workspace");
+  }
+  HADAD_RETURN_IF_ERROR(matrix::AppendRows(&it->second, rows));
+  Bump(name);
+  return Status::OK();
+}
+
+void Workspace::DropEpoch(const std::string& name) {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  epochs_.erase(name);
+}
+
+bool Workspace::Erase(const std::string& name) {
+  if (data_.erase(name) == 0) return false;
+  DropEpoch(name);
+  return true;
+}
+
+std::optional<matrix::Matrix> Workspace::Take(const std::string& name) {
+  auto it = data_.find(name);
+  if (it == data_.end()) return std::nullopt;
+  matrix::Matrix value = std::move(it->second);
+  data_.erase(it);
+  DropEpoch(name);
+  return value;
+}
+
+int64_t Workspace::EpochOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  auto it = epochs_.find(name);
+  return it == epochs_.end() ? kNeverStored : it->second;
+}
+
+WorkspaceSnapshot Workspace::SnapshotFor(
+    const std::vector<std::string>& names) const {
+  WorkspaceSnapshot snapshot;
+  snapshot.generation = generation();
+  snapshot.epochs.reserve(names.size());
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  for (const std::string& name : names) {
+    auto it = epochs_.find(name);
+    snapshot.epochs.emplace_back(
+        name, it == epochs_.end() ? kNeverStored : it->second);
+  }
+  return snapshot;
+}
+
+bool Workspace::SnapshotCurrent(const WorkspaceSnapshot& snapshot) const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  for (const auto& [name, epoch] : snapshot.epochs) {
+    auto it = epochs_.find(name);
+    if ((it == epochs_.end() ? kNeverStored : it->second) != epoch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+la::MatrixMeta Workspace::MetaFor(const matrix::Matrix& m,
+                                  int64_t flag_detect_limit) {
+  la::MatrixMeta meta;
+  meta.rows = m.rows();
+  meta.cols = m.cols();
+  meta.nnz = static_cast<double>(m.Nnz());
+  if (m.IsSquare() && m.rows() <= flag_detect_limit) {
+    meta.lower_triangular = matrix::IsLowerTriangular(m);
+    meta.upper_triangular = matrix::IsUpperTriangular(m);
+    meta.orthogonal = matrix::IsOrthogonal(m);
+    if (matrix::IsSymmetric(m)) {
+      // Positive definiteness via an attempted Cholesky.
+      meta.symmetric_pd = matrix::CholeskyDecompose(m).ok();
+    }
+  }
+  return meta;
+}
+
 la::MetaCatalog Workspace::BuildMetaCatalog(int64_t flag_detect_limit) const {
   la::MetaCatalog catalog;
   for (const auto& [name, m] : data_) {
-    la::MatrixMeta meta;
-    meta.rows = m.rows();
-    meta.cols = m.cols();
-    meta.nnz = static_cast<double>(m.Nnz());
-    if (m.IsSquare() && m.rows() <= flag_detect_limit) {
-      meta.lower_triangular = matrix::IsLowerTriangular(m);
-      meta.upper_triangular = matrix::IsUpperTriangular(m);
-      meta.orthogonal = matrix::IsOrthogonal(m);
-      if (matrix::IsSymmetric(m)) {
-        // Positive definiteness via an attempted Cholesky.
-        meta.symmetric_pd = matrix::CholeskyDecompose(m).ok();
-      }
-    }
-    catalog[name] = meta;
+    catalog[name] = MetaFor(m, flag_detect_limit);
   }
   return catalog;
 }

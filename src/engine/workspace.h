@@ -1,7 +1,14 @@
 #ifndef HADAD_ENGINE_WORKSPACE_H_
 #define HADAD_ENGINE_WORKSPACE_H_
 
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "cost/cost_model.h"
@@ -10,21 +17,77 @@
 
 namespace hadad::engine {
 
+// A point-in-time stamp of the workspace entries a consumer depends on: the
+// workspace generation at capture plus the epoch of each named entry (names
+// never stored stamp kNeverStored). Matrices are not copied — a snapshot is
+// validity metadata, not data; the owner's state lock keeps the underlying
+// matrices physically stable while a query is in flight.
+struct WorkspaceSnapshot {
+  int64_t generation = 0;
+  std::vector<std::pair<std::string, int64_t>> epochs;
+};
+
 // The named matrices an engine run can see: base data plus materialized
 // views. Doubles as the cost::DataCatalog handed to the optimizer (for MNC
 // base histograms).
+//
+// The catalog is *versioned*: every mutation (Put/Update/Append/Erase/Take)
+// bumps a session-wide data generation and stamps the touched entry with it
+// as that entry's epoch. Dependents (the api::Session plan cache, compiled
+// DAGs, materialized views) record a WorkspaceSnapshot at derivation time
+// and re-derive when any recorded epoch moved — mutations of unrelated
+// entries leave them warm.
+//
+// Thread-safety: generation/epoch reads (generation(), EpochOf,
+// SnapshotFor, SnapshotCurrent) are safe from any thread. Access to the
+// matrix data itself is externally synchronized — api::Session mutates only
+// under its unique state lock and executes under the shared one.
 class Workspace {
  public:
+  // EpochOf() for a name that was never stored.
+  static constexpr int64_t kNeverStored = -1;
+
   Workspace() = default;
 
-  void Put(const std::string& name, matrix::Matrix m) {
-    data_.insert_or_assign(name, std::move(m));
+  // Movable for by-value construction (dataset factories); the versioning
+  // members make it non-copyable. Moves are construction-time only — never
+  // move a workspace that concurrent readers can see.
+  Workspace(Workspace&& other) noexcept
+      : data_(std::move(other.data_)),
+        generation_(other.generation_.load(std::memory_order_acquire)),
+        epochs_(std::move(other.epochs_)) {}
+  Workspace& operator=(Workspace&& other) noexcept {
+    data_ = std::move(other.data_);
+    generation_.store(other.generation_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+    epochs_ = std::move(other.epochs_);
+    return *this;
   }
+
+  // Binds (or rebinds) `name`; bumps its epoch and the data generation.
+  void Put(const std::string& name, matrix::Matrix m);
+
+  // Replaces the value of the existing entry `name`; NotFound when absent.
+  Status Update(const std::string& name, matrix::Matrix m);
+
+  // Appends rows in place to the existing entry `name` (column counts must
+  // match); NotFound when absent.
+  Status Append(const std::string& name, const matrix::Matrix& rows);
 
   bool Has(const std::string& name) const { return Find(name) != nullptr; }
 
-  // Removes `name`; false when absent. Used by adaptive-view eviction.
-  bool Erase(const std::string& name) { return data_.erase(name) > 0; }
+  // Removes `name`; false when absent. The entry's epoch record is dropped
+  // (bounding epochs_ by the live names even under transient Put/Erase
+  // churn): snapshots that stamped a live epoch then read kNeverStored —
+  // stale, as required. The one blind spot is a snapshot that stamped
+  // kNeverStored itself racing a full Put+Erase cycle; consumers only
+  // stamp names that exist (or durably never exist) at stamp time, so the
+  // cycle is unobservable.
+  bool Erase(const std::string& name);
+
+  // Removes `name` and moves its value out (incremental view refresh reuses
+  // the detached matrix); nullopt when absent. Epoch semantics as Erase.
+  std::optional<matrix::Matrix> Take(const std::string& name);
 
   Result<const matrix::Matrix*> Get(const std::string& name) const {
     if (const matrix::Matrix* m = Find(name)) return m;
@@ -39,13 +102,40 @@ class Workspace {
 
   const cost::DataCatalog& data() const { return data_; }
 
+  // Monotone counter bumped by every mutation.
+  int64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // The generation at which `name` was last mutated; kNeverStored when the
+  // name was never bound.
+  int64_t EpochOf(const std::string& name) const;
+
+  // Captures the current epochs of `names` (cheap: no matrix copies).
+  WorkspaceSnapshot SnapshotFor(const std::vector<std::string>& names) const;
+
+  // True when every stamped entry's epoch is unchanged. The workspace
+  // generation may have moved — unrelated entries never invalidate.
+  bool SnapshotCurrent(const WorkspaceSnapshot& snapshot) const;
+
   // Derives the metadata catalog (shapes + exact nnz) from the stored
   // matrices; flags are detected structurally for square matrices up to
   // `flag_detect_limit` rows (type detection is O(n^2)).
   la::MetaCatalog BuildMetaCatalog(int64_t flag_detect_limit = 0) const;
 
+  // Metadata of a single matrix, with the same flag-detection policy.
+  static la::MatrixMeta MetaFor(const matrix::Matrix& m,
+                                int64_t flag_detect_limit = 0);
+
  private:
+  void Bump(const std::string& name);
+  void DropEpoch(const std::string& name);
+
   cost::DataCatalog data_;
+  std::atomic<int64_t> generation_{0};
+  // Guards epochs_ only; data_ follows the owner's external locking.
+  mutable std::mutex epoch_mu_;
+  std::map<std::string, int64_t> epochs_;
 };
 
 }  // namespace hadad::engine

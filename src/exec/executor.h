@@ -31,7 +31,7 @@ class Executor {
 
   // Compile (CSE + kernel selection) and execute over `workspace`.
   // `catalog`, when non-null, supplies leaf metadata without rescanning the
-  // workspace (api::Session passes its frozen catalog).
+  // workspace (api::Session passes its maintained leaf catalog).
   Result<matrix::Matrix> Run(const la::ExprPtr& expr,
                              const engine::Workspace& workspace,
                              engine::ExecStats* stats = nullptr,

@@ -1,5 +1,6 @@
 #include "exec/plan.h"
 
+#include <set>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -33,11 +34,15 @@ class Compiler {
     plan_.root_expr = expr;
     HADAD_ASSIGN_OR_RETURN(int32_t root, Lower(expr));
     plan_.root = root;
+    std::set<std::string> leaves;
     for (int32_t id = 0; id < static_cast<int32_t>(plan_.nodes.size()); ++id) {
-      for (int32_t in : plan_.nodes[static_cast<size_t>(id)].inputs) {
+      const PlanNode& node = plan_.nodes[static_cast<size_t>(id)];
+      for (int32_t in : node.inputs) {
         plan_.nodes[static_cast<size_t>(in)].consumers.push_back(id);
       }
+      if (node.kernel == KernelKind::kLoad) leaves.insert(node.expr->name());
     }
+    plan_.leaf_names.assign(leaves.begin(), leaves.end());
     return std::move(plan_);
   }
 
@@ -229,13 +234,16 @@ class Compiler {
         static_cast<double>(options_.parallel_cell_threshold)) {
       return KernelKind::kGeneric;
     }
+    const bool a_dense =
+        EstimatedDensity(a) >= options_.dense_sparsity_threshold;
     const bool b_dense =
         EstimatedDensity(b) >= options_.dense_sparsity_threshold;
-    if (!b_dense) return KernelKind::kGeneric;  // Sparse rhs: Gustavson path.
-    if (EstimatedDensity(a) >= options_.dense_sparsity_threshold) {
-      return KernelKind::kGemmBlocked;
+    if (!b_dense) {
+      // Sparse rhs: row-parallel Gustavson when the lhs is sparse too;
+      // dense x sparse stays on the sequential generic kernel.
+      return a_dense ? KernelKind::kGeneric : KernelKind::kSpGemm;
     }
-    return KernelKind::kSpmm;
+    return a_dense ? KernelKind::kGemmBlocked : KernelKind::kSpmm;
   }
 
   const engine::Workspace& workspace_;
@@ -255,6 +263,7 @@ const char* KernelName(KernelKind kind) {
     case KernelKind::kGemmBlocked: return "gemm_blocked";
     case KernelKind::kGemmFusedTranspose: return "gemm_tn_fused";
     case KernelKind::kSpmm: return "spmm_row_parallel";
+    case KernelKind::kSpGemm: return "spgemm_row_parallel";
     case KernelKind::kGeneric: return "generic";
   }
   return "unknown";

@@ -23,6 +23,7 @@ enum class KernelKind {
   kGemmBlocked,  // Dense x dense product: cache-blocked, row-partitioned.
   kGemmFusedTranspose,  // t(A) x B on dense A, B without materializing t(A).
   kSpmm,         // Sparse (CSR) x dense product, row-parallel; covers SpMV.
+  kSpGemm,       // Sparse x sparse product, row-parallel Gustavson.
   kGeneric,      // Sequential engine::ApplyOp (everything else).
 };
 
@@ -47,6 +48,13 @@ struct CompiledPlan {
   // Expression-tree nodes folded into existing DAG nodes by hash-consing on
   // the canonical (la::ToString) form — the plan cache's key, reused here.
   int64_t cse_hits = 0;
+  // Every workspace name the plan loads (sorted, unique) — the compiled
+  // plan's dependency set, exposed for tooling and tests. api::Session
+  // stamps workspace epochs at the expression level before compiling (the
+  // compiler introduces no loads beyond the expression's refs, so the two
+  // sets agree); a kernel chosen for stale shapes never runs on mutated
+  // data because stale plans re-derive before execution.
+  std::vector<std::string> leaf_names;
 
   std::string ToString() const;  // One node per line, for tests/debugging.
 };

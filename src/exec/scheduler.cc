@@ -108,6 +108,12 @@ Result<Matrix> EvalNode(RunState& state, int32_t id) {
             in[0]->sparse(), in[1]->dense(), PoolRunner(state.pool)));
       }
       break;
+    case KernelKind::kSpGemm:
+      if (in[0]->is_sparse() && in[1]->is_sparse()) {
+        return Matrix(matrix::MultiplySparseSparseParallel(
+            in[0]->sparse(), in[1]->sparse(), PoolRunner(state.pool)));
+      }
+      break;
     case KernelKind::kGemmFusedTranspose:
       if (in[0]->is_dense() && in[1]->is_dense()) {
         return Matrix(matrix::MultiplyTransposedDenseBlocked(

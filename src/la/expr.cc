@@ -107,6 +107,22 @@ int64_t Expr::TreeSize() const {
   return size;
 }
 
+void CollectMatrixRefs(const Expr& expr, std::set<std::string>* out) {
+  if (expr.kind() == OpKind::kMatrixRef) {
+    out->insert(expr.name());
+    return;
+  }
+  for (const ExprPtr& c : expr.children()) CollectMatrixRefs(*c, out);
+}
+
+bool ReferencesMatrix(const Expr& expr, const std::string& name) {
+  if (expr.kind() == OpKind::kMatrixRef) return expr.name() == name;
+  for (const ExprPtr& c : expr.children()) {
+    if (ReferencesMatrix(*c, name)) return true;
+  }
+  return false;
+}
+
 bool Expr::Equals(const Expr& other) const {
   if (kind_ != other.kind_) return false;
   if (kind_ == OpKind::kMatrixRef) return name_ == other.name_;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -111,6 +112,12 @@ class Expr {
 // through ParseExpression.
 std::string ToString(const Expr& expr);
 std::string ToString(const ExprPtr& expr);
+
+// Inserts every matrix name `expr` scans into `out` (the expression's leaf
+// dependency set — what plan invalidation and view maintenance key on).
+void CollectMatrixRefs(const Expr& expr, std::set<std::string>* out);
+// True when `expr` scans `name` anywhere in its tree.
+bool ReferencesMatrix(const Expr& expr, const std::string& name);
 
 // ---------------------------------------------------------------------------
 // Shape metadata and type flags (the `size` and `type` relations of §6.2).

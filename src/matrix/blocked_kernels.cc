@@ -1,6 +1,8 @@
 #include "matrix/blocked_kernels.h"
 
 #include <algorithm>
+#include <mutex>
+#include <vector>
 
 #include "common/check.h"
 
@@ -98,6 +100,54 @@ DenseMatrix MultiplySparseDenseParallel(const SparseMatrix& a,
     }
   });
   return out;
+}
+
+SparseMatrix MultiplySparseSparseParallel(const SparseMatrix& a,
+                                          const SparseMatrix& b,
+                                          const RangeRunner& runner) {
+  HADAD_CHECK_EQ(a.cols(), b.rows());
+  const auto& a_rptr = a.row_ptr();
+  const auto& a_cidx = a.col_idx();
+  const auto& a_vals = a.values();
+  const auto& b_rptr = b.row_ptr();
+  const auto& b_cidx = b.col_idx();
+  const auto& b_vals = b.values();
+
+  // Each chunk owns a private accumulator and triplet buffer. Determinism
+  // does not depend on chunk completion order: every output row is
+  // produced by exactly one chunk with the sequential per-row accumulation
+  // order, and FromTriplets sorts by (row, col) — so the assembled result
+  // is bit-identical to the sequential kernel however the buffers land.
+  std::mutex mu;
+  std::vector<Triplet> triplets;
+  RunRange(runner, a.rows(), [&](int64_t row_begin, int64_t row_end) {
+    std::vector<Triplet> buf;
+    std::vector<double> acc(static_cast<size_t>(b.cols()), 0.0);
+    std::vector<int64_t> touched;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      touched.clear();
+      for (int64_t p = a_rptr[static_cast<size_t>(i)];
+           p < a_rptr[static_cast<size_t>(i) + 1]; ++p) {
+        const double av = a_vals[static_cast<size_t>(p)];
+        const int64_t k = a_cidx[static_cast<size_t>(p)];
+        for (int64_t q = b_rptr[static_cast<size_t>(k)];
+             q < b_rptr[static_cast<size_t>(k) + 1]; ++q) {
+          const int64_t j = b_cidx[static_cast<size_t>(q)];
+          if (acc[static_cast<size_t>(j)] == 0.0) touched.push_back(j);
+          acc[static_cast<size_t>(j)] += av * b_vals[static_cast<size_t>(q)];
+        }
+      }
+      for (int64_t j : touched) {
+        if (acc[static_cast<size_t>(j)] != 0.0) {
+          buf.push_back({i, j, acc[static_cast<size_t>(j)]});
+        }
+        acc[static_cast<size_t>(j)] = 0.0;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    triplets.insert(triplets.end(), buf.begin(), buf.end());
+  });
+  return SparseMatrix::FromTriplets(a.rows(), b.cols(), std::move(triplets));
 }
 
 }  // namespace hadad::matrix

@@ -45,6 +45,16 @@ DenseMatrix MultiplySparseDenseParallel(const SparseMatrix& a,
                                         const DenseMatrix& b,
                                         const RangeRunner& runner = nullptr);
 
+// Parallel sparse x sparse product (SpGEMM): Gustavson per-row accumulation
+// with one dense accumulator and one triplet buffer per chunk of output
+// rows. Each output row is produced by exactly one chunk with the
+// sequential per-row accumulation order, and triplet assembly sorts by
+// (row, col) — so the result is bit-identical to the sequential Gustavson
+// kernel in matrix.cc at every thread count.
+SparseMatrix MultiplySparseSparseParallel(const SparseMatrix& a,
+                                          const SparseMatrix& b,
+                                          const RangeRunner& runner = nullptr);
+
 }  // namespace hadad::matrix
 
 #endif  // HADAD_MATRIX_BLOCKED_KERNELS_H_

@@ -13,6 +13,19 @@ int64_t DenseMatrix::CountNonZeros() const {
   return nnz;
 }
 
+void DenseMatrix::AppendRows(const DenseMatrix& rows) {
+  HADAD_CHECK_EQ(cols_, rows.cols());
+  CheckedCells(rows_ + rows.rows(), cols_);
+  data_.insert(data_.end(), rows.data_.begin(), rows.data_.end());
+  rows_ += rows.rows();
+}
+
+void DenseMatrix::TruncateRows(int64_t rows) {
+  HADAD_CHECK(rows >= 0 && rows <= rows_);
+  data_.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols_));
+  rows_ = rows;
+}
+
 bool DenseMatrix::ApproxEquals(const DenseMatrix& other, double tol) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) return false;
   for (size_t i = 0; i < data_.size(); ++i) {

@@ -63,6 +63,13 @@ class DenseMatrix {
   // Number of non-zero entries (exact count).
   int64_t CountNonZeros() const;
 
+  // Appends the rows of `rows` below this matrix (column counts must match).
+  void AppendRows(const DenseMatrix& rows);
+
+  // Keeps the first `rows` rows, discarding the rest (the inverse of
+  // AppendRows — mutation rollback uses it).
+  void TruncateRows(int64_t rows);
+
   // Validates a rows x cols shape and returns its cell count. The product
   // is formed in size_t (each factor cast *before* multiplying — the naive
   // `rows * cols` overflows int64_t first on huge shapes, which is UB) and

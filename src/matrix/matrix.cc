@@ -797,4 +797,32 @@ int64_t ApproxBytes(const Matrix& a) {
          (s.rows() + 1) * static_cast<int64_t>(sizeof(int64_t));
 }
 
+Status AppendRows(Matrix* base, const Matrix& rows) {
+  if (base->cols() != rows.cols()) {
+    return Status::DimensionMismatch("cannot append " + DimStr(rows) +
+                                     " rows to a " + DimStr(*base) +
+                                     " matrix");
+  }
+  if (rows.rows() == 0) return Status::OK();
+  if (base->is_dense()) {
+    base->mutable_dense().AppendRows(rows.ToDense());
+  } else {
+    base->mutable_sparse().AppendRows(rows.ToSparse());
+  }
+  return Status::OK();
+}
+
+Status TruncateRows(Matrix* base, int64_t rows) {
+  if (rows < 0 || rows > base->rows()) {
+    return Status::OutOfRange("cannot truncate " + DimStr(*base) + " to " +
+                              std::to_string(rows) + " rows");
+  }
+  if (base->is_dense()) {
+    base->mutable_dense().TruncateRows(rows);
+  } else {
+    base->mutable_sparse().TruncateRows(rows);
+  }
+  return Status::OK();
+}
+
 }  // namespace hadad::matrix

@@ -39,6 +39,17 @@ class Matrix {
     return std::get<SparseMatrix>(rep_);
   }
 
+  // Mutable access for in-place maintenance (row append). Same
+  // representation-checked contract as the const accessors.
+  DenseMatrix& mutable_dense() {
+    HADAD_CHECK(is_dense());
+    return std::get<DenseMatrix>(rep_);
+  }
+  SparseMatrix& mutable_sparse() {
+    HADAD_CHECK(is_sparse());
+    return std::get<SparseMatrix>(rep_);
+  }
+
   int64_t rows() const {
     return is_dense() ? dense().rows() : sparse().rows();
   }
@@ -153,6 +164,16 @@ Result<Matrix> Cbind(const Matrix& a, const Matrix& b);
 // Approximate resident payload size: dense cells, or the CSR value/index/
 // row-pointer arrays. The adaptive view store budgets against this.
 int64_t ApproxBytes(const Matrix& a);
+
+// Appends the rows of `rows` below `*base` in place (the mutable data
+// layer's row-append primitive). `rows` is converted to base's
+// representation when they differ; column counts must match.
+Status AppendRows(Matrix* base, const Matrix& rows);
+
+// Keeps the first `rows` rows of `*base` in place — the inverse of
+// AppendRows, used to roll a failed mutation back. OutOfRange when `rows`
+// exceeds the current row count.
+Status TruncateRows(Matrix* base, int64_t rows);
 
 }  // namespace hadad::matrix
 

@@ -109,6 +109,27 @@ SparseMatrix SparseMatrix::Transpose() const {
   return t;
 }
 
+void SparseMatrix::AppendRows(const SparseMatrix& rows) {
+  HADAD_CHECK_EQ(cols_, rows.cols());
+  const int64_t offset = nnz();
+  col_idx_.insert(col_idx_.end(), rows.col_idx_.begin(), rows.col_idx_.end());
+  values_.insert(values_.end(), rows.values_.begin(), rows.values_.end());
+  row_ptr_.reserve(row_ptr_.size() + static_cast<size_t>(rows.rows()));
+  for (int64_t r = 1; r <= rows.rows(); ++r) {
+    row_ptr_.push_back(rows.row_ptr_[static_cast<size_t>(r)] + offset);
+  }
+  rows_ += rows.rows();
+}
+
+void SparseMatrix::TruncateRows(int64_t rows) {
+  HADAD_CHECK(rows >= 0 && rows <= rows_);
+  const size_t nnz = static_cast<size_t>(row_ptr_[static_cast<size_t>(rows)]);
+  col_idx_.resize(nnz);
+  values_.resize(nnz);
+  row_ptr_.resize(static_cast<size_t>(rows) + 1);
+  rows_ = rows;
+}
+
 void SparseMatrix::Prune() {
   std::vector<int64_t> cidx;
   std::vector<double> vals;

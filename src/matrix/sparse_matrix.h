@@ -48,6 +48,14 @@ class SparseMatrix {
   // Transpose (CSR of the transposed matrix), O(nnz).
   SparseMatrix Transpose() const;
 
+  // Appends the rows of `rows` below this matrix (column counts must
+  // match); O(nnz(rows)) — existing storage is untouched.
+  void AppendRows(const SparseMatrix& rows);
+
+  // Keeps the first `rows` rows, discarding the rest (the inverse of
+  // AppendRows — mutation rollback uses it).
+  void TruncateRows(int64_t rows);
+
   // Drops stored zeros.
   void Prune();
 

@@ -554,6 +554,33 @@ Status Optimizer::RemoveView(const std::string& name) {
   return Status::OK();
 }
 
+Status Optimizer::UpdateBaseMeta(const std::string& name,
+                                 const la::MatrixMeta& meta) {
+  if (std::any_of(views_.begin(), views_.end(),
+                  [&name](const ViewDef& v) { return v.name == name; })) {
+    return Status::InvalidArgument(
+        "'" + name + "' is a registered view; re-register it instead");
+  }
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no metadata for matrix '" + name + "'");
+  }
+  it->second = meta;
+  return Status::OK();
+}
+
+Status Optimizer::RemoveBaseMeta(const std::string& name) {
+  if (std::any_of(views_.begin(), views_.end(),
+                  [&name](const ViewDef& v) { return v.name == name; })) {
+    return Status::InvalidArgument(
+        "'" + name + "' is a registered view; use RemoveView");
+  }
+  if (catalog_.erase(name) == 0) {
+    return Status::NotFound("no metadata for matrix '" + name + "'");
+  }
+  return Status::OK();
+}
+
 Status Optimizer::AddMorpheusJoin(const MorpheusJoinDecl& decl) {
   for (const std::string& n : {decl.t, decl.k, decl.u, decl.m}) {
     if (!catalog_.contains(n)) {

@@ -84,6 +84,17 @@ class Optimizer {
 
   Status AddMorpheusJoin(const MorpheusJoinDecl& decl);
 
+  // Retracts and re-asserts the base-metadata facts for `name` after a data
+  // mutation: later Optimize() calls seed shape/sparsity/type flags from
+  // `meta` (all of them can change under Update/Append). InvalidArgument
+  // when `name` is a registered view — a view's metadata follows from its
+  // definition, so mutated views are re-registered via RemoveView+AddView.
+  // NotFound when the name was never registered.
+  Status UpdateBaseMeta(const std::string& name, const la::MatrixMeta& meta);
+  // Drops the base-metadata entry for `name` (its data left the session).
+  // Same view/NotFound contract as UpdateBaseMeta.
+  Status RemoveBaseMeta(const std::string& name);
+
   // Supplies actual matrices (by name) so the MNC estimator can build exact
   // base histograms; also used for materialized view contents. Not owned;
   // must outlive the optimizer.

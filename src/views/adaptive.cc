@@ -3,19 +3,16 @@
 #include <algorithm>
 #include <utility>
 
+#include "views/maintenance.h"
+
 namespace hadad::views {
 
 namespace {
 
-void CollectLeafNames(const la::Expr& e, std::set<std::string>* out) {
-  if (e.kind() == la::OpKind::kMatrixRef) {
-    out->insert(e.name());
-    return;
-  }
-  for (const la::ExprPtr& child : e.children()) {
-    CollectLeafNames(*child, out);
-  }
-}
+// Pending-set key for a queued incremental refresh of view `name`. Distinct
+// from materialization keys (canonical texts) so both share the drain/sweep
+// gating machinery without colliding.
+std::string RefreshKey(const std::string& name) { return "refresh:" + name; }
 
 }  // namespace
 
@@ -24,6 +21,7 @@ AdaptiveViewManager::AdaptiveViewManager(
     std::unique_ptr<cost::SparsityEstimator> estimator)
     : host_(std::move(host)),
       options_(options),
+      monitor_(/*max_tracked=*/1024, options.monitor_half_life_runs),
       advisor_(std::move(estimator)),
       store_(host_.workspace, options.budget_bytes, options.max_views) {
   if (!options_.synchronous) {
@@ -44,7 +42,7 @@ void AdaptiveViewManager::OnExecution(const la::ExprPtr& executed,
   monitor_.Observe(executed, stats);
 
   std::set<std::string> leaves;
-  CollectLeafNames(*executed, &leaves);
+  la::CollectMatrixRefs(*executed, &leaves);
   {
     std::lock_guard<std::mutex> admin(admin_mu_);
     ++hit_seq_;
@@ -58,6 +56,167 @@ void AdaptiveViewManager::OnExecution(const la::ExprPtr& executed,
   }
 
   MaybeScheduleMaterializations();
+}
+
+void AdaptiveViewManager::OnDataMutation(const std::set<std::string>& changed,
+                                         const std::string* appended,
+                                         const matrix::Matrix* delta_rows) {
+  std::vector<RefreshTask> refreshes;
+  {
+    std::lock_guard<std::mutex> admin(admin_mu_);
+    // Names first: Detach/Evict mutate the store while we walk it.
+    std::vector<std::string> names;
+    names.reserve(store_.views().size());
+    for (const auto& [name, v] : store_.views()) names.push_back(name);
+
+    bool views_changed = false;
+    for (const std::string& name : names) {
+      const StoredView& view = store_.views().at(name);
+      la::ExprPtr def = view.definition;
+      std::set<std::string> leaves;
+      la::CollectMatrixRefs(*def, &leaves);
+      bool touches_changed = false;
+      for (const std::string& leaf : leaves) {
+        if (changed.contains(leaf)) {
+          touches_changed = true;
+          break;
+        }
+      }
+      const bool touches_append =
+          appended != nullptr && leaves.contains(*appended);
+      if (!touches_changed && !touches_append) continue;
+
+      // Incremental path: only the appended leaf moved, and the definition
+      // is append-additive in it.
+      if (!touches_changed && delta_rows != nullptr) {
+        const std::string temp_name =
+            "__delta_" + std::to_string(refresh_seq_++);
+        std::optional<la::ExprPtr> delta =
+            BuildAppendDelta(def, *appended, temp_name);
+        if (delta.has_value()) {
+          auto detached = store_.Detach(name);
+          if (detached.ok()) {
+            (void)host_.optimizer->RemoveView(name);
+            if (host_.exec_catalog != nullptr) host_.exec_catalog->erase(name);
+            views_changed = true;
+            // The delta rows ride along in the workspace under a reserved
+            // name until the background task installs (and erases it).
+            host_.workspace->Put(temp_name, *delta_rows);
+            RefreshTask task;
+            task.meta = std::move(detached->first);
+            task.old_value = std::move(detached->second);
+            task.delta_expr = *delta;
+            task.temp_name = temp_name;
+            task.deps = host_.workspace->SnapshotFor(
+                std::vector<std::string>(leaves.begin(), leaves.end()));
+            pending_.insert(RefreshKey(task.meta.name));
+            refreshes.push_back(std::move(task));
+            continue;
+          }
+        }
+      }
+
+      // Invalidate: the stored value no longer matches its definition, and
+      // no incremental identity applies.
+      if (store_.Evict(name).ok()) {
+        (void)host_.optimizer->RemoveView(name);
+        if (host_.exec_catalog != nullptr) host_.exec_catalog->erase(name);
+        invalidated_.fetch_add(1, std::memory_order_relaxed);
+        views_changed = true;
+        // The monitor's accumulated evidence was measured against the old
+        // data; keep the advisor honest by dropping it.
+        monitor_.Forget(def);
+      }
+    }
+    if (views_changed && host_.on_views_changed) host_.on_views_changed();
+  }
+
+  for (RefreshTask& task : refreshes) {
+    if (worker_ != nullptr) {
+      worker_->Submit([this, t = std::move(task)]() mutable {
+        RefreshOne(std::move(t), /*caller_holds_state_lock=*/false);
+      });
+    } else {
+      // Synchronous mode: the session's mutation path already holds the
+      // unique state lock, so the refresh must not re-acquire it.
+      RefreshOne(std::move(task), /*caller_holds_state_lock=*/true);
+    }
+  }
+}
+
+void AdaptiveViewManager::RefreshOne(RefreshTask task,
+                                     bool caller_holds_state_lock) {
+  // Evaluate the delta and the refreshed value outside any exclusive lock
+  // (background mode): foreground queries keep running meanwhile.
+  Result<matrix::Matrix> fresh = [&]() -> Result<matrix::Matrix> {
+    std::shared_lock<std::shared_mutex> state(*host_.state_mu,
+                                              std::defer_lock);
+    if (!caller_holds_state_lock) state.lock();
+    HADAD_ASSIGN_OR_RETURN(matrix::Matrix delta,
+                           host_.evaluate(task.delta_expr));
+    return matrix::Add(task.old_value, delta);
+  }();
+
+  bool installed = false;
+  {
+    std::unique_lock<std::shared_mutex> state(*host_.state_mu,
+                                              std::defer_lock);
+    if (!caller_holds_state_lock) state.lock();
+    std::lock_guard<std::mutex> admin(admin_mu_);
+    host_.workspace->Erase(task.temp_name);
+    bool views_changed = false;
+    // Install only if every dependency is still exactly as stamped: a
+    // second mutation in the window means old_value + f(Δ) no longer
+    // describes the current data, so the refresh is discarded.
+    const bool current = host_.workspace->SnapshotCurrent(task.deps) &&
+                         !store_.ContainsCanonical(task.meta.canonical);
+    if (fresh.ok() && current) {
+      la::MatrixMeta value_meta;
+      value_meta.rows = fresh->rows();
+      value_meta.cols = fresh->cols();
+      value_meta.nnz = static_cast<double>(fresh->Nnz());
+      const int64_t bytes = matrix::ApproxBytes(*fresh);
+      std::vector<std::string> evict;
+      if (store_.PlanAdmission(bytes, &evict)) {
+        for (const std::string& victim : evict) {
+          if (!store_.Evict(victim).ok()) continue;
+          (void)host_.optimizer->RemoveView(victim);
+          if (host_.exec_catalog != nullptr) {
+            host_.exec_catalog->erase(victim);
+          }
+          evicted_.fetch_add(1, std::memory_order_relaxed);
+          views_changed = true;
+        }
+        StoredView meta = task.meta;
+        meta.bytes = bytes;
+        if (store_.Admit(std::move(meta), std::move(*fresh)).ok()) {
+          Status registered =
+              host_.optimizer->AddView(task.meta.name, task.meta.definition);
+          if (registered.ok()) {
+            if (host_.exec_catalog != nullptr) {
+              (*host_.exec_catalog)[task.meta.name] = value_meta;
+            }
+            refreshed_.fetch_add(1, std::memory_order_relaxed);
+            views_changed = true;
+            installed = true;
+          } else {
+            (void)store_.Evict(task.meta.name);
+          }
+        }
+      }
+    }
+    if (!installed) {
+      // The view stays gone — count it with the invalidations and drop its
+      // now-stale monitor evidence (the workload may rebuild it later).
+      if (!fresh.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+      invalidated_.fetch_add(1, std::memory_order_relaxed);
+      monitor_.Forget(task.meta.definition);
+    }
+    if (views_changed && host_.on_views_changed) host_.on_views_changed();
+  }
+  // Never blacklists the canonical: a discarded refresh is a data-change
+  // casualty, not a doomed candidate.
+  FinishPending(RefreshKey(task.meta.name), /*failed=*/false);
 }
 
 void AdaptiveViewManager::MaybeScheduleMaterializations() {
@@ -89,7 +248,7 @@ void AdaptiveViewManager::MaybeScheduleMaterializations() {
     // Views over adaptive views would chain eviction dependencies; keep
     // every definition in terms of the session's durable names.
     std::set<std::string> leaves;
-    CollectLeafNames(*stat.expr, &leaves);
+    la::CollectMatrixRefs(*stat.expr, &leaves);
     for (const std::string& leaf : leaves) {
       if (adaptive_names.contains(leaf)) return true;
     }
@@ -127,9 +286,16 @@ void AdaptiveViewManager::MaybeScheduleMaterializations() {
 
 void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
   // Compute outside any exclusive lock: foreground queries keep running
-  // (they share the state lock) while the view value materializes.
+  // (they share the state lock) while the view value materializes. The
+  // definition's leaf epochs are stamped under the same shared hold — if a
+  // data mutation lands before install, the value is stale and discarded.
+  engine::WorkspaceSnapshot deps;
   Result<matrix::Matrix> value = [&]() -> Result<matrix::Matrix> {
     std::shared_lock<std::shared_mutex> state(*host_.state_mu);
+    std::set<std::string> leaves;
+    la::CollectMatrixRefs(*rec.definition, &leaves);
+    deps = host_.workspace->SnapshotFor(
+        std::vector<std::string>(leaves.begin(), leaves.end()));
     return host_.evaluate(rec.definition);
   }();
   if (!value.ok()) {
@@ -146,11 +312,17 @@ void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
 
   bool changed = false;
   bool installed = false;
+  bool discarded = false;
   {
     std::unique_lock<std::shared_mutex> state(*host_.state_mu);
     std::lock_guard<std::mutex> admin(admin_mu_);
     std::vector<std::string> evict;
-    if (!store_.PlanAdmission(bytes, &evict)) {
+    if (!host_.workspace->SnapshotCurrent(deps)) {
+      // A mutation raced the materialization: the computed value describes
+      // data that no longer exists. Discard without blacklisting — the
+      // workload may legitimately rebuild the candidate on the new data.
+      discarded = true;
+    } else if (!store_.PlanAdmission(bytes, &evict)) {
       failures_.fetch_add(1, std::memory_order_relaxed);
     } else {
       for (const std::string& name : evict) {
@@ -191,9 +363,11 @@ void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
   // Subtrees of the new view stop being recomputed once rewrites land on
   // it; their accumulated counts would otherwise look like benefit. A
   // rejected candidate's stats go too — its canonical is blacklisted, so
-  // keeping them would only waste monitor capacity.
+  // keeping them would only waste monitor capacity. (A mutation-discarded
+  // candidate also forgets — its evidence described the old data — but is
+  // not blacklisted.)
   monitor_.Forget(rec.definition);
-  FinishPending(rec.canonical, /*failed=*/!installed);
+  FinishPending(rec.canonical, /*failed=*/!installed && !discarded);
 }
 
 void AdaptiveViewManager::FinishPending(const std::string& canonical,
@@ -224,6 +398,8 @@ AdaptiveViewStats AdaptiveViewManager::stats() const {
   AdaptiveViewStats s;
   s.views_created = created_.load(std::memory_order_relaxed);
   s.views_evicted = evicted_.load(std::memory_order_relaxed);
+  s.views_invalidated = invalidated_.load(std::memory_order_relaxed);
+  s.views_refreshed = refreshed_.load(std::memory_order_relaxed);
   s.view_hit_runs = hit_runs_.load(std::memory_order_relaxed);
   s.materialize_failures = failures_.load(std::memory_order_relaxed);
   s.budget_bytes = options_.budget_bytes;

@@ -39,6 +39,11 @@ struct AdaptiveOptions {
   size_t max_views = 16;
   // Candidates the advisor ranks per sweep.
   size_t max_candidates = 4;
+  // Half-life (in observed executions) of the workload monitor's decayed
+  // hit weights; 0 keeps raw lifetime counts. On long-lived sessions a
+  // positive half-life stops week-old workloads from outranking the
+  // current mix.
+  double monitor_half_life_runs = 0.0;
   // Materialize inline inside OnExecution instead of on the background
   // worker — deterministic single-threaded behavior for tests.
   bool synchronous = false;
@@ -47,12 +52,17 @@ struct AdaptiveOptions {
 struct AdaptiveViewStats {
   int64_t views_created = 0;
   int64_t views_evicted = 0;
+  // Views dropped because a base-data mutation changed a referenced leaf
+  // (distinct from budget evictions above).
+  int64_t views_invalidated = 0;
+  // Append-driven incremental delta refreshes installed (V ← V + f(Δ)).
+  int64_t views_refreshed = 0;
   // Executions whose plan scanned at least one adaptive view.
   int64_t view_hit_runs = 0;
   int64_t materialize_failures = 0;
   int64_t bytes_in_use = 0;
   int64_t budget_bytes = 0;
-  int64_t pending = 0;  // Materializations queued or in flight.
+  int64_t pending = 0;  // Materializations or refreshes queued or in flight.
 };
 
 // Closes the loop from observed workload to rewrite-usable views: monitors
@@ -72,7 +82,7 @@ class AdaptiveViewManager {
   struct Host {
     engine::Workspace* workspace = nullptr;
     pacb::Optimizer* optimizer = nullptr;
-    // Optional: the host's frozen leaf-metadata catalog for the exec plan
+    // Optional: the host's maintained leaf-metadata catalog for the exec plan
     // compiler; installed/evicted views are mirrored into it.
     la::MetaCatalog* exec_catalog = nullptr;
     std::shared_mutex* state_mu = nullptr;
@@ -97,6 +107,22 @@ class AdaptiveViewManager {
   void OnExecution(const la::ExprPtr& executed,
                    const engine::ExecStats* stats);
 
+  // Propagates a base-data mutation into the store. MUST be called under
+  // the host's *unique* state lock (the session's mutation path holds it).
+  //
+  // `changed` holds every name whose value changed arbitrarily (the mutated
+  // base plus any user views refreshed from it): stored views referencing
+  // one are invalidated — evicted from the store/optimizer/exec catalog,
+  // with WorkloadMonitor::Forget keeping advisor stats honest. When the
+  // mutation was a row-append, `appended`/`delta_rows` name the grown leaf:
+  // a view whose definition is append-additive in it (and touches no
+  // `changed` name) is detached and queued for an incremental delta refresh
+  // (V ← V + f(Δ)) on the background worker instead of recomputation; it is
+  // invisible to rewrites until the refresh installs.
+  void OnDataMutation(const std::set<std::string>& changed,
+                      const std::string* appended,
+                      const matrix::Matrix* delta_rows);
+
   // Blocks until every queued materialization has been installed (or
   // failed). Foreground queries never need this; tests and benchmarks use
   // it to make warm-up deterministic.
@@ -109,8 +135,24 @@ class AdaptiveViewManager {
   const AdaptiveOptions& options() const { return options_; }
 
  private:
+  // One detached view awaiting its incremental refresh: the old value plus
+  // the delta expression (which references `temp_name`, a workspace entry
+  // holding the appended rows). `deps` stamps the definition's leaves at
+  // schedule time — if any moves before install, the refresh is discarded
+  // (the data it was computed for is gone).
+  struct RefreshTask {
+    StoredView meta;
+    matrix::Matrix old_value;
+    la::ExprPtr delta_expr;
+    std::string temp_name;
+    engine::WorkspaceSnapshot deps;
+  };
+
   void MaybeScheduleMaterializations();
   void MaterializeOne(Recommendation rec);
+  // `caller_holds_state_lock` is true only on the synchronous-mode path,
+  // where the session's mutation call already holds the unique state lock.
+  void RefreshOne(RefreshTask task, bool caller_holds_state_lock);
   void FinishPending(const std::string& canonical, bool failed);
   std::string NextViewName();
 
@@ -133,8 +175,11 @@ class AdaptiveViewManager {
 
   std::atomic<int64_t> created_{0};
   std::atomic<int64_t> evicted_{0};
+  std::atomic<int64_t> invalidated_{0};
+  std::atomic<int64_t> refreshed_{0};
   std::atomic<int64_t> hit_runs_{0};
   std::atomic<int64_t> failures_{0};
+  int64_t refresh_seq_ = 0;  // Uniquifies temp delta names; under admin_mu_.
 
   // Single background worker; null in synchronous mode. Declared last so
   // its destructor joins in-flight tasks while everything above is alive.

@@ -40,7 +40,10 @@ std::vector<Recommendation> ViewAdvisor::Recommend(
     const std::function<bool(const SubexprStat&)>& skip) const {
   std::vector<Recommendation> recs;
   for (const SubexprStat& stat : observed) {
-    if (stat.hits < options.min_hits) continue;
+    // Threshold on the decayed mass (== raw hits when decay is off): a
+    // form that crossed min_hits long ago but stopped running no longer
+    // qualifies on a long-lived session.
+    if (stat.weight < static_cast<double>(options.min_hits)) continue;
     if (stat.expr == nullptr || stat.expr->is_leaf()) continue;
     // A view of pure scalar arithmetic saves nothing worth storing.
     if (!ReferencesAnyMatrix(*stat.expr)) continue;
@@ -63,16 +66,15 @@ std::vector<Recommendation> ViewAdvisor::Recommend(
       continue;
     }
     rec.measured_seconds_per_hit =
-        stat.hits > 0 ? stat.measured_seconds / static_cast<double>(stat.hits)
-                      : 0.0;
+        stat.weight > 0.0 ? stat.measured_seconds / stat.weight : 0.0;
     // Benefit per execution: prefer the measured signal; fall back to the
     // size-based estimate when the engine reported no timings. Either way
-    // the unit is consistent across one session's candidates.
+    // the unit is consistent across one session's candidates. Frequency is
+    // the decayed weight, so the current mix outranks stale workloads.
     const double per_hit = rec.measured_seconds_per_hit > 0.0
                                ? rec.measured_seconds_per_hit
                                : rec.est_recompute_cost;
-    rec.score = static_cast<double>(rec.hits) * per_hit /
-                std::max(1.0, rec.est_bytes);
+    rec.score = stat.weight * per_hit / std::max(1.0, rec.est_bytes);
     recs.push_back(std::move(rec));
   }
   std::sort(recs.begin(), recs.end(),

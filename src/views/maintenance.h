@@ -1,0 +1,51 @@
+#ifndef HADAD_VIEWS_MAINTENANCE_H_
+#define HADAD_VIEWS_MAINTENANCE_H_
+
+#include <optional>
+#include <string>
+
+#include "la/expr.h"
+
+namespace hadad::views {
+
+// View-maintenance policy under base-data mutation (ROADMAP: "view
+// maintenance under data updates").
+//
+// Arbitrary mutation of a leaf invalidates every view whose definition
+// references it — there is no general incremental story. Row *appends* are
+// different: when rows Δ are appended to leaf A ([A; Δ]), a definition f
+// that is *append-additive* in A satisfies
+//
+//     f([A; Δ]) = f(A) + f(Δ)
+//
+// so the stored value refreshes with one O(|Δ|)-input evaluation plus an
+// element-wise add, instead of a full recomputation over [A; Δ].
+//
+// The additive family is derived compositionally. Row-partitioned forms R
+// (the rows of R track the rows of A: R([A; Δ]) = [R(A); R(Δ)]):
+//
+//     R ::= A | R %*% C | s %*% R | R * s | R / s | s * R
+//
+// with C any A-free expression (a constant matrix under this mutation) and
+// s a scalar literal. Append-additive forms f:
+//
+//     f ::= colSums(R) | sum(R) | t(R1) %*% R2 | f + f | f + C | C + f
+//         | s %*% f
+//
+// t(R1) %*% R2 covers the Gram-style subexpressions (t(A) %*% A,
+// t(A %*% W) %*% (A %*% W)) that dominate the paper's ML pipelines. Every
+// additive form collapses the appended dimension, so a view's shape is
+// stable across appends — reinstalling one never changes catalog shapes.
+
+// Returns the delta expression f(Δ) — `definition` with every occurrence of
+// `leaf` substituted by `delta_name` — when `definition` is append-additive
+// in `leaf`; nullopt when it is not (the caller falls back to invalidation
+// or full recomputation). The delta references `delta_name` plus the
+// definition's A-free leaves only, never `leaf` itself.
+std::optional<la::ExprPtr> BuildAppendDelta(const la::ExprPtr& definition,
+                                            const std::string& leaf,
+                                            const std::string& delta_name);
+
+}  // namespace hadad::views
+
+#endif  // HADAD_VIEWS_MAINTENANCE_H_

@@ -80,6 +80,20 @@ Status ViewStore::Evict(const std::string& name) {
   return Status::OK();
 }
 
+Result<std::pair<StoredView, matrix::Matrix>> ViewStore::Detach(
+    const std::string& name) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("no adaptive view named '" + name + "'");
+  }
+  Result<matrix::Matrix> value = catalog_.Detach(name);
+  if (!value.ok()) return value.status();
+  std::pair<StoredView, matrix::Matrix> out(std::move(it->second),
+                                            std::move(value).value());
+  views_.erase(it);
+  return out;
+}
+
 void ViewStore::RecordHit(const std::string& name, int64_t sequence) {
   auto it = views_.find(name);
   if (it == views_.end()) return;

@@ -1,6 +1,7 @@
 #include "views/workload_monitor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -34,6 +35,13 @@ void CollectSubtrees(const la::ExprPtr& e,
 
 }  // namespace
 
+double WorkloadMonitor::DecaySince(int64_t last_run) const {
+  if (half_life_runs_ <= 0.0) return 1.0;
+  const double idle = static_cast<double>(runs_ - last_run);
+  if (idle <= 0.0) return 1.0;
+  return std::exp2(-idle / half_life_runs_);
+}
+
 void WorkloadMonitor::Observe(const la::ExprPtr& executed,
                               const engine::ExecStats* stats) {
   if (executed == nullptr) return;
@@ -60,11 +68,17 @@ void WorkloadMonitor::Observe(const la::ExprPtr& executed,
         if (victim == stats_.end()) continue;
         stats_.erase(victim);
       }
-      it = stats_.emplace(canonical, SubexprStat{canonical, expr, 0, 0.0})
+      it = stats_.emplace(canonical,
+                          SubexprStat{canonical, expr, 0, 0.0, 0.0, runs_})
                .first;
     }
-    it->second.hits += 1;
-    it->second.measured_seconds += AttributeSeconds(*expr, avg_op_seconds);
+    SubexprStat& s = it->second;
+    const double decay = DecaySince(s.last_run);
+    s.hits += 1;
+    s.weight = s.weight * decay + 1.0;
+    s.measured_seconds = s.measured_seconds * decay +
+                         AttributeSeconds(*expr, avg_op_seconds);
+    s.last_run = runs_;
   }
 }
 
@@ -73,7 +87,14 @@ std::vector<SubexprStat> WorkloadMonitor::Snapshot() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     out.reserve(stats_.size());
-    for (const auto& [canonical, stat] : stats_) out.push_back(stat);
+    for (const auto& [canonical, stat] : stats_) {
+      SubexprStat copy = stat;
+      // Surface the as-of-now decayed mass; the stored entry stays lazy.
+      const double decay = DecaySince(copy.last_run);
+      copy.weight *= decay;
+      copy.measured_seconds *= decay;
+      out.push_back(std::move(copy));
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const SubexprStat& a, const SubexprStat& b) {

@@ -20,13 +20,22 @@ struct SubexprStat {
   std::string canonical;
   la::ExprPtr expr;  // A representative tree for this canonical form.
   // Executions that computed this subexpression (counted once per run, the
-  // hash-consed-DAG view of a plan: `A + A` hits `A` once).
+  // hash-consed-DAG view of a plan: `A + A` hits `A` once). Raw lifetime
+  // count, never decayed — kept for reporting.
   int64_t hits = 0;
+  // Decayed hit mass: each observed run before this one multiplies by
+  // 2^(-runs_since / half_life) before the new hit adds 1. Equal to `hits`
+  // when decay is off. The advisor thresholds and scores on this, so a
+  // workload that stopped running stops outranking the current mix.
+  double weight = 0.0;
   // Summed wall-clock attributed to recomputing this subtree, derived from
   // ExecStats::op_timings (per-operator-kind average seconds mapped over
   // the subtree's operators). Zero under the tree-walking evaluator, which
   // leaves op_timings empty; the advisor then falls back to γ estimates.
+  // Decays alongside `weight` so seconds-per-weighted-hit stays meaningful.
   double measured_seconds = 0.0;
+  // Run index (monitor-local) of the last observation; drives lazy decay.
+  int64_t last_run = 0;
 };
 
 // Records the canonical subexpressions of every executed plan with hit
@@ -38,8 +47,13 @@ class WorkloadMonitor {
   // `max_tracked` caps the number of distinct canonical forms kept. At
   // capacity a new form replaces a single-hit entry (one-off forms churn,
   // repeated ones stay); if every entry repeats, new forms are dropped.
-  explicit WorkloadMonitor(size_t max_tracked = 1024)
-      : max_tracked_(max_tracked) {}
+  // `half_life_runs` > 0 halves every entry's decayed weight (and measured
+  // seconds) per that many observed runs of inactivity — long-lived
+  // sessions then rank by the current mix, not by week-old workloads.
+  // 0 disables decay (weight == hits).
+  explicit WorkloadMonitor(size_t max_tracked = 1024,
+                           double half_life_runs = 0.0)
+      : max_tracked_(max_tracked), half_life_runs_(half_life_runs) {}
 
   // Records every non-leaf subexpression of `executed` (each counted once
   // per call). `stats`, when it carries op_timings, supplies the measured
@@ -61,7 +75,12 @@ class WorkloadMonitor {
   void Clear();
 
  private:
+  // 2^(-(runs_ - last_run) / half_life); 1 when decay is off. Caller holds
+  // mu_ (reads runs_).
+  double DecaySince(int64_t last_run) const;
+
   const size_t max_tracked_;
+  const double half_life_runs_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, SubexprStat> stats_;
   int64_t runs_ = 0;

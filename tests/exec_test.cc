@@ -139,6 +139,46 @@ TEST(BlockedKernelTest, MatchesNaiveKernelsBitForBit) {
   EXPECT_TRUE(ExactlyEqual(spmm_naive, spmm_par));
 }
 
+TEST(BlockedKernelTest, SpGemmMatchesSequentialGustavsonBitForBit) {
+  Rng rng(17);
+  const Matrix a = matrix::RandomSparse(rng, 211, 150, 0.04);
+  const Matrix b = matrix::RandomSparse(rng, 150, 97, 0.06);
+  const Matrix naive = matrix::Multiply(a, b).value();  // Sequential kernel.
+  ASSERT_TRUE(naive.is_sparse());
+
+  // Sequential call (null runner), pooled runner at the standard grain, and
+  // a pathological runner with odd chunk boundaries: per-row accumulation
+  // order never depends on the partition, so all are bit-identical.
+  const Matrix seq =
+      Matrix(matrix::MultiplySparseSparseParallel(a.sparse(), b.sparse()));
+  EXPECT_TRUE(ExactlyEqual(naive, seq));
+
+  ThreadPool pool(4);
+  matrix::RangeRunner runner = [&pool](int64_t n,
+                                       const std::function<void(
+                                           int64_t, int64_t)>& body) {
+    pool.ParallelFor(n, matrix::kRowGrain, body);
+  };
+  const Matrix par = Matrix(
+      matrix::MultiplySparseSparseParallel(a.sparse(), b.sparse(), runner));
+  EXPECT_TRUE(ExactlyEqual(naive, par));
+
+  matrix::RangeRunner odd = [](int64_t n, const std::function<void(
+                                              int64_t, int64_t)>& body) {
+    for (int64_t begin = 0; begin < n; begin += 7) {
+      body(begin, std::min(n, begin + 7));
+    }
+  };
+  const Matrix odd_chunks = Matrix(
+      matrix::MultiplySparseSparseParallel(a.sparse(), b.sparse(), odd));
+  EXPECT_TRUE(ExactlyEqual(naive, odd_chunks));
+
+  // Exact CSR structural identity, not just values.
+  EXPECT_EQ(par.sparse().row_ptr(), naive.sparse().row_ptr());
+  EXPECT_EQ(par.sparse().col_idx(), naive.sparse().col_idx());
+  EXPECT_EQ(par.sparse().values(), naive.sparse().values());
+}
+
 // ---------------------------------------------------------------------------
 // Plan compilation: CSE and kernel selection.
 // ---------------------------------------------------------------------------
@@ -197,6 +237,18 @@ TEST_F(CompileTest, SelectsBlockedGemmForLargeDenseProduct) {
 TEST_F(CompileTest, SelectsSpmmForSparseLhs) {
   CompiledPlan plan = MustCompile("S %*% Y");
   EXPECT_EQ(KernelOf(plan, la::OpKind::kMultiply), KernelKind::kSpmm);
+}
+
+TEST_F(CompileTest, SelectsSpGemmForSparseSparseProduct) {
+  Rng rng(5);
+  workspace_.Put("S2", matrix::RandomSparse(rng, 90, 200, 0.02));
+  CompiledPlan plan = MustCompile("S %*% S2");  // 200x200 output: parallel.
+  EXPECT_EQ(KernelOf(plan, la::OpKind::kMultiply), KernelKind::kSpGemm);
+}
+
+TEST_F(CompileTest, RecordsLeafDependencySet) {
+  CompiledPlan plan = MustCompile("(X %*% Y) + (X %*% Y)");
+  EXPECT_EQ(plan.leaf_names, (std::vector<std::string>{"X", "Y"}));
 }
 
 TEST_F(CompileTest, FusesTransposedLhs) {
@@ -272,6 +324,7 @@ TEST(ExecEquivalenceTest, DeterministicAcrossThreadCounts) {
       "(X %*% Y) %*% (X %*% Y)",
       "t(X) %*% X",
       "S %*% (X %*% Y)",
+      "S %*% S",  // Parallel Gustavson SpGEMM path.
       "colSums(X %*% Y) %*% rowSums(X %*% Y)",
   };
   for (const std::string& text : cases) {

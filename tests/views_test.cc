@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <thread>
@@ -104,6 +105,45 @@ TEST(WorkloadMonitorTest, ForgetDropsSubtreesButKeepsParents) {
   EXPECT_TRUE(transpose_back);
 }
 
+TEST(WorkloadMonitorTest, DecayHalvesIdleWeightsByHalfLife) {
+  // Half-life of 2 observed runs. Without decay, weight == hits exactly.
+  WorkloadMonitor no_decay(16, 0.0);
+  WorkloadMonitor decayed(16, 2.0);
+  for (int i = 0; i < 4; ++i) {
+    no_decay.Observe(Parse("t(A) %*% A"), nullptr);
+    decayed.Observe(Parse("t(A) %*% A"), nullptr);
+  }
+  auto weight_of = [](const WorkloadMonitor& m, const std::string& text) {
+    for (const SubexprStat& s : m.Snapshot()) {
+      if (s.canonical == text) return s.weight;
+    }
+    return -1.0;
+  };
+  const std::string gram = la::ToString(Parse("t(A) %*% A"));
+  EXPECT_DOUBLE_EQ(weight_of(no_decay, gram), 4.0);
+  // Consecutive runs decay by 2^(-1/2) between observations:
+  // w = ((1*d + 1)*d + 1)*d + 1 with d = 2^(-1/2).
+  const double d = std::exp2(-0.5);
+  EXPECT_NEAR(weight_of(decayed, gram), ((d + 1) * d + 1) * d + 1, 1e-12);
+
+  // Four idle runs (a different workload) halve the gram's weight twice;
+  // the raw hit count never decays, and the fresh workload overtakes.
+  for (int i = 0; i < 4; ++i) {
+    no_decay.Observe(Parse("B %*% B"), nullptr);
+    decayed.Observe(Parse("B %*% B"), nullptr);
+  }
+  const std::string fresh = la::ToString(Parse("B %*% B"));
+  EXPECT_DOUBLE_EQ(weight_of(no_decay, gram), 4.0);
+  EXPECT_NEAR(weight_of(decayed, gram),
+              (((d + 1) * d + 1) * d + 1) * 0.25, 1e-12);
+  EXPECT_GT(weight_of(decayed, fresh), weight_of(decayed, gram));
+  for (const SubexprStat& s : decayed.Snapshot()) {
+    if (s.canonical == gram) {
+      EXPECT_EQ(s.hits, 4);
+    }
+  }
+}
+
 TEST(WorkloadMonitorTest, SnapshotIsDeterministicallyOrdered) {
   WorkloadMonitor monitor;
   monitor.Observe(Parse("t(B) %*% A"), nullptr);
@@ -138,14 +178,17 @@ la::MetaCatalog AdvisorCatalog() {
   return catalog;
 }
 
+// Hand-built monitor output: weight mirrors hits (no decay), measured 0.
 std::vector<SubexprStat> AdvisorInput() {
   std::vector<SubexprStat> stats;
   stats.push_back({la::ToString(Parse("(t(X) %*% X) + R")),
-                   Parse("(t(X) %*% X) + R"), 5, 0.0});
+                   Parse("(t(X) %*% X) + R"), 5, 5.0, 0.0, 0});
+  stats.push_back({la::ToString(Parse("t(X) %*% X")), Parse("t(X) %*% X"), 5,
+                   5.0, 0.0, 0});
+  stats.push_back({la::ToString(Parse("t(X)")), Parse("t(X)"), 5, 5.0, 0.0,
+                   0});
   stats.push_back(
-      {la::ToString(Parse("t(X) %*% X")), Parse("t(X) %*% X"), 5, 0.0});
-  stats.push_back({la::ToString(Parse("t(X)")), Parse("t(X)"), 5, 0.0});
-  stats.push_back({la::ToString(Parse("R + R")), Parse("R + R"), 1, 0.0});
+      {la::ToString(Parse("R + R")), Parse("R + R"), 1, 1.0, 0.0, 0});
   return stats;
 }
 
@@ -201,12 +244,26 @@ TEST(ViewAdvisorTest, MeasuredSecondsOverrideSizeEstimates) {
   // By size estimates t(X) %*% X dominates t(X); measured timings say the
   // transpose is (pathologically) more expensive — measurements win.
   std::vector<SubexprStat> stats;
-  stats.push_back(
-      {la::ToString(Parse("t(X) %*% X")), Parse("t(X) %*% X"), 4, 0.04});
-  stats.push_back({la::ToString(Parse("t(X)")), Parse("t(X)"), 4, 40.0});
+  stats.push_back({la::ToString(Parse("t(X) %*% X")), Parse("t(X) %*% X"), 4,
+                   4.0, 0.04, 0});
+  stats.push_back({la::ToString(Parse("t(X)")), Parse("t(X)"), 4, 4.0, 40.0,
+                   0});
   auto recs = advisor.Recommend(stats, catalog, nullptr, options);
   ASSERT_EQ(recs.size(), 2u);
   EXPECT_EQ(recs[0].canonical, la::ToString(Parse("t(X)")));
+}
+
+TEST(ViewAdvisorTest, ThresholdsOnDecayedWeightNotRawHits) {
+  ViewAdvisor advisor(nullptr);
+  AdvisorOptions options;
+  options.min_hits = 3;
+  la::MetaCatalog catalog = AdvisorCatalog();
+  // Five raw hits but a decayed weight below min_hits: a long-idle
+  // workload no longer qualifies.
+  std::vector<SubexprStat> stats;
+  stats.push_back({la::ToString(Parse("t(X) %*% X")), Parse("t(X) %*% X"), 5,
+                   1.5, 0.0, 0});
+  EXPECT_TRUE(advisor.Recommend(stats, catalog, nullptr, options).empty());
 }
 
 // ---------------------------------------------------------------------------
