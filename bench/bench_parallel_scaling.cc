@@ -61,6 +61,11 @@ int main() {
   workspace.Put("B", matrix::RandomDense(rng, 100, 1200));
   // fig5-style sparse binding (AL3-like X of Table 4).
   workspace.Put("S", matrix::RandomSparse(rng, 4000, 500, 0.002));
+  // Same-shape dense operands for the fused elementwise chain.
+  workspace.Put("E1", matrix::RandomDense(rng, 1500, 1200));
+  workspace.Put("E2", matrix::RandomDense(rng, 1500, 1200));
+  workspace.Put("E3", matrix::RandomDense(rng, 1500, 1200));
+  workspace.Put("E4", matrix::RandomDense(rng, 1500, 1200));
 
   const std::vector<Workload> workloads = {
       {"chain4", "((X %*% Y) %*% X) %*% Y", "pure dense GEMM chain"},
@@ -71,6 +76,10 @@ int main() {
        "two independent products: DAG parallelism (see work/span)"},
       {"tall", "A %*% (B %*% (A %*% B))", "tall-skinny chain as stated"},
       {"spmm", "S %*% (X %*% Y)", "row-parallel CSR SpMM feeding GEMM"},
+      {"elemchain", "E1 + E2 * E3 - E4",
+       "elementwise chain: 4 ops fused to one pass"},
+      {"aggpush", "colSums(A %*% B)",
+       "colSums pushed into the GEMM: product never materialized"},
   };
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   constexpr int kRepeats = 3;
@@ -121,7 +130,48 @@ int main() {
     std::printf(" %9.2f %6.2fx |", total_par[ti] * 1e3,
                 total_seq / total_par[ti]);
   }
-  std::printf("\n\nresults %s sequential baseline (1e-9 relative)\n",
+
+  // Operator fusion isolated: the same DAG engine at 1 thread with the
+  // fusion pass on vs off, so the speedup is purely the eliminated
+  // intermediates (no CSE/kernel/thread differences in the comparison).
+  std::printf("\n\n== Operator fusion at 1 thread: fused vs unfused DAG ==\n");
+  std::printf("%-9s %12s %12s %8s %6s %6s\n", "id", "unfused[ms]",
+              "fused[ms]", "speedup", "nodes", "elim");
+  const std::vector<Workload> fusion_workloads = {
+      {"elemchain", "E1 + E2 * E3 - E4", ""},
+      {"aggpush", "colSums(A %*% B)", ""},
+      {"aggsum", "sum(A %*% B)", ""},
+  };
+  for (const Workload& w : fusion_workloads) {
+    auto parsed = la::ParseExpression(w.text);
+    HADAD_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+    const la::ExprPtr& expr = *parsed;
+    exec::Executor unfused(engine::ExecOptions{
+        .threads = 1, .enable_fusion = false});
+    exec::Executor fused(engine::ExecOptions{.threads = 1});
+    double best_unfused = 1e300, best_fused = 1e300;
+    engine::ExecStats stats;
+    Result<matrix::Matrix> reference = unfused.Run(expr, workspace);
+    HADAD_CHECK_MSG(reference.ok(), reference.status().ToString().c_str());
+    for (int r = 0; r < kRepeats; ++r) {
+      engine::ExecStats u, f;
+      auto out_u = unfused.Run(expr, workspace, &u);
+      HADAD_CHECK_MSG(out_u.ok(), out_u.status().ToString().c_str());
+      auto out_f = fused.Run(expr, workspace, &f);
+      HADAD_CHECK_MSG(out_f.ok(), out_f.status().ToString().c_str());
+      if (!reference->ApproxEquals(*out_f, 1e-9)) all_match = false;
+      best_unfused = std::min(best_unfused, u.seconds);
+      best_fused = std::min(best_fused, f.seconds);
+      stats = f;
+    }
+    std::printf("%-9s %12.2f %12.2f %7.2fx %6lld %6lld\n", w.id,
+                best_unfused * 1e3, best_fused * 1e3,
+                best_unfused / best_fused,
+                static_cast<long long>(stats.fused_nodes),
+                static_cast<long long>(stats.fused_ops_eliminated));
+  }
+
+  std::printf("\nresults %s sequential baseline (1e-9 relative)\n",
               all_match ? "match" : "DIVERGE FROM");
   return all_match ? 0 : 1;
 }

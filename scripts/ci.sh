@@ -6,6 +6,9 @@
 #   ./scripts/ci.sh asan     AddressSanitizer+UBSan build, full ctest run
 #   ./scripts/ci.sh bench    Release-mode bench smoke: builds and runs one
 #                            small benchmark so perf binaries can't rot
+#   ./scripts/ci.sh docs     Documentation checks: every relative link in
+#                            docs/ and README.md resolves, and the README
+#                            quickstart snippet still compiles and links
 set -euxo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,8 +56,51 @@ case "$mode" in
     ./build-bench/bench/bench_session_cache
     ./build-bench/bench/bench_update_refresh
     ;;
+  docs)
+    # 1) Relative links in docs/ and README.md must resolve on disk
+    #    (http(s)/mailto links and pure #fragments are skipped).
+    status=0
+    for f in README.md docs/*.md; do
+      dir="$(dirname "$f")"
+      while IFS= read -r target; do
+        target="${target%%#*}"
+        [ -z "$target" ] && continue
+        case "$target" in
+          http://*|https://*|mailto:*) continue ;;
+        esac
+        if [ ! -e "$dir/$target" ]; then
+          echo "broken link in $f: $target" >&2
+          status=1
+        fi
+      done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+    done
+    [ "$status" -eq 0 ]
+
+    # 2) The README quickstart (first ```cpp block) must compile and link
+    #    against the library: extract it, wrap the statements in main(),
+    #    and build it for real.
+    cmake -B build-docs -S . \
+      -DBUILD_TESTING=OFF \
+      -DHADAD_BUILD_BENCHMARKS=OFF \
+      -DHADAD_BUILD_EXAMPLES=OFF
+    cmake --build build-docs -j --target hadad
+    snippet_dir="$(mktemp -d)"
+    awk '/^```cpp/{f=1; next} /^```/{if (f) exit} f' README.md \
+      > "$snippet_dir/snippet.in"
+    [ -s "$snippet_dir/snippet.in" ]
+    {
+      grep -E '^#include|^using namespace' "$snippet_dir/snippet.in"
+      echo 'int main() {'
+      grep -vE '^#include|^using namespace' "$snippet_dir/snippet.in"
+      echo 'return 0; }'
+    } > "$snippet_dir/quickstart.cc"
+    g++ -std=c++20 -Isrc "$snippet_dir/quickstart.cc" \
+      build-docs/libhadad.a -lpthread -o "$snippet_dir/quickstart"
+    rm -rf "$snippet_dir"
+    echo "docs checks passed"
+    ;;
   *)
-    echo "unknown mode: $mode (expected: tier1 | tsan | asan | bench)" >&2
+    echo "unknown mode: $mode (expected: tier1 | tsan | asan | bench | docs)" >&2
     exit 2
     ;;
 esac

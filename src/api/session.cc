@@ -134,26 +134,71 @@ Result<matrix::Matrix> Session::ExecuteExpr(const la::ExprPtr& expr,
     // Respect the engine profile (kSmart applies its internal rewrites
     // before execution), then hand the plan to the parallel DAG engine.
     HADAD_ASSIGN_OR_RETURN(la::ExprPtr planned, engine_->Plan(expr));
-    ++compiled_plans_;
-    return executor_->Run(planned, workspace_, stats, &exec_catalog_);
+    const std::set<std::string> barriers =
+        adaptive_ != nullptr ? adaptive_->FusionBarriers()
+                             : std::set<std::string>();
+    HADAD_ASSIGN_OR_RETURN(
+        exec::CompiledPlan compiled,
+        CompileExpr(planned, adaptive_ != nullptr ? &barriers : nullptr));
+    return executor_->RunCompiled(compiled, workspace_, stats);
   }
   return engine_->Run(expr, stats);
 }
 
+Result<exec::CompiledPlan> Session::CompileExpr(
+    const la::ExprPtr& planned,
+    const std::set<std::string>* fusion_barriers) const {
+  HADAD_ASSIGN_OR_RETURN(
+      exec::CompiledPlan compiled,
+      executor_->Compile(planned, workspace_, &exec_catalog_,
+                         fusion_barriers));
+  ++compiled_plans_;
+  fused_nodes_.fetch_add(compiled.fused_nodes, std::memory_order_relaxed);
+  fused_ops_eliminated_.fetch_add(compiled.fused_ops_eliminated,
+                                  std::memory_order_relaxed);
+  return compiled;
+}
+
 Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
     const PreparedPlan& plan) const {
+  // Subexpressions that are (or just became) adaptive-view candidates stay
+  // unfused so the workload monitor keeps attributing their cost. The
+  // barrier set evolves with the workload, so a CACHED compiled plan is
+  // reusable only while none of the canonicals it fused away has become a
+  // barrier since — otherwise the candidate would stay swallowed forever on
+  // the hot path, starving attribution right where it matters most.
+  // Without adaptive views there are no barriers, and plans that fused
+  // nothing can never go barrier-stale: return those without querying the
+  // barrier set at all.
   {
     std::lock_guard<std::mutex> lock(plan.compile_mu);
-    if (plan.compiled != nullptr) return plan.compiled;
+    if (plan.compiled != nullptr &&
+        (adaptive_ == nullptr || plan.compiled->fused_canonicals.empty())) {
+      return plan.compiled;
+    }
+  }
+  const std::set<std::string> barriers =
+      adaptive_ != nullptr ? adaptive_->FusionBarriers()
+                           : std::set<std::string>();
+  const auto barrier_clean = [&](const exec::CompiledPlan& compiled) {
+    for (const std::string& canonical : compiled.fused_canonicals) {
+      if (barriers.count(canonical) > 0) return false;
+    }
+    return true;
+  };
+  {
+    std::lock_guard<std::mutex> lock(plan.compile_mu);
+    if (plan.compiled != nullptr && barrier_clean(*plan.compiled)) {
+      return plan.compiled;
+    }
   }
   HADAD_ASSIGN_OR_RETURN(la::ExprPtr planned,
                          engine_->Plan(plan.rewrite.best));
   HADAD_ASSIGN_OR_RETURN(
       exec::CompiledPlan compiled,
-      executor_->Compile(planned, workspace_, &exec_catalog_));
-  ++compiled_plans_;
+      CompileExpr(planned, adaptive_ != nullptr ? &barriers : nullptr));
   std::lock_guard<std::mutex> lock(plan.compile_mu);
-  if (plan.compiled == nullptr) {
+  if (plan.compiled == nullptr || !barrier_clean(*plan.compiled)) {
     plan.compiled =
         std::make_shared<const exec::CompiledPlan>(std::move(compiled));
   }
@@ -490,6 +535,8 @@ SessionStats Session::stats() const {
   s.cache_misses = cache_misses_.load();
   s.runs = runs_.load();
   s.compiled_plans = compiled_plans_.load();
+  s.fused_nodes = fused_nodes_.load();
+  s.fused_ops_eliminated = fused_ops_eliminated_.load();
   s.data_mutations = mutations_.load();
   if (adaptive_ != nullptr) {
     views::AdaptiveViewStats a = adaptive_->stats();

@@ -41,6 +41,13 @@ struct SessionStats {
   int64_t cache_misses = 0;
   int64_t runs = 0;
   int64_t compiled_plans = 0;
+  // Operator-fusion outcome summed over this session's physical-DAG
+  // compilations (executor sessions only): plan nodes that fuse several
+  // logical operators, and the operator nodes — one materialized
+  // intermediate each — the fusion pass eliminated. Per-run values travel
+  // in engine::ExecStats.
+  int64_t fused_nodes = 0;
+  int64_t fused_ops_eliminated = 0;
   // Successful Update()/Append()/Remove() calls.
   int64_t data_mutations = 0;
   int64_t adaptive_views_created = 0;
@@ -82,7 +89,9 @@ struct PreparedPlan {
 
 // A reusable optimized pipeline bound to its session. Parse + PACB rewrite
 // already happened (once); Execute() only pays execution. Copyable; keeps the
-// session alive, so it may outlive the caller's session handle.
+// session alive, so it may outlive the caller's session handle. All methods
+// are const and safe to call concurrently (execution takes the session
+// state lock shared, like Session::Run).
 class PreparedQuery {
  public:
   // Runs the minimum-cost rewriting.
@@ -181,27 +190,38 @@ class Session : public std::enable_shared_from_this<Session> {
   // invalidated. Cached plans over it fail on their next use (NotFound).
   Status Remove(const std::string& name);
 
+  // Read-only view of the session's data catalog. Do not hold the
+  // reference across a mutation from another thread; all writes go through
+  // Update/Append/Remove so every dependent layer stays consistent.
   const engine::Workspace& workspace() const { return workspace_; }
+  // Read-only view of the PACB optimizer (facts, views, chase budgets).
   const pacb::Optimizer& optimizer() const { return *optimizer_; }
+  // Read-only view of the execution engine (profile, evaluator).
   const engine::Engine& engine() const { return *engine_; }
   // Non-null iff normalized matrices were registered; execution then routes
-  // through the Morpheus engine.
+  // through the Morpheus engine. Stable for the session's lifetime.
   const morpheus::MorpheusEngine* morpheus() const { return morpheus_.get(); }
   // Non-null iff SessionBuilder::Threads was called; execution then routes
-  // through the parallel DAG engine (src/exec/).
+  // through the parallel DAG engine (src/exec/). Stable for the session's
+  // lifetime.
   const exec::Executor* executor() const { return executor_.get(); }
-  // Non-null iff SessionBuilder::AdaptiveViews was called.
+  // Non-null iff SessionBuilder::AdaptiveViews was called. Stable for the
+  // session's lifetime; the manager's own accessors are thread-safe.
   const views::AdaptiveViewManager* adaptive() const {
     return adaptive_.get();
   }
 
   // Blocks until queued adaptive-view materializations are installed.
   // No-op without AdaptiveViews; tests and benchmarks use it to make the
-  // warmed state deterministic.
+  // warmed state deterministic. Safe to call from any thread.
   void WaitForAdaptiveViews() const;
 
+  // Point-in-time counter snapshot (atomics; no lock). Thread-safe.
   SessionStats stats() const;
+  // Cached plans by canonical text. Thread-safe (shared cache lock).
   int64_t plan_cache_size() const;
+  // Drops every cached plan; in-flight PreparedQuery handles keep their
+  // shared plan alive. Thread-safe (unique cache lock).
   void ClearPlanCache();
 
  private:
@@ -235,6 +255,12 @@ class Session : public std::enable_shared_from_this<Session> {
   // (shared) so the workspace cannot mutate mid-evaluation.
   Result<matrix::Matrix> ExecuteExpr(const la::ExprPtr& expr,
                                      engine::ExecStats* stats) const;
+  // Compiles an engine-planned expression on the session executor with the
+  // given fusion barriers, accumulating the compiled_plans_ and fused_*
+  // counters. Caller holds views_mu_ (shared); executor_ non-null.
+  Result<exec::CompiledPlan> CompileExpr(
+      const la::ExprPtr& planned,
+      const std::set<std::string>* fusion_barriers) const;
   // The cached physical DAG for plan.rewrite.best (compiles on first use).
   Result<std::shared_ptr<const exec::CompiledPlan>> GetOrCompile(
       const PreparedPlan& plan) const;
@@ -265,6 +291,8 @@ class Session : public std::enable_shared_from_this<Session> {
   mutable std::atomic<int64_t> cache_misses_{0};
   mutable std::atomic<int64_t> runs_{0};
   mutable std::atomic<int64_t> compiled_plans_{0};
+  mutable std::atomic<int64_t> fused_nodes_{0};
+  mutable std::atomic<int64_t> fused_ops_eliminated_{0};
   mutable std::atomic<int64_t> mutations_{0};
 
   // The session state lock: views_mu_ guards the mutable session state

@@ -195,4 +195,23 @@ Result<ExprEstimate> EstimateExpression(const la::Expr& expr,
   return out;
 }
 
+bool TreatAsDense(const ClassMeta& m, double dense_threshold) {
+  return m.shape.Sparsity() >= dense_threshold;
+}
+
+bool HeavyEnoughForParallel(const ClassMeta& out, int64_t cell_threshold) {
+  return out.shape.Cells() >= static_cast<double>(cell_threshold);
+}
+
+bool ReducingGemmProfitable(const ClassMeta& a, const ClassMeta& b,
+                            const ClassMeta& product, double dense_threshold,
+                            int64_t cell_threshold) {
+  const bool a_scalar = a.shape.rows == 1 && a.shape.cols == 1;
+  const bool b_scalar = b.shape.rows == 1 && b.shape.cols == 1;
+  if (a_scalar || b_scalar) return false;
+  if (a.shape.cols != b.shape.rows) return false;
+  return TreatAsDense(a, dense_threshold) && TreatAsDense(b, dense_threshold) &&
+         HeavyEnoughForParallel(product, cell_threshold);
+}
+
 }  // namespace hadad::cost

@@ -43,6 +43,31 @@ struct OpRelation {
 Result<OpRelation> RelationFor(const la::Expr& e, bool lhs_scalar,
                                bool rhs_scalar);
 
+// ---------------------------------------------------------------------------
+// Shape/nnz gates shared by the exec plan compiler (kernel selection, the
+// operator-fusion pass, and aggregation pushdown). Centralized here so the
+// compiler and the cost model agree on what "dense" and "heavy" mean.
+// ---------------------------------------------------------------------------
+
+// Estimated density at or above `dense_threshold` — the operand should be
+// treated as dense when choosing between blocked-dense and sparse kernels.
+// Unknown nnz counts as fully dense.
+bool TreatAsDense(const ClassMeta& m, double dense_threshold);
+
+// Output is large enough (>= `cell_threshold` estimated cells) to justify a
+// partitioned/blocked kernel over the sequential generic one.
+bool HeavyEnoughForParallel(const ClassMeta& out, int64_t cell_threshold);
+
+// True when sum/rowSums/colSums over the product `a` x `b` should compile
+// to a reducing GEMM kernel that never materializes the product: both
+// operands estimated dense, neither a scalar, shapes conformable, and the
+// product heavy enough that the saved materialization matters. Mirrors the
+// conditions under which the product itself would pick the blocked dense
+// GEMM, so pushdown never changes which multiply kernel semantics apply.
+bool ReducingGemmProfitable(const ClassMeta& a, const ClassMeta& b,
+                            const ClassMeta& product, double dense_threshold,
+                            int64_t cell_threshold);
+
 }  // namespace hadad::cost
 
 #endif  // HADAD_COST_COST_MODEL_H_

@@ -36,6 +36,12 @@ struct ExecStats {
   int64_t cse_hits = 0;
   // Physical plan nodes (leaves included) in the executed DAG.
   int64_t plan_nodes = 0;
+  // Operator-fusion outcome: physical nodes that fuse several logical
+  // operators (elementwise chains collapsed to one single-pass kernel,
+  // aggregations pushed into their producing GEMM), and how many operator
+  // nodes — one materialized intermediate each — fusion eliminated.
+  int64_t fused_nodes = 0;
+  int64_t fused_ops_eliminated = 0;
   // Degree of parallelism the run was scheduled with.
   int threads = 1;
   // Total kernel wall-clock summed over nodes ("work") and the longest
@@ -66,6 +72,10 @@ struct ExecOptions {
   // Outputs with fewer cells than this run on the generic sequential
   // kernels; at or above it the compiler picks blocked/partitioned ones.
   int64_t parallel_cell_threshold = 4096;
+  // Collapse elementwise chains into single-pass kernels and push
+  // sum/rowSums/colSums into their producing GEMM (bit-identical results;
+  // see exec::CompileOptions::enable_fusion).
+  bool enable_fusion = true;
 };
 
 // Compiles `expr` into a physical operator DAG (CSE + representation-aware

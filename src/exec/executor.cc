@@ -7,20 +7,25 @@ namespace hadad::exec {
 Executor::Executor(const engine::ExecOptions& options) : options_(options) {
   compile_options_.enable_cse = options.enable_cse;
   compile_options_.parallel_cell_threshold = options.parallel_cell_threshold;
+  compile_options_.enable_fusion = options.enable_fusion;
   pool_ = std::make_unique<ThreadPool>(options.threads);
 }
 
-Result<CompiledPlan> Executor::Compile(const la::ExprPtr& expr,
-                                       const engine::Workspace& workspace,
-                                       const la::MetaCatalog* catalog) const {
-  return exec::Compile(expr, workspace, catalog, compile_options_);
+Result<CompiledPlan> Executor::Compile(
+    const la::ExprPtr& expr, const engine::Workspace& workspace,
+    const la::MetaCatalog* catalog,
+    const std::set<std::string>* fusion_barriers) const {
+  CompileOptions options = compile_options_;
+  options.fusion_barriers = fusion_barriers;
+  return exec::Compile(expr, workspace, catalog, options);
 }
 
-Result<matrix::Matrix> Executor::Run(const la::ExprPtr& expr,
-                                     const engine::Workspace& workspace,
-                                     engine::ExecStats* stats,
-                                     const la::MetaCatalog* catalog) const {
-  HADAD_ASSIGN_OR_RETURN(CompiledPlan plan, Compile(expr, workspace, catalog));
+Result<matrix::Matrix> Executor::Run(
+    const la::ExprPtr& expr, const engine::Workspace& workspace,
+    engine::ExecStats* stats, const la::MetaCatalog* catalog,
+    const std::set<std::string>* fusion_barriers) const {
+  HADAD_ASSIGN_OR_RETURN(
+      CompiledPlan plan, Compile(expr, workspace, catalog, fusion_barriers));
   return RunCompiled(plan, workspace, stats);
 }
 

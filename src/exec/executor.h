@@ -2,6 +2,8 @@
 #define HADAD_EXEC_EXECUTOR_H_
 
 #include <memory>
+#include <set>
+#include <string>
 
 #include "common/status.h"
 #include "engine/evaluator.h"
@@ -25,26 +27,36 @@ class Executor {
  public:
   explicit Executor(const engine::ExecOptions& options = {});
 
-  // The resolved degree of parallelism (>= 1).
+  // The resolved degree of parallelism (>= 1). Thread-safe (immutable).
   int threads() const { return pool_->threads(); }
+  // The options this executor was built with. Thread-safe (immutable).
   const engine::ExecOptions& options() const { return options_; }
 
-  // Compile (CSE + kernel selection) and execute over `workspace`.
-  // `catalog`, when non-null, supplies leaf metadata without rescanning the
-  // workspace (api::Session passes its maintained leaf catalog).
-  Result<matrix::Matrix> Run(const la::ExprPtr& expr,
-                             const engine::Workspace& workspace,
-                             engine::ExecStats* stats = nullptr,
-                             const la::MetaCatalog* catalog = nullptr) const;
+  // Compile (CSE + kernel selection + operator fusion) and execute over
+  // `workspace`. `catalog`, when non-null, supplies leaf metadata without
+  // rescanning the workspace (api::Session passes its maintained leaf
+  // catalog). `fusion_barriers`, when non-null, names canonical forms the
+  // fusion pass must keep materialized (adaptive-view candidate roots); it
+  // only needs to outlive this call. Thread-safe: concurrent Run()s share
+  // the pool; the caller must ensure `workspace` does not mutate mid-call.
+  Result<matrix::Matrix> Run(
+      const la::ExprPtr& expr, const engine::Workspace& workspace,
+      engine::ExecStats* stats = nullptr,
+      const la::MetaCatalog* catalog = nullptr,
+      const std::set<std::string>* fusion_barriers = nullptr) const;
 
-  // The physical plan Run() would execute; exposed for tests and Explain.
-  Result<CompiledPlan> Compile(const la::ExprPtr& expr,
-                               const engine::Workspace& workspace,
-                               const la::MetaCatalog* catalog = nullptr) const;
+  // The physical plan Run() would execute; exposed for tests, Explain, and
+  // api::Session's per-plan DAG cache. Thread-safe (pure function of its
+  // arguments plus the frozen compile options).
+  Result<CompiledPlan> Compile(
+      const la::ExprPtr& expr, const engine::Workspace& workspace,
+      const la::MetaCatalog* catalog = nullptr,
+      const std::set<std::string>* fusion_barriers = nullptr) const;
 
   // Executes an already-compiled plan (api::PreparedQuery caches one per
   // plan so the hit path skips DAG recompilation). The plan must have been
   // compiled against a workspace whose referenced names still resolve.
+  // Thread-safe under the same workspace-stability contract as Run().
   Result<matrix::Matrix> RunCompiled(const CompiledPlan& plan,
                                      const engine::Workspace& workspace,
                                      engine::ExecStats* stats = nullptr) const;

@@ -19,6 +19,34 @@ bool IsScalarMeta(const cost::ClassMeta& m) {
   return m.shape.rows == 1 && m.shape.cols == 1;
 }
 
+// Lowers the semantic stack program to the matrix layer's dense-path form:
+// hadamard and the scalar-path multiply are both per-element products.
+matrix::FusedElementwiseProgram LowerProgram(const la::ElemProgram& program) {
+  matrix::FusedElementwiseProgram lowered;
+  lowered.max_stack = program.max_stack;
+  lowered.steps.reserve(program.steps.size());
+  for (const la::ElemStep& step : program.steps) {
+    matrix::FusedStep fs;
+    switch (step.kind) {
+      case la::ElemStep::Kind::kPushInput:
+        fs.code = matrix::FusedStep::Code::kPushInput;
+        fs.input = step.input;
+        break;
+      case la::ElemStep::Kind::kPushConst:
+        fs.code = matrix::FusedStep::Code::kPushConst;
+        fs.value = step.value;
+        break;
+      case la::ElemStep::Kind::kApply:
+        fs.code = step.op == la::OpKind::kAdd
+                      ? matrix::FusedStep::Code::kAdd
+                      : matrix::FusedStep::Code::kMul;
+        break;
+    }
+    lowered.steps.push_back(fs);
+  }
+  return lowered;
+}
+
 // Estimated density in [0, 1]; unknown nnz counts as fully dense.
 double EstimatedDensity(const cost::ClassMeta& m) {
   return m.shape.Sparsity();
@@ -34,15 +62,12 @@ class Compiler {
     plan_.root_expr = expr;
     HADAD_ASSIGN_OR_RETURN(int32_t root, Lower(expr));
     plan_.root = root;
-    std::set<std::string> leaves;
-    for (int32_t id = 0; id < static_cast<int32_t>(plan_.nodes.size()); ++id) {
-      const PlanNode& node = plan_.nodes[static_cast<size_t>(id)];
-      for (int32_t in : node.inputs) {
-        plan_.nodes[static_cast<size_t>(in)].consumers.push_back(id);
-      }
-      if (node.kernel == KernelKind::kLoad) leaves.insert(node.expr->name());
+    RebuildEdges();
+    if (options_.enable_fusion) {
+      FuseElementwiseChains();
+      PushDownAggregations();
+      EliminateDeadNodes();
     }
-    plan_.leaf_names.assign(leaves.begin(), leaves.end());
     return std::move(plan_);
   }
 
@@ -56,6 +81,9 @@ class Compiler {
       auto it = memo_.find(key);
       if (it != memo_.end()) {
         ++plan_.cse_hits;
+        // Duplicate tree objects resolve to the memoized node, so the
+        // fusion pass can map any expr in the tree without re-stringifying.
+        expr_node_.emplace(e.get(), it->second);
         return it->second;
       }
     }
@@ -142,6 +170,7 @@ class Compiler {
       if (it != memo_.end()) {
         ++plan_.cse_hits;
         t_id = it->second;
+        expr_node_.emplace(transpose.get(), t_id);
       } else {
         HADAD_ASSIGN_OR_RETURN(t_id, EmitTranspose(transpose, inner_id, am,
                                                    std::move(t_key)));
@@ -177,9 +206,24 @@ class Compiler {
 
   int32_t Emit(PlanNode node, std::string key) {
     const int32_t id = static_cast<int32_t>(plan_.nodes.size());
+    expr_node_.emplace(node.expr, id);
     plan_.nodes.push_back(std::move(node));
+    // Keep the canonical alongside the node: the fusion pass needs it for
+    // barrier checks and fused_canonicals without re-stringifying subtrees.
+    canonicals_.push_back(key);
     if (options_.enable_cse) memo_.emplace(std::move(key), id);
     return id;
+  }
+
+  // The node's canonical form, computed lazily when CSE did not provide it
+  // (enable_cse off, or the CSE-hit branch of LowerTransposedMultiply).
+  const std::string& CanonicalOf(int32_t id) {
+    std::string& canonical = canonicals_[static_cast<size_t>(id)];
+    if (canonical.empty()) {
+      canonical =
+          la::ToString(*plan_.nodes[static_cast<size_t>(id)].expr);
+    }
+    return canonical;
   }
 
   Result<cost::ClassMeta> LeafMeta(const std::string& name) {
@@ -230,14 +274,14 @@ class Compiler {
     const cost::ClassMeta& b = in_meta[1];
     if (IsScalarMeta(a) || IsScalarMeta(b)) return KernelKind::kGeneric;
     if (a.shape.cols != b.shape.rows) return KernelKind::kGeneric;
-    if (out_meta.shape.Cells() <
-        static_cast<double>(options_.parallel_cell_threshold)) {
+    if (!cost::HeavyEnoughForParallel(out_meta,
+                                      options_.parallel_cell_threshold)) {
       return KernelKind::kGeneric;
     }
     const bool a_dense =
-        EstimatedDensity(a) >= options_.dense_sparsity_threshold;
+        cost::TreatAsDense(a, options_.dense_sparsity_threshold);
     const bool b_dense =
-        EstimatedDensity(b) >= options_.dense_sparsity_threshold;
+        cost::TreatAsDense(b, options_.dense_sparsity_threshold);
     if (!b_dense) {
       // Sparse rhs: row-parallel Gustavson when the lhs is sparse too;
       // dense x sparse stays on the sequential generic kernel.
@@ -246,12 +290,239 @@ class Compiler {
     return a_dense ? KernelKind::kGemmBlocked : KernelKind::kSpmm;
   }
 
+  // --- Operator-fusion pass (runs after lowering + CSE) -------------------
+
+  const cost::ClassMeta& Meta(int32_t id) const {
+    return plan_.nodes[static_cast<size_t>(id)].meta;
+  }
+
+  static bool SameShape(const cost::ClassMeta& x, const cost::ClassMeta& y) {
+    return x.shape.rows == y.shape.rows && x.shape.cols == y.shape.cols;
+  }
+
+  // True when the node's canonical form must stay a materialized plan node
+  // (adaptive-view candidate roots the session asked us not to fuse over).
+  bool IsBarrier(int32_t id) {
+    return options_.fusion_barriers != nullptr &&
+           options_.fusion_barriers->count(CanonicalOf(id)) > 0;
+  }
+
+  // Recomputes consumer edges and the leaf dependency set from `inputs`.
+  void RebuildEdges() {
+    for (PlanNode& node : plan_.nodes) node.consumers.clear();
+    std::set<std::string> leaves;
+    for (int32_t id = 0; id < static_cast<int32_t>(plan_.nodes.size()); ++id) {
+      const PlanNode& node = plan_.nodes[static_cast<size_t>(id)];
+      for (int32_t in : node.inputs) {
+        plan_.nodes[static_cast<size_t>(in)].consumers.push_back(id);
+      }
+      if (node.kernel == KernelKind::kLoad) leaves.insert(node.expr->name());
+    }
+    plan_.leaf_names.assign(leaves.begin(), leaves.end());
+  }
+
+  // Whether `node` computes an elementwise operator the fused interpreter
+  // reproduces exactly: same-shape add, hadamard (with scalar broadcast),
+  // or kMultiply in the form where matrix::Multiply takes the scalar path.
+  bool ElementwiseFusable(const PlanNode& node) const {
+    if (node.kernel != KernelKind::kGeneric) return false;
+    if (!la::IsElementwiseFusableKind(node.op)) return false;
+    if (node.inputs.size() != 2) return false;
+    if (IsScalarMeta(node.meta)) return false;  // Scalar chains: not worth it.
+    // Sparse chains keep their per-operator sparse kernels: the fused
+    // interpreter's single pass only wins on dense rows (a wrong estimate
+    // still executes correctly through the scheduler's matrix-level
+    // fallback — this gate is purely about not pessimizing).
+    if (!cost::TreatAsDense(node.meta, options_.dense_sparsity_threshold)) {
+      return false;
+    }
+    const cost::ClassMeta& a = Meta(node.inputs[0]);
+    const cost::ClassMeta& b = Meta(node.inputs[1]);
+    switch (node.op) {
+      case OpKind::kAdd:
+        return SameShape(a, node.meta) && SameShape(b, node.meta);
+      case OpKind::kHadamard:
+        return (IsScalarMeta(a) || SameShape(a, node.meta)) &&
+               (IsScalarMeta(b) || SameShape(b, node.meta));
+      case OpKind::kMultiply:
+        // Elementwise only as scalar-times-matrix — and only when
+        // matrix::Multiply would actually take the scalar path (operand
+        // inner dimensions mismatch): a 1x1 times a 1xC row vector is a
+        // true matrix product with different zero semantics.
+        if (IsScalarMeta(a) && !IsScalarMeta(b)) {
+          return b.shape.rows > 1 && SameShape(b, node.meta);
+        }
+        if (IsScalarMeta(b) && !IsScalarMeta(a)) {
+          return a.shape.cols > 1 && SameShape(a, node.meta);
+        }
+        return false;
+      default:
+        return false;
+    }
+  }
+
+  // The DAG node computing `e`. Every expr object the fusion pass can
+  // reach was seen by Lower() and recorded in expr_node_; the memo lookup
+  // is a defensive fallback.
+  int32_t ResolveNode(const Expr& e) const {
+    auto it = expr_node_.find(&e);
+    if (it != expr_node_.end()) return it->second;
+    auto memo_it = memo_.find(la::ToString(e));
+    HADAD_CHECK_MSG(memo_it != memo_.end(),
+                    "fusion: subexpression missing from the CSE memo");
+    return memo_it->second;
+  }
+
+  // Collapses maximal same-shape elementwise subtrees into single
+  // kFusedElementwise nodes. An interior node joins its consumer's chain
+  // only when that consumer is its ONLY consumer (so CSE-shared
+  // subexpressions stay materialized — sharing still pays once) and its
+  // canonical form is not a fusion barrier. Interior nodes become dead and
+  // are swept by EliminateDeadNodes.
+  void FuseElementwiseChains() {
+    // The pass proves "not shared" through consumer counts of the
+    // hash-consed DAG; without CSE two tree occurrences of one
+    // subexpression are distinct nodes and the memo is empty.
+    if (!options_.enable_cse) return;
+    const size_t n = plan_.nodes.size();
+    std::vector<bool> fusable(n, false), absorbable(n, false);
+    for (size_t i = 0; i < n; ++i) fusable[i] = ElementwiseFusable(plan_.nodes[i]);
+    for (size_t i = 0; i < n; ++i) {
+      const PlanNode& node = plan_.nodes[i];
+      if (!fusable[i] || node.consumers.size() != 1) continue;
+      const size_t consumer = static_cast<size_t>(node.consumers[0]);
+      absorbable[i] = fusable[consumer] &&
+                      SameShape(node.meta, plan_.nodes[consumer].meta) &&
+                      !IsBarrier(static_cast<int32_t>(i));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!fusable[i] || absorbable[i]) continue;  // Chain roots only.
+      // Members: the root plus transitively absorbable children (each has
+      // exactly one consumer, which is its parent in the chain).
+      std::set<int32_t> members;
+      std::vector<int32_t> frontier = {static_cast<int32_t>(i)};
+      while (!frontier.empty()) {
+        const int32_t id = frontier.back();
+        frontier.pop_back();
+        members.insert(id);
+        for (int32_t in : plan_.nodes[static_cast<size_t>(id)].inputs) {
+          if (absorbable[static_cast<size_t>(in)]) frontier.push_back(in);
+        }
+      }
+      if (members.size() < 2) continue;  // Nothing to eliminate.
+
+      std::unordered_map<int32_t, int32_t> slot_of;
+      std::vector<int32_t> slot_nodes;
+      const auto classify = [&](const Expr& e) -> int32_t {
+        const int32_t id = ResolveNode(e);
+        if (members.count(id) > 0) return -1;
+        auto [it, inserted] =
+            slot_of.try_emplace(id, static_cast<int32_t>(slot_nodes.size()));
+        if (inserted) slot_nodes.push_back(id);
+        return it->second;
+      };
+      PlanNode& root = plan_.nodes[i];
+      la::ElemProgram program = la::FlattenElementwise(*root.expr, classify);
+      root.kernel = KernelKind::kFusedElementwise;
+      root.program = static_cast<int32_t>(plan_.programs.size());
+      root.inputs = std::move(slot_nodes);
+      plan_.kernel_programs.push_back(LowerProgram(program));
+      plan_.programs.push_back(std::move(program));
+      ++plan_.fused_nodes;
+      plan_.fused_ops_eliminated +=
+          static_cast<int64_t>(members.size()) - 1;
+      for (int32_t member : members) {
+        if (member == static_cast<int32_t>(i)) continue;  // Root survives.
+        plan_.fused_canonicals.insert(CanonicalOf(member));
+      }
+    }
+  }
+
+  // Rewrites sum/rowSums/colSums over a blocked dense GEMM into a reducing
+  // GEMM node that takes the product's operands directly — the product is
+  // never materialized. Requires the product to have no other consumer and
+  // not be a fusion barrier.
+  void PushDownAggregations() {
+    for (PlanNode& node : plan_.nodes) {
+      if (node.op != OpKind::kSum && node.op != OpKind::kRowSums &&
+          node.op != OpKind::kColSums) {
+        continue;
+      }
+      if (node.kernel != KernelKind::kGeneric || node.inputs.size() != 1) {
+        continue;
+      }
+      const int32_t product_id = node.inputs[0];
+      const PlanNode& product =
+          plan_.nodes[static_cast<size_t>(product_id)];
+      if (product.op != OpKind::kMultiply ||
+          product.kernel != KernelKind::kGemmBlocked ||
+          product.consumers.size() != 1 || product.inputs.size() != 2 ||
+          IsBarrier(product_id)) {
+        continue;
+      }
+      if (!cost::ReducingGemmProfitable(
+              Meta(product.inputs[0]), Meta(product.inputs[1]), product.meta,
+              options_.dense_sparsity_threshold,
+              options_.parallel_cell_threshold)) {
+        continue;
+      }
+      node.kernel = node.op == OpKind::kSum ? KernelKind::kGemmSumReduce
+                    : node.op == OpKind::kRowSums
+                        ? KernelKind::kGemmRowSumsReduce
+                        : KernelKind::kGemmColSumsReduce;
+      node.inputs = product.inputs;
+      ++plan_.fused_nodes;
+      ++plan_.fused_ops_eliminated;  // The materialized product.
+      plan_.fused_canonicals.insert(CanonicalOf(product_id));
+    }
+  }
+
+  // Drops nodes no longer reachable from the root (interior chain members,
+  // folded products, orphaned constants), preserving topological order, and
+  // recomputes edges and leaf names.
+  void EliminateDeadNodes() {
+    const size_t n = plan_.nodes.size();
+    std::vector<bool> live(n, false);
+    std::vector<int32_t> stack = {plan_.root};
+    live[static_cast<size_t>(plan_.root)] = true;
+    while (!stack.empty()) {
+      const int32_t id = stack.back();
+      stack.pop_back();
+      for (int32_t in : plan_.nodes[static_cast<size_t>(id)].inputs) {
+        if (!live[static_cast<size_t>(in)]) {
+          live[static_cast<size_t>(in)] = true;
+          stack.push_back(in);
+        }
+      }
+    }
+    std::vector<int32_t> newid(n, -1);
+    std::vector<PlanNode> kept;
+    kept.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!live[i]) continue;
+      newid[i] = static_cast<int32_t>(kept.size());
+      kept.push_back(std::move(plan_.nodes[i]));
+    }
+    for (PlanNode& node : kept) {
+      for (int32_t& in : node.inputs) in = newid[static_cast<size_t>(in)];
+    }
+    plan_.nodes = std::move(kept);
+    plan_.root = newid[static_cast<size_t>(plan_.root)];
+    RebuildEdges();
+  }
+
   const engine::Workspace& workspace_;
   const la::MetaCatalog* catalog_;
   const CompileOptions& options_;
   cost::NaiveMetadataEstimator estimator_;
   CompiledPlan plan_;
   std::unordered_map<std::string, int32_t> memo_;
+  // Fusion-pass lookups, filled during lowering: node id -> canonical form
+  // (parallel to plan_.nodes; empty until needed when CSE is off) and
+  // expression object -> node id (CSE duplicates map to the memoized node).
+  // Both go stale at EliminateDeadNodes, which runs after every use.
+  std::vector<std::string> canonicals_;
+  std::unordered_map<const Expr*, int32_t> expr_node_;
 };
 
 }  // namespace
@@ -264,6 +535,10 @@ const char* KernelName(KernelKind kind) {
     case KernelKind::kGemmFusedTranspose: return "gemm_tn_fused";
     case KernelKind::kSpmm: return "spmm_row_parallel";
     case KernelKind::kSpGemm: return "spgemm_row_parallel";
+    case KernelKind::kFusedElementwise: return "fused_elementwise";
+    case KernelKind::kGemmSumReduce: return "gemm_sum_reduce";
+    case KernelKind::kGemmRowSumsReduce: return "gemm_rowsums_reduce";
+    case KernelKind::kGemmColSumsReduce: return "gemm_colsums_reduce";
     case KernelKind::kGeneric: return "generic";
   }
   return "unknown";
@@ -277,9 +552,15 @@ std::string CompiledPlan::ToString() const {
         << "] " << n.meta.shape.rows << "x" << n.meta.shape.cols << " <-";
     for (int32_t in : n.inputs) out << " #" << in;
     if (n.op == la::OpKind::kMatrixRef) out << " '" << n.expr->name() << "'";
+    if (n.program >= 0) {
+      out << " prog(" << programs[static_cast<size_t>(n.program)].fused_ops
+          << " ops)";
+    }
     out << "\n";
   }
-  out << "root #" << root << ", cse_hits " << cse_hits << "\n";
+  out << "root #" << root << ", cse_hits " << cse_hits << ", fused_nodes "
+      << fused_nodes << ", fused_ops_eliminated " << fused_ops_eliminated
+      << "\n";
   return out.str();
 }
 

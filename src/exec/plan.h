@@ -2,6 +2,7 @@
 #define HADAD_EXEC_PLAN_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "cost/estimator.h"
 #include "engine/workspace.h"
 #include "la/expr.h"
+#include "matrix/blocked_kernels.h"
 
 namespace hadad::exec {
 
@@ -24,6 +26,17 @@ enum class KernelKind {
   kGemmFusedTranspose,  // t(A) x B on dense A, B without materializing t(A).
   kSpmm,         // Sparse (CSR) x dense product, row-parallel; covers SpMV.
   kSpGemm,       // Sparse x sparse product, row-parallel Gustavson.
+  // A maximal elementwise chain (add / hadamard / scalar-multiply over one
+  // shape) collapsed into one row-parallel single-pass stack program — no
+  // per-operator intermediates. The node's `program` indexes
+  // CompiledPlan::programs.
+  kFusedElementwise,
+  // sum / rowSums / colSums pushed into the producing dense GEMM: the node
+  // takes the product's operands directly and reduces on the fly without
+  // materializing the product.
+  kGemmSumReduce,
+  kGemmRowSumsReduce,
+  kGemmColSumsReduce,
   kGeneric,      // Sequential engine::ApplyOp (everything else).
 };
 
@@ -39,6 +52,8 @@ struct PlanNode {
   std::vector<int32_t> inputs;
   std::vector<int32_t> consumers;
   cost::ClassMeta meta;  // Estimated shape + nnz of this node's output.
+  // kFusedElementwise: index into CompiledPlan::programs; -1 otherwise.
+  int32_t program = -1;
 };
 
 struct CompiledPlan {
@@ -55,6 +70,24 @@ struct CompiledPlan {
   // sets agree); a kernel chosen for stale shapes never runs on mutated
   // data because stale plans re-derive before execution.
   std::vector<std::string> leaf_names;
+  // Stack programs of the kFusedElementwise nodes (PlanNode::program). The
+  // semantic form keeps la::OpKind for the non-dense runtime fallback; the
+  // kernel form (same indices) is the dense-path lowering, translated once
+  // here so executions — cached-plan hits included — pay no per-run setup.
+  std::vector<la::ElemProgram> programs;
+  std::vector<matrix::FusedElementwiseProgram> kernel_programs;
+  // Fusion-pass outcome: physical nodes that fuse several logical operators
+  // (elementwise chains + reducing GEMMs), and the operator nodes — one
+  // materialized intermediate each — the pass eliminated.
+  int64_t fused_nodes = 0;
+  int64_t fused_ops_eliminated = 0;
+  // Canonical forms of the operator nodes fusion eliminated (chain
+  // interiors, folded products). Callers that cache compiled plans check
+  // these against their current fusion-barrier set: if a canonical later
+  // becomes a barrier (an adaptive-view candidate crossing its hit
+  // threshold), the cached plan must be recompiled so the subexpression
+  // gets its own node again.
+  std::set<std::string> fused_canonicals;
 
   std::string ToString() const;  // One node per line, for tests/debugging.
 };
@@ -66,13 +99,28 @@ struct CompileOptions {
   // Estimated density at or above which an operand is treated as dense when
   // choosing between kGemmBlocked and kSpmm.
   double dense_sparsity_threshold = 0.5;
+  // Run the operator-fusion pass after CSE: collapse elementwise chains
+  // into kFusedElementwise nodes and push sum/rowSums/colSums into their
+  // producing dense GEMM. Fused plans are bit-identical to unfused plans at
+  // every thread count; disable to compare or debug. Elementwise-chain
+  // fusion additionally requires enable_cse (the pass relies on the CSE
+  // memo to prove an interior node is not shared).
+  bool enable_fusion = true;
+  // Canonical (la::ToString) forms that must stay materialized as their own
+  // plan nodes — the session passes its adaptive-view candidate roots so
+  // WorkloadMonitor cost attribution and imminent view installs keep seeing
+  // these subexpressions as distinct operators. Borrowed; may be null, and
+  // only needs to outlive the Compile call.
+  const std::set<std::string>* fusion_barriers = nullptr;
 };
 
 // Lowers `expr` into a physical DAG: hash-consing CSE over canonical
 // subexpression text, estimator-driven kernel selection, transpose fusion
-// for t(A) %*% B. Leaf metadata comes from `catalog` when present, else
-// from the workspace matrix itself (exact shape + nnz). Unknown names and
-// shape mismatches surface as Status.
+// for t(A) %*% B, then the operator-fusion pass (elementwise chains and
+// aggregation pushdown — see CompileOptions::enable_fusion). Leaf metadata
+// comes from `catalog` when present, else from the workspace matrix itself
+// (exact shape + nnz). Unknown names and shape mismatches surface as
+// Status. Pure function of its arguments; safe to call concurrently.
 Result<CompiledPlan> Compile(const la::ExprPtr& expr,
                              const engine::Workspace& workspace,
                              const la::MetaCatalog* catalog,

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/check.h"
@@ -78,6 +79,78 @@ struct RunState {
   }
 };
 
+// Evaluates a kFusedElementwise node. Fast path: every same-shape input is
+// dense — the whole chain runs as one row-parallel pass with cache-hot
+// scratch rows. Otherwise the program is interpreted one operator at a time
+// over whole matrices with the exact matrix:: kernels the unfused plan
+// would have used, so results (and errors) match the unfused plan
+// bit-for-bit in every representation mix.
+Result<Matrix> EvalFusedElementwise(const PlanNode& node,
+                                    const la::ElemProgram& program,
+                                    const matrix::FusedElementwiseProgram&
+                                        kernel_program,
+                                    const std::vector<const Matrix*>& in,
+                                    ThreadPool* pool) {
+  const int64_t rows = node.meta.shape.rows;
+  const int64_t cols = node.meta.shape.cols;
+  bool all_dense = true;
+  std::vector<matrix::FusedInput> inputs(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    const Matrix& m = *in[i];
+    if (m.rows() == 1 && m.cols() == 1) {
+      inputs[i].scalar = m.At(0, 0);  // Broadcast scalar (any rep).
+    } else if (m.is_dense() && m.rows() == rows && m.cols() == cols) {
+      inputs[i].dense = &m.dense();
+    } else {
+      all_dense = false;
+      break;
+    }
+  }
+  if (all_dense) {
+    return Matrix(matrix::EvalFusedElementwise(kernel_program, inputs, rows,
+                                               cols, PoolRunner(pool)));
+  }
+
+  // Matrix-level fallback: replay the original operators in program order.
+  // Inputs are borrowed, never copied — only operator results are owned.
+  using StackVal = std::variant<const Matrix*, Matrix>;
+  const auto deref = [](const StackVal& v) -> const Matrix& {
+    return std::holds_alternative<const Matrix*>(v)
+               ? *std::get<const Matrix*>(v)
+               : std::get<Matrix>(v);
+  };
+  std::vector<StackVal> stack;
+  for (const la::ElemStep& step : program.steps) {
+    switch (step.kind) {
+      case la::ElemStep::Kind::kPushInput:
+        stack.emplace_back(in[static_cast<size_t>(step.input)]);
+        break;
+      case la::ElemStep::Kind::kPushConst:
+        stack.emplace_back(Matrix::Scalar(step.value));
+        break;
+      case la::ElemStep::Kind::kApply: {
+        StackVal b = std::move(stack.back());
+        stack.pop_back();
+        StackVal a = std::move(stack.back());
+        stack.pop_back();
+        Result<Matrix> r =
+            step.op == la::OpKind::kAdd ? matrix::Add(deref(a), deref(b))
+            : step.op == la::OpKind::kHadamard
+                ? matrix::ElementwiseMultiply(deref(a), deref(b))
+                : matrix::Multiply(deref(a), deref(b));
+        if (!r.ok()) return r.status();
+        stack.emplace_back(std::move(r).value());
+        break;
+      }
+    }
+  }
+  HADAD_CHECK_MSG(stack.size() == 1, "fused program left a non-unit stack");
+  if (std::holds_alternative<Matrix>(stack.back())) {
+    return std::move(std::get<Matrix>(stack.back()));
+  }
+  return *std::get<const Matrix*>(stack.back());  // Bare input: copy once.
+}
+
 Result<Matrix> EvalNode(RunState& state, int32_t id) {
   const PlanNode& node = state.plan->nodes[static_cast<size_t>(id)];
   std::vector<const Matrix*> in;
@@ -124,6 +197,41 @@ Result<Matrix> EvalNode(RunState& state, int32_t id) {
         const Matrix t = matrix::Transpose(*in[0]);
         return matrix::Multiply(t, *in[1]);
       }
+    case KernelKind::kFusedElementwise:
+      return EvalFusedElementwise(
+          node, state.plan->programs[static_cast<size_t>(node.program)],
+          state.plan->kernel_programs[static_cast<size_t>(node.program)], in,
+          state.pool);
+    case KernelKind::kGemmSumReduce:
+    case KernelKind::kGemmRowSumsReduce:
+    case KernelKind::kGemmColSumsReduce: {
+      if (in[0]->is_dense() && in[1]->is_dense()) {
+        const matrix::DenseMatrix& a = in[0]->dense();
+        const matrix::DenseMatrix& b = in[1]->dense();
+        matrix::RangeRunner runner = PoolRunner(state.pool);
+        switch (node.kernel) {
+          case KernelKind::kGemmSumReduce:
+            return Matrix::Scalar(matrix::GemmSum(a, b, runner));
+          case KernelKind::kGemmRowSumsReduce:
+            return Matrix(matrix::GemmRowSums(a, b, runner));
+          default:
+            return Matrix(matrix::GemmColSums(a, b, runner));
+        }
+      }
+      // Representation estimate was wrong: reproduce the unfused pipeline
+      // exactly — materialize the product with the kernel the unfused plan
+      // would have fallen back to, then aggregate.
+      HADAD_ASSIGN_OR_RETURN(Matrix product,
+                             matrix::Multiply(*in[0], *in[1]));
+      switch (node.kernel) {
+        case KernelKind::kGemmSumReduce:
+          return Matrix::Scalar(matrix::Sum(product));
+        case KernelKind::kGemmRowSumsReduce:
+          return matrix::RowSums(product);
+        default:
+          return matrix::ColSums(product);
+      }
+    }
     case KernelKind::kGeneric:
       break;
   }
@@ -192,6 +300,8 @@ void FillStats(const RunState& state, const CompiledPlan& plan,
                engine::ExecStats* stats) {
   stats->cse_hits = plan.cse_hits;
   stats->plan_nodes = static_cast<int64_t>(plan.nodes.size());
+  stats->fused_nodes = plan.fused_nodes;
+  stats->fused_ops_eliminated = plan.fused_ops_eliminated;
   std::map<std::string, engine::OpTiming> by_op;
   std::vector<double> span(plan.nodes.size(), 0.0);
   for (size_t i = 0; i < plan.nodes.size(); ++i) {

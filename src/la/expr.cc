@@ -1,5 +1,6 @@
 #include "la/expr.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.h"
@@ -121,6 +122,52 @@ bool ReferencesMatrix(const Expr& expr, const std::string& name) {
     if (ReferencesMatrix(*c, name)) return true;
   }
   return false;
+}
+
+bool IsElementwiseFusableKind(OpKind kind) {
+  return kind == OpKind::kAdd || kind == OpKind::kHadamard ||
+         kind == OpKind::kMultiply;
+}
+
+ElemProgram FlattenElementwise(
+    const Expr& root, const std::function<int32_t(const Expr&)>& classify) {
+  ElemProgram program;
+  int32_t depth = 0;
+  const std::function<void(const Expr&, bool)> walk = [&](const Expr& e,
+                                                          bool is_root) {
+    if (e.kind() == OpKind::kScalarConst) {
+      ElemStep step;
+      step.kind = ElemStep::Kind::kPushConst;
+      step.value = e.scalar_value();
+      program.steps.push_back(step);
+      program.max_stack = std::max(program.max_stack, ++depth);
+      return;
+    }
+    const int32_t slot = is_root ? -1 : classify(e);
+    if (slot >= 0) {
+      ElemStep step;
+      step.kind = ElemStep::Kind::kPushInput;
+      step.input = slot;
+      program.steps.push_back(step);
+      program.input_count = std::max(program.input_count, slot + 1);
+      program.max_stack = std::max(program.max_stack, ++depth);
+      return;
+    }
+    HADAD_CHECK_MSG(IsElementwiseFusableKind(e.kind()) &&
+                        e.children().size() == 2,
+                    "FlattenElementwise: interior node is not a binary "
+                    "elementwise operator");
+    walk(*e.child(0), false);
+    walk(*e.child(1), false);
+    ElemStep step;
+    step.kind = ElemStep::Kind::kApply;
+    step.op = e.kind();
+    program.steps.push_back(step);
+    ++program.fused_ops;
+    --depth;  // Two operands popped, one result pushed.
+  };
+  walk(root, true);
+  return program;
 }
 
 bool Expr::Equals(const Expr& other) const {

@@ -2,6 +2,7 @@
 #define HADAD_LA_EXPR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -118,6 +119,56 @@ std::string ToString(const ExprPtr& expr);
 void CollectMatrixRefs(const Expr& expr, std::set<std::string>* out);
 // True when `expr` scans `name` anywhere in its tree.
 bool ReferencesMatrix(const Expr& expr, const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Flat elementwise op-programs (operator fusion).
+// ---------------------------------------------------------------------------
+// A maximal same-shape subtree of elementwise operators (add, hadamard,
+// scalar-multiply) can be evaluated in one pass over the output cells
+// instead of one materialized intermediate per operator. FlattenElementwise
+// turns such a subtree into a small postorder stack program; the exec plan
+// compiler decides where the subtree's frontier is (CSE-shared nodes and
+// adaptive-view candidate roots stay materialized) and the runtime
+// interprets the program per row block (src/matrix/blocked_kernels.h).
+
+// One step of the stack program. Evaluation is strictly postorder
+// left-to-right, so per-element results are bit-identical to applying the
+// original operators one at a time.
+struct ElemStep {
+  enum class Kind {
+    kPushInput,  // Push program input `input` (broadcast when it is 1x1).
+    kPushConst,  // Push the literal `value`.
+    kApply,      // Pop rhs then lhs, push `op`(lhs, rhs).
+  };
+  Kind kind = Kind::kPushInput;
+  int32_t input = 0;         // kPushInput: program-input ordinal.
+  double value = 0.0;        // kPushConst: the literal.
+  OpKind op = OpKind::kAdd;  // kApply: kAdd, kHadamard, or kMultiply.
+};
+
+struct ElemProgram {
+  std::vector<ElemStep> steps;
+  int32_t input_count = 0;  // Distinct kPushInput slots (max ordinal + 1).
+  int32_t max_stack = 0;    // Peak operand-stack depth during evaluation.
+  int64_t fused_ops = 0;    // kApply steps: operator applications fused in.
+};
+
+// True for operator kinds whose per-element semantics the fused interpreter
+// reproduces exactly: kAdd (same-shape sum), kHadamard (element product or
+// scalar broadcast), and kMultiply in its scalar-times-matrix form. Whether
+// a *specific* node qualifies additionally depends on operand shapes (a
+// non-scalar kMultiply is a matrix product) — the plan compiler checks that.
+bool IsElementwiseFusableKind(OpKind kind);
+
+// Flattens the elementwise subtree at `root` into a postorder stack
+// program. `classify(e)` returns a program-input slot (>= 0) to stop
+// recursion and push that input, or a negative value to recurse into `e` as
+// an interior operator; it is never consulted for `root` (always interior)
+// or for scalar constants (always embedded as kPushConst). The caller
+// guarantees every interior node is a binary operator satisfying
+// IsElementwiseFusableKind and assigns slot ordinals contiguously from 0.
+ElemProgram FlattenElementwise(
+    const Expr& root, const std::function<int32_t(const Expr&)>& classify);
 
 // ---------------------------------------------------------------------------
 // Shape metadata and type flags (the `size` and `type` relations of §6.2).

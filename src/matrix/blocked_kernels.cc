@@ -150,4 +150,204 @@ SparseMatrix MultiplySparseSparseParallel(const SparseMatrix& a,
   return SparseMatrix::FromTriplets(a.rows(), b.cols(), std::move(triplets));
 }
 
+namespace {
+
+// Computes row `i` of a * b into `out_row` (length b.cols()), matching
+// MultiplyDenseBlocked's per-cell bits: ascending-k accumulation with the
+// zero-skip on a's entries (k-tiling never reorders a single cell's sum).
+void ProductRow(const DenseMatrix& a, const DenseMatrix& b, int64_t i,
+                double* out_row) {
+  const int64_t k = a.cols();
+  const int64_t m = b.cols();
+  std::fill(out_row, out_row + m, 0.0);
+  const double* a_row = a.row(i);
+  for (int64_t p = 0; p < k; ++p) {
+    const double av = a_row[p];
+    if (av == 0.0) continue;
+    const double* b_row = b.row(p);
+    for (int64_t j = 0; j < m; ++j) {
+      out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+DenseMatrix EvalFusedElementwise(const FusedElementwiseProgram& program,
+                                 const std::vector<FusedInput>& inputs,
+                                 int64_t rows, int64_t cols,
+                                 const RangeRunner& runner) {
+  DenseMatrix out(rows, cols);
+  const size_t scratch_count = static_cast<size_t>(program.max_stack);
+  RunRange(runner, rows, [&](int64_t row_begin, int64_t row_end) {
+    // One operand-stack value: a row view (borrowed input row or owned
+    // scratch buffer) or a broadcast scalar.
+    struct Val {
+      const double* vec = nullptr;  // Null: broadcast scalar.
+      double scalar = 0.0;
+      int owned = -1;  // Scratch index backing `vec`, or -1 if borrowed.
+    };
+    std::vector<std::vector<double>> scratch(
+        scratch_count, std::vector<double>(static_cast<size_t>(cols)));
+    std::vector<Val> stack;
+    std::vector<int> free_bufs;
+    stack.reserve(scratch_count);
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      stack.clear();
+      free_bufs.clear();
+      for (size_t s = 0; s < scratch_count; ++s) {
+        free_bufs.push_back(static_cast<int>(s));
+      }
+      for (const FusedStep& step : program.steps) {
+        switch (step.code) {
+          case FusedStep::Code::kPushInput: {
+            const FusedInput& in = inputs[static_cast<size_t>(step.input)];
+            if (in.dense != nullptr) {
+              stack.push_back(Val{in.dense->row(i), 0.0, -1});
+            } else {
+              stack.push_back(Val{nullptr, in.scalar, -1});
+            }
+            break;
+          }
+          case FusedStep::Code::kPushConst:
+            stack.push_back(Val{nullptr, step.value, -1});
+            break;
+          case FusedStep::Code::kAdd:
+          case FusedStep::Code::kMul: {
+            const Val b = stack.back();
+            stack.pop_back();
+            const Val a = stack.back();
+            stack.pop_back();
+            const bool mul = step.code == FusedStep::Code::kMul;
+            if (a.vec == nullptr && b.vec == nullptr) {
+              // Scalar (x) scalar: the same value for every element, so one
+              // evaluation matches the per-element result exactly.
+              stack.push_back(Val{nullptr,
+                                  mul ? a.scalar * b.scalar
+                                      : a.scalar + b.scalar,
+                                  -1});
+              break;
+            }
+            // Reuse an operand's scratch as the destination when possible;
+            // in-place is safe (element j reads only element j).
+            int dest;
+            if (a.owned >= 0) {
+              dest = a.owned;
+              if (b.owned >= 0) free_bufs.push_back(b.owned);
+            } else if (b.owned >= 0) {
+              dest = b.owned;
+            } else {
+              dest = free_bufs.back();
+              free_bufs.pop_back();
+            }
+            double* d = scratch[static_cast<size_t>(dest)].data();
+            if (a.vec != nullptr && b.vec != nullptr) {
+              if (mul) {
+                for (int64_t j = 0; j < cols; ++j) d[j] = a.vec[j] * b.vec[j];
+              } else {
+                for (int64_t j = 0; j < cols; ++j) d[j] = a.vec[j] + b.vec[j];
+              }
+            } else {
+              const double* v = a.vec != nullptr ? a.vec : b.vec;
+              const double s = a.vec != nullptr ? b.scalar : a.scalar;
+              if (mul) {
+                for (int64_t j = 0; j < cols; ++j) d[j] = v[j] * s;
+              } else {
+                for (int64_t j = 0; j < cols; ++j) d[j] = v[j] + s;
+              }
+            }
+            stack.push_back(Val{d, 0.0, dest});
+            break;
+          }
+        }
+      }
+      HADAD_CHECK_MSG(stack.size() == 1 && stack.back().vec != nullptr,
+                      "fused elementwise program left a non-vector result");
+      const double* result = stack.back().vec;
+      std::copy(result, result + cols, out.row(i));
+    }
+  });
+  return out;
+}
+
+DenseMatrix GemmRowSums(const DenseMatrix& a, const DenseMatrix& b,
+                        const RangeRunner& runner) {
+  HADAD_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix out(a.rows(), 1);
+  const int64_t m = b.cols();
+  RunRange(runner, a.rows(), [&](int64_t row_begin, int64_t row_end) {
+    std::vector<double> buf(static_cast<size_t>(m));
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      ProductRow(a, b, i, buf.data());
+      double acc = 0.0;
+      for (int64_t j = 0; j < m; ++j) acc += buf[static_cast<size_t>(j)];
+      out.At(i, 0) = acc;
+    }
+  });
+  return out;
+}
+
+DenseMatrix GemmColSums(const DenseMatrix& a, const DenseMatrix& b,
+                        const RangeRunner& runner) {
+  HADAD_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix out(1, b.cols());
+  const int64_t n = a.rows();
+  const int64_t k = a.cols();
+  // Partition the OUTPUT COLUMNS: each chunk accumulates its columns over
+  // every row in ascending order — the exact per-column association of
+  // ColSums over the materialized product (partial sums per row chunk would
+  // re-associate and break bit-identity).
+  RunRange(runner, b.cols(), [&](int64_t col_begin, int64_t col_end) {
+    const int64_t width = col_end - col_begin;
+    std::vector<double> buf(static_cast<size_t>(width));
+    std::vector<double> acc(static_cast<size_t>(width), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      std::fill(buf.begin(), buf.end(), 0.0);
+      const double* a_row = a.row(i);
+      for (int64_t p = 0; p < k; ++p) {
+        const double av = a_row[p];
+        if (av == 0.0) continue;
+        const double* b_row = b.row(p);
+        for (int64_t j = 0; j < width; ++j) {
+          buf[static_cast<size_t>(j)] += av * b_row[col_begin + j];
+        }
+      }
+      for (int64_t j = 0; j < width; ++j) {
+        acc[static_cast<size_t>(j)] += buf[static_cast<size_t>(j)];
+      }
+    }
+    for (int64_t j = 0; j < width; ++j) {
+      out.At(0, col_begin + j) = acc[static_cast<size_t>(j)];
+    }
+  });
+  return out;
+}
+
+double GemmSum(const DenseMatrix& a, const DenseMatrix& b,
+               const RangeRunner& runner) {
+  HADAD_CHECK_EQ(a.cols(), b.rows());
+  const int64_t n = a.rows();
+  const int64_t m = b.cols();
+  // Flat row-major accumulation into ONE accumulator (the association of
+  // matrix::Sum over the materialized product) is inherently sequential, so
+  // only the dot products parallelize: product rows are computed a block at
+  // a time into a bounded buffer, then folded in order.
+  const int64_t block = 8 * kRowGrain;
+  DenseMatrix buf(std::min(block, std::max<int64_t>(n, 1)), m);
+  double acc = 0.0;
+  for (int64_t i0 = 0; i0 < n; i0 += block) {
+    const int64_t bn = std::min(block, n - i0);
+    RunRange(runner, bn, [&](int64_t begin, int64_t end) {
+      for (int64_t r = begin; r < end; ++r) {
+        ProductRow(a, b, i0 + r, buf.row(r));
+      }
+    });
+    for (int64_t r = 0; r < bn; ++r) {
+      const double* row = buf.row(r);
+      for (int64_t j = 0; j < m; ++j) acc += row[j];
+    }
+  }
+  return acc;
+}
+
 }  // namespace hadad::matrix

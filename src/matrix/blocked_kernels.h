@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "matrix/dense_matrix.h"
 #include "matrix/sparse_matrix.h"
@@ -54,6 +55,82 @@ DenseMatrix MultiplySparseDenseParallel(const SparseMatrix& a,
 SparseMatrix MultiplySparseSparseParallel(const SparseMatrix& a,
                                           const SparseMatrix& b,
                                           const RangeRunner& runner = nullptr);
+
+// ---------------------------------------------------------------------------
+// Fused elementwise programs (operator fusion).
+// ---------------------------------------------------------------------------
+// A chain of elementwise operators (add / hadamard / scalar-multiply) over
+// same-shape dense operands is evaluated in ONE pass: per output row, a tiny
+// stack machine interprets the program with row-sized scratch buffers that
+// stay cache-hot, instead of allocating one full intermediate matrix per
+// operator. Per-element operation order equals applying the operators one at
+// a time, so results are bit-identical to the unfused evaluation — at every
+// thread count (rows are partitioned, each row belongs to one chunk).
+//
+// This is the physical form of la::ElemProgram; exec/ lowers the semantic
+// program (which still carries la::OpKind for the non-dense fallback) into
+// these steps so the matrix layer stays independent of la/.
+
+// A program input: a same-shape dense operand, or a broadcast scalar
+// (dense == nullptr) whose single value applies to every element.
+struct FusedInput {
+  const DenseMatrix* dense = nullptr;
+  double scalar = 0.0;
+};
+
+struct FusedStep {
+  enum class Code {
+    kPushInput,  // Push inputs[input] (broadcast when scalar).
+    kPushConst,  // Push the literal `value`.
+    kAdd,        // Pop rhs then lhs, push lhs + rhs.
+    kMul,        // Pop rhs then lhs, push lhs * rhs.
+  };
+  Code code = Code::kPushInput;
+  int32_t input = 0;
+  double value = 0.0;
+};
+
+struct FusedElementwiseProgram {
+  std::vector<FusedStep> steps;
+  int32_t max_stack = 0;  // Peak operand-stack depth (scratch buffer count).
+};
+
+// Evaluates `program` over `inputs` into a rows x cols dense matrix. Every
+// non-scalar input must be rows x cols. Row-parallel via `runner`; the
+// result never depends on the partition.
+DenseMatrix EvalFusedElementwise(const FusedElementwiseProgram& program,
+                                 const std::vector<FusedInput>& inputs,
+                                 int64_t rows, int64_t cols,
+                                 const RangeRunner& runner = nullptr);
+
+// ---------------------------------------------------------------------------
+// Aggregation-pushdown (reducing) GEMM kernels.
+// ---------------------------------------------------------------------------
+// sum / rowSums / colSums of a dense product a * b, computed WITHOUT
+// materializing the product: each kernel streams product rows through a
+// bounded buffer and reduces on the fly. Per-cell dot products accumulate in
+// ascending-k order with the same zero-skip as MultiplyDenseBlocked, and the
+// reduction visits cells in exactly the order the unfused aggregate
+// (matrix.cc Sum/RowSums/ColSums over the materialized product) would — so
+// all three are bit-identical to the unfused pipeline at every thread count.
+
+// rowSums(a * b) as an a.rows() x 1 matrix. Row-parallel; O(b.cols()) extra
+// memory per chunk.
+DenseMatrix GemmRowSums(const DenseMatrix& a, const DenseMatrix& b,
+                        const RangeRunner& runner = nullptr);
+
+// colSums(a * b) as a 1 x b.cols() matrix. Column-parallel (each chunk owns
+// a column range and accumulates rows in ascending order); O(chunk width)
+// extra memory per chunk.
+DenseMatrix GemmColSums(const DenseMatrix& a, const DenseMatrix& b,
+                        const RangeRunner& runner = nullptr);
+
+// sum(a * b): the full reduction. Product rows are computed block-by-block
+// (rows within a block in parallel) and folded into one accumulator in flat
+// row-major order — the exact association of matrix::Sum over the
+// materialized product.
+double GemmSum(const DenseMatrix& a, const DenseMatrix& b,
+               const RangeRunner& runner = nullptr);
 
 }  // namespace hadad::matrix
 

@@ -261,6 +261,16 @@ void AdaptiveViewManager::MaybeScheduleMaterializations() {
     recs = advisor_.Recommend(monitor_.Snapshot(), host_.optimizer->catalog(),
                               &host_.workspace->data(), advisor_options, skip);
   }
+  {
+    // Publish the viable-candidate set for FusionBarriers(): exactly the
+    // subexpressions that may materialize soon and therefore must keep
+    // their own plan nodes for cost attribution.
+    std::lock_guard<std::mutex> admin(admin_mu_);
+    candidate_canonicals_.clear();
+    for (const Recommendation& rec : recs) {
+      candidate_canonicals_.insert(rec.canonical);
+    }
+  }
 
   int scheduled = 0;
   for (Recommendation& rec : recs) {
@@ -420,6 +430,17 @@ std::vector<StoredView> AdaptiveViewManager::StoredViews() const {
 bool AdaptiveViewManager::IsAdaptiveViewName(const std::string& name) const {
   std::lock_guard<std::mutex> admin(admin_mu_);
   return store_.ContainsName(name);
+}
+
+std::set<std::string> AdaptiveViewManager::FusionBarriers() const {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  std::set<std::string> barriers = candidate_canonicals_;
+  for (const std::string& key : pending_) {
+    // pending_ also tracks delta refreshes under "refresh:<name>" keys;
+    // those are not canonical forms and never match a plan node.
+    if (!key.starts_with("refresh:")) barriers.insert(key);
+  }
+  return barriers;
 }
 
 }  // namespace hadad::views

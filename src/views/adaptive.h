@@ -128,11 +128,26 @@ class AdaptiveViewManager {
   // it to make warm-up deterministic.
   void Drain();
 
+  // Point-in-time counter snapshot. Thread-safe; may be called anytime.
   AdaptiveViewStats stats() const;
-  // Current adaptive views, deterministically ordered by name.
+  // Current adaptive views, deterministically ordered by name. Thread-safe.
   std::vector<StoredView> StoredViews() const;
+  // True when `name` is one of the store's installed views. Thread-safe.
   bool IsAdaptiveViewName(const std::string& name) const;
+  // The options this manager was built with. Thread-safe (immutable).
   const AdaptiveOptions& options() const { return options_; }
+
+  // Canonical forms of the current *viable* materialization candidates:
+  // the advisor's latest recommendation set (size-filtered against the
+  // budget, failure-filtered) plus everything queued or in flight. The
+  // session hands these to the exec plan compiler as fusion barriers, so a
+  // subexpression about to become a view keeps its own plan node (operator
+  // fusion would otherwise swallow it and starve the monitor's cost
+  // attribution). Subexpressions that can never materialize (over budget,
+  // failed) are deliberately NOT barriers — fusion stays on for them.
+  // Thread-safe and cheap (one mutex + small set copy); called per Run on
+  // executor sessions.
+  std::set<std::string> FusionBarriers() const;
 
  private:
   // One detached view awaiting its incremental refresh: the old value plus
@@ -167,6 +182,10 @@ class AdaptiveViewManager {
   std::condition_variable drain_cv_;
   ViewStore store_;
   std::set<std::string> pending_;  // Canonical texts queued or in flight.
+  // The advisor's latest recommendation set (canonical texts): the viable
+  // candidates the fusion-barrier query answers from. Refreshed wholesale
+  // each sweep; installed/filtered candidates drop out on the next one.
+  std::set<std::string> candidate_canonicals_;
   // Canonicals whose materialization failed (evaluation error or over
   // budget): never re-queued, so a doomed candidate cannot thrash.
   std::set<std::string> failed_;

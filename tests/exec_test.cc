@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -383,6 +384,254 @@ TEST(ExecEquivalenceTest, ErrorsSurfaceAsStatusInParallelRuns) {
 }
 
 // ---------------------------------------------------------------------------
+// Operator fusion: elementwise chains + aggregation pushdown.
+// ---------------------------------------------------------------------------
+
+class FusionTest : public ::testing::Test {
+ protected:
+  FusionTest() {
+    Rng rng(51);
+    // Same-shape dense operands for elementwise chains.
+    workspace_.Put("A", matrix::RandomDense(rng, 100, 80));
+    workspace_.Put("B", matrix::RandomDense(rng, 100, 80));
+    workspace_.Put("C", matrix::RandomDense(rng, 100, 80));
+    workspace_.Put("D", matrix::RandomDense(rng, 100, 80));
+    // GEMM operands for aggregation pushdown.
+    workspace_.Put("X", matrix::RandomDense(rng, 120, 90));
+    workspace_.Put("Y", matrix::RandomDense(rng, 90, 120));
+    // Sparse same-shape operands for the runtime fallback path.
+    workspace_.Put("S1", matrix::RandomSparse(rng, 100, 80, 0.05));
+    workspace_.Put("S2", matrix::RandomSparse(rng, 100, 80, 0.05));
+  }
+
+  CompiledPlan MustCompile(const std::string& text,
+                           const CompileOptions& options = {}) {
+    auto plan = Compile(Parse(text), workspace_, nullptr, options);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(plan).value();
+  }
+
+  int CountKernel(const CompiledPlan& plan, KernelKind kind) {
+    int count = 0;
+    for (const PlanNode& n : plan.nodes) count += n.kernel == kind ? 1 : 0;
+    return count;
+  }
+
+  int CountOp(const CompiledPlan& plan, la::OpKind op) {
+    int count = 0;
+    for (const PlanNode& n : plan.nodes) count += n.op == op ? 1 : 0;
+    return count;
+  }
+
+  engine::Workspace workspace_;
+};
+
+TEST_F(FusionTest, ElementwiseChainCollapsesToOneNode) {
+  // A + B*C - D = add(add(A, B∘C), (-1)∘D): four elementwise operators,
+  // three materialized intermediates eliminated.
+  CompiledPlan plan = MustCompile("A + B * C - D");
+  EXPECT_EQ(plan.fused_nodes, 1);
+  EXPECT_EQ(plan.fused_ops_eliminated, 3);
+  EXPECT_EQ(CountKernel(plan, KernelKind::kFusedElementwise), 1);
+  // Loads A, B, C, D plus the fused node; interior adds/hadamards are gone.
+  EXPECT_EQ(plan.nodes.size(), 5u);
+  EXPECT_EQ(CountOp(plan, la::OpKind::kHadamard), 0);
+  ASSERT_EQ(plan.programs.size(), 1u);
+  EXPECT_EQ(plan.programs[0].fused_ops, 4);
+  EXPECT_EQ(plan.programs[0].input_count, 4);
+  // The eliminated interiors are recorded for cached-plan barrier checks.
+  EXPECT_EQ(plan.fused_canonicals.size(), 3u);
+  EXPECT_EQ(plan.fused_canonicals.count(la::ToString(Parse("B * C"))), 1u);
+}
+
+TEST_F(FusionTest, FusionDisabledKeepsEveryOperator) {
+  CompileOptions options;
+  options.enable_fusion = false;
+  CompiledPlan plan = MustCompile("A + B * C - D", options);
+  EXPECT_EQ(plan.fused_nodes, 0);
+  EXPECT_EQ(CountKernel(plan, KernelKind::kFusedElementwise), 0);
+  EXPECT_EQ(CountOp(plan, la::OpKind::kAdd), 2);
+  EXPECT_EQ(CountOp(plan, la::OpKind::kHadamard), 2);
+}
+
+TEST_F(FusionTest, CseSharedInteriorNodeIsAFusionBarrier) {
+  // B*C also feeds the transpose, so it is CSE-shared: it must stay its own
+  // node (computed once), and the two-operand chain around it is too small
+  // to fuse.
+  CompiledPlan plan = MustCompile("(A + B * C) %*% t(B * C)");
+  EXPECT_EQ(plan.fused_nodes, 0);
+  EXPECT_EQ(plan.cse_hits, 1);
+  EXPECT_EQ(CountOp(plan, la::OpKind::kHadamard), 1);
+}
+
+TEST_F(FusionTest, ExplicitBarrierKeepsCandidateRootMaterialized) {
+  // With B*C declared an adaptive-view candidate root, the chain fuses
+  // around it: B*C stays a materialized node feeding the fused chain.
+  const std::set<std::string> barriers = {la::ToString(Parse("B * C"))};
+  CompileOptions options;
+  options.fusion_barriers = &barriers;
+  CompiledPlan plan = MustCompile("A + B * C - D", options);
+  EXPECT_EQ(plan.fused_nodes, 1);
+  EXPECT_EQ(plan.fused_ops_eliminated, 2);
+  EXPECT_EQ(CountOp(plan, la::OpKind::kHadamard), 1);  // B*C survives.
+  EXPECT_EQ(CountKernel(plan, KernelKind::kFusedElementwise), 1);
+}
+
+TEST_F(FusionTest, AggregationPushesIntoGemm) {
+  struct Case {
+    const char* text;
+    KernelKind kernel;
+  };
+  for (const Case& c : {Case{"colSums(X %*% Y)", KernelKind::kGemmColSumsReduce},
+                        Case{"rowSums(X %*% Y)", KernelKind::kGemmRowSumsReduce},
+                        Case{"sum(X %*% Y)", KernelKind::kGemmSumReduce}}) {
+    CompiledPlan plan = MustCompile(c.text);
+    EXPECT_EQ(CountKernel(plan, c.kernel), 1) << c.text;
+    // The product node is gone: loads X, Y plus the reducing node.
+    EXPECT_EQ(plan.nodes.size(), 3u) << c.text;
+    EXPECT_EQ(CountOp(plan, la::OpKind::kMultiply), 0) << c.text;
+    EXPECT_EQ(plan.fused_nodes, 1) << c.text;
+    EXPECT_EQ(plan.fused_ops_eliminated, 1) << c.text;
+    EXPECT_EQ(plan.fused_canonicals.count(la::ToString(Parse("X %*% Y"))),
+              1u)
+        << c.text;
+  }
+}
+
+TEST_F(FusionTest, SharedProductBlocksAggregationPushdown) {
+  // X %*% Y feeds both aggregates: materializing it once beats computing it
+  // twice inside two reducing kernels.
+  CompiledPlan plan = MustCompile("colSums(X %*% Y) %*% rowSums(X %*% Y)");
+  EXPECT_EQ(plan.fused_nodes, 0);
+  EXPECT_EQ(CountKernel(plan, KernelKind::kGemmBlocked), 1);
+}
+
+TEST_F(FusionTest, FusedPlansAreBitIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> cases = {
+      "A + B * C - D",
+      "2 * (A + B) - C",
+      "(A + B - C) %*% t(D)",
+      "colSums(X %*% Y)",
+      "rowSums(X %*% Y)",
+      "sum(X %*% Y)",
+      "sum(X %*% Y) * (A + B) - D",
+      "S1 + S2 - S1",  // Sparse chain: density gate keeps it unfused.
+  };
+  for (const std::string& text : cases) {
+    la::ExprPtr expr = Parse(text);
+    Result<Matrix> unfused =
+        Executor(ExecOptions{.threads = 1, .enable_fusion = false})
+            .Run(expr, workspace_);
+    ASSERT_TRUE(unfused.ok()) << text << ": " << unfused.status().ToString();
+    for (int threads : {1, 2, 4, 8}) {
+      Executor executor(ExecOptions{.threads = threads});
+      for (int rep = 0; rep < 2; ++rep) {
+        Result<Matrix> fused = executor.Run(expr, workspace_);
+        ASSERT_TRUE(fused.ok()) << text;
+        EXPECT_TRUE(ExactlyEqual(*unfused, *fused))
+            << text << " at " << threads << " threads, rep " << rep;
+      }
+    }
+  }
+}
+
+TEST_F(FusionTest, SparseChainsStayUnfusedByDensityGate) {
+  // Fusing a sparse chain would force the matrix-level fallback every run
+  // — all the unfused work with none of the single-pass win.
+  CompiledPlan plan = MustCompile("S1 + S2 - S1");
+  EXPECT_EQ(plan.fused_nodes, 0);
+  EXPECT_EQ(CountOp(plan, la::OpKind::kAdd), 2);
+}
+
+TEST_F(FusionTest, RuntimeRepresentationMissFallsBackExactly) {
+  // Force the estimate wrong: with the density threshold at 0 everything
+  // is "dense enough" to fuse, but the operands are sparse at runtime, so
+  // the fused node must take the matrix-level fallback and still match the
+  // unfused plan bit for bit.
+  CompileOptions fuse_anyway;
+  fuse_anyway.dense_sparsity_threshold = 0.0;
+  CompiledPlan plan = MustCompile("S1 + S2 - S1", fuse_anyway);
+  ASSERT_EQ(plan.fused_nodes, 1);
+
+  Result<Matrix> unfused =
+      Executor(ExecOptions{.threads = 1, .enable_fusion = false})
+          .Run(Parse("S1 + S2 - S1"), workspace_);
+  ASSERT_TRUE(unfused.ok());
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    Scheduler scheduler(&pool);
+    Result<Matrix> fused = scheduler.Run(plan, workspace_);
+    ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+    EXPECT_TRUE(ExactlyEqual(*unfused, *fused)) << threads << " threads";
+  }
+}
+
+TEST_F(FusionTest, ReducingGemmFallsBackExactlyOnSparseOperands) {
+  // Same forced-estimate trick for aggregation pushdown: sparse operands
+  // pass ReducingGemmProfitable at threshold 0, so the reducing node's
+  // runtime dense check fails and the materialize-then-aggregate fallback
+  // must reproduce the unfused pipeline bit for bit.
+  Rng rng(61);
+  workspace_.Put("SA", matrix::RandomSparse(rng, 150, 90, 0.05));
+  workspace_.Put("SB", matrix::RandomSparse(rng, 90, 150, 0.05));
+  CompileOptions fuse_anyway;
+  fuse_anyway.dense_sparsity_threshold = 0.0;
+  for (const char* text :
+       {"colSums(SA %*% SB)", "rowSums(SA %*% SB)", "sum(SA %*% SB)"}) {
+    CompiledPlan plan = MustCompile(text, fuse_anyway);
+    ASSERT_EQ(plan.fused_nodes, 1) << text;
+
+    Result<Matrix> unfused =
+        Executor(ExecOptions{.threads = 1, .enable_fusion = false})
+            .Run(Parse(text), workspace_);
+    ASSERT_TRUE(unfused.ok()) << text;
+    for (int threads : {1, 4}) {
+      ThreadPool pool(threads);
+      Scheduler scheduler(&pool);
+      Result<Matrix> fused = scheduler.Run(plan, workspace_);
+      ASSERT_TRUE(fused.ok()) << text << ": " << fused.status().ToString();
+      EXPECT_TRUE(ExactlyEqual(*unfused, *fused))
+          << text << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(FusionTest, MatchesTreeEvaluatorOnChains) {
+  for (const char* text : {"A + B * C - D", "colSums(X %*% Y)",
+                           "S1 + S2 - S1"}) {
+    la::ExprPtr expr = Parse(text);
+    Result<Matrix> tree = engine::Execute(*expr, workspace_);
+    Result<Matrix> fused = Executor(ExecOptions{.threads = 2})
+                               .Run(expr, workspace_);
+    ASSERT_TRUE(tree.ok()) << text;
+    ASSERT_TRUE(fused.ok()) << text;
+    EXPECT_TRUE(ExactlyEqual(*tree, *fused)) << text;
+  }
+}
+
+TEST_F(FusionTest, ExecStatsRecordFusion) {
+  la::ExprPtr expr = Parse("A + B * C - D");
+  ExecStats stats;
+  Result<Matrix> out = engine::Execute(*expr, workspace_,
+                                       ExecOptions{.threads = 2}, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.fused_nodes, 1);
+  EXPECT_EQ(stats.fused_ops_eliminated, 3);
+  EXPECT_EQ(stats.operators, 1);   // The whole chain is one physical op.
+  EXPECT_EQ(stats.plan_nodes, 5);  // Four loads + the fused node.
+
+  ExecStats unfused_stats;
+  Result<Matrix> unfused = engine::Execute(
+      *expr, workspace_,
+      ExecOptions{.threads = 2, .enable_fusion = false}, &unfused_stats);
+  ASSERT_TRUE(unfused.ok());
+  EXPECT_EQ(unfused_stats.fused_nodes, 0);
+  EXPECT_EQ(unfused_stats.operators, 4);
+  // Fusion eliminates the interior intermediates from the γ measure.
+  EXPECT_LT(stats.intermediate_nnz, unfused_stats.intermediate_nnz);
+}
+
+// ---------------------------------------------------------------------------
 // api::Session integration
 // ---------------------------------------------------------------------------
 
@@ -421,6 +670,86 @@ TEST(SessionThreadsTest, ThreadsRoutesThroughDagEngine) {
   ASSERT_TRUE(via_prepared.ok());
   EXPECT_TRUE(ExactlyEqual(*seq, *via_prepared));
   EXPECT_EQ(prep_stats.threads, 4);
+}
+
+TEST(SessionThreadsTest, SessionStatsAccumulateFusion) {
+  Rng rng(47);
+  auto session = api::SessionBuilder()
+                     .Put("A", matrix::RandomDense(rng, 100, 80))
+                     .Put("B", matrix::RandomDense(rng, 100, 80))
+                     .Put("C", matrix::RandomDense(rng, 100, 80))
+                     .Threads(2)
+                     .Build()
+                     .value();
+  ExecStats stats;
+  Result<Matrix> out = session->Run("A + B * C - A", &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(stats.fused_nodes, 1);
+  EXPECT_GT(stats.fused_ops_eliminated, 0);
+  api::SessionStats s = session->stats();
+  EXPECT_EQ(s.fused_nodes, 1);
+  EXPECT_EQ(s.fused_ops_eliminated, stats.fused_ops_eliminated);
+  // The plan (and its fusion) is cached: a second run compiles nothing new.
+  ASSERT_TRUE(session->Run("A + B * C - A").ok());
+  EXPECT_EQ(session->stats().fused_nodes, 1);
+}
+
+TEST(SessionThreadsTest, CachedPlanRecompilesWhenCandidateBecomesBarrier) {
+  Rng rng(53);
+  views::AdaptiveOptions options;
+  options.min_hits = 2;
+  // Candidates are recommended (viable) but never scheduled, so they stay
+  // candidates indefinitely — the window the barrier protects.
+  options.max_views_per_sweep = 0;
+  options.synchronous = true;
+  auto session = api::SessionBuilder()
+                     .Put("A", matrix::RandomDense(rng, 100, 80))
+                     .Put("B", matrix::RandomDense(rng, 100, 80))
+                     .Put("C", matrix::RandomDense(rng, 100, 80))
+                     .Threads(1)
+                     .AdaptiveViews(options)
+                     .Build()
+                     .value();
+  const std::string text = "A + B * C - A";
+  ExecStats first, third;
+  Result<Matrix> r1 = session->Run(text, &first);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(first.fused_nodes, 1);  // No candidates yet: chain fuses.
+  ASSERT_TRUE(session->Run(text).ok());
+  // The interior subexpressions have now crossed min_hits and are viable
+  // candidates, so they are fusion barriers: the CACHED compiled plan must
+  // be recompiled with them unfused, or the monitor would never see them
+  // as distinct operators again.
+  Result<Matrix> r3 = session->Run(text, &third);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(third.fused_nodes, 0);
+  EXPECT_TRUE(ExactlyEqual(*r1, *r3));
+  EXPECT_GE(session->stats().compiled_plans, 2);
+}
+
+TEST(SessionThreadsTest, NonViableCandidatesDoNotDefuseHotQueries) {
+  Rng rng(59);
+  views::AdaptiveOptions options;
+  options.min_hits = 2;
+  options.budget_bytes = 1;  // Every candidate is over budget: not viable.
+  options.synchronous = true;
+  auto session = api::SessionBuilder()
+                     .Put("A", matrix::RandomDense(rng, 100, 80))
+                     .Put("B", matrix::RandomDense(rng, 100, 80))
+                     .Put("C", matrix::RandomDense(rng, 100, 80))
+                     .Threads(1)
+                     .AdaptiveViews(options)
+                     .Build()
+                     .value();
+  const std::string text = "A + B * C - A";
+  ExecStats stats;
+  for (int run = 0; run < 4; ++run) {
+    stats = ExecStats();
+    ASSERT_TRUE(session->Run(text, &stats).ok());
+    // Subexpressions that can never materialize must not cost the hot
+    // query its fusion win.
+    EXPECT_EQ(stats.fused_nodes, 1) << "run " << run;
+  }
 }
 
 TEST(SessionThreadsTest, ViewsResolveUnderDagEngine) {
