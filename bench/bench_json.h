@@ -1,0 +1,118 @@
+// Machine-readable benchmark output, shared by the bench/ mains.
+//
+// Each driver keeps printing its human-oriented table to stdout; when
+// invoked with `--json=PATH` (or with HADAD_BENCH_JSON=PATH in the
+// environment) it additionally appends one record per measured workload
+// and writes them as a single JSON document on exit:
+//
+//   {
+//     "benchmark": "bench_update_refresh",
+//     "results": [
+//       {"workload": "append_incremental", "seconds": 0.031,
+//        "speedup": 12.4, "threads": 1, "verified_tolerance": 1e-09},
+//       ...
+//     ]
+//   }
+//
+// `scripts/ci.sh bench` runs every driver this way and merges the
+// per-driver documents into BENCH_results.json at the repo root, which is
+// what perf-tracking tooling should consume — the stdout tables are for
+// humans and carry no stability guarantee.
+
+#ifndef HADAD_BENCH_BENCH_JSON_H_
+#define HADAD_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace hadad::bench {
+
+class JsonWriter {
+ public:
+  // Picks the output path from `--json=PATH` in argv, falling back to the
+  // HADAD_BENCH_JSON environment variable; with neither, Add/Write are
+  // no-ops and the driver behaves exactly as before.
+  JsonWriter(std::string benchmark, int argc, char** argv)
+      : benchmark_(std::move(benchmark)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+    }
+    if (path_.empty()) {
+      const char* env = std::getenv("HADAD_BENCH_JSON");
+      if (env != nullptr) path_ = env;
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // One measured workload. `speedup` < 0 or `verified_tolerance` < 0 mean
+  // "not applicable" and the field is emitted as null.
+  void Add(const std::string& workload, double seconds, double speedup,
+           int threads, double verified_tolerance) {
+    if (!enabled()) return;
+    records_.push_back(
+        Record{workload, seconds, speedup, threads, verified_tolerance});
+  }
+
+  // Writes the document; returns false (after printing why) on I/O error.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                   path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"results\": [",
+                 Escaped(benchmark_).c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s\n    {\"workload\": \"%s\", \"seconds\": %.9g, ",
+                   i == 0 ? "" : ",", Escaped(r.workload).c_str(), r.seconds);
+      if (r.speedup >= 0) {
+        std::fprintf(f, "\"speedup\": %.6g, ", r.speedup);
+      } else {
+        std::fprintf(f, "\"speedup\": null, ");
+      }
+      std::fprintf(f, "\"threads\": %d, ", r.threads);
+      if (r.verified_tolerance >= 0) {
+        std::fprintf(f, "\"verified_tolerance\": %.6g}", r.verified_tolerance);
+      } else {
+        std::fprintf(f, "\"verified_tolerance\": null}");
+      }
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string workload;
+    double seconds;
+    double speedup;
+    int threads;
+    double verified_tolerance;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string benchmark_;
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+}  // namespace hadad::bench
+
+#endif  // HADAD_BENCH_BENCH_JSON_H_

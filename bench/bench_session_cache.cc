@@ -6,7 +6,7 @@
 // finishes with a multi-threaded serving loop where every thread shares
 // one session (and therefore one plan cache).
 //
-//   $ ./build/bench/bench_session_cache
+//   $ ./build/bench/bench_session_cache [--json=PATH]
 
 #include <algorithm>
 #include <atomic>
@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/timer.h"
 #include "core/hadad.h"
 
@@ -63,7 +64,8 @@ PathTimes MeasurePipeline(api::Session& session, const std::string& text,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonWriter json("bench_session_cache", argc, argv);
   std::shared_ptr<api::Session> session = MakeBenchSession();
   // A serving mix: P¬Opt pipelines (RW_find buys a better plan) and P_Opt
   // ones (RW_find is pure overhead — exactly what the cache erases).
@@ -86,12 +88,20 @@ int main() {
     }
     total_cold += t.cold_ms;
     total_warm += t.warm_ms;
+    const double speedup = t.warm_ms > 0 ? t.cold_ms / t.warm_ms : 0.0;
     std::printf("%-7s %12.3f %12.3f %9.2fx\n", id.c_str(), t.cold_ms,
-                t.warm_ms, t.warm_ms > 0 ? t.cold_ms / t.warm_ms : 0.0);
+                t.warm_ms, speedup);
+    json.Add(id + "_cold_run", t.cold_ms / 1e3, /*speedup=*/-1.0,
+             /*threads=*/1, /*verified_tolerance=*/-1.0);
+    json.Add(id + "_warm_run", t.warm_ms / 1e3, speedup, /*threads=*/1,
+             /*verified_tolerance=*/-1.0);
   }
   std::printf("%-7s %12.3f %12.3f %9.2fx   <- cache hit-path speedup\n",
               "total", total_cold, total_warm,
               total_warm > 0 ? total_cold / total_warm : 0.0);
+  json.Add("serving_mix_warm_total", total_warm / 1e3,
+           total_warm > 0 ? total_cold / total_warm : -1.0, /*threads=*/1,
+           /*verified_tolerance=*/-1.0);
 
   // Multi-threaded serving: every thread Run()s the same mix against one
   // shared session. After the first miss per pipeline, all traffic is
@@ -132,5 +142,8 @@ int main() {
               100.0 * static_cast<double>(hits) /
                   static_cast<double>(hits + misses),
               static_cast<long long>(session->plan_cache_size()));
+  json.Add("shared_session_serving_loop", wall_s, /*speedup=*/-1.0,
+           /*threads=*/kThreads, /*verified_tolerance=*/-1.0);
+  if (!json.Write()) return 1;
   return failures.load() == 0 ? 0 : 1;
 }

@@ -9,7 +9,7 @@
 //      is warm again — compared against the cold-restart alternative
 //      (building a fresh session and re-paying RW_find).
 //
-//   $ ./build/bench/bench_update_refresh
+//   $ ./build/bench/bench_update_refresh [--json=PATH]
 
 #include <algorithm>
 #include <cstdio>
@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/hadad.h"
@@ -30,7 +31,7 @@ constexpr int64_t kCols = 64;
 constexpr int64_t kBatchRows = 200;
 constexpr int kBatches = 20;
 
-void BenchAppendRefresh() {
+void BenchAppendRefresh(bench::JsonWriter& json) {
   std::printf("-- append-heavy view maintenance --\n");
   std::printf("   A: %lld x %lld base rows, %d append batches of %lld rows\n",
               static_cast<long long>(kBaseRows),
@@ -83,10 +84,15 @@ void BenchAppendRefresh() {
               full_seconds * 1e3);
   std::printf("   speedup %.1fx, results %s at 1e-9\n\n",
               full_seconds / inc_seconds, equal ? "MATCH" : "MISMATCH");
+  json.Add("append_incremental_refresh", inc_seconds,
+           full_seconds / inc_seconds, /*threads=*/1,
+           /*verified_tolerance=*/1e-9);
+  json.Add("append_full_recompute", full_seconds, /*speedup=*/-1.0,
+           /*threads=*/1, /*verified_tolerance=*/1e-9);
   if (!equal) std::exit(1);
 }
 
-void BenchWarmedLatencyRecovery() {
+void BenchWarmedLatencyRecovery(bench::JsonWriter& json) {
   std::printf("-- warmed-query latency across an update --\n");
   Rng rng(7);
   matrix::Matrix m = matrix::RandomDense(rng, 2000, 64);
@@ -136,13 +142,21 @@ void BenchWarmedLatencyRecovery() {
               restart_ms);
   std::printf("   recovery vs restart: %.1fx\n\n",
               restart_ms / rederive_ms);
+  json.Add("update_then_rederive", rederive_ms / 1e3,
+           restart_ms / rederive_ms, /*threads=*/1,
+           /*verified_tolerance=*/-1.0);
+  json.Add("cold_restart_baseline", restart_ms / 1e3, /*speedup=*/-1.0,
+           /*threads=*/1, /*verified_tolerance=*/-1.0);
+  json.Add("warmed_run_post_update", warm_after / 1e3, /*speedup=*/-1.0,
+           /*threads=*/1, /*verified_tolerance=*/-1.0);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonWriter json("bench_update_refresh", argc, argv);
   std::printf("=== mutable data layer: update & refresh ===\n\n");
-  BenchAppendRefresh();
-  BenchWarmedLatencyRecovery();
-  return 0;
+  BenchAppendRefresh(json);
+  BenchWarmedLatencyRecovery(json);
+  return json.Write() ? 0 : 1;
 }

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Cross-references synchronization members against docs/ARCHITECTURE.md.
+
+Discovers every `common::Mutex` / `common::SharedMutex` / `common::CondVar`
+/ `std::atomic<...>` member declared under src/ and diffs the set against
+the "Lock & capability cross-reference" table in docs/ARCHITECTURE.md
+(the rows between the `sync-members:begin` / `sync-members:end` markers).
+
+Fails (exit 1) when:
+  * a declaration in src/ has no table row        (doc rot: table too old)
+  * a table row has no declaration in src/        (doc rot: code moved on)
+  * a row's Kind column disagrees with the code   (doc rot: type changed)
+
+The discovery is a line regex, deliberately simple: it matches member-style
+declarations (`[mutable] common::Mutex name;` / `std::atomic<T> name{...};`).
+Function-local synchronization should use plain `std::mutex` — which this
+script ignores — precisely so that everything in the wrapper types is
+session-lifetime state worth documenting.
+
+Run from anywhere: paths are resolved relative to the repo root.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC = REPO / "docs" / "ARCHITECTURE.md"
+
+DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?:common::(?P<wrapper>Mutex|SharedMutex|CondVar)"
+    r"|std::(?P<atomic>atomic)<[^>]*>)"
+    r"\s+(?P<name>\w+)\s*(?:;|\{[^}]*\}\s*;|=)"
+)
+
+ROW_RE = re.compile(
+    r"^\|\s*`(?P<file>[^`]+)`\s*"
+    r"\|\s*`(?P<holder>[^`]+)`\s*"
+    r"\|\s*`(?P<member>[^`]+)`\s*"
+    r"\|\s*(?P<kind>\w+)\s*"
+    r"\|\s*(?P<role>.+?)\s*\|\s*$"
+)
+
+
+def discover():
+    """(file, member) -> kind for every sync member declared under src/."""
+    found = {}
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        for line in path.read_text().splitlines():
+            m = DECL_RE.match(line)
+            if not m:
+                continue
+            kind = m.group("wrapper") or "atomic"
+            key = (rel, m.group("name"))
+            if key in found:
+                print(f"error: duplicate sync member name {key[1]} in {rel}; "
+                      "rename one so the cross-reference stays unambiguous",
+                      file=sys.stderr)
+                sys.exit(1)
+            found[key] = kind
+    return found
+
+
+def documented():
+    """(file, member) -> kind from the ARCHITECTURE.md table."""
+    text = DOC.read_text()
+    try:
+        begin = text.index("<!-- sync-members:begin -->")
+        end = text.index("<!-- sync-members:end -->")
+    except ValueError:
+        print(f"error: sync-members markers missing from {DOC}",
+              file=sys.stderr)
+        sys.exit(1)
+    rows = {}
+    for line in text[begin:end].splitlines():
+        m = ROW_RE.match(line)
+        if not m:
+            continue
+        key = (m.group("file"), m.group("member"))
+        if key in rows:
+            print(f"error: duplicate table row for {key}", file=sys.stderr)
+            sys.exit(1)
+        rows[key] = m.group("kind")
+    if not rows:
+        print("error: sync-members table parsed to zero rows", file=sys.stderr)
+        sys.exit(1)
+    return rows
+
+
+def main():
+    code = discover()
+    doc = documented()
+    status = 0
+
+    for key in sorted(set(code) - set(doc)):
+        print(f"undocumented sync member: {key[1]} ({code[key]}) declared in "
+              f"{key[0]} — add a row to the Lock & capability cross-reference "
+              "table in docs/ARCHITECTURE.md", file=sys.stderr)
+        status = 1
+    for key in sorted(set(doc) - set(code)):
+        print(f"stale table row: {key[1]} in {key[0]} no longer declared — "
+              "remove or update the row in docs/ARCHITECTURE.md",
+              file=sys.stderr)
+        status = 1
+    for key in sorted(set(doc) & set(code)):
+        if doc[key] != code[key]:
+            print(f"kind mismatch for {key[1]} in {key[0]}: table says "
+                  f"{doc[key]}, code says {code[key]}", file=sys.stderr)
+            status = 1
+
+    if status == 0:
+        print(f"check_invariants: {len(code)} sync members, all documented "
+              "and in sync")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,14 @@
 #   ./scripts/ci.sh docs     Documentation checks: every relative link in
 #                            docs/ and README.md resolves, and the README
 #                            quickstart snippet still compiles and links
+#   ./scripts/ci.sh lint     Static analysis: invariant cross-reference
+#                            (always), then — when clang is available —
+#                            a -Werror=thread-safety build, the expected-
+#                            failure snippet harness, and clang-tidy over
+#                            the library sources. Set
+#                            HADAD_LINT_REQUIRE_CLANG=1 (CI does) to turn
+#                            a missing clang/clang-tidy into a failure
+#                            instead of a loud skip.
 set -euxo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,8 +61,29 @@ case "$mode" in
       -DHADAD_BUILD_EXAMPLES=OFF
     cmake --build build-bench -j --target bench_session_cache \
       bench_update_refresh
-    ./build-bench/bench/bench_session_cache
-    ./build-bench/bench/bench_update_refresh
+    ./build-bench/bench/bench_session_cache \
+      --json=build-bench/bench_session_cache.json
+    ./build-bench/bench/bench_update_refresh \
+      --json=build-bench/bench_update_refresh.json
+    # Merge the per-driver documents into the machine-readable summary that
+    # perf tooling consumes (the stdout tables above are for humans).
+    python3 - <<'PYEOF'
+import json
+
+drivers = ["bench_session_cache", "bench_update_refresh"]
+merged = {"schema_version": 1, "generated_by": "scripts/ci.sh bench",
+          "benchmarks": []}
+for name in drivers:
+    with open(f"build-bench/{name}.json") as f:
+        merged["benchmarks"].append(json.load(f))
+for b in merged["benchmarks"]:
+    assert b["results"], f"{b['benchmark']} produced no results"
+with open("BENCH_results.json", "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote BENCH_results.json "
+      f"({sum(len(b['results']) for b in merged['benchmarks'])} workloads)")
+PYEOF
     ;;
   docs)
     # 1) Relative links in docs/ and README.md must resolve on disk
@@ -99,8 +128,88 @@ case "$mode" in
     rm -rf "$snippet_dir"
     echo "docs checks passed"
     ;;
+  lint)
+    require_clang="${HADAD_LINT_REQUIRE_CLANG:-0}"
+
+    # 1) Invariant cross-reference: every sync member documented, every
+    #    documented member real. Pure python3; runs everywhere.
+    python3 scripts/check_invariants.py
+
+    # 2) Thread-safety analysis needs a clang frontend (GCC parses the
+    #    attributes away). Prefer an unversioned clang++, fall back to the
+    #    newest versioned one on PATH.
+    clangxx="$(command -v clang++ || true)"
+    if [ -z "$clangxx" ]; then
+      for v in 20 19 18 17 16 15 14; do
+        if command -v "clang++-$v" >/dev/null 2>&1; then
+          clangxx="clang++-$v"
+          break
+        fi
+      done
+    fi
+    if [ -z "$clangxx" ]; then
+      if [ "$require_clang" = "1" ]; then
+        echo "lint: clang++ not found but HADAD_LINT_REQUIRE_CLANG=1" >&2
+        exit 1
+      fi
+      echo "lint: SKIPPED thread-safety + clang-tidy (no clang++ on PATH;" \
+           "install clang or run the CI lint job)" >&2
+      exit 0
+    fi
+
+    # Full library build under -Werror=thread-safety. The compile_commands
+    # export feeds clang-tidy below.
+    cmake -B build-lint -S . \
+      -DCMAKE_CXX_COMPILER="$clangxx" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DHADAD_THREAD_SAFETY=ON \
+      -DHADAD_BUILD_BENCHMARKS=OFF \
+      -DHADAD_BUILD_EXAMPLES=OFF
+    cmake --build build-lint -j
+
+    # 3) Guard the guard: each expected-failure snippet must be REJECTED.
+    #    A snippet that compiles cleanly means the annotations got neutered.
+    for snippet in tests/lint_expected_fail/*.cc; do
+      if "$clangxx" -std=c++20 -Isrc -Wthread-safety -Werror=thread-safety \
+          -fsyntax-only "$snippet" 2>/dev/null; then
+        echo "lint: $snippet compiled cleanly but must trip" \
+             "-Werror=thread-safety — annotations are not being enforced" >&2
+        exit 1
+      fi
+      # Distinguish "rejected for the right reason" from a bit-rotted
+      # snippet: without -Werror it must compile, emitting only warnings.
+      if ! "$clangxx" -std=c++20 -Isrc -Wthread-safety -fsyntax-only \
+          "$snippet" 2>/dev/null; then
+        echo "lint: $snippet has a non-thread-safety compile error;" \
+             "fix the snippet" >&2
+        exit 1
+      fi
+    done
+    echo "lint: expected-failure snippets all rejected as intended"
+
+    # 4) clang-tidy with the curated .clang-tidy over the library sources.
+    tidy="$(command -v clang-tidy || true)"
+    if [ -z "$tidy" ]; then
+      for v in 20 19 18 17 16 15 14; do
+        if command -v "clang-tidy-$v" >/dev/null 2>&1; then
+          tidy="clang-tidy-$v"
+          break
+        fi
+      done
+    fi
+    if [ -z "$tidy" ]; then
+      if [ "$require_clang" = "1" ]; then
+        echo "lint: clang-tidy not found but HADAD_LINT_REQUIRE_CLANG=1" >&2
+        exit 1
+      fi
+      echo "lint: SKIPPED clang-tidy (not on PATH)" >&2
+      exit 0
+    fi
+    "$tidy" -p build-lint --quiet src/*/*.cc
+    echo "lint checks passed"
+    ;;
   *)
-    echo "unknown mode: $mode (expected: tier1 | tsan | asan | bench | docs)" >&2
+    echo "unknown mode: $mode (expected: tier1 | tsan | asan | bench | docs | lint)" >&2
     exit 2
     ;;
 esac

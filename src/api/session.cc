@@ -1,9 +1,11 @@
 #include "api/session.h"
 
 #include <algorithm>
-#include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
+
+#include "common/mutex.h"
 
 #include "engine/evaluator.h"
 #include "la/parser.h"
@@ -80,7 +82,7 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
   HADAD_ASSIGN_OR_RETURN(la::ExprPtr expr, la::ParseExpression(text));
   std::string canonical = la::ToString(expr);
   {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    common::ReaderMutexLock lock(&cache_mu_);
     auto it = plan_cache_.find(canonical);
     if (it != plan_cache_.end() && PlanFresh(*it->second)) {
       ++cache_hits_;
@@ -96,7 +98,7 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
   // generation and leaf epochs stamped below are exactly what the rewrite
   // was derived against.
   {
-    std::shared_lock<std::shared_mutex> state(views_mu_);
+    common::ReaderMutexLock state(&views_mu_);
     Result<pacb::RewriteResult> rewrite = optimizer_->Optimize(expr);
     if (!rewrite.ok()) return rewrite.status();
     plan->rewrite = std::move(rewrite).value();
@@ -112,7 +114,7 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
   plan->canonical = std::move(canonical);
   plan->original = std::move(expr);
   ++prepares_;
-  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  common::WriterMutexLock lock(&cache_mu_);
   // Two threads may have optimized the same expression concurrently; first
   // insertion wins so every holder shares one plan — unless the resident
   // plan is stale (older view generation or moved leaf epochs), which ours
@@ -171,7 +173,7 @@ Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
   // nothing can never go barrier-stale: return those without querying the
   // barrier set at all.
   {
-    std::lock_guard<std::mutex> lock(plan.compile_mu);
+    common::MutexLock lock(&plan.compile_mu);
     if (plan.compiled != nullptr &&
         (adaptive_ == nullptr || plan.compiled->fused_canonicals.empty())) {
       return plan.compiled;
@@ -187,7 +189,7 @@ Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
     return true;
   };
   {
-    std::lock_guard<std::mutex> lock(plan.compile_mu);
+    common::MutexLock lock(&plan.compile_mu);
     if (plan.compiled != nullptr && barrier_clean(*plan.compiled)) {
       return plan.compiled;
     }
@@ -197,7 +199,7 @@ Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
   HADAD_ASSIGN_OR_RETURN(
       exec::CompiledPlan compiled,
       CompileExpr(planned, adaptive_ != nullptr ? &barriers : nullptr));
-  std::lock_guard<std::mutex> lock(plan.compile_mu);
+  common::MutexLock lock(&plan.compile_mu);
   if (plan.compiled == nullptr || !barrier_clean(*plan.compiled)) {
     plan.compiled =
         std::make_shared<const exec::CompiledPlan>(std::move(compiled));
@@ -219,39 +221,45 @@ Result<matrix::Matrix> Session::RunPlan(
       auto fresh = GetOrBuildPlan(plan->canonical, &from_cache);
       if (fresh.ok()) plan = std::move(*fresh);
     }
-    std::shared_lock<std::shared_mutex> state(views_mu_);
-    // Under the shared lock neither the view set nor the data can move: a
-    // fresh plan here stays consistent through the whole execution (the
-    // snapshot-isolation contract for in-flight queries).
-    const bool stale = !original && !PlanFresh(*plan);
-    if (stale && attempt + 1 < kMaxAttempts) continue;
-    // Extreme-churn fallback: the original expression references only
-    // session-durable names, so it executes against the current data.
-    const bool use_original = original || stale;
-
     engine::ExecStats local_stats;
     engine::ExecStats* exec_stats =
         stats != nullptr ? stats
                          : (adaptive && !original ? &local_stats : nullptr);
-    Result<matrix::Matrix> result = [&]() -> Result<matrix::Matrix> {
-      if (use_original) return ExecuteExpr(plan->original, exec_stats);
-      if (morpheus_ == nullptr && executor_ != nullptr) {
-        // Hit path for executor sessions: reuse the physical DAG cached in
-        // the plan instead of recompiling it.
-        auto compiled = GetOrCompile(*plan);
-        if (!compiled.ok()) return compiled.status();
-        return executor_->RunCompiled(**compiled, workspace_, exec_stats);
-      }
-      return ExecuteExpr(plan->rewrite.best, exec_stats);
-    }();
-
-    if (adaptive && !original && result.ok()) {
-      state.unlock();  // OnExecution takes the state lock itself.
+    bool use_original = false;
+    std::optional<Result<matrix::Matrix>> result;
+    {
+      common::ReaderMutexLock state(&views_mu_);
+      // Under the shared lock neither the view set nor the data can move: a
+      // fresh plan here stays consistent through the whole execution (the
+      // snapshot-isolation contract for in-flight queries).
+      const bool stale = !original && !PlanFresh(*plan);
+      if (stale && attempt + 1 < kMaxAttempts) continue;
+      // Extreme-churn fallback: the original expression references only
+      // session-durable names, so it executes against the current data.
+      use_original = original || stale;
+      result.emplace(ExecutePlanLocked(*plan, use_original, exec_stats));
+    }
+    if (adaptive && !original && result->ok()) {
+      // OnExecution takes the state lock itself, hence outside the scope.
       adaptive_->OnExecution(
           use_original ? plan->original : plan->rewrite.best, exec_stats);
     }
-    return result;
+    return std::move(*result);
   }
+}
+
+Result<matrix::Matrix> Session::ExecutePlanLocked(
+    const PreparedPlan& plan, bool use_original,
+    engine::ExecStats* exec_stats) const {
+  if (use_original) return ExecuteExpr(plan.original, exec_stats);
+  if (morpheus_ == nullptr && executor_ != nullptr) {
+    // Hit path for executor sessions: reuse the physical DAG cached in
+    // the plan instead of recompiling it.
+    auto compiled = GetOrCompile(plan);
+    if (!compiled.ok()) return compiled.status();
+    return executor_->RunCompiled(**compiled, workspace_, exec_stats);
+  }
+  return ExecuteExpr(plan.rewrite.best, exec_stats);
 }
 
 Result<PreparedQuery> Session::Prepare(const std::string& text) const {
@@ -303,18 +311,57 @@ Result<matrix::Matrix> Session::EvaluateDefinition(
 }
 
 Status Session::Update(const std::string& name, matrix::Matrix m) {
-  std::unique_lock<std::shared_mutex> state(views_mu_);
+  common::WriterMutexLock state(&views_mu_);
   return MutateLocked(name, MutationKind::kUpdate, &m, nullptr);
 }
 
 Status Session::Append(const std::string& name, const matrix::Matrix& rows) {
-  std::unique_lock<std::shared_mutex> state(views_mu_);
+  common::WriterMutexLock state(&views_mu_);
   return MutateLocked(name, MutationKind::kAppend, nullptr, &rows);
 }
 
 Status Session::Remove(const std::string& name) {
-  std::unique_lock<std::shared_mutex> state(views_mu_);
+  common::WriterMutexLock state(&views_mu_);
   return MutateLocked(name, MutationKind::kRemove, nullptr, nullptr);
+}
+
+Status Session::Put(const std::string& name, matrix::Matrix m) {
+  common::WriterMutexLock state(&views_mu_);
+  if (workspace_.Find(name) != nullptr) {
+    // An existing base name keeps full Update semantics: dependent views
+    // refresh, failures roll back, adaptive views invalidate. (Views and
+    // Morpheus names are rejected there.)
+    return MutateLocked(name, MutationKind::kUpdate, &m, nullptr);
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("cannot bind a matrix with an empty name");
+  }
+  if (name.rfind("__delta", 0) == 0) {
+    return Status::InvalidArgument(
+        "name '" + name + "' uses the reserved '__delta' prefix");
+  }
+  if (morpheus_names_.contains(name)) {
+    // Normalized matrices live in the Morpheus engine, not the workspace,
+    // so the existence check above does not cover them.
+    return Status::InvalidArgument(
+        "'" + name + "' is bound into a Morpheus declaration; declared "
+        "factorizations are immutable");
+  }
+  workspace_.Put(name, std::move(m));
+  la::MatrixMeta meta = engine::Workspace::MetaFor(*workspace_.Find(name),
+                                                   flag_detect_limit_);
+  Status added = optimizer_->AddBaseMeta(name, meta);
+  if (!added.ok()) {
+    // Nothing else was applied yet; unbind to keep the layers consistent.
+    workspace_.Erase(name);
+    return added;
+  }
+  if (executor_ != nullptr) exec_catalog_[name] = meta;
+  // No cached plan can reference a name that did not exist when it was
+  // prepared (Prepare fails on unknown names), so warm plans stay valid;
+  // the fresh epoch stamped by workspace_.Put covers any future ones.
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 Status Session::MutateLocked(const std::string& name, MutationKind kind,
@@ -425,43 +472,10 @@ Status Session::MutateLocked(const std::string& name, MutationKind kind,
   //     may reference earlier names, so refreshed values cascade). On a
   //     refresh failure everything applied so far is restored — optimizer
   //     and exec-catalog entries re-derive from the restored values. ------
-  struct RefreshedView {
-    std::string name;
-    la::ExprPtr def;
-    matrix::Matrix old_value;
-  };
   std::vector<RefreshedView> refreshed;  // In registration order.
   bool delta_staged = false;
-  auto rollback = [&]() {
-    if (delta_staged) workspace_.Erase(kUserDeltaName);
-    // Restore every workspace value first — view catalog entries derive
-    // from the catalog, so re-registration must wait until the base facts
-    // (and all earlier values) describe the restored state again.
-    for (RefreshedView& v : refreshed) {
-      workspace_.Put(v.name, std::move(v.old_value));
-    }
-    if (kind == MutationKind::kUpdate) {
-      workspace_.Put(name, std::move(*old_base));
-    } else {  // kAppend: drop the appended rows in place.
-      std::optional<matrix::Matrix> grown = workspace_.Take(name);
-      (void)matrix::TruncateRows(&*grown, old_rows);
-      workspace_.Put(name, std::move(*grown));
-    }
-    la::MatrixMeta meta = engine::Workspace::MetaFor(*workspace_.Find(name),
-                                                     flag_detect_limit_);
-    (void)optimizer_->UpdateBaseMeta(name, meta);
-    if (executor_ != nullptr) exec_catalog_[name] = meta;
-    // Re-register in forward registration order, as Build() did: each
-    // entry's shape/constraints then derive from already-restored names.
-    for (const RefreshedView& v : refreshed) {
-      (void)optimizer_->RemoveView(v.name);
-      (void)optimizer_->AddView(v.name, v.def);
-      if (executor_ != nullptr) {
-        exec_catalog_[v.name] =
-            engine::Workspace::MetaFor(*workspace_.Find(v.name));
-      }
-    }
-  };
+  matrix::Matrix* old_base_ptr =
+      old_base.has_value() ? &*old_base : nullptr;
 
   std::set<std::string> changed;  // Names whose value changed arbitrarily.
   if (kind != MutationKind::kAppend) changed.insert(name);
@@ -470,28 +484,11 @@ Status Session::MutateLocked(const std::string& name, MutationKind kind,
     const bool touches_append = kind == MutationKind::kAppend &&
                                 la::ReferencesMatrix(*def, name);
     if (!touches_changed && !touches_append) continue;
-    Result<matrix::Matrix> fresh = [&]() -> Result<matrix::Matrix> {
-      if (!touches_changed) {
-        // Only the appended leaf moved: refresh incrementally when the
-        // definition is append-additive in it. The delta rows are staged
-        // into the workspace once per mutation, not once per view.
-        std::optional<la::ExprPtr> delta_expr =
-            views::BuildAppendDelta(def, name, kUserDeltaName);
-        if (delta_expr.has_value()) {
-          if (!delta_staged) {
-            workspace_.Put(kUserDeltaName, *rows);
-            delta_staged = true;
-          }
-          Result<matrix::Matrix> delta = EvaluateDefinition(*delta_expr);
-          if (delta.ok()) {
-            return matrix::Add(*workspace_.Find(vname), *delta);
-          }
-        }
-      }
-      return EvaluateDefinition(def);
-    }();
+    Result<matrix::Matrix> fresh = ComputeViewRefresh(
+        vname, def, touches_changed, name, rows, &delta_staged);
     if (!fresh.ok()) {
-      rollback();
+      RollbackMutation(name, kind, old_rows, old_base_ptr, &refreshed,
+                       delta_staged);
       return Status(fresh.status().code(), "refreshing view '" + vname +
                                                "': " +
                                                fresh.status().message() +
@@ -505,7 +502,8 @@ Status Session::MutateLocked(const std::string& name, MutationKind kind,
     Status reregistered = optimizer_->RemoveView(vname);
     if (reregistered.ok()) reregistered = optimizer_->AddView(vname, def);
     if (!reregistered.ok()) {
-      rollback();
+      RollbackMutation(name, kind, old_rows, old_base_ptr, &refreshed,
+                       delta_staged);
       return Status(reregistered.code(),
                     "re-registering view '" + vname + "': " +
                         reregistered.message() + " (mutation rolled back)");
@@ -526,6 +524,64 @@ Status Session::MutateLocked(const std::string& name, MutationKind kind,
   }
   mutations_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+void Session::RollbackMutation(const std::string& name, MutationKind kind,
+                               int64_t old_rows, matrix::Matrix* old_base,
+                               std::vector<RefreshedView>* refreshed,
+                               bool delta_staged) {
+  if (delta_staged) workspace_.Erase(kUserDeltaName);
+  // Restore every workspace value first — view catalog entries derive
+  // from the catalog, so re-registration must wait until the base facts
+  // (and all earlier values) describe the restored state again.
+  for (RefreshedView& v : *refreshed) {
+    workspace_.Put(v.name, std::move(v.old_value));
+  }
+  if (kind == MutationKind::kUpdate) {
+    workspace_.Put(name, std::move(*old_base));
+  } else {  // kAppend: drop the appended rows in place.
+    std::optional<matrix::Matrix> grown = workspace_.Take(name);
+    (void)matrix::TruncateRows(&*grown, old_rows);
+    workspace_.Put(name, std::move(*grown));
+  }
+  la::MatrixMeta meta = engine::Workspace::MetaFor(*workspace_.Find(name),
+                                                   flag_detect_limit_);
+  (void)optimizer_->UpdateBaseMeta(name, meta);
+  if (executor_ != nullptr) exec_catalog_[name] = meta;
+  // Re-register in forward registration order, as Build() did: each
+  // entry's shape/constraints then derive from already-restored names.
+  for (const RefreshedView& v : *refreshed) {
+    (void)optimizer_->RemoveView(v.name);
+    (void)optimizer_->AddView(v.name, v.def);
+    if (executor_ != nullptr) {
+      exec_catalog_[v.name] =
+          engine::Workspace::MetaFor(*workspace_.Find(v.name));
+    }
+  }
+}
+
+Result<matrix::Matrix> Session::ComputeViewRefresh(
+    const std::string& vname, const la::ExprPtr& def, bool touches_changed,
+    const std::string& name, const matrix::Matrix* rows,
+    bool* delta_staged) {
+  if (!touches_changed) {
+    // Only the appended leaf moved: refresh incrementally when the
+    // definition is append-additive in it. The delta rows are staged
+    // into the workspace once per mutation, not once per view.
+    std::optional<la::ExprPtr> delta_expr =
+        views::BuildAppendDelta(def, name, kUserDeltaName);
+    if (delta_expr.has_value()) {
+      if (!*delta_staged) {
+        workspace_.Put(kUserDeltaName, *rows);
+        *delta_staged = true;
+      }
+      Result<matrix::Matrix> delta = EvaluateDefinition(*delta_expr);
+      if (delta.ok()) {
+        return matrix::Add(*workspace_.Find(vname), *delta);
+      }
+    }
+  }
+  return EvaluateDefinition(def);
 }
 
 SessionStats Session::stats() const {
@@ -552,12 +608,12 @@ SessionStats Session::stats() const {
 }
 
 int64_t Session::plan_cache_size() const {
-  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  common::ReaderMutexLock lock(&cache_mu_);
   return static_cast<int64_t>(plan_cache_.size());
 }
 
 void Session::ClearPlanCache() {
-  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  common::WriterMutexLock lock(&cache_mu_);
   plan_cache_.clear();
 }
 
@@ -672,6 +728,11 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
   }
 
   auto session = std::shared_ptr<Session>(new Session());
+  Session* raw = session.get();
+  // No other thread can reach the session until Build() returns it, but the
+  // state members below are lock-guarded for the session's lifetime — take
+  // the writer lock so the initialization writes type-check like any other.
+  common::WriterMutexLock state(&raw->views_mu_);
   for (auto& [name, m] : matrices_) {
     session->workspace_.Put(name, std::move(m));
   }
@@ -721,17 +782,17 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
     }
     session->workspace_.Put(v.name, std::move(value).value());
     HADAD_RETURN_IF_ERROR(session->optimizer_->AddView(v.name, def.value()));
-    session->user_views_.emplace_back(v.name, def.value());
+    raw->user_views_.emplace_back(v.name, def.value());
   }
 
   for (const pacb::MorpheusJoinDecl& decl : morpheus_joins_) {
     HADAD_RETURN_IF_ERROR(session->optimizer_->AddMorpheusJoin(decl));
     for (const std::string& n : {decl.t, decl.k, decl.u, decl.m}) {
-      session->morpheus_names_.insert(n);
+      raw->morpheus_names_.insert(n);
     }
   }
   for (const auto& [name, nm] : normalized_) {
-    session->morpheus_names_.insert(name);
+    raw->morpheus_names_.insert(name);
   }
   session->flag_detect_limit_ = flag_detect_limit_;
   if (!constraints_.empty()) {
@@ -746,7 +807,7 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
     session->executor_ = std::make_unique<exec::Executor>(exec_options);
     // Rebuild after view materialization so view leaves resolve without a
     // per-query workspace scan.
-    session->exec_catalog_ = session->workspace_.BuildMetaCatalog();
+    raw->exec_catalog_ = session->workspace_.BuildMetaCatalog();
   }
 
   if (adaptive_.has_value()) {
@@ -757,7 +818,7 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
       advisor_estimator = std::make_unique<cost::NaiveMetadataEstimator>();
     }
     views::AdaptiveViewManager::Host host;
-    Session* raw = session.get();  // The manager is a member; never outlives.
+    // `raw` is safe to capture: the manager is a member and never outlives.
     host.workspace = &raw->workspace_;
     host.optimizer = raw->optimizer_.get();
     host.exec_catalog =

@@ -6,14 +6,15 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "chase/ast.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/profiles.h"
 #include "engine/workspace.h"
 #include "exec/executor.h"
@@ -82,9 +83,10 @@ struct PreparedPlan {
 
   // Lazily compiled physical DAG of rewrite.best (executor sessions): built
   // on first execution, reused afterwards so the hit path skips DAG
-  // recompilation. Guarded by compile_mu.
-  mutable std::mutex compile_mu;
-  mutable std::shared_ptr<const exec::CompiledPlan> compiled;
+  // recompilation.
+  mutable common::Mutex compile_mu;
+  mutable std::shared_ptr<const exec::CompiledPlan> compiled
+      HADAD_GUARDED_BY(compile_mu);
 };
 
 // A reusable optimized pipeline bound to its session. Parse + PACB rewrite
@@ -176,19 +178,33 @@ class Session : public std::enable_shared_from_this<Session> {
   // Morpheus-declared names are derived/declared, not updatable — and a
   // new shape that breaks a dependent view's definition is rejected before
   // anything is applied).
-  Status Update(const std::string& name, matrix::Matrix m);
+  Status Update(const std::string& name, matrix::Matrix m)
+      HADAD_EXCLUDES(views_mu_);
 
   // Appends rows below base matrix `name` (column counts must match).
   // Dependent user views whose definitions are append-additive refresh
   // incrementally (V ← V + f(Δ)); others re-materialize. Dependent
   // adaptive views delta-refresh on the background worker when additive,
   // and are invalidated otherwise. Same error contract as Update.
-  Status Append(const std::string& name, const matrix::Matrix& rows);
+  Status Append(const std::string& name, const matrix::Matrix& rows)
+      HADAD_EXCLUDES(views_mu_);
 
   // Unbinds base matrix `name`. InvalidArgument while a user view or a
   // Morpheus declaration references it; adaptive views over it are
   // invalidated. Cached plans over it fail on their next use (NotFound).
-  Status Remove(const std::string& name);
+  Status Remove(const std::string& name) HADAD_EXCLUDES(views_mu_);
+
+  // Binds base matrix `name` after Build(). A genuinely new name joins the
+  // session like a builder-time Put: the optimizer gains its base-metadata
+  // facts (shape, nnz, structural flags up to the flag-detect limit) and
+  // the exec leaf catalog its entry, so the very next Prepare() can plan
+  // over it — while cached plans for unrelated leaves stay warm (the new
+  // name's epoch was never stamped into them). An existing base name takes
+  // the full Update path instead (view refresh, rollback, adaptive
+  // propagation). InvalidArgument for empty/reserved names, view names, and
+  // Morpheus-declared names.
+  Status Put(const std::string& name, matrix::Matrix m)
+      HADAD_EXCLUDES(views_mu_);
 
   // Read-only view of the session's data catalog. Do not hold the
   // reference across a mutation from another thread; all writes go through
@@ -219,10 +235,10 @@ class Session : public std::enable_shared_from_this<Session> {
   // Point-in-time counter snapshot (atomics; no lock). Thread-safe.
   SessionStats stats() const;
   // Cached plans by canonical text. Thread-safe (shared cache lock).
-  int64_t plan_cache_size() const;
+  int64_t plan_cache_size() const HADAD_EXCLUDES(cache_mu_);
   // Drops every cached plan; in-flight PreparedQuery handles keep their
   // shared plan alive. Thread-safe (unique cache lock).
-  void ClearPlanCache();
+  void ClearPlanCache() HADAD_EXCLUDES(cache_mu_);
 
  private:
   friend class SessionBuilder;
@@ -231,40 +247,82 @@ class Session : public std::enable_shared_from_this<Session> {
 
   enum class MutationKind { kUpdate, kAppend, kRemove };
 
+  // Refresh bookkeeping for one user view restored on rollback.
+  struct RefreshedView {
+    std::string name;
+    la::ExprPtr def;
+    matrix::Matrix old_value;
+  };
+
   // Cache lookup by canonical text; on miss (or when the cached plan is
   // stale — view generation or a leaf epoch moved) runs the optimizer and
   // inserts.
   Result<std::shared_ptr<const PreparedPlan>> GetOrBuildPlan(
-      const std::string& text, bool* from_cache) const;
+      const std::string& text, bool* from_cache) const
+      HADAD_EXCLUDES(cache_mu_, views_mu_);
   // True when the plan's view generation matches and none of its recorded
   // leaf epochs moved. Lock-free fast path on the verified generation.
   bool PlanFresh(const PreparedPlan& plan) const;
-  // The shared mutation path; caller holds views_mu_ unique. `value` is
-  // consumed for kUpdate; `rows` borrowed for kAppend.
+  // The shared mutation path. `value` is consumed for kUpdate; `rows`
+  // borrowed for kAppend.
   Status MutateLocked(const std::string& name, MutationKind kind,
-                      matrix::Matrix* value, const matrix::Matrix* rows);
+                      matrix::Matrix* value, const matrix::Matrix* rows)
+      HADAD_REQUIRES(views_mu_);
+  // Undoes a half-applied mutation of `name` after a view-refresh failure:
+  // restores the refreshed views' old values and the base matrix, then
+  // re-derives the dependent optimizer/exec-catalog entries.
+  void RollbackMutation(const std::string& name, MutationKind kind,
+                        int64_t old_rows, matrix::Matrix* old_base,
+                        std::vector<RefreshedView>* refreshed,
+                        bool delta_staged) HADAD_REQUIRES(views_mu_);
+  // The refreshed value of user view `vname` under the mutation of `name`:
+  // incremental (V + f(Δ), staging the delta rows once) when only the
+  // appended leaf moved and the definition allows, full re-evaluation
+  // otherwise.
+  Result<matrix::Matrix> ComputeViewRefresh(const std::string& vname,
+                                            const la::ExprPtr& def,
+                                            bool touches_changed,
+                                            const std::string& name,
+                                            const matrix::Matrix* rows,
+                                            bool* delta_staged)
+      HADAD_REQUIRES(views_mu_);
   // Evaluates a view definition over the current workspace (Morpheus-aware).
-  Result<matrix::Matrix> EvaluateDefinition(const la::ExprPtr& def) const;
+  Result<matrix::Matrix> EvaluateDefinition(const la::ExprPtr& def) const
+      HADAD_REQUIRES_SHARED(views_mu_);
   // Executes a prepared plan (rewrite.best, or `original` as stated),
   // re-deriving it first when adaptive views moved the generation, and
   // feeding the adaptive monitor afterwards.
   Result<matrix::Matrix> RunPlan(std::shared_ptr<const PreparedPlan> plan,
                                  engine::ExecStats* stats,
-                                 bool original) const;
-  // Raw single-expression execution; the caller must hold views_mu_
-  // (shared) so the workspace cannot mutate mid-evaluation.
+                                 bool original) const
+      HADAD_EXCLUDES(views_mu_);
+  // One plan execution under the shared state hold: the original text, the
+  // cached physical DAG (executor sessions), or the rewriting as planned.
+  Result<matrix::Matrix> ExecutePlanLocked(const PreparedPlan& plan,
+                                           bool use_original,
+                                           engine::ExecStats* stats) const
+      HADAD_REQUIRES_SHARED(views_mu_);
+  // Raw single-expression execution; the shared hold keeps the workspace
+  // from mutating mid-evaluation.
   Result<matrix::Matrix> ExecuteExpr(const la::ExprPtr& expr,
-                                     engine::ExecStats* stats) const;
+                                     engine::ExecStats* stats) const
+      HADAD_REQUIRES_SHARED(views_mu_);
   // Compiles an engine-planned expression on the session executor with the
   // given fusion barriers, accumulating the compiled_plans_ and fused_*
-  // counters. Caller holds views_mu_ (shared); executor_ non-null.
+  // counters. executor_ non-null.
   Result<exec::CompiledPlan> CompileExpr(
       const la::ExprPtr& planned,
-      const std::set<std::string>* fusion_barriers) const;
+      const std::set<std::string>* fusion_barriers) const
+      HADAD_REQUIRES_SHARED(views_mu_);
   // The cached physical DAG for plan.rewrite.best (compiles on first use).
   Result<std::shared_ptr<const exec::CompiledPlan>> GetOrCompile(
-      const PreparedPlan& plan) const;
+      const PreparedPlan& plan) const HADAD_REQUIRES_SHARED(views_mu_);
 
+  // The workspace's matrix data follows views_mu_ by contract (mutations
+  // hold it unique, execution shared) but is not GUARDED_BY-annotated: its
+  // epoch/generation surface is internally locked and read lock-free (e.g.
+  // PlanFresh), and the public workspace() accessor hands out read-only
+  // references. The annotated boundary is the catalogs/views below.
   engine::Workspace workspace_;
   std::unique_ptr<pacb::Optimizer> optimizer_;
   std::unique_ptr<engine::Engine> engine_;
@@ -272,20 +330,20 @@ class Session : public std::enable_shared_from_this<Session> {
   std::unique_ptr<exec::Executor> executor_;
   // User views in registration order (later definitions may reference
   // earlier names), for maintenance under mutation.
-  std::vector<std::pair<std::string, la::ExprPtr>> user_views_;
+  std::vector<std::pair<std::string, la::ExprPtr>> user_views_
+      HADAD_GUARDED_BY(views_mu_);
   // Names bound into Morpheus declarations (join members, normalized
   // matrices): immutable — the declared relationships would silently break.
-  std::set<std::string> morpheus_names_;
+  std::set<std::string> morpheus_names_ HADAD_GUARDED_BY(views_mu_);
   int64_t flag_detect_limit_ = 0;
   // Leaf metadata (shapes + exact nnz, views included) handed to the plan
-  // compiler so Execute never rescans the workspace. Kept current under
-  // views_mu_: data mutations, view refreshes, and adaptive install/evict
-  // all write through it.
-  la::MetaCatalog exec_catalog_;
+  // compiler so Execute never rescans the workspace. Data mutations, view
+  // refreshes, and adaptive install/evict all write through it.
+  la::MetaCatalog exec_catalog_ HADAD_GUARDED_BY(views_mu_);
 
-  mutable std::shared_mutex cache_mu_;
+  mutable common::SharedMutex cache_mu_;
   mutable std::unordered_map<std::string, std::shared_ptr<const PreparedPlan>>
-      plan_cache_;
+      plan_cache_ HADAD_GUARDED_BY(cache_mu_);
   mutable std::atomic<int64_t> prepares_{0};
   mutable std::atomic<int64_t> cache_hits_{0};
   mutable std::atomic<int64_t> cache_misses_{0};
@@ -302,7 +360,7 @@ class Session : public std::enable_shared_from_this<Session> {
   // boundary for in-flight queries. view_generation_ increments on every
   // view-set change; plans remember the generation they were derived under
   // (per-leaf data staleness is tracked separately via workspace epochs).
-  mutable std::shared_mutex views_mu_;
+  mutable common::SharedMutex views_mu_;
   mutable std::atomic<int64_t> view_generation_{0};
   // Declared last: destroyed first, joining background materializations
   // while the state they touch is still alive.

@@ -1,0 +1,123 @@
+#ifndef HADAD_COMMON_MUTEX_H_
+#define HADAD_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+// Capability-annotated wrappers over the standard mutexes. Clang's
+// thread-safety analysis only tracks types marked HADAD_CAPABILITY, and the
+// standard library's are not (libc++ annotates std::mutex behind a config
+// macro; libstdc++ never does) — so the concurrency stack locks through
+// these instead. They are zero-overhead: each is exactly the std type plus
+// attributes, and every method inlines to the std call.
+//
+// Locking style: prefer the scoped lockers (MutexLock / ReaderMutexLock /
+// WriterMutexLock) — the analysis then checks release on every path for
+// free. Manual lock()/unlock() is for the rare hand-over-hand or
+// conditional-release site, and each such site must be annotation-visible
+// (no unlocking through aliases).
+
+namespace hadad::common {
+
+// Exclusive mutex (std::mutex + capability attributes).
+class HADAD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HADAD_ACQUIRE() { mu_.lock(); }
+  void unlock() HADAD_RELEASE() { mu_.unlock(); }
+  bool try_lock() HADAD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Reader-writer mutex (std::shared_mutex + capability attributes).
+class HADAD_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() HADAD_ACQUIRE() { mu_.lock(); }
+  void unlock() HADAD_RELEASE() { mu_.unlock(); }
+  bool try_lock() HADAD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() HADAD_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() HADAD_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() HADAD_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// Condition variable usable with MutexLock (which is BasicLockable).
+// condition_variable_any's internal unlock/relock happens inside the
+// standard library, outside the analysis — callers keep the capability
+// held across wait() as far as the checker can see, which matches the
+// wait-morphing reality on return.
+using CondVar = std::condition_variable_any;
+
+// Scoped exclusive lock on a Mutex. Also BasicLockable (lock/unlock) so
+// CondVar::wait(MutexLock&) type-checks; do not call those manually —
+// outside a CondVar wait the scope IS the critical section.
+class HADAD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HADAD_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() HADAD_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable surface for CondVar::wait. The analysis treats the
+  // capability as continuously held across the wait (see CondVar above).
+  void lock() HADAD_NO_THREAD_SAFETY_ANALYSIS { mu_->lock(); }
+  void unlock() HADAD_NO_THREAD_SAFETY_ANALYSIS { mu_->unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+// Scoped exclusive lock on a SharedMutex (the writer side).
+class HADAD_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) HADAD_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() HADAD_RELEASE() { mu_->unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// Scoped shared lock on a SharedMutex (the reader side). The destructor
+// annotation is the generic release — scoped capabilities release whatever
+// mode they acquired.
+class HADAD_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) HADAD_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() HADAD_RELEASE_GENERIC() { mu_->unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+}  // namespace hadad::common
+
+#endif  // HADAD_COMMON_MUTEX_H_

@@ -104,30 +104,30 @@ Result<ExprPtr> SmartPass(const ExprPtr& e, const MetaCatalog& catalog,
       if (a->kind() == OpKind::kTranspose || a->kind() == OpKind::kRev ||
           a->kind() == OpKind::kRowSums || a->kind() == OpKind::kColSums) {
         *changed = true;
-        return ExprPtr(Expr::Unary(OpKind::kSum, a->child(0)));
+        return Expr::Unary(OpKind::kSum, a->child(0));
       }
       break;
     case OpKind::kTrace:
       if (a->kind() == OpKind::kTranspose) {
         *changed = true;
-        return ExprPtr(Expr::Unary(OpKind::kTrace, a->child(0)));
+        return Expr::Unary(OpKind::kTrace, a->child(0));
       }
       break;
     case OpKind::kRowSums:
       // rowSums(t(X)) -> t(colSums(X)).
       if (a->kind() == OpKind::kTranspose) {
         *changed = true;
-        return ExprPtr(Expr::Unary(
+        return Expr::Unary(
             OpKind::kTranspose,
-            Expr::Unary(OpKind::kColSums, a->child(0))));
+            Expr::Unary(OpKind::kColSums, a->child(0)));
       }
       break;
     case OpKind::kColSums:
       if (a->kind() == OpKind::kTranspose) {
         *changed = true;
-        return ExprPtr(Expr::Unary(
+        return Expr::Unary(
             OpKind::kTranspose,
-            Expr::Unary(OpKind::kRowSums, a->child(0))));
+            Expr::Unary(OpKind::kRowSums, a->child(0)));
       }
       break;
     case OpKind::kMultiply: {

@@ -7,7 +7,7 @@ namespace hadad::engine {
 void Workspace::Bump(const std::string& name) {
   const int64_t gen =
       generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  common::MutexLock lock(&epoch_mu_);
   epochs_[name] = gen;
 }
 
@@ -39,7 +39,7 @@ Status Workspace::Append(const std::string& name,
 
 void Workspace::DropEpoch(const std::string& name) {
   generation_.fetch_add(1, std::memory_order_acq_rel);
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  common::MutexLock lock(&epoch_mu_);
   epochs_.erase(name);
 }
 
@@ -59,7 +59,7 @@ std::optional<matrix::Matrix> Workspace::Take(const std::string& name) {
 }
 
 int64_t Workspace::EpochOf(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  common::MutexLock lock(&epoch_mu_);
   auto it = epochs_.find(name);
   return it == epochs_.end() ? kNeverStored : it->second;
 }
@@ -69,7 +69,7 @@ WorkspaceSnapshot Workspace::SnapshotFor(
   WorkspaceSnapshot snapshot;
   snapshot.generation = generation();
   snapshot.epochs.reserve(names.size());
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  common::MutexLock lock(&epoch_mu_);
   for (const std::string& name : names) {
     auto it = epochs_.find(name);
     snapshot.epochs.emplace_back(
@@ -79,7 +79,7 @@ WorkspaceSnapshot Workspace::SnapshotFor(
 }
 
 bool Workspace::SnapshotCurrent(const WorkspaceSnapshot& snapshot) const {
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  common::MutexLock lock(&epoch_mu_);
   for (const auto& [name, epoch] : snapshot.epochs) {
     auto it = epochs_.find(name);
     if ((it == epochs_.end() ? kNeverStored : it->second) != epoch) {

@@ -4,13 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "cost/cost_model.h"
 #include "la/expr.h"
 #include "matrix/matrix.h"
@@ -51,15 +52,22 @@ class Workspace {
 
   // Movable for by-value construction (dataset factories); the versioning
   // members make it non-copyable. Moves are construction-time only — never
-  // move a workspace that concurrent readers can see.
+  // move a workspace that concurrent readers can see. The source's epoch
+  // lock is still taken: it is cheap, and it keeps the guarded access to
+  // `other.epochs_` visible to the thread-safety analysis.
   Workspace(Workspace&& other) noexcept
       : data_(std::move(other.data_)),
-        generation_(other.generation_.load(std::memory_order_acquire)),
-        epochs_(std::move(other.epochs_)) {}
+        generation_(other.generation_.load(std::memory_order_acquire)) {
+    common::MutexLock theirs(&other.epoch_mu_);
+    epochs_ = std::move(other.epochs_);
+  }
   Workspace& operator=(Workspace&& other) noexcept {
+    if (this == &other) return *this;
     data_ = std::move(other.data_);
     generation_.store(other.generation_.load(std::memory_order_acquire),
                       std::memory_order_release);
+    common::MutexLock mine(&epoch_mu_);
+    common::MutexLock theirs(&other.epoch_mu_);
     epochs_ = std::move(other.epochs_);
     return *this;
   }
@@ -128,14 +136,14 @@ class Workspace {
                                 int64_t flag_detect_limit = 0);
 
  private:
-  void Bump(const std::string& name);
-  void DropEpoch(const std::string& name);
+  void Bump(const std::string& name) HADAD_EXCLUDES(epoch_mu_);
+  void DropEpoch(const std::string& name) HADAD_EXCLUDES(epoch_mu_);
 
   cost::DataCatalog data_;
   std::atomic<int64_t> generation_{0};
   // Guards epochs_ only; data_ follows the owner's external locking.
-  mutable std::mutex epoch_mu_;
-  std::map<std::string, int64_t> epochs_;
+  mutable common::Mutex epoch_mu_;
+  std::map<std::string, int64_t> epochs_ HADAD_GUARDED_BY(epoch_mu_);
 };
 
 }  // namespace hadad::engine

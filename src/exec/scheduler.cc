@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "matrix/blocked_kernels.h"
 
@@ -59,12 +59,13 @@ struct RunState {
   std::vector<double> node_nnz;
 
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  Status error;
+  common::Mutex error_mu;
+  Status error HADAD_GUARDED_BY(error_mu);
 
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  int64_t outstanding = 0;  // Scheduled-but-unfinished node tasks.
+  common::Mutex done_mu;
+  common::CondVar done_cv;
+  // Scheduled-but-unfinished node tasks.
+  int64_t outstanding HADAD_GUARDED_BY(done_mu) = 0;
 
   explicit RunState(size_t n)
       : slots(n), pending(n), consumers_left(n), node_seconds(n, 0.0),
@@ -73,7 +74,7 @@ struct RunState {
   void Fail(Status status) {
     bool expected = false;
     if (failed.compare_exchange_strong(expected, true)) {
-      std::lock_guard<std::mutex> lock(error_mu);
+      common::MutexLock lock(&error_mu);
       error = std::move(status);
     }
   }
@@ -285,7 +286,7 @@ void ScheduleNode(RunState& state, int32_t id);
 void NodeTask(RunState& state, int32_t id) {
   std::vector<int32_t> ready = CompleteNode(state, id);
   {
-    std::lock_guard<std::mutex> lock(state.done_mu);
+    common::MutexLock lock(&state.done_mu);
     state.outstanding += static_cast<int64_t>(ready.size()) - 1;
     if (state.outstanding == 0) state.done_cv.notify_all();
   }
@@ -387,19 +388,19 @@ Result<Matrix> Scheduler::Run(const CompiledPlan& plan,
     }
   } else {
     {
-      std::lock_guard<std::mutex> lock(state.done_mu);
+      common::MutexLock lock(&state.done_mu);
       state.outstanding = static_cast<int64_t>(initial_ready.size());
     }
     // A plan whose root is a bare load has no tasks at all.
     if (!initial_ready.empty()) {
       for (int32_t id : initial_ready) ScheduleNode(state, id);
-      std::unique_lock<std::mutex> lock(state.done_mu);
-      state.done_cv.wait(lock, [&state] { return state.outstanding == 0; });
+      common::MutexLock lock(&state.done_mu);
+      while (state.outstanding != 0) state.done_cv.wait(lock);
     }
   }
 
   if (state.failed.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(state.error_mu);
+    common::MutexLock lock(&state.error_mu);
     return state.error;
   }
   Slot& root_slot = state.slots[static_cast<size_t>(plan.root)];

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hadad::exec {
 
@@ -24,7 +26,7 @@ ThreadPool::ThreadPool(int threads, bool always_spawn) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -35,8 +37,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      common::MutexLock lock(&mu_);
+      // Explicit predicate loop: the thread-safety analysis tracks the
+      // held capability through CondVar::wait(lock) but not through a
+      // predicate lambda, which it would treat as an unlocked function.
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -51,7 +56,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     HADAD_CHECK_MSG(!stop_, "Submit on a stopping ThreadPool");
     queue_.push_back(std::move(task));
   }
@@ -70,9 +75,9 @@ struct ParallelForState {
   std::function<void(int64_t, int64_t)> body;
 
   std::atomic<int64_t> next_chunk{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  int64_t done_chunks = 0;
+  common::Mutex mu;
+  common::CondVar cv;
+  int64_t done_chunks HADAD_GUARDED_BY(mu) = 0;
 
   // Claims and runs chunks until none remain; returns how many it ran.
   int64_t Drain() {
@@ -90,7 +95,7 @@ struct ParallelForState {
 
   void MarkDone(int64_t count) {
     if (count == 0) return;
-    std::lock_guard<std::mutex> lock(mu);
+    common::MutexLock lock(&mu);
     done_chunks += count;
     if (done_chunks == num_chunks) cv.notify_all();
   }
@@ -119,9 +124,8 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain,
     Submit([state] { state->MarkDone(state->Drain()); });
   }
   state->MarkDone(state->Drain());
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock,
-                 [&state] { return state->done_chunks == state->num_chunks; });
+  common::MutexLock lock(&state->mu);
+  while (state->done_chunks != state->num_chunks) state->cv.wait(lock);
 }
 
 }  // namespace hadad::exec

@@ -1,13 +1,14 @@
 #ifndef HADAD_EXEC_THREAD_POOL_H_
 #define HADAD_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hadad::exec {
 
@@ -40,7 +41,7 @@ class ThreadPool {
 
   // Enqueues `task` for a worker. In inline mode the task runs on the
   // calling thread before Submit returns.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) HADAD_EXCLUDES(mu_);
 
   // Runs body(begin, end) over a partition of [0, n) into contiguous chunks
   // of at most `grain` items, blocking until every chunk completed. The
@@ -52,15 +53,17 @@ class ThreadPool {
                    const std::function<void(int64_t, int64_t)>& body);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() HADAD_EXCLUDES(mu_);
 
+  // Immutable after the constructor returns (workers only dequeue; they
+  // never touch these), so reads need no capability.
   int threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  common::Mutex mu_;
+  common::CondVar cv_;
+  std::deque<std::function<void()>> queue_ HADAD_GUARDED_BY(mu_);
+  bool stop_ HADAD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hadad::exec

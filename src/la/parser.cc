@@ -186,8 +186,8 @@ class Parser {
       if (inner->kind() == OpKind::kScalarConst) {
         return Expr::Scalar(-inner->scalar_value());
       }
-      return ExprPtr(
-          Expr::Binary(OpKind::kHadamard, Expr::Scalar(-1.0), inner));
+      return 
+          Expr::Binary(OpKind::kHadamard, Expr::Scalar(-1.0), inner);
     }
     return ParsePrimary();
   }
@@ -196,7 +196,7 @@ class Parser {
     const Token& tok = Peek();
     if (tok.kind == TokKind::kNumber) {
       ++pos_;
-      return ExprPtr(Expr::Scalar(tok.number));
+      return Expr::Scalar(tok.number);
     }
     if (ConsumeSymbol("(")) {
       HADAD_ASSIGN_OR_RETURN(ExprPtr e, ParseAdd());
@@ -209,7 +209,7 @@ class Parser {
       std::string name = tok.text;
       ++pos_;
       if (!ConsumeSymbol("(")) {
-        return ExprPtr(Expr::MatrixRef(name));
+        return Expr::MatrixRef(name);
       }
       // Function call.
       std::vector<ExprPtr> args;
@@ -229,14 +229,14 @@ class Parser {
         if (args.size() != 1) {
           return Status::InvalidArgument(name + " takes exactly 1 argument");
         }
-        return ExprPtr(Expr::Unary(unary->second, args[0]));
+        return Expr::Unary(unary->second, args[0]);
       }
       auto binary = BinaryFunctions().find(name);
       if (binary != BinaryFunctions().end()) {
         if (args.size() != 2) {
           return Status::InvalidArgument(name + " takes exactly 2 arguments");
         }
-        return ExprPtr(Expr::Binary(binary->second, args[0], args[1]));
+        return Expr::Binary(binary->second, args[0], args[1]);
       }
       return Status::InvalidArgument("unknown function '" + name + "'");
     }

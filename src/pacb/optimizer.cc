@@ -350,9 +350,9 @@ Result<ExprPtr> RewriteSession::Decode(NodeId cls, int depth) const {
   const Derivation& d = it->second.best;
   switch (d.kind) {
     case Derivation::Kind::kScan:
-      return ExprPtr(Expr::MatrixRef(d.scan_name));
+      return Expr::MatrixRef(d.scan_name);
     case Derivation::Kind::kScalar:
-      return ExprPtr(Expr::Scalar(d.scalar_value));
+      return Expr::Scalar(d.scalar_value);
     case Derivation::Kind::kOp:
       break;
   }
@@ -372,13 +372,13 @@ Result<ExprPtr> RewriteSession::Decode(NodeId cls, int depth) const {
       sig->outputs[static_cast<size_t>(d.output_slot)].decode_kind;
   // Special spellings.
   if (pred == vrem::kInvS) {
-    return ExprPtr(Expr::Binary(OpKind::kDivide, Expr::Scalar(1.0), kids[0]));
+    return Expr::Binary(OpKind::kDivide, Expr::Scalar(1.0), kids[0]);
   }
   if (la::Arity(kind) == 1) {
-    return ExprPtr(Expr::Unary(kind, kids[0]));
+    return Expr::Unary(kind, kids[0]);
   }
   HADAD_CHECK_EQ(kids.size(), 2u);
-  return ExprPtr(Expr::Binary(kind, kids[0], kids[1]));
+  return Expr::Binary(kind, kids[0], kids[1]);
 }
 
 Result<RewriteResult> RewriteSession::Run(const ExprPtr& expr) {
@@ -566,6 +566,16 @@ Status Optimizer::UpdateBaseMeta(const std::string& name,
     return Status::NotFound("no metadata for matrix '" + name + "'");
   }
   it->second = meta;
+  return Status::OK();
+}
+
+Status Optimizer::AddBaseMeta(const std::string& name,
+                              const la::MatrixMeta& meta) {
+  if (catalog_.contains(name)) {
+    return Status::InvalidArgument(
+        "metadata for '" + name + "' already registered; use UpdateBaseMeta");
+  }
+  catalog_.emplace(name, meta);
   return Status::OK();
 }
 

@@ -91,6 +91,11 @@ class Optimizer {
   // definition, so mutated views are re-registered via RemoveView+AddView.
   // NotFound when the name was never registered.
   Status UpdateBaseMeta(const std::string& name, const la::MatrixMeta& meta);
+  // Registers the base-metadata facts for a name introduced after
+  // construction (api::Session::Put binding a brand-new matrix).
+  // InvalidArgument when the name is already registered — the caller must
+  // choose Update semantics explicitly for an existing binding.
+  Status AddBaseMeta(const std::string& name, const la::MatrixMeta& meta);
   // Drops the base-metadata entry for `name` (its data left the session).
   // Same view/NotFound contract as UpdateBaseMeta.
   Status RemoveBaseMeta(const std::string& name);

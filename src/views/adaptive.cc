@@ -44,7 +44,7 @@ void AdaptiveViewManager::OnExecution(const la::ExprPtr& executed,
   std::set<std::string> leaves;
   la::CollectMatrixRefs(*executed, &leaves);
   {
-    std::lock_guard<std::mutex> admin(admin_mu_);
+    common::MutexLock admin(&admin_mu_);
     ++hit_seq_;
     bool any = false;
     for (const std::string& name : leaves) {
@@ -63,7 +63,7 @@ void AdaptiveViewManager::OnDataMutation(const std::set<std::string>& changed,
                                          const matrix::Matrix* delta_rows) {
   std::vector<RefreshTask> refreshes;
   {
-    std::lock_guard<std::mutex> admin(admin_mu_);
+    common::MutexLock admin(&admin_mu_);
     // Names first: Detach/Evict mutate the store while we walk it.
     std::vector<std::string> names;
     names.reserve(store_.views().size());
@@ -146,77 +146,97 @@ void AdaptiveViewManager::OnDataMutation(const std::set<std::string>& changed,
 
 void AdaptiveViewManager::RefreshOne(RefreshTask task,
                                      bool caller_holds_state_lock) {
-  // Evaluate the delta and the refreshed value outside any exclusive lock
-  // (background mode): foreground queries keep running meanwhile.
+  // InstallRefresh consumes the task; the drain key outlives it. A
+  // discarded refresh is never blacklisted — it is a data-change casualty,
+  // not a doomed candidate — so both paths finish with failed=false.
+  const std::string refresh_key = RefreshKey(task.meta.name);
+  if (caller_holds_state_lock) {
+    // Synchronous mode: the session's mutation path already holds the
+    // unique state lock (through its own alias of *host_.state_mu), so
+    // this path must not re-acquire it.
+    AssertStateLockHeld();
+    Result<matrix::Matrix> fresh = ComputeRefreshValue(task);
+    InstallRefresh(std::move(task), std::move(fresh));
+    FinishPending(refresh_key, /*failed=*/false);
+    return;
+  }
+  // Background mode: evaluate the refreshed value under the shared lock —
+  // foreground queries keep running meanwhile — then install under the
+  // exclusive one. InstallRefresh re-checks the dependency stamps, so
+  // mutations landing in the lock gap discard the refresh rather than
+  // corrupt it.
   Result<matrix::Matrix> fresh = [&]() -> Result<matrix::Matrix> {
-    std::shared_lock<std::shared_mutex> state(*host_.state_mu,
-                                              std::defer_lock);
-    if (!caller_holds_state_lock) state.lock();
-    HADAD_ASSIGN_OR_RETURN(matrix::Matrix delta,
-                           host_.evaluate(task.delta_expr));
-    return matrix::Add(task.old_value, delta);
+    common::ReaderMutexLock state(host_.state_mu);
+    return ComputeRefreshValue(task);
   }();
-
-  bool installed = false;
   {
-    std::unique_lock<std::shared_mutex> state(*host_.state_mu,
-                                              std::defer_lock);
-    if (!caller_holds_state_lock) state.lock();
-    std::lock_guard<std::mutex> admin(admin_mu_);
-    host_.workspace->Erase(task.temp_name);
-    bool views_changed = false;
-    // Install only if every dependency is still exactly as stamped: a
-    // second mutation in the window means old_value + f(Δ) no longer
-    // describes the current data, so the refresh is discarded.
-    const bool current = host_.workspace->SnapshotCurrent(task.deps) &&
-                         !store_.ContainsCanonical(task.meta.canonical);
-    if (fresh.ok() && current) {
-      la::MatrixMeta value_meta;
-      value_meta.rows = fresh->rows();
-      value_meta.cols = fresh->cols();
-      value_meta.nnz = static_cast<double>(fresh->Nnz());
-      const int64_t bytes = matrix::ApproxBytes(*fresh);
-      std::vector<std::string> evict;
-      if (store_.PlanAdmission(bytes, &evict)) {
-        for (const std::string& victim : evict) {
-          if (!store_.Evict(victim).ok()) continue;
-          (void)host_.optimizer->RemoveView(victim);
-          if (host_.exec_catalog != nullptr) {
-            host_.exec_catalog->erase(victim);
-          }
-          evicted_.fetch_add(1, std::memory_order_relaxed);
-          views_changed = true;
+    common::WriterMutexLock state(host_.state_mu);
+    InstallRefresh(std::move(task), std::move(fresh));
+  }
+  FinishPending(refresh_key, /*failed=*/false);
+}
+
+Result<matrix::Matrix> AdaptiveViewManager::ComputeRefreshValue(
+    const RefreshTask& task) {
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix delta,
+                         host_.evaluate(task.delta_expr));
+  return matrix::Add(task.old_value, delta);
+}
+
+void AdaptiveViewManager::InstallRefresh(RefreshTask task,
+                                         Result<matrix::Matrix> fresh) {
+  bool installed = false;
+  common::MutexLock admin(&admin_mu_);
+  host_.workspace->Erase(task.temp_name);
+  bool views_changed = false;
+  // Install only if every dependency is still exactly as stamped: a
+  // second mutation in the window means old_value + f(Δ) no longer
+  // describes the current data, so the refresh is discarded.
+  const bool current = host_.workspace->SnapshotCurrent(task.deps) &&
+                       !store_.ContainsCanonical(task.meta.canonical);
+  if (fresh.ok() && current) {
+    la::MatrixMeta value_meta;
+    value_meta.rows = fresh->rows();
+    value_meta.cols = fresh->cols();
+    value_meta.nnz = static_cast<double>(fresh->Nnz());
+    const int64_t bytes = matrix::ApproxBytes(*fresh);
+    std::vector<std::string> evict;
+    if (store_.PlanAdmission(bytes, &evict)) {
+      for (const std::string& victim : evict) {
+        if (!store_.Evict(victim).ok()) continue;
+        (void)host_.optimizer->RemoveView(victim);
+        if (host_.exec_catalog != nullptr) {
+          host_.exec_catalog->erase(victim);
         }
-        StoredView meta = task.meta;
-        meta.bytes = bytes;
-        if (store_.Admit(std::move(meta), std::move(*fresh)).ok()) {
-          Status registered =
-              host_.optimizer->AddView(task.meta.name, task.meta.definition);
-          if (registered.ok()) {
-            if (host_.exec_catalog != nullptr) {
-              (*host_.exec_catalog)[task.meta.name] = value_meta;
-            }
-            refreshed_.fetch_add(1, std::memory_order_relaxed);
-            views_changed = true;
-            installed = true;
-          } else {
-            (void)store_.Evict(task.meta.name);
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+        views_changed = true;
+      }
+      StoredView meta = task.meta;
+      meta.bytes = bytes;
+      if (store_.Admit(std::move(meta), std::move(*fresh)).ok()) {
+        Status registered =
+            host_.optimizer->AddView(task.meta.name, task.meta.definition);
+        if (registered.ok()) {
+          if (host_.exec_catalog != nullptr) {
+            (*host_.exec_catalog)[task.meta.name] = value_meta;
           }
+          refreshed_.fetch_add(1, std::memory_order_relaxed);
+          views_changed = true;
+          installed = true;
+        } else {
+          (void)store_.Evict(task.meta.name);
         }
       }
     }
-    if (!installed) {
-      // The view stays gone — count it with the invalidations and drop its
-      // now-stale monitor evidence (the workload may rebuild it later).
-      if (!fresh.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
-      invalidated_.fetch_add(1, std::memory_order_relaxed);
-      monitor_.Forget(task.meta.definition);
-    }
-    if (views_changed && host_.on_views_changed) host_.on_views_changed();
   }
-  // Never blacklists the canonical: a discarded refresh is a data-change
-  // casualty, not a doomed candidate.
-  FinishPending(RefreshKey(task.meta.name), /*failed=*/false);
+  if (!installed) {
+    // The view stays gone — count it with the invalidations and drop its
+    // now-stale monitor evidence (the workload may rebuild it later).
+    if (!fresh.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+    invalidated_.fetch_add(1, std::memory_order_relaxed);
+    monitor_.Forget(task.meta.definition);
+  }
+  if (views_changed && host_.on_views_changed) host_.on_views_changed();
 }
 
 void AdaptiveViewManager::MaybeScheduleMaterializations() {
@@ -226,7 +246,7 @@ void AdaptiveViewManager::MaybeScheduleMaterializations() {
   std::set<std::string> excluded_canonicals;
   std::set<std::string> adaptive_names;
   {
-    std::lock_guard<std::mutex> admin(admin_mu_);
+    common::MutexLock admin(&admin_mu_);
     // One materialization wave at a time: while any is in flight the sweep
     // (snapshot + candidate scoring) is skipped outright, keeping the
     // steady-state foreground overhead to this lock + check.
@@ -257,7 +277,7 @@ void AdaptiveViewManager::MaybeScheduleMaterializations() {
 
   std::vector<Recommendation> recs;
   {
-    std::shared_lock<std::shared_mutex> state(*host_.state_mu);
+    common::ReaderMutexLock state(host_.state_mu);
     recs = advisor_.Recommend(monitor_.Snapshot(), host_.optimizer->catalog(),
                               &host_.workspace->data(), advisor_options, skip);
   }
@@ -265,7 +285,7 @@ void AdaptiveViewManager::MaybeScheduleMaterializations() {
     // Publish the viable-candidate set for FusionBarriers(): exactly the
     // subexpressions that may materialize soon and therefore must keep
     // their own plan nodes for cost attribution.
-    std::lock_guard<std::mutex> admin(admin_mu_);
+    common::MutexLock admin(&admin_mu_);
     candidate_canonicals_.clear();
     for (const Recommendation& rec : recs) {
       candidate_canonicals_.insert(rec.canonical);
@@ -276,7 +296,7 @@ void AdaptiveViewManager::MaybeScheduleMaterializations() {
   for (Recommendation& rec : recs) {
     if (scheduled >= options_.max_views_per_sweep) break;
     {
-      std::lock_guard<std::mutex> admin(admin_mu_);
+      common::MutexLock admin(&admin_mu_);
       if (pending_.contains(rec.canonical) ||
           store_.ContainsCanonical(rec.canonical)) {
         continue;  // Raced with another sweep.
@@ -301,7 +321,7 @@ void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
   // data mutation lands before install, the value is stale and discarded.
   engine::WorkspaceSnapshot deps;
   Result<matrix::Matrix> value = [&]() -> Result<matrix::Matrix> {
-    std::shared_lock<std::shared_mutex> state(*host_.state_mu);
+    common::ReaderMutexLock state(host_.state_mu);
     std::set<std::string> leaves;
     la::CollectMatrixRefs(*rec.definition, &leaves);
     deps = host_.workspace->SnapshotFor(
@@ -324,8 +344,8 @@ void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
   bool installed = false;
   bool discarded = false;
   {
-    std::unique_lock<std::shared_mutex> state(*host_.state_mu);
-    std::lock_guard<std::mutex> admin(admin_mu_);
+    common::WriterMutexLock state(host_.state_mu);
+    common::MutexLock admin(&admin_mu_);
     std::vector<std::string> evict;
     if (!host_.workspace->SnapshotCurrent(deps)) {
       // A mutation raced the materialization: the computed value describes
@@ -383,7 +403,7 @@ void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
 void AdaptiveViewManager::FinishPending(const std::string& canonical,
                                         bool failed) {
   {
-    std::lock_guard<std::mutex> admin(admin_mu_);
+    common::MutexLock admin(&admin_mu_);
     pending_.erase(canonical);
     if (failed) failed_.insert(canonical);
   }
@@ -400,8 +420,10 @@ std::string AdaptiveViewManager::NextViewName() {
 }
 
 void AdaptiveViewManager::Drain() {
-  std::unique_lock<std::mutex> admin(admin_mu_);
-  drain_cv_.wait(admin, [this] { return pending_.empty(); });
+  common::MutexLock admin(&admin_mu_);
+  // Explicit predicate loop: the analysis tracks the held capability
+  // through CondVar::wait(admin) but not through a predicate lambda.
+  while (!pending_.empty()) drain_cv_.wait(admin);
 }
 
 AdaptiveViewStats AdaptiveViewManager::stats() const {
@@ -413,14 +435,14 @@ AdaptiveViewStats AdaptiveViewManager::stats() const {
   s.view_hit_runs = hit_runs_.load(std::memory_order_relaxed);
   s.materialize_failures = failures_.load(std::memory_order_relaxed);
   s.budget_bytes = options_.budget_bytes;
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  common::MutexLock admin(&admin_mu_);
   s.bytes_in_use = store_.bytes_in_use();
   s.pending = static_cast<int64_t>(pending_.size());
   return s;
 }
 
 std::vector<StoredView> AdaptiveViewManager::StoredViews() const {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  common::MutexLock admin(&admin_mu_);
   std::vector<StoredView> out;
   out.reserve(store_.views().size());
   for (const auto& [name, v] : store_.views()) out.push_back(v);
@@ -428,12 +450,12 @@ std::vector<StoredView> AdaptiveViewManager::StoredViews() const {
 }
 
 bool AdaptiveViewManager::IsAdaptiveViewName(const std::string& name) const {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  common::MutexLock admin(&admin_mu_);
   return store_.ContainsName(name);
 }
 
 std::set<std::string> AdaptiveViewManager::FusionBarriers() const {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  common::MutexLock admin(&admin_mu_);
   std::set<std::string> barriers = candidate_canonicals_;
   for (const std::string& key : pending_) {
     // pending_ also tracks delta refreshes under "refresh:<name>" keys;

@@ -2,17 +2,16 @@
 #define HADAD_VIEWS_ADAPTIVE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "cost/estimator.h"
 #include "engine/workspace.h"
 #include "exec/thread_pool.h"
@@ -85,7 +84,7 @@ class AdaptiveViewManager {
     // Optional: the host's maintained leaf-metadata catalog for the exec plan
     // compiler; installed/evicted views are mirrored into it.
     la::MetaCatalog* exec_catalog = nullptr;
-    std::shared_mutex* state_mu = nullptr;
+    common::SharedMutex* state_mu = nullptr;
     // Evaluates a view definition over the host's data (called under the
     // shared state lock; must not take state_mu itself).
     std::function<Result<matrix::Matrix>(const la::ExprPtr&)> evaluate;
@@ -105,7 +104,7 @@ class AdaptiveViewManager {
   // Feeds one executed plan into the monitor, credits view hits, and — when
   // a candidate crosses min_hits — queues its background materialization.
   void OnExecution(const la::ExprPtr& executed,
-                   const engine::ExecStats* stats);
+                   const engine::ExecStats* stats) HADAD_EXCLUDES(admin_mu_);
 
   // Propagates a base-data mutation into the store. MUST be called under
   // the host's *unique* state lock (the session's mutation path holds it).
@@ -121,19 +120,21 @@ class AdaptiveViewManager {
   // invisible to rewrites until the refresh installs.
   void OnDataMutation(const std::set<std::string>& changed,
                       const std::string* appended,
-                      const matrix::Matrix* delta_rows);
+                      const matrix::Matrix* delta_rows)
+      HADAD_EXCLUDES(admin_mu_);
 
   // Blocks until every queued materialization has been installed (or
   // failed). Foreground queries never need this; tests and benchmarks use
   // it to make warm-up deterministic.
-  void Drain();
+  void Drain() HADAD_EXCLUDES(admin_mu_);
 
   // Point-in-time counter snapshot. Thread-safe; may be called anytime.
-  AdaptiveViewStats stats() const;
+  AdaptiveViewStats stats() const HADAD_EXCLUDES(admin_mu_);
   // Current adaptive views, deterministically ordered by name. Thread-safe.
-  std::vector<StoredView> StoredViews() const;
+  std::vector<StoredView> StoredViews() const HADAD_EXCLUDES(admin_mu_);
   // True when `name` is one of the store's installed views. Thread-safe.
-  bool IsAdaptiveViewName(const std::string& name) const;
+  bool IsAdaptiveViewName(const std::string& name) const
+      HADAD_EXCLUDES(admin_mu_);
   // The options this manager was built with. Thread-safe (immutable).
   const AdaptiveOptions& options() const { return options_; }
 
@@ -147,7 +148,7 @@ class AdaptiveViewManager {
   // failed) are deliberately NOT barriers — fusion stays on for them.
   // Thread-safe and cheap (one mutex + small set copy); called per Run on
   // executor sessions.
-  std::set<std::string> FusionBarriers() const;
+  std::set<std::string> FusionBarriers() const HADAD_EXCLUDES(admin_mu_);
 
  private:
   // One detached view awaiting its incremental refresh: the old value plus
@@ -163,34 +164,52 @@ class AdaptiveViewManager {
     engine::WorkspaceSnapshot deps;
   };
 
-  void MaybeScheduleMaterializations();
-  void MaterializeOne(Recommendation rec);
+  void MaybeScheduleMaterializations() HADAD_EXCLUDES(admin_mu_);
+  void MaterializeOne(Recommendation rec) HADAD_EXCLUDES(admin_mu_);
   // `caller_holds_state_lock` is true only on the synchronous-mode path,
   // where the session's mutation call already holds the unique state lock.
-  void RefreshOne(RefreshTask task, bool caller_holds_state_lock);
-  void FinishPending(const std::string& canonical, bool failed);
-  std::string NextViewName();
+  void RefreshOne(RefreshTask task, bool caller_holds_state_lock)
+      HADAD_EXCLUDES(admin_mu_);
+  // Evaluates old_value + f(Δ) for a detached view. Shared state hold keeps
+  // the referenced workspace matrices physically stable.
+  Result<matrix::Matrix> ComputeRefreshValue(const RefreshTask& task)
+      HADAD_REQUIRES_SHARED(host_.state_mu);
+  // Re-admits the refreshed value (or records the discard) and erases the
+  // temp delta entry. The unique state hold covers the workspace/optimizer/
+  // exec-catalog writes.
+  void InstallRefresh(RefreshTask task, Result<matrix::Matrix> fresh)
+      HADAD_REQUIRES(host_.state_mu) HADAD_EXCLUDES(admin_mu_);
+  void FinishPending(const std::string& canonical, bool failed)
+      HADAD_EXCLUDES(admin_mu_);
+  std::string NextViewName() HADAD_REQUIRES(admin_mu_);
+  // Tells the analysis the host's state lock is held on the synchronous-
+  // mode path, where the session's mutation call holds it through its own
+  // alias (api::Session::views_mu_ IS *host_.state_mu) — a cross-object
+  // identity the analysis cannot see. The contract itself is runtime-
+  // enforced by the session (OnDataMutation documents MUST-hold-unique).
+  void AssertStateLockHeld() const HADAD_ASSERT_CAPABILITY(host_.state_mu) {}
 
   const Host host_;
   const AdaptiveOptions options_;
   WorkloadMonitor monitor_;
   ViewAdvisor advisor_;
 
-  // Guards store_, pending_, and name_seq_. Ordering: state_mu (outer)
-  // before admin_mu_ (inner); never the reverse.
-  mutable std::mutex admin_mu_;
-  std::condition_variable drain_cv_;
-  ViewStore store_;
-  std::set<std::string> pending_;  // Canonical texts queued or in flight.
+  // Guards the store and the scheduling bookkeeping below. Ordering:
+  // state_mu (outer) before admin_mu_ (inner); never the reverse.
+  mutable common::Mutex admin_mu_;
+  common::CondVar drain_cv_;
+  ViewStore store_ HADAD_GUARDED_BY(admin_mu_);
+  // Canonical texts queued or in flight.
+  std::set<std::string> pending_ HADAD_GUARDED_BY(admin_mu_);
   // The advisor's latest recommendation set (canonical texts): the viable
   // candidates the fusion-barrier query answers from. Refreshed wholesale
   // each sweep; installed/filtered candidates drop out on the next one.
-  std::set<std::string> candidate_canonicals_;
+  std::set<std::string> candidate_canonicals_ HADAD_GUARDED_BY(admin_mu_);
   // Canonicals whose materialization failed (evaluation error or over
   // budget): never re-queued, so a doomed candidate cannot thrash.
-  std::set<std::string> failed_;
-  int64_t name_seq_ = 0;
-  int64_t hit_seq_ = 0;
+  std::set<std::string> failed_ HADAD_GUARDED_BY(admin_mu_);
+  int64_t name_seq_ HADAD_GUARDED_BY(admin_mu_) = 0;
+  int64_t hit_seq_ HADAD_GUARDED_BY(admin_mu_) = 0;
 
   std::atomic<int64_t> created_{0};
   std::atomic<int64_t> evicted_{0};
@@ -198,7 +217,8 @@ class AdaptiveViewManager {
   std::atomic<int64_t> refreshed_{0};
   std::atomic<int64_t> hit_runs_{0};
   std::atomic<int64_t> failures_{0};
-  int64_t refresh_seq_ = 0;  // Uniquifies temp delta names; under admin_mu_.
+  // Uniquifies temp delta names.
+  int64_t refresh_seq_ HADAD_GUARDED_BY(admin_mu_) = 0;
 
   // Single background worker; null in synchronous mode. Declared last so
   // its destructor joins in-flight tasks while everything above is alive.

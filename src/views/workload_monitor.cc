@@ -54,7 +54,7 @@ void WorkloadMonitor::Observe(const la::ExprPtr& executed,
   std::map<std::string, la::ExprPtr> subtrees;
   CollectSubtrees(executed, &subtrees);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++runs_;
   for (auto& [canonical, expr] : subtrees) {
     auto it = stats_.find(canonical);
@@ -85,7 +85,7 @@ void WorkloadMonitor::Observe(const la::ExprPtr& executed,
 std::vector<SubexprStat> WorkloadMonitor::Snapshot() const {
   std::vector<SubexprStat> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     out.reserve(stats_.size());
     for (const auto& [canonical, stat] : stats_) {
       SubexprStat copy = stat;
@@ -107,17 +107,17 @@ void WorkloadMonitor::Forget(const la::ExprPtr& root) {
   if (root == nullptr) return;
   std::map<std::string, la::ExprPtr> subtrees;
   CollectSubtrees(root, &subtrees);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& [canonical, expr] : subtrees) stats_.erase(canonical);
 }
 
 int64_t WorkloadMonitor::observed_runs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return runs_;
 }
 
 void WorkloadMonitor::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   stats_.clear();
   runs_ = 0;
 }

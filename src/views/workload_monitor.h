@@ -2,11 +2,12 @@
 #define HADAD_VIEWS_WORKLOAD_MONITOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/evaluator.h"
 #include "la/expr.h"
 
@@ -77,13 +78,13 @@ class WorkloadMonitor {
  private:
   // 2^(-(runs_ - last_run) / half_life); 1 when decay is off. Caller holds
   // mu_ (reads runs_).
-  double DecaySince(int64_t last_run) const;
+  double DecaySince(int64_t last_run) const HADAD_REQUIRES(mu_);
 
   const size_t max_tracked_;
   const double half_life_runs_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, SubexprStat> stats_;
-  int64_t runs_ = 0;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::string, SubexprStat> stats_ HADAD_GUARDED_BY(mu_);
+  int64_t runs_ HADAD_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hadad::views

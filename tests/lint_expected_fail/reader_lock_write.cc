@@ -1,0 +1,28 @@
+// Expected to FAIL -Werror=thread-safety: writes a guarded member while
+// holding only the shared (reader) side of the SharedMutex. See README.md.
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Bump() {
+    hadad::common::ReaderMutexLock lock(&state_mu_);
+    ++generation_;  // BUG: writing under a shared hold.
+  }
+
+ private:
+  hadad::common::SharedMutex state_mu_;
+  int64_t generation_ HADAD_GUARDED_BY(state_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.Bump();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Expected to FAIL -Werror=thread-safety: calls a HADAD_REQUIRES method
+// without holding the required mutex. See README.md in this directory.
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Ledger {
+ public:
+  void Deposit(int64_t amount) {
+    ApplyLocked(amount);  // BUG: caller must hold mu_ but does not.
+  }
+
+ private:
+  void ApplyLocked(int64_t amount) HADAD_REQUIRES(mu_) { balance_ += amount; }
+
+  hadad::common::Mutex mu_;
+  int64_t balance_ HADAD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger l;
+  l.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Expected to FAIL -Werror=thread-safety: writes a guarded member with no
+// lock held. See README.md in this directory.
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG: count_mu_ not held.
+  }
+
+ private:
+  hadad::common::Mutex count_mu_;
+  int64_t value_ HADAD_GUARDED_BY(count_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

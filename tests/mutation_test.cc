@@ -310,6 +310,92 @@ TEST(SessionMutationTest, UnrelatedMutationKeepsPlansWarm) {
   EXPECT_EQ(stats.data_mutations, 2);
 }
 
+TEST(SessionPutTest, IntroducesNewNameAfterBuild) {
+  Rng rng(26);
+  auto session = api::SessionBuilder()
+                     .Put("M", matrix::RandomDense(rng, 10, 6))
+                     .Put("N", matrix::RandomDense(rng, 6, 10))
+                     .Build()
+                     .value();
+
+  // Z did not exist at Build time: before Put, plans over it cannot derive.
+  EXPECT_FALSE(session->Run("colSums(Z)").ok());
+  matrix::Matrix z = matrix::RandomDense(rng, 12, 8);
+  ASSERT_TRUE(session->Put("Z", z).ok());
+  EXPECT_EQ(session->stats().data_mutations, 1);
+
+  // The new base executes and matches a direct evaluation.
+  auto got = session->Run("colSums(Z)");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  engine::Workspace ws;
+  ws.Put("Z", z);
+  auto want = engine::Execute(*Parse("colSums(Z)"), ws);
+  ASSERT_TRUE(want.ok());
+  EXPECT_TRUE(got->ApproxEquals(*want, 0.0));
+
+  // The optimizer saw the base facts, not just the workspace value: shape
+  // checking rejects a dimension-invalid composition at prepare time.
+  EXPECT_FALSE(session->Prepare("Z %*% Z").ok());  // 12x8 * 12x8.
+  EXPECT_TRUE(session->Prepare("t(Z) %*% Z").ok());
+
+  // The name is now a first-class mutation target.
+  ASSERT_TRUE(session->Append("Z", matrix::RandomDense(rng, 2, 8)).ok());
+  EXPECT_EQ(session->workspace().Find("Z")->rows(), 14);
+  ASSERT_TRUE(session->Remove("Z").ok());
+  EXPECT_FALSE(session->Run("colSums(Z)").ok());
+}
+
+TEST(SessionPutTest, UnrelatedWarmPlansStayCached) {
+  Rng rng(27);
+  auto session = api::SessionBuilder()
+                     .Put("M", matrix::RandomDense(rng, 10, 6))
+                     .Put("N", matrix::RandomDense(rng, 6, 10))
+                     .Build()
+                     .value();
+  ASSERT_TRUE(session->Run(kQuery).ok());
+  ASSERT_EQ(session->stats().prepares, 1);
+
+  // Introducing a brand-new name cannot stale any cached plan: no plan
+  // prepared before the Put can reference it (Prepare fails on unknown
+  // names), so the warm path survives without a re-derive.
+  ASSERT_TRUE(session->Put("Z", matrix::RandomDense(rng, 4, 4)).ok());
+  ASSERT_TRUE(session->Run(kQuery).ok());
+  api::SessionStats stats = session->stats();
+  EXPECT_EQ(stats.prepares, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.data_mutations, 1);
+}
+
+TEST(SessionPutTest, ExistingNameTakesUpdateSemantics) {
+  Rng rng(28);
+  matrix::Matrix a0 = matrix::RandomDense(rng, 8, 4);
+  matrix::Matrix a1 = matrix::RandomDense(rng, 6, 4);
+  auto session = api::SessionBuilder()
+                     .Put("A", a0)
+                     .AddView("G", "t(A) %*% A")
+                     .Build()
+                     .value();
+
+  // Put over an existing base is a full Update: the dependent view
+  // refreshes, exactly as a fresh session over the new data would have it.
+  ASSERT_TRUE(session->Put("A", a1).ok());
+  auto fresh = api::SessionBuilder()
+                   .Put("A", a1)
+                   .AddView("G", "t(A) %*% A")
+                   .Build()
+                   .value();
+  auto got = session->Run("G");
+  auto want = fresh->Run("G");
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_TRUE(got->ApproxEquals(*want, 0.0));
+
+  // Derived and reserved names are rejected, and nothing is applied.
+  EXPECT_FALSE(session->Put("G", Constant(4, 4, 1.0)).ok());
+  EXPECT_FALSE(session->Put("", Constant(1, 1, 0.0)).ok());
+  EXPECT_FALSE(session->Put("__delta_rows", Constant(1, 1, 0.0)).ok());
+  EXPECT_EQ(session->stats().data_mutations, 1);
+}
+
 TEST(SessionMutationTest, AppendRefreshesUserViewsIncrementally) {
   Rng rng(23);
   matrix::Matrix a = matrix::RandomDense(rng, 30, 5);

@@ -8,12 +8,6 @@
 namespace hadad::pacb {
 namespace {
 
-la::ExprPtr Parse(const std::string& s) {
-  auto r = la::ParseExpression(s);
-  HADAD_CHECK_MSG(r.ok(), s.c_str());
-  return r.value();
-}
-
 // The paper's dense pipeline environment, scaled down: M is n x k, N is
 // k x n (Syn1/Syn2 shapes), C and D are square dense, v/y vectors.
 la::MetaCatalog DenseCatalog(int64_t n = 5000, int64_t k = 100) {

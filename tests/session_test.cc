@@ -312,8 +312,7 @@ TEST(SessionTest, ConcurrentRunsShareCachedPlans) {
   // never duplicate a cache entry.
   EXPECT_EQ(session->plan_cache_size(),
             static_cast<int64_t>(pipelines.size()));
-  EXPECT_GE(stats.cache_hits, kThreads * kRunsPerThread -
-                                  static_cast<int64_t>(stats.prepares));
+  EXPECT_GE(stats.cache_hits, kThreads * kRunsPerThread - stats.prepares);
 }
 
 // ---------------------------------------------------------------------------
