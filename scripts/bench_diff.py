@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_results.json documents and gate on regressions.
+
+Usage:
+    python3 scripts/bench_diff.py BASELINE CURRENT [--threshold PCT]
+
+Both inputs are the merged document `scripts/ci.sh bench` writes
+(schema_version 1: a list of per-driver records, each with a `results`
+list of workloads). The comparison joins workloads by
+(benchmark, workload) name.
+
+What gates and what doesn't
+---------------------------
+Raw `seconds` depend on the machine the run happened on — a laptop
+baseline vs a CI runner would "regress" by whatever their clock-speed
+ratio is. The committed baseline therefore cannot gate on seconds.
+`speedup` is a within-run ratio (optimized vs unoptimized on the SAME
+machine, same load), so it is machine-independent up to noise — that is
+the regression signal:
+
+  * A workload whose baseline speedup S_b drops to S_c with
+    S_c < S_b * (1 - threshold/100) is a REGRESSION (exit 1).
+  * A workload present in the baseline but missing from the current run
+    is a REGRESSION (a silently dropped benchmark must not pass).
+  * Workloads without a speedup (null, e.g. cold runs) and workloads new
+    in the current run are reported informationally only.
+  * Seconds deltas are printed for every workload, never gated on.
+
+Exit status: 0 = no regressions, 1 = at least one, 2 = bad invocation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_workloads(path):
+    """Returns {(benchmark, workload): result-dict}."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version "
+                 f"{doc.get('schema_version')!r} (expected 1)")
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("benchmark", "?")
+        for result in bench.get("results", []):
+            out[(name, result["workload"])] = result
+    if not out:
+        sys.exit(f"{path}: no workloads found")
+    return out
+
+
+def fmt_seconds(result):
+    seconds = result.get("seconds")
+    return f"{seconds * 1e3:9.3f}ms" if seconds is not None else "        -"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_results.json files; exit 1 on speedup "
+                    "regressions beyond the threshold.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="allowed speedup drop in percent (default 15)")
+    args = parser.parse_args()
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+
+    base = load_workloads(args.baseline)
+    curr = load_workloads(args.current)
+
+    regressions = []
+    print(f"{'benchmark/workload':48s} {'base':>10s} {'curr':>10s} "
+          f"{'speedup':>16s}")
+    for key in sorted(base):
+        bench, workload = key
+        label = f"{bench}/{workload}"
+        b = base[key]
+        c = curr.get(key)
+        if c is None:
+            regressions.append(f"{label}: missing from current run")
+            print(f"{label:48s} {fmt_seconds(b)} {'MISSING':>10s}")
+            continue
+        line = f"{label:48s} {fmt_seconds(b)} {fmt_seconds(c)}"
+        b_speedup, c_speedup = b.get("speedup"), c.get("speedup")
+        if b_speedup is not None and c_speedup is not None:
+            line += f" {b_speedup:7.2f}x->{c_speedup:6.2f}x"
+            floor = b_speedup * (1.0 - args.threshold / 100.0)
+            if c_speedup < floor:
+                line += "  REGRESSION"
+                regressions.append(
+                    f"{label}: speedup {b_speedup:.2f}x -> {c_speedup:.2f}x "
+                    f"(> {args.threshold:.0f}% drop)")
+        print(line)
+    for key in sorted(set(curr) - set(base)):
+        print(f"{key[0]}/{key[1]:s} (new workload, not gated)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"\nno speedup regressions beyond {args.threshold:.0f}% "
+          f"({len(base)} baseline workloads checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

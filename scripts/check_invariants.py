@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Cross-references synchronization members against docs/ARCHITECTURE.md.
+"""Cross-references machine-checkable invariants against the docs.
 
+Check 1 — synchronization members vs docs/ARCHITECTURE.md.
 Discovers every `common::Mutex` / `common::SharedMutex` / `common::CondVar`
 / `std::atomic<...>` member declared under src/ and diffs the set against
 the "Lock & capability cross-reference" table in docs/ARCHITECTURE.md
@@ -17,6 +18,15 @@ Function-local synchronization should use plain `std::mutex` — which this
 script ignores — precisely so that everything in the wrapper types is
 session-lifetime state worth documenting.
 
+Check 2 — metric catalog vs docs/OBSERVABILITY.md.
+Discovers every metric registered under src/ (single-line
+`AddCounter("name"` / `AddGauge("name"` / `AddHistogram("name"` literal
+calls — the registration style src/api/session.cc uses) and two-way-diffs
+the set against the catalog table in docs/OBSERVABILITY.md (rows between
+the `metrics:begin` / `metrics:end` markers). Fails on an unregistered
+documented metric, an undocumented registered one, or a Type column that
+disagrees with the registration call.
+
 Run from anywhere: paths are resolved relative to the repo root.
 """
 
@@ -26,6 +36,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DOC = REPO / "docs" / "ARCHITECTURE.md"
+OBS_DOC = REPO / "docs" / "OBSERVABILITY.md"
 
 DECL_RE = re.compile(
     r"^\s*(?:mutable\s+)?"
@@ -40,6 +51,16 @@ ROW_RE = re.compile(
     r"\|\s*`(?P<member>[^`]+)`\s*"
     r"\|\s*(?P<kind>\w+)\s*"
     r"\|\s*(?P<role>.+?)\s*\|\s*$"
+)
+
+METRIC_DECL_RE = re.compile(
+    r"\bAdd(?P<type>Counter|Gauge|Histogram)\(\s*\"(?P<name>[a-z0-9_]+)\""
+)
+
+METRIC_ROW_RE = re.compile(
+    r"^\|\s*`(?P<name>[a-z0-9_]+)`\s*"
+    r"\|\s*(?P<type>counter|gauge|histogram)\s*"
+    r"\|\s*(?P<rest>.+?)\s*\|\s*$"
 )
 
 
@@ -91,7 +112,65 @@ def documented():
     return rows
 
 
-def main():
+def discover_metrics():
+    """name -> (type, file) for every metric registered under src/.
+
+    Registrations must keep the metric name on the same line as the
+    Add{Counter,Gauge,Histogram}( call for the scanner to see them (the
+    style src/api/session.cc uses). Tests register scratch metrics too —
+    only src/ is scanned.
+    """
+    found = {}
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith("src/obs/"):
+            continue  # The registry implementation itself, not a user.
+        for m in METRIC_DECL_RE.finditer(path.read_text()):
+            name = m.group("name")
+            mtype = m.group("type").lower()
+            if name in found and found[name][0] != mtype:
+                print(f"error: metric {name} registered as {found[name][0]} "
+                      f"in {found[name][1]} but {mtype} in {rel}",
+                      file=sys.stderr)
+                sys.exit(1)
+            found[name] = (mtype, rel)
+    return found
+
+
+def documented_metrics():
+    """name -> type from the docs/OBSERVABILITY.md catalog table."""
+    try:
+        text = OBS_DOC.read_text()
+    except OSError as e:
+        print(f"error: cannot read metric catalog doc: {e}", file=sys.stderr)
+        sys.exit(1)
+    try:
+        begin = text.index("<!-- metrics:begin -->")
+        end = text.index("<!-- metrics:end -->")
+    except ValueError:
+        print(f"error: metrics markers missing from {OBS_DOC}",
+              file=sys.stderr)
+        sys.exit(1)
+    rows = {}
+    for line in text[begin:end].splitlines():
+        m = METRIC_ROW_RE.match(line)
+        if not m:
+            continue
+        name = m.group("name")
+        if name in rows:
+            print(f"error: duplicate catalog row for {name}", file=sys.stderr)
+            sys.exit(1)
+        rows[name] = m.group("type")
+    if not rows:
+        print("error: metric catalog table parsed to zero rows",
+              file=sys.stderr)
+        sys.exit(1)
+    return rows
+
+
+def check_sync_members():
     code = discover()
     doc = documented()
     status = 0
@@ -116,6 +195,36 @@ def main():
         print(f"check_invariants: {len(code)} sync members, all documented "
               "and in sync")
     return status
+
+
+def check_metric_catalog():
+    code = discover_metrics()
+    doc = documented_metrics()
+    status = 0
+
+    for name in sorted(set(code) - set(doc)):
+        print(f"undocumented metric: {name} ({code[name][0]}) registered in "
+              f"{code[name][1]} — add a row to the catalog table in "
+              "docs/OBSERVABILITY.md", file=sys.stderr)
+        status = 1
+    for name in sorted(set(doc) - set(code)):
+        print(f"stale catalog row: {name} is not registered anywhere under "
+              "src/ — remove or update the row in docs/OBSERVABILITY.md",
+              file=sys.stderr)
+        status = 1
+    for name in sorted(set(doc) & set(code)):
+        if doc[name] != code[name][0]:
+            print(f"type mismatch for metric {name}: catalog says "
+                  f"{doc[name]}, code says {code[name][0]}", file=sys.stderr)
+            status = 1
+
+    if status == 0:
+        print(f"check_invariants: {len(code)} metrics, catalog in sync")
+    return status
+
+
+def main():
+    return check_sync_members() | check_metric_catalog()
 
 
 if __name__ == "__main__":

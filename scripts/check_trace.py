@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by Session::DumpTrace.
+
+Usage:
+    python3 scripts/check_trace.py TRACE.json
+
+Checks, in order:
+  1. The file parses as JSON and has a non-empty `traceEvents` list.
+  2. Every event is a complete ("ph": "X") event carrying the keys
+     Perfetto/chrome://tracing need: name, cat, ph, ts, dur, pid, tid —
+     with sane types (ts/dur numeric, dur >= 0).
+  3. Span hierarchy is well-formed: every event's args.parent is -1 or
+     the id of another event.
+  4. At least one span exists in every instrumented layer:
+     session, cache, plan, compile, kernel, views — a refactor that
+     silently un-instruments a layer fails here.
+
+Exit status: 0 = valid, 1 = validation failure, 2 = bad invocation.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+REQUIRED_CATEGORIES = ("session", "cache", "plan", "compile", "kernel",
+                       "views")
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(f"{path}: traceEvents missing or empty")
+
+    ids = set()
+    for i, event in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in event:
+                return fail(f"event {i}: missing key {key!r}: {event}")
+        if event["ph"] != "X":
+            return fail(f"event {i}: ph is {event['ph']!r}, expected 'X'")
+        if not isinstance(event["ts"], (int, float)):
+            return fail(f"event {i}: non-numeric ts {event['ts']!r}")
+        if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+            return fail(f"event {i}: bad dur {event['dur']!r}")
+        args = event.get("args", {})
+        if "id" in args:
+            ids.add(args["id"])
+    for i, event in enumerate(events):
+        parent = event.get("args", {}).get("parent", -1)
+        if parent != -1 and parent not in ids:
+            return fail(f"event {i}: parent {parent} is not a recorded span")
+
+    categories = {event["cat"] for event in events}
+    missing = [c for c in REQUIRED_CATEGORIES if c not in categories]
+    if missing:
+        return fail(f"no spans in layer(s): {', '.join(missing)} "
+                    f"(got: {', '.join(sorted(categories))})")
+
+    print(f"check_trace: OK: {len(events)} events, "
+          f"layers: {', '.join(sorted(categories))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

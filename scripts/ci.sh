@@ -4,8 +4,16 @@
 #   ./scripts/ci.sh tsan     ThreadSanitizer build of the concurrency-bearing
 #                            targets (exec, session, views, mutation tests)
 #   ./scripts/ci.sh asan     AddressSanitizer+UBSan build, full ctest run
-#   ./scripts/ci.sh bench    Release-mode bench smoke: builds and runs one
-#                            small benchmark so perf binaries can't rot
+#   ./scripts/ci.sh bench    Release-mode bench smoke: builds and runs the
+#                            benchmark drivers, then diffs the merged
+#                            results against the committed baseline with
+#                            scripts/bench_diff.py (speedup regressions
+#                            beyond 15% fail)
+#   ./scripts/ci.sh trace    Observability validation: builds and runs
+#                            examples/trace_demo with tracing on, then
+#                            validates the emitted Chrome trace-event JSON
+#                            with scripts/check_trace.py (one span per
+#                            instrumented layer required)
 #   ./scripts/ci.sh docs     Documentation checks: every relative link in
 #                            docs/ and README.md resolves, and the README
 #                            quickstart snippet still compiles and links
@@ -37,11 +45,12 @@ case "$mode" in
       -DHADAD_BUILD_BENCHMARKS=OFF \
       -DHADAD_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j --target exec_test session_test views_test \
-      mutation_test
+      mutation_test obs_test
     ./build-tsan/tests/exec_test
     ./build-tsan/tests/session_test
     ./build-tsan/tests/views_test
     ./build-tsan/tests/mutation_test
+    ./build-tsan/tests/obs_test
     ;;
   asan)
     cmake -B build-asan -S . \
@@ -84,6 +93,19 @@ with open("BENCH_results.json", "w") as f:
 print(f"wrote BENCH_results.json "
       f"({sum(len(b['results']) for b in merged['benchmarks'])} workloads)")
 PYEOF
+    # Gate on the committed baseline: a >15% drop in any workload's
+    # within-run speedup (machine-independent, unlike raw seconds) fails.
+    python3 scripts/bench_diff.py bench/baseline/BENCH_results.json \
+      BENCH_results.json
+    ;;
+  trace)
+    cmake -B build-trace -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DBUILD_TESTING=OFF \
+      -DHADAD_BUILD_BENCHMARKS=OFF
+    cmake --build build-trace -j --target trace_demo
+    ./build-trace/examples/trace_demo build-trace/trace.json
+    python3 scripts/check_trace.py build-trace/trace.json
     ;;
   docs)
     # 1) Relative links in docs/ and README.md must resolve on disk
@@ -209,7 +231,7 @@ PYEOF
     echo "lint checks passed"
     ;;
   *)
-    echo "unknown mode: $mode (expected: tier1 | tsan | asan | bench | docs | lint)" >&2
+    echo "unknown mode: $mode (expected: tier1 | tsan | asan | bench | trace | docs | lint)" >&2
     exit 2
     ;;
 esac

@@ -6,9 +6,10 @@
 #include <sstream>
 
 #include "common/mutex.h"
-
+#include "common/timer.h"
 #include "engine/evaluator.h"
 #include "la/parser.h"
+#include "obs/explain.h"
 #include "views/maintenance.h"
 
 namespace hadad::api {
@@ -24,6 +25,10 @@ Result<matrix::Matrix> PreparedQuery::Execute(engine::ExecStats* stats) const {
 Result<matrix::Matrix> PreparedQuery::ExecuteOriginal(
     engine::ExecStats* stats) const {
   return session_->RunPlan(plan_, stats, /*original=*/true);
+}
+
+Result<std::string> PreparedQuery::ExplainAnalyze() const {
+  return session_->ExplainAnalyzePlan(*plan_);
 }
 
 std::string PreparedQuery::Explain() const {
@@ -78,19 +83,27 @@ bool Session::PlanFresh(const PreparedPlan& plan) const {
 }
 
 Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
-    const std::string& text, bool* from_cache) const {
+    const std::string& text, bool* from_cache, obs::SpanId parent) const {
   HADAD_ASSIGN_OR_RETURN(la::ExprPtr expr, la::ParseExpression(text));
   std::string canonical = la::ToString(expr);
   {
+    obs::ScopedSpan lookup(trace_.get(), "plan_cache_lookup", "cache",
+                           parent);
     common::ReaderMutexLock lock(&cache_mu_);
     auto it = plan_cache_.find(canonical);
-    if (it != plan_cache_.end() && PlanFresh(*it->second)) {
-      ++cache_hits_;
-      *from_cache = true;
-      return it->second;
+    if (it != plan_cache_.end()) {
+      if (PlanFresh(*it->second)) {
+        lookup.Annotate("outcome", "hit");
+        cache_hits_->Inc();
+        *from_cache = true;
+        return it->second;
+      }
+      lookup.Annotate("outcome", "stale");
+    } else {
+      lookup.Annotate("outcome", "miss");
     }
   }
-  ++cache_misses_;
+  cache_misses_->Inc();
   auto plan = std::make_shared<PreparedPlan>();
   // Optimize outside the cache lock: RW_find dominates, and concurrent
   // misses on different expressions must not serialize. The state lock is
@@ -98,10 +111,17 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
   // generation and leaf epochs stamped below are exactly what the rewrite
   // was derived against.
   {
+    obs::ScopedSpan derive(trace_.get(), "plan_derivation", "plan", parent);
     common::ReaderMutexLock state(&views_mu_);
     Result<pacb::RewriteResult> rewrite = optimizer_->Optimize(expr);
     if (!rewrite.ok()) return rewrite.status();
     plan->rewrite = std::move(rewrite).value();
+    if (derive.active()) {
+      derive.Annotate("canonical", canonical);
+      derive.Annotate("improved",
+                      plan->rewrite.improved ? "true" : "false");
+      derive.Annotate("optimize_seconds", plan->rewrite.optimize_seconds);
+    }
     plan->generation = view_generation_.load(std::memory_order_acquire);
     std::set<std::string> leaves;
     la::CollectMatrixRefs(*expr, &leaves);
@@ -111,9 +131,10 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
     plan->verified_generation.store(plan->data_snapshot.generation,
                                     std::memory_order_release);
   }
+  prepare_seconds_->Observe(plan->rewrite.optimize_seconds);
   plan->canonical = std::move(canonical);
   plan->original = std::move(expr);
-  ++prepares_;
+  prepares_->Inc();
   common::WriterMutexLock lock(&cache_mu_);
   // Two threads may have optimized the same expression concurrently; first
   // insertion wins so every holder shares one plan — unless the resident
@@ -130,7 +151,8 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
 }
 
 Result<matrix::Matrix> Session::ExecuteExpr(const la::ExprPtr& expr,
-                                            engine::ExecStats* stats) const {
+                                            engine::ExecStats* stats,
+                                            obs::SpanId parent) const {
   if (morpheus_ != nullptr) return morpheus_->Run(expr, stats);
   if (executor_ != nullptr) {
     // Respect the engine profile (kSmart applies its internal rewrites
@@ -139,10 +161,25 @@ Result<matrix::Matrix> Session::ExecuteExpr(const la::ExprPtr& expr,
     const std::set<std::string> barriers =
         adaptive_ != nullptr ? adaptive_->FusionBarriers()
                              : std::set<std::string>();
-    HADAD_ASSIGN_OR_RETURN(
-        exec::CompiledPlan compiled,
-        CompileExpr(planned, adaptive_ != nullptr ? &barriers : nullptr));
-    return executor_->RunCompiled(compiled, workspace_, stats);
+    exec::CompiledPlan compiled;
+    {
+      obs::ScopedSpan compile(trace_.get(), "dag_compile", "compile",
+                              parent);
+      HADAD_ASSIGN_OR_RETURN(
+          compiled,
+          CompileExpr(planned, adaptive_ != nullptr ? &barriers : nullptr));
+      if (compile.active()) {
+        compile.Annotate("cached", "false");
+        compile.Annotate("plan_nodes",
+                         static_cast<int64_t>(compiled.nodes.size()));
+        compile.Annotate("cse_hits", compiled.cse_hits);
+        compile.Annotate("fused_nodes", compiled.fused_nodes);
+        compile.Annotate("fused_ops_eliminated",
+                         compiled.fused_ops_eliminated);
+      }
+    }
+    const obs::TraceContext ctx{trace_.get(), parent};
+    return executor_->RunCompiled(compiled, workspace_, stats, &ctx);
   }
   return engine_->Run(expr, stats);
 }
@@ -154,15 +191,25 @@ Result<exec::CompiledPlan> Session::CompileExpr(
       exec::CompiledPlan compiled,
       executor_->Compile(planned, workspace_, &exec_catalog_,
                          fusion_barriers));
-  ++compiled_plans_;
-  fused_nodes_.fetch_add(compiled.fused_nodes, std::memory_order_relaxed);
-  fused_ops_eliminated_.fetch_add(compiled.fused_ops_eliminated,
-                                  std::memory_order_relaxed);
+  compiled_plans_->Inc();
+  fused_nodes_->Inc(compiled.fused_nodes);
+  fused_ops_eliminated_->Inc(compiled.fused_ops_eliminated);
   return compiled;
 }
 
 Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
-    const PreparedPlan& plan) const {
+    const PreparedPlan& plan, obs::SpanId parent) const {
+  obs::ScopedSpan compile(trace_.get(), "dag_compile", "compile", parent);
+  const auto annotate = [&compile](const exec::CompiledPlan& compiled,
+                                   const char* cached) {
+    if (!compile.active()) return;
+    compile.Annotate("cached", cached);
+    compile.Annotate("plan_nodes",
+                     static_cast<int64_t>(compiled.nodes.size()));
+    compile.Annotate("cse_hits", compiled.cse_hits);
+    compile.Annotate("fused_nodes", compiled.fused_nodes);
+    compile.Annotate("fused_ops_eliminated", compiled.fused_ops_eliminated);
+  };
   // Subexpressions that are (or just became) adaptive-view candidates stay
   // unfused so the workload monitor keeps attributing their cost. The
   // barrier set evolves with the workload, so a CACHED compiled plan is
@@ -176,6 +223,7 @@ Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
     common::MutexLock lock(&plan.compile_mu);
     if (plan.compiled != nullptr &&
         (adaptive_ == nullptr || plan.compiled->fused_canonicals.empty())) {
+      annotate(*plan.compiled, "true");
       return plan.compiled;
     }
   }
@@ -191,6 +239,7 @@ Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
   {
     common::MutexLock lock(&plan.compile_mu);
     if (plan.compiled != nullptr && barrier_clean(*plan.compiled)) {
+      annotate(*plan.compiled, "true");
       return plan.compiled;
     }
   }
@@ -204,12 +253,20 @@ Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
     plan.compiled =
         std::make_shared<const exec::CompiledPlan>(std::move(compiled));
   }
+  annotate(*plan.compiled, "false");
   return plan.compiled;
 }
 
 Result<matrix::Matrix> Session::RunPlan(
     std::shared_ptr<const PreparedPlan> plan, engine::ExecStats* stats,
-    bool original) const {
+    bool original, obs::SpanId parent) const {
+  // Calls arriving without an enclosing span (PreparedQuery::Execute) get
+  // their own root; Session::Run passes its "Run" span instead.
+  obs::ScopedSpan root(parent == obs::kNoSpan ? trace_.get() : nullptr,
+                       original ? "ExecuteOriginal" : "Execute", "session");
+  if (root.active()) AnnotateRoot(root, plan->canonical);
+  const obs::SpanId span = root.active() ? root.id() : parent;
+
   const bool adaptive = adaptive_ != nullptr;
   // A plan derived before the last view install/evict or data mutation may
   // reference a gone view or carry kernels chosen for stale shapes:
@@ -218,7 +275,7 @@ Result<matrix::Matrix> Session::RunPlan(
   for (int attempt = 0;; ++attempt) {
     if (!original && !PlanFresh(*plan)) {
       bool from_cache = false;
-      auto fresh = GetOrBuildPlan(plan->canonical, &from_cache);
+      auto fresh = GetOrBuildPlan(plan->canonical, &from_cache, span);
       if (fresh.ok()) plan = std::move(*fresh);
     }
     engine::ExecStats local_stats;
@@ -237,7 +294,8 @@ Result<matrix::Matrix> Session::RunPlan(
       // Extreme-churn fallback: the original expression references only
       // session-durable names, so it executes against the current data.
       use_original = original || stale;
-      result.emplace(ExecutePlanLocked(*plan, use_original, exec_stats));
+      result.emplace(ExecutePlanLocked(*plan, use_original, exec_stats,
+                                       span));
     }
     if (adaptive && !original && result->ok()) {
       // OnExecution takes the state lock itself, hence outside the scope.
@@ -250,32 +308,80 @@ Result<matrix::Matrix> Session::RunPlan(
 
 Result<matrix::Matrix> Session::ExecutePlanLocked(
     const PreparedPlan& plan, bool use_original,
-    engine::ExecStats* exec_stats) const {
-  if (use_original) return ExecuteExpr(plan.original, exec_stats);
+    engine::ExecStats* exec_stats, obs::SpanId parent) const {
+  if (use_original) return ExecuteExpr(plan.original, exec_stats, parent);
   if (morpheus_ == nullptr && executor_ != nullptr) {
     // Hit path for executor sessions: reuse the physical DAG cached in
     // the plan instead of recompiling it.
-    auto compiled = GetOrCompile(plan);
+    auto compiled = GetOrCompile(plan, parent);
     if (!compiled.ok()) return compiled.status();
-    return executor_->RunCompiled(**compiled, workspace_, exec_stats);
+    const obs::TraceContext ctx{trace_.get(), parent};
+    return executor_->RunCompiled(**compiled, workspace_, exec_stats, &ctx);
   }
-  return ExecuteExpr(plan.rewrite.best, exec_stats);
+  return ExecuteExpr(plan.rewrite.best, exec_stats, parent);
+}
+
+void Session::AnnotateRoot(const obs::ScopedSpan& root,
+                           const std::string& query) const {
+  if (!root.active()) return;
+  root.Annotate("query", query);
+  root.Annotate("query_id",
+                query_seq_.fetch_add(1, std::memory_order_relaxed));
 }
 
 Result<PreparedQuery> Session::Prepare(const std::string& text) const {
+  obs::ScopedSpan root(trace_.get(), "Prepare", "session");
+  AnnotateRoot(root, text);
   bool from_cache = false;
   HADAD_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
-                         GetOrBuildPlan(text, &from_cache));
+                         GetOrBuildPlan(text, &from_cache, root.id()));
   return PreparedQuery(shared_from_this(), std::move(plan), from_cache);
 }
 
 Result<matrix::Matrix> Session::Run(const std::string& text,
                                     engine::ExecStats* stats) const {
+  obs::ScopedSpan root(trace_.get(), "Run", "session");
+  AnnotateRoot(root, text);
+  Timer timer;
   bool from_cache = false;
   HADAD_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
-                         GetOrBuildPlan(text, &from_cache));
-  ++runs_;
-  return RunPlan(std::move(plan), stats, /*original=*/false);
+                         GetOrBuildPlan(text, &from_cache, root.id()));
+  runs_->Inc();
+  Result<matrix::Matrix> result =
+      RunPlan(std::move(plan), stats, /*original=*/false, root.id());
+  run_seconds_->Observe(timer.ElapsedSeconds());
+  return result;
+}
+
+Result<std::string> Session::ExplainAnalyzePlan(
+    const PreparedPlan& plan) const {
+  obs::ScopedSpan root(trace_.get(), "ExplainAnalyze", "session");
+  AnnotateRoot(root, plan.canonical);
+  engine::ExecStats stats;
+  common::ReaderMutexLock state(&views_mu_);
+  if (morpheus_ == nullptr && executor_ != nullptr) {
+    HADAD_ASSIGN_OR_RETURN(std::shared_ptr<const exec::CompiledPlan> compiled,
+                           GetOrCompile(plan, root.id()));
+    const obs::TraceContext ctx{trace_.get(), root.id()};
+    HADAD_ASSIGN_OR_RETURN(
+        matrix::Matrix value,
+        executor_->RunCompiled(*compiled, workspace_, &stats, &ctx));
+    (void)value;
+    return obs::RenderExplainAnalyze(*compiled, stats);
+  }
+  // No physical DAG to report on (tree evaluator / Morpheus): fall back to
+  // the per-operator aggregate the engine does measure.
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix value,
+                         ExecuteExpr(plan.rewrite.best, &stats, root.id()));
+  (void)value;
+  std::ostringstream out;
+  out << "EXPLAIN ANALYZE  (no physical DAG: "
+      << (morpheus_ != nullptr ? "Morpheus engine" : "tree evaluator")
+      << ")\n";
+  out << "pipeline: " << la::ToString(plan.rewrite.best) << "\n";
+  out << "wall " << stats.seconds * 1e3 << "ms, operators "
+      << stats.operators << ", gamma " << stats.intermediate_nnz << "\n";
+  return out.str();
 }
 
 void Session::WaitForAdaptiveViews() const {
@@ -311,27 +417,37 @@ Result<matrix::Matrix> Session::EvaluateDefinition(
 }
 
 Status Session::Update(const std::string& name, matrix::Matrix m) {
+  obs::ScopedSpan root(trace_.get(), "Update", "session");
+  root.Annotate("name", name);
   common::WriterMutexLock state(&views_mu_);
-  return MutateLocked(name, MutationKind::kUpdate, &m, nullptr);
+  return MutateLocked(name, MutationKind::kUpdate, &m, nullptr, root.id());
 }
 
 Status Session::Append(const std::string& name, const matrix::Matrix& rows) {
+  obs::ScopedSpan root(trace_.get(), "Append", "session");
+  root.Annotate("name", name);
   common::WriterMutexLock state(&views_mu_);
-  return MutateLocked(name, MutationKind::kAppend, nullptr, &rows);
+  return MutateLocked(name, MutationKind::kAppend, nullptr, &rows,
+                      root.id());
 }
 
 Status Session::Remove(const std::string& name) {
+  obs::ScopedSpan root(trace_.get(), "Remove", "session");
+  root.Annotate("name", name);
   common::WriterMutexLock state(&views_mu_);
-  return MutateLocked(name, MutationKind::kRemove, nullptr, nullptr);
+  return MutateLocked(name, MutationKind::kRemove, nullptr, nullptr,
+                      root.id());
 }
 
 Status Session::Put(const std::string& name, matrix::Matrix m) {
+  obs::ScopedSpan root(trace_.get(), "Put", "session");
+  root.Annotate("name", name);
   common::WriterMutexLock state(&views_mu_);
   if (workspace_.Find(name) != nullptr) {
     // An existing base name keeps full Update semantics: dependent views
     // refresh, failures roll back, adaptive views invalidate. (Views and
     // Morpheus names are rejected there.)
-    return MutateLocked(name, MutationKind::kUpdate, &m, nullptr);
+    return MutateLocked(name, MutationKind::kUpdate, &m, nullptr, root.id());
   }
   if (name.empty()) {
     return Status::InvalidArgument("cannot bind a matrix with an empty name");
@@ -360,13 +476,14 @@ Status Session::Put(const std::string& name, matrix::Matrix m) {
   // No cached plan can reference a name that did not exist when it was
   // prepared (Prepare fails on unknown names), so warm plans stay valid;
   // the fresh epoch stamped by workspace_.Put covers any future ones.
-  mutations_.fetch_add(1, std::memory_order_relaxed);
+  mutations_->Inc();
   return Status::OK();
 }
 
 Status Session::MutateLocked(const std::string& name, MutationKind kind,
                              matrix::Matrix* value,
-                             const matrix::Matrix* rows) {
+                             const matrix::Matrix* rows,
+                             obs::SpanId parent) {
   // --- Validation: nothing is applied until the whole mutation is known
   //     to leave every layer well-defined. ---------------------------------
   if (morpheus_names_.contains(name)) {
@@ -484,6 +601,8 @@ Status Session::MutateLocked(const std::string& name, MutationKind kind,
     const bool touches_append = kind == MutationKind::kAppend &&
                                 la::ReferencesMatrix(*def, name);
     if (!touches_changed && !touches_append) continue;
+    obs::ScopedSpan refresh(trace_.get(), "view_refresh", "views", parent);
+    refresh.Annotate("view", vname);
     Result<matrix::Matrix> fresh = ComputeViewRefresh(
         vname, def, touches_changed, name, rows, &delta_staged);
     if (!fresh.ok()) {
@@ -518,11 +637,13 @@ Status Session::MutateLocked(const std::string& name, MutationKind kind,
 
   // --- Adaptive propagation: invalidate or queue delta refreshes. ---------
   if (adaptive_ != nullptr) {
+    obs::ScopedSpan propagate(trace_.get(), "mutation_propagation", "views",
+                              parent);
     adaptive_->OnDataMutation(
         changed, kind == MutationKind::kAppend ? &name : nullptr,
         kind == MutationKind::kAppend ? rows : nullptr);
   }
-  mutations_.fetch_add(1, std::memory_order_relaxed);
+  mutations_->Inc();
   return Status::OK();
 }
 
@@ -586,14 +707,14 @@ Result<matrix::Matrix> Session::ComputeViewRefresh(
 
 SessionStats Session::stats() const {
   SessionStats s;
-  s.prepares = prepares_.load();
-  s.cache_hits = cache_hits_.load();
-  s.cache_misses = cache_misses_.load();
-  s.runs = runs_.load();
-  s.compiled_plans = compiled_plans_.load();
-  s.fused_nodes = fused_nodes_.load();
-  s.fused_ops_eliminated = fused_ops_eliminated_.load();
-  s.data_mutations = mutations_.load();
+  s.prepares = prepares_->Value();
+  s.cache_hits = cache_hits_->Value();
+  s.cache_misses = cache_misses_->Value();
+  s.runs = runs_->Value();
+  s.compiled_plans = compiled_plans_->Value();
+  s.fused_nodes = fused_nodes_->Value();
+  s.fused_ops_eliminated = fused_ops_eliminated_->Value();
+  s.data_mutations = mutations_->Value();
   if (adaptive_ != nullptr) {
     views::AdaptiveViewStats a = adaptive_->stats();
     s.adaptive_views_created = a.views_created;
@@ -605,6 +726,33 @@ SessionStats Session::stats() const {
     s.adaptive_budget_bytes = a.budget_bytes;
   }
   return s;
+}
+
+std::string Session::MetricsText() const {
+  // Gauges describe point-in-time levels; refresh them from live state so
+  // the rendered exposition is coherent as of this call.
+  plan_cache_gauge_->Set(static_cast<double>(plan_cache_size()));
+  threads_gauge_->Set(
+      executor_ != nullptr ? static_cast<double>(executor_->threads()) : 1.0);
+  if (adaptive_ != nullptr) {
+    views::AdaptiveViewStats a = adaptive_->stats();
+    adaptive_views_gauge_->Set(
+        static_cast<double>(adaptive_->StoredViews().size()));
+    adaptive_bytes_gauge_->Set(static_cast<double>(a.bytes_in_use));
+    adaptive_budget_gauge_->Set(static_cast<double>(a.budget_bytes));
+    monitor_tracked_gauge_->Set(
+        static_cast<double>(adaptive_->MonitorTrackedCount()));
+  }
+  return metrics_.Render();
+}
+
+Status Session::DumpTrace(const std::string& path) const {
+  if (trace_ == nullptr) {
+    return Status::InvalidArgument(
+        "tracing is not enabled; build the session with "
+        "SessionBuilder::Tracing()");
+  }
+  return trace_->WriteChromeTrace(path);
 }
 
 int64_t Session::plan_cache_size() const {
@@ -658,6 +806,11 @@ SessionBuilder& SessionBuilder::AdaptiveViews(int64_t budget_bytes,
 
 SessionBuilder& SessionBuilder::AdaptiveViews(views::AdaptiveOptions options) {
   adaptive_ = options;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::Tracing(obs::TraceOptions options) {
+  tracing_ = options;
   return *this;
 }
 
@@ -729,6 +882,49 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
 
   auto session = std::shared_ptr<Session>(new Session());
   Session* raw = session.get();
+  if (tracing_.has_value()) {
+    raw->trace_ = std::make_unique<obs::TraceRecorder>(*tracing_);
+  }
+  // Metric registration happens exactly once, here, before any handle is
+  // used; docs/OBSERVABILITY.md catalogs these names and
+  // scripts/check_invariants.py diffs the catalog against this code.
+  {
+    obs::MetricsRegistry& m = raw->metrics_;
+    raw->prepares_ = m.AddCounter("hadad_session_prepares_total",
+        "Optimizer invocations (each pays RW_find). Unit: calls.");
+    raw->cache_hits_ = m.AddCounter("hadad_session_plan_cache_hits_total",
+        "Prepare/Run calls answered from the plan cache. Unit: calls.");
+    raw->cache_misses_ = m.AddCounter("hadad_session_plan_cache_misses_total",
+        "Prepare/Run calls that missed or found a stale plan. Unit: calls.");
+    raw->runs_ = m.AddCounter("hadad_session_runs_total",
+        "Session::Run invocations. Unit: calls.");
+    raw->compiled_plans_ = m.AddCounter("hadad_session_compiled_plans_total",
+        "Physical-DAG compilations (executor sessions). Unit: plans.");
+    raw->fused_nodes_ = m.AddCounter("hadad_session_fused_nodes_total",
+        "Plan nodes fusing several logical operators. Unit: nodes.");
+    raw->fused_ops_eliminated_ =
+        m.AddCounter("hadad_session_fused_ops_eliminated_total",
+        "Operator nodes eliminated by fusion. Unit: nodes.");
+    raw->mutations_ = m.AddCounter("hadad_session_mutations_total",
+        "Successful Update/Append/Remove/Put calls. Unit: mutations.");
+    const std::vector<double> latency{1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
+    raw->run_seconds_ = m.AddHistogram("hadad_run_seconds",
+        "End-to-end Session::Run latency. Unit: seconds.", latency);
+    raw->prepare_seconds_ = m.AddHistogram("hadad_prepare_seconds",
+        "Optimizer RW_find latency per derivation. Unit: seconds.", latency);
+    raw->plan_cache_gauge_ = m.AddGauge("hadad_plan_cache_size",
+        "Cached plans by canonical text. Unit: plans.");
+    raw->threads_gauge_ = m.AddGauge("hadad_threadpool_threads",
+        "Degree of parallelism execution is scheduled with. Unit: threads.");
+    raw->adaptive_views_gauge_ = m.AddGauge("hadad_adaptive_views",
+        "Installed adaptive views. Unit: views.");
+    raw->adaptive_bytes_gauge_ = m.AddGauge("hadad_adaptive_bytes_in_use",
+        "Bytes held by the adaptive-view store. Unit: bytes.");
+    raw->adaptive_budget_gauge_ = m.AddGauge("hadad_adaptive_budget_bytes",
+        "Byte budget of the adaptive-view store. Unit: bytes.");
+    raw->monitor_tracked_gauge_ = m.AddGauge("hadad_workload_monitor_tracked",
+        "Distinct canonical subexpressions tracked. Unit: expressions.");
+  }
   // No other thread can reach the session until Build() returns it, but the
   // state members below are lock-guarded for the session's lifetime — take
   // the writer lock so the initialization writes type-check like any other.
@@ -824,6 +1020,7 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
     host.exec_catalog =
         exec_threads_.has_value() ? &raw->exec_catalog_ : nullptr;
     host.state_mu = &raw->views_mu_;
+    host.trace = raw->trace_.get();
     host.evaluate = [raw](const la::ExprPtr& def) -> Result<matrix::Matrix> {
       if (raw->morpheus_ != nullptr) return raw->morpheus_->Run(def);
       return engine::Execute(*def, raw->workspace_);

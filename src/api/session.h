@@ -22,6 +22,8 @@
 #include "matrix/matrix.h"
 #include "morpheus/engine.h"
 #include "morpheus/normalized_matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pacb/optimizer.h"
 #include "views/adaptive.h"
 
@@ -29,18 +31,22 @@ namespace hadad::api {
 
 class Session;
 
-// Counters a Session accumulates across Prepare()/Run() calls. `prepares`
-// counts optimizer invocations (each one pays RW_find); `cache_hits` counts
-// the Prepare()/Run() calls that reused a cached plan instead. The
-// `adaptive_*` fields mirror the adaptive-view subsystem (all zero unless
-// SessionBuilder::AdaptiveViews was called); `compiled_plans` counts
-// physical-DAG compilations (executor sessions only — the hit path reuses
-// the plan cached inside PreparedPlan instead of recompiling).
+// Counters a Session accumulates across Prepare()/Run() calls — a
+// point-in-time read view over the session's obs::MetricsRegistry (the
+// counters live there; stats() snapshots them, so this struct and
+// Session::MetricsText() can never drift apart). Every field is a
+// monotonically increasing event count unless noted otherwise.
 struct SessionStats {
+  // Optimizer invocations — calls, each one pays RW_find.
   int64_t prepares = 0;
+  // Prepare()/Run() calls answered from the plan cache — calls.
   int64_t cache_hits = 0;
+  // Prepare()/Run() calls that missed (or found a stale plan) — calls.
   int64_t cache_misses = 0;
+  // Session::Run() invocations — calls.
   int64_t runs = 0;
+  // Physical-DAG compilations — plans (executor sessions only; the hit
+  // path reuses the DAG cached inside PreparedPlan instead of recompiling).
   int64_t compiled_plans = 0;
   // Operator-fusion outcome summed over this session's physical-DAG
   // compilations (executor sessions only): plan nodes that fuse several
@@ -49,17 +55,20 @@ struct SessionStats {
   // in engine::ExecStats.
   int64_t fused_nodes = 0;
   int64_t fused_ops_eliminated = 0;
-  // Successful Update()/Append()/Remove() calls.
+  // Successful Update()/Append()/Remove()/Put() calls — mutations.
   int64_t data_mutations = 0;
-  int64_t adaptive_views_created = 0;
-  int64_t adaptive_views_evicted = 0;
+  // The adaptive_* fields mirror the adaptive-view subsystem (all zero
+  // unless SessionBuilder::AdaptiveViews was called).
+  int64_t adaptive_views_created = 0;   // Views materialized + installed.
+  int64_t adaptive_views_evicted = 0;   // Budget evictions.
   // Adaptive views dropped because a mutation changed a referenced leaf.
   int64_t adaptive_views_invalidated = 0;
   // Append-driven incremental refreshes installed (V ← V + f(Δ)).
   int64_t adaptive_views_refreshed = 0;
+  // Executions whose plan scanned at least one adaptive view — runs.
   int64_t adaptive_view_hit_runs = 0;
-  int64_t adaptive_bytes_in_use = 0;
-  int64_t adaptive_budget_bytes = 0;
+  int64_t adaptive_bytes_in_use = 0;  // Level, bytes (not a counter).
+  int64_t adaptive_budget_bytes = 0;  // Level, bytes (not a counter).
 };
 
 // An immutable optimized plan: the parsed pipeline plus HADAD's rewriting of
@@ -104,6 +113,16 @@ class PreparedQuery {
   // Human-readable report: original vs. rewritten expression, γ estimates,
   // RW_find time, chase statistics, and the alternative rewritings found.
   std::string Explain() const;
+
+  // Executes the rewriting once with per-node measurement and renders the
+  // physical DAG annotated with what actually happened: measured kernel
+  // wall-clock per node (and its share of total operator work), measured
+  // output nnz (the paper's γ per intermediate), the chosen kernel, fusion
+  // and CSE provenance (see obs::RenderExplainAnalyze). Sessions without
+  // the DAG engine (no SessionBuilder::Threads, or Morpheus) report the
+  // per-operator aggregate instead. Runs the query — same cost as
+  // Execute().
+  Result<std::string> ExplainAnalyze() const;
 
   const la::ExprPtr& original() const { return plan_->original; }
   // The expression Execute() runs (== rewrite().best).
@@ -232,8 +251,24 @@ class Session : public std::enable_shared_from_this<Session> {
   // warmed state deterministic. Safe to call from any thread.
   void WaitForAdaptiveViews() const;
 
-  // Point-in-time counter snapshot (atomics; no lock). Thread-safe.
+  // Point-in-time counter snapshot (a read view over the metrics registry;
+  // lock-free counter loads). Thread-safe.
   SessionStats stats() const;
+  // Prometheus text exposition of every session metric (counters,
+  // histograms, and gauges — the gauges are refreshed from live state
+  // first: plan-cache size, thread-pool width, adaptive-view store,
+  // workload-monitor population). Thread-safe.
+  std::string MetricsText() const HADAD_EXCLUDES(cache_mu_);
+  // The registry behind stats()/MetricsText(). Gauges are only as fresh as
+  // the last MetricsText() call; counters and histograms are always live.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  // Non-null iff SessionBuilder::Tracing was called. Stable for the
+  // session's lifetime; the recorder's own methods are thread-safe.
+  const obs::TraceRecorder* trace() const { return trace_.get(); }
+  // Writes every span recorded so far as Chrome trace-event JSON (load in
+  // Perfetto / chrome://tracing). InvalidArgument when the session was
+  // built without Tracing(); IoError when the file cannot be written.
+  Status DumpTrace(const std::string& path) const;
   // Cached plans by canonical text. Thread-safe (shared cache lock).
   int64_t plan_cache_size() const HADAD_EXCLUDES(cache_mu_);
   // Drops every cached plan; in-flight PreparedQuery handles keep their
@@ -256,9 +291,12 @@ class Session : public std::enable_shared_from_this<Session> {
 
   // Cache lookup by canonical text; on miss (or when the cached plan is
   // stale — view generation or a leaf epoch moved) runs the optimizer and
-  // inserts.
+  // inserts. `parent` (here and below) is the enclosing trace span; child
+  // spans nest under it, and kNoSpan / disabled tracing short-circuits to
+  // no recording at all.
   Result<std::shared_ptr<const PreparedPlan>> GetOrBuildPlan(
-      const std::string& text, bool* from_cache) const
+      const std::string& text, bool* from_cache,
+      obs::SpanId parent = obs::kNoSpan) const
       HADAD_EXCLUDES(cache_mu_, views_mu_);
   // True when the plan's view generation matches and none of its recorded
   // leaf epochs moved. Lock-free fast path on the verified generation.
@@ -266,7 +304,8 @@ class Session : public std::enable_shared_from_this<Session> {
   // The shared mutation path. `value` is consumed for kUpdate; `rows`
   // borrowed for kAppend.
   Status MutateLocked(const std::string& name, MutationKind kind,
-                      matrix::Matrix* value, const matrix::Matrix* rows)
+                      matrix::Matrix* value, const matrix::Matrix* rows,
+                      obs::SpanId parent = obs::kNoSpan)
       HADAD_REQUIRES(views_mu_);
   // Undoes a half-applied mutation of `name` after a view-refresh failure:
   // restores the refreshed views' old values and the base matrix, then
@@ -293,22 +332,24 @@ class Session : public std::enable_shared_from_this<Session> {
   // re-deriving it first when adaptive views moved the generation, and
   // feeding the adaptive monitor afterwards.
   Result<matrix::Matrix> RunPlan(std::shared_ptr<const PreparedPlan> plan,
-                                 engine::ExecStats* stats,
-                                 bool original) const
+                                 engine::ExecStats* stats, bool original,
+                                 obs::SpanId parent = obs::kNoSpan) const
       HADAD_EXCLUDES(views_mu_);
   // One plan execution under the shared state hold: the original text, the
   // cached physical DAG (executor sessions), or the rewriting as planned.
   Result<matrix::Matrix> ExecutePlanLocked(const PreparedPlan& plan,
                                            bool use_original,
-                                           engine::ExecStats* stats) const
+                                           engine::ExecStats* stats,
+                                           obs::SpanId parent) const
       HADAD_REQUIRES_SHARED(views_mu_);
   // Raw single-expression execution; the shared hold keeps the workspace
   // from mutating mid-evaluation.
   Result<matrix::Matrix> ExecuteExpr(const la::ExprPtr& expr,
-                                     engine::ExecStats* stats) const
+                                     engine::ExecStats* stats,
+                                     obs::SpanId parent = obs::kNoSpan) const
       HADAD_REQUIRES_SHARED(views_mu_);
   // Compiles an engine-planned expression on the session executor with the
-  // given fusion barriers, accumulating the compiled_plans_ and fused_*
+  // given fusion barriers, accumulating the compiled-plans and fused-*
   // counters. executor_ non-null.
   Result<exec::CompiledPlan> CompileExpr(
       const la::ExprPtr& planned,
@@ -316,7 +357,16 @@ class Session : public std::enable_shared_from_this<Session> {
       HADAD_REQUIRES_SHARED(views_mu_);
   // The cached physical DAG for plan.rewrite.best (compiles on first use).
   Result<std::shared_ptr<const exec::CompiledPlan>> GetOrCompile(
-      const PreparedPlan& plan) const HADAD_REQUIRES_SHARED(views_mu_);
+      const PreparedPlan& plan, obs::SpanId parent = obs::kNoSpan) const
+      HADAD_REQUIRES_SHARED(views_mu_);
+  // Backs PreparedQuery::ExplainAnalyze: executes the rewriting with stats
+  // (and kernel spans when tracing) and renders the measured report.
+  Result<std::string> ExplainAnalyzePlan(const PreparedPlan& plan) const
+      HADAD_EXCLUDES(views_mu_);
+  // Stamps a fresh query id + the query text onto a root "session" span
+  // (no-op when tracing is off).
+  void AnnotateRoot(const obs::ScopedSpan& root,
+                    const std::string& query) const;
 
   // The workspace's matrix data follows views_mu_ by contract (mutations
   // hold it unique, execution shared) but is not GUARDED_BY-annotated: its
@@ -344,14 +394,34 @@ class Session : public std::enable_shared_from_this<Session> {
   mutable common::SharedMutex cache_mu_;
   mutable std::unordered_map<std::string, std::shared_ptr<const PreparedPlan>>
       plan_cache_ HADAD_GUARDED_BY(cache_mu_);
-  mutable std::atomic<int64_t> prepares_{0};
-  mutable std::atomic<int64_t> cache_hits_{0};
-  mutable std::atomic<int64_t> cache_misses_{0};
-  mutable std::atomic<int64_t> runs_{0};
-  mutable std::atomic<int64_t> compiled_plans_{0};
-  mutable std::atomic<int64_t> fused_nodes_{0};
-  mutable std::atomic<int64_t> fused_ops_eliminated_{0};
-  mutable std::atomic<int64_t> mutations_{0};
+
+  // Observability. The counter/gauge/histogram handles point into
+  // metrics_, are registered once at Build() (docs/OBSERVABILITY.md
+  // catalogs them; scripts/check_invariants.py diffs the two), and are
+  // updated lock-free from any thread. SessionStats is a read view over
+  // the counters. trace_ is null unless SessionBuilder::Tracing was called
+  // — the disabled path is one null check per hook, no allocation.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* prepares_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* runs_ = nullptr;
+  obs::Counter* compiled_plans_ = nullptr;
+  obs::Counter* fused_nodes_ = nullptr;
+  obs::Counter* fused_ops_eliminated_ = nullptr;
+  obs::Counter* mutations_ = nullptr;
+  obs::Histogram* run_seconds_ = nullptr;
+  obs::Histogram* prepare_seconds_ = nullptr;
+  obs::Gauge* plan_cache_gauge_ = nullptr;
+  obs::Gauge* threads_gauge_ = nullptr;
+  obs::Gauge* adaptive_views_gauge_ = nullptr;
+  obs::Gauge* adaptive_bytes_gauge_ = nullptr;
+  obs::Gauge* adaptive_budget_gauge_ = nullptr;
+  obs::Gauge* monitor_tracked_gauge_ = nullptr;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  // Monotone id stamped on root spans, so every span tree in a dumped
+  // trace joins back to one top-level query.
+  mutable std::atomic<int64_t> query_seq_{0};
 
   // The session state lock: views_mu_ guards the mutable session state
   // (workspace contents, optimizer facts and views, exec_catalog_).
@@ -412,6 +482,14 @@ class SessionBuilder {
   // with normalized (Morpheus) matrices keep the Morpheus engine regardless.
   SessionBuilder& Threads(int n);
 
+  // Turns on span tracing (src/obs/): Run/Prepare/mutations become root
+  // spans with children for plan-cache lookups, rewrite derivation, DAG
+  // compilation, per-operator kernel execution, and view maintenance —
+  // exported as Chrome trace-event JSON via Session::DumpTrace. Without
+  // this call the session has no recorder at all and every hook is a null
+  // check.
+  SessionBuilder& Tracing(obs::TraceOptions options = {});
+
   // Turns on the adaptive materialized-view subsystem (src/views/): the
   // session monitors executed plans, and subexpressions recomputed at least
   // `min_hits` times are materialized in the background (within
@@ -451,6 +529,7 @@ class SessionBuilder {
   std::optional<pacb::EstimatorKind> estimator_;
   std::optional<int> exec_threads_;
   std::optional<views::AdaptiveOptions> adaptive_;
+  std::optional<obs::TraceOptions> tracing_;
   engine::Profile profile_ = engine::Profile::kNaive;
   int64_t flag_detect_limit_ = 0;
   bool built_ = false;

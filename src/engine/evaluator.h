@@ -20,6 +20,16 @@ struct OpTiming {
   double seconds = 0.0;  // Summed kernel wall-clock.
 };
 
+// Measured execution of one physical plan node. The vector in ExecStats is
+// index-aligned with exec::CompiledPlan::nodes, so consumers (EXPLAIN
+// ANALYZE, the trace exporter) can join measured time back onto the plan
+// shape without a side channel. Loads and the root report nnz = 0 (they
+// are not intermediates under the paper's γ measure).
+struct NodeTiming {
+  double seconds = 0.0;  // Kernel wall-clock of this node.
+  double nnz = 0.0;      // Actual non-zeros of the node's output.
+};
+
 struct ExecStats {
   // Wall-clock seconds for the evaluation.
   double seconds = 0.0;
@@ -52,6 +62,10 @@ struct ExecStats {
   double critical_path_seconds = 0.0;
   // Per-operator-kind timing, sorted by descending total seconds.
   std::vector<OpTiming> op_timings;
+  // Per-physical-node timing, index-aligned with CompiledPlan::nodes.
+  // Filled by the DAG scheduler when stats are requested; empty under the
+  // tree evaluator.
+  std::vector<NodeTiming> node_timings;
 };
 
 // Evaluates `expr` over `workspace` bottom-up, in the exact syntactic order

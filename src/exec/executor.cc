@@ -31,9 +31,9 @@ Result<matrix::Matrix> Executor::Run(
 
 Result<matrix::Matrix> Executor::RunCompiled(
     const CompiledPlan& plan, const engine::Workspace& workspace,
-    engine::ExecStats* stats) const {
+    engine::ExecStats* stats, const obs::TraceContext* trace) const {
   Scheduler scheduler(pool_.get());
-  return scheduler.Run(plan, workspace, stats);
+  return scheduler.Run(plan, workspace, stats, trace);
 }
 
 }  // namespace hadad::exec

@@ -56,10 +56,14 @@ class Executor {
   // Executes an already-compiled plan (api::PreparedQuery caches one per
   // plan so the hit path skips DAG recompilation). The plan must have been
   // compiled against a workspace whose referenced names still resolve.
-  // Thread-safe under the same workspace-stability contract as Run().
-  Result<matrix::Matrix> RunCompiled(const CompiledPlan& plan,
-                                     const engine::Workspace& workspace,
-                                     engine::ExecStats* stats = nullptr) const;
+  // `trace`, when non-null and enabled, receives one "kernel" span per
+  // executed operator node, parented under trace->parent (see
+  // Scheduler::Run). Thread-safe under the same workspace-stability
+  // contract as Run().
+  Result<matrix::Matrix> RunCompiled(
+      const CompiledPlan& plan, const engine::Workspace& workspace,
+      engine::ExecStats* stats = nullptr,
+      const obs::TraceContext* trace = nullptr) const;
 
  private:
   engine::ExecOptions options_;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <map>
 #include <optional>
+#include <string>
+#include <thread>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -51,12 +53,19 @@ struct RunState {
   const CompiledPlan* plan = nullptr;
   ThreadPool* pool = nullptr;
   bool collect_stats = false;
+  // Non-null when tracing: node tasks additionally capture their start
+  // timestamp (recorder time base) and executing thread, written to the
+  // per-node vectors below — each node is written by exactly one task, so
+  // no lock is needed until the post-run batch emission.
+  obs::TraceRecorder* recorder = nullptr;
 
   std::vector<Slot> slots;
   std::vector<std::atomic<int>> pending;         // Unfinished inputs.
   std::vector<std::atomic<int>> consumers_left;  // For early release.
   std::vector<double> node_seconds;
   std::vector<double> node_nnz;
+  std::vector<int64_t> node_start_us;
+  std::vector<uint64_t> node_thread;
 
   std::atomic<bool> failed{false};
   common::Mutex error_mu;
@@ -69,7 +78,7 @@ struct RunState {
 
   explicit RunState(size_t n)
       : slots(n), pending(n), consumers_left(n), node_seconds(n, 0.0),
-        node_nnz(n, 0.0) {}
+        node_nnz(n, 0.0), node_start_us(n, 0), node_thread(n, 0) {}
 
   void Fail(Status status) {
     bool expected = false;
@@ -244,6 +253,12 @@ Result<Matrix> EvalNode(RunState& state, int32_t id) {
 std::vector<int32_t> CompleteNode(RunState& state, int32_t id) {
   const PlanNode& node = state.plan->nodes[static_cast<size_t>(id)];
   if (!state.failed.load(std::memory_order_acquire)) {
+    if (state.recorder != nullptr) {
+      state.node_start_us[static_cast<size_t>(id)] =
+          state.recorder->NowMicros();
+      state.node_thread[static_cast<size_t>(id)] =
+          std::hash<std::thread::id>{}(std::this_thread::get_id());
+    }
     Timer timer;
     Result<Matrix> out = EvalNode(state, id);
     if (out.ok()) {
@@ -303,6 +318,11 @@ void FillStats(const RunState& state, const CompiledPlan& plan,
   stats->plan_nodes = static_cast<int64_t>(plan.nodes.size());
   stats->fused_nodes = plan.fused_nodes;
   stats->fused_ops_eliminated = plan.fused_ops_eliminated;
+  stats->node_timings.resize(plan.nodes.size());
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    stats->node_timings[i].seconds = state.node_seconds[i];
+    stats->node_timings[i].nnz = state.node_nnz[i];
+  }
   std::map<std::string, engine::OpTiming> by_op;
   std::vector<double> span(plan.nodes.size(), 0.0);
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
@@ -335,19 +355,47 @@ void FillStats(const RunState& state, const CompiledPlan& plan,
             });
 }
 
+// Publishes one "kernel" span per executed operator node, batched after
+// the run from the timings the node tasks captured in-line. Loads are
+// skipped (borrowed views, no kernel ran).
+void EmitKernelSpans(const RunState& state, const CompiledPlan& plan,
+                     const obs::TraceContext& trace) {
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    if (node.kernel == KernelKind::kLoad) continue;
+    if (state.node_thread[i] == 0) continue;  // Never ran (aborted run).
+    std::vector<std::pair<std::string, std::string>> attrs;
+    attrs.reserve(5);
+    attrs.emplace_back("node", "#" + std::to_string(i));
+    attrs.emplace_back("op", la::OpName(node.op));
+    attrs.emplace_back("rows", std::to_string(node.meta.shape.rows));
+    attrs.emplace_back("cols", std::to_string(node.meta.shape.cols));
+    attrs.emplace_back(
+        "nnz", std::to_string(static_cast<int64_t>(state.node_nnz[i])));
+    trace.recorder->AddCompleteSpan(
+        KernelName(node.kernel), "kernel", trace.parent, state.node_start_us[i],
+        static_cast<int64_t>(state.node_seconds[i] * 1e6),
+        state.node_thread[i], std::move(attrs));
+  }
+}
+
 }  // namespace
 
 Result<Matrix> Scheduler::Run(const CompiledPlan& plan,
                               const engine::Workspace& workspace,
-                              engine::ExecStats* stats) const {
+                              engine::ExecStats* stats,
+                              const obs::TraceContext* trace) const {
   Timer timer;
   if (plan.root < 0 || plan.nodes.empty()) {
     return Status::InvalidArgument("empty plan");
   }
+  const bool tracing = trace != nullptr && trace->recorder != nullptr &&
+                       trace->recorder->enabled();
   RunState state(plan.nodes.size());
   state.plan = &plan;
   state.pool = pool_;
-  state.collect_stats = stats != nullptr;
+  state.collect_stats = stats != nullptr || tracing;
+  state.recorder = tracing ? trace->recorder : nullptr;
 
   // Resolve loads up front (borrowed views, no copy) and wire counters.
   std::vector<int32_t> initial_ready;
@@ -414,6 +462,7 @@ Result<Matrix> Scheduler::Run(const CompiledPlan& plan,
     FillStats(state, plan, stats);
     stats->seconds = timer.ElapsedSeconds();
   }
+  if (tracing) EmitKernelSpans(state, plan, *trace);
   return result;
 }
 

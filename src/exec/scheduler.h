@@ -7,6 +7,7 @@
 #include "exec/plan.h"
 #include "exec/thread_pool.h"
 #include "matrix/matrix.h"
+#include "obs/trace.h"
 
 namespace hadad::exec {
 
@@ -26,10 +27,16 @@ class Scheduler {
   // Runs `plan`; on success returns the root node's result. The first
   // kernel error aborts the run (queued nodes finish, new ones are not
   // scheduled) and is returned. When `stats` is set, fills the per-operator
-  // breakdown (op_timings, work/span, cse_hits, plan_nodes, threads).
+  // breakdown (op_timings, node_timings, work/span, cse_hits, plan_nodes,
+  // threads). When `trace` carries a recorder, one "kernel" span per
+  // executed operator node is published under `trace->parent` — measured
+  // in-line (start timestamp + thread captured per node task) but emitted
+  // in one batch after the run, so tracing adds no lock traffic to the
+  // execution critical path.
   Result<matrix::Matrix> Run(const CompiledPlan& plan,
                              const engine::Workspace& workspace,
-                             engine::ExecStats* stats = nullptr) const;
+                             engine::ExecStats* stats = nullptr,
+                             const obs::TraceContext* trace = nullptr) const;
 
  private:
   ThreadPool* pool_;

@@ -1,0 +1,82 @@
+#include "obs/explain.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "la/expr.h"
+
+namespace hadad::obs {
+
+namespace {
+
+std::string Ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  return buf;
+}
+
+std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 1e2);
+  return buf;
+}
+
+// γ values are counts; render without a fractional part.
+std::string Nnz(double nnz) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", nnz);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderExplainAnalyze(const exec::CompiledPlan& plan,
+                                 const engine::ExecStats& stats) {
+  const bool timed = stats.node_timings.size() == plan.nodes.size();
+  const double work = stats.total_operator_seconds;
+
+  std::ostringstream out;
+  out << "EXPLAIN ANALYZE  (" << plan.nodes.size() << " nodes, "
+      << stats.threads << (stats.threads == 1 ? " thread" : " threads")
+      << ", wall " << Ms(stats.seconds) << ")\n";
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const exec::PlanNode& n = plan.nodes[i];
+    out << "#" << i << " " << la::OpName(n.op) << " ["
+        << exec::KernelName(n.kernel) << "] " << n.meta.shape.rows << "x"
+        << n.meta.shape.cols << " <-";
+    for (int32_t in : n.inputs) out << " #" << in;
+    if (n.op == la::OpKind::kMatrixRef) out << " '" << n.expr->name() << "'";
+    out << "  ";
+    if (timed) {
+      const engine::NodeTiming& t = stats.node_timings[i];
+      out << Ms(t.seconds);
+      if (work > 0.0) out << " (" << Pct(t.seconds / work) << ")";
+      // Loads/root carry no γ (not intermediates); print only where it
+      // means something.
+      if (t.nnz > 0.0) out << " nnz=" << Nnz(t.nnz);
+    } else {
+      out << "-";
+    }
+    if (n.program >= 0) {
+      out << " fused="
+          << plan.programs[static_cast<size_t>(n.program)].fused_ops << "ops";
+    } else if (n.kernel == exec::KernelKind::kGemmSumReduce ||
+               n.kernel == exec::KernelKind::kGemmRowSumsReduce ||
+               n.kernel == exec::KernelKind::kGemmColSumsReduce) {
+      out << " fused=2ops";
+    }
+    if (n.consumers.size() > 1) {
+      out << " shared(x" << n.consumers.size() << ")";
+    }
+    out << "\n";
+  }
+  out << "root #" << plan.root << "  work " << Ms(work) << ", span "
+      << Ms(stats.critical_path_seconds) << ", gamma "
+      << Nnz(stats.intermediate_nnz) << ", operators " << stats.operators
+      << ", cse_hits " << stats.cse_hits << ", fused_ops_eliminated "
+      << stats.fused_ops_eliminated << "\n";
+  return out.str();
+}
+
+}  // namespace hadad::obs

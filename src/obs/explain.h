@@ -1,0 +1,29 @@
+#ifndef HADAD_OBS_EXPLAIN_H_
+#define HADAD_OBS_EXPLAIN_H_
+
+#include <string>
+
+#include "engine/evaluator.h"
+#include "exec/plan.h"
+
+namespace hadad::obs {
+
+// Renders the EXPLAIN ANALYZE report for one executed plan: the physical
+// DAG in topological order — one node per line, in CompiledPlan::ToString
+// style — joined with what actually happened at run time. Per node:
+// measured kernel wall-clock (and its share of the total operator work),
+// measured output non-zeros (the paper's γ per intermediate), the chosen
+// kernel (representation choice), fusion provenance (how many logical
+// operators the node absorbed) and a `shared` marker for CSE'd nodes with
+// multiple consumers. A header/footer carries threads, wall seconds, work
+// (total_operator_seconds), span (critical_path_seconds) and total γ.
+//
+// `stats.node_timings` must be index-aligned with `plan.nodes` (it is when
+// both came out of the same exec::Scheduler run); when it is absent — a
+// run recorded before timings existed — per-node columns render as `-`.
+std::string RenderExplainAnalyze(const exec::CompiledPlan& plan,
+                                 const engine::ExecStats& stats);
+
+}  // namespace hadad::obs
+
+#endif  // HADAD_OBS_EXPLAIN_H_

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hadad::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  HADAD_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                      std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                          bounds_.end(),
+                  "histogram bucket bounds must be strictly ascending");
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; past-the-end = +Inf.
+  const size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  // upper_bound finds the first bound strictly greater; Prometheus buckets
+  // are inclusive (le), so step back when the value sits exactly on an edge.
+  const size_t idx =
+      bucket > 0 && bounds_[bucket - 1] == value ? bucket - 1 : bucket;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  observations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     std::string help) {
+  common::MutexLock lock(&metrics_mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.type == Type::kCounter ? it->second.counter.get()
+                                             : nullptr;
+  }
+  Entry entry;
+  entry.type = Type::kCounter;
+  entry.help = std::move(help);
+  entry.counter = std::make_unique<Counter>();
+  Counter* handle = entry.counter.get();
+  entries_.emplace(name, std::move(entry));
+  return handle;
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name, std::string help) {
+  common::MutexLock lock(&metrics_mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.type == Type::kGauge ? it->second.gauge.get() : nullptr;
+  }
+  Entry entry;
+  entry.type = Type::kGauge;
+  entry.help = std::move(help);
+  entry.gauge = std::make_unique<Gauge>();
+  Gauge* handle = entry.gauge.get();
+  entries_.emplace(name, std::move(entry));
+  return handle;
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         std::string help,
+                                         std::vector<double> bounds) {
+  common::MutexLock lock(&metrics_mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.type == Type::kHistogram ? it->second.histogram.get()
+                                               : nullptr;
+  }
+  Entry entry;
+  entry.type = Type::kHistogram;
+  entry.help = std::move(help);
+  entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* handle = entry.histogram.get();
+  entries_.emplace(name, std::move(entry));
+  return handle;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  common::MutexLock lock(&metrics_mu_);
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.type == Type::kCounter
+             ? it->second.counter.get()
+             : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  common::MutexLock lock(&metrics_mu_);
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.type == Type::kGauge
+             ? it->second.gauge.get()
+             : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  common::MutexLock lock(&metrics_mu_);
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.type == Type::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
+namespace {
+
+// Prometheus floats: plain shortest-round-trip decimal; integral values
+// render without an exponent so counters read naturally.
+std::string Num(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<int64_t>(v);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(9);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Render() const {
+  common::MutexLock lock(&metrics_mu_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    out << "# HELP " << name << " " << entry.help << "\n";
+    switch (entry.type) {
+      case Type::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << " " << entry.counter->Value() << "\n";
+        break;
+      case Type::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << Num(entry.gauge->Value()) << "\n";
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << "# TYPE " << name << " histogram\n";
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.BucketCount(i);
+          out << name << "_bucket{le=\"" << Num(h.bounds()[i]) << "\"} "
+              << cumulative << "\n";
+        }
+        cumulative += h.BucketCount(h.bounds().size());
+        out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        out << name << "_sum " << Num(h.Sum()) << "\n";
+        out << name << "_count " << h.Count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hadad::obs

@@ -1,0 +1,131 @@
+#ifndef HADAD_OBS_METRICS_H_
+#define HADAD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace hadad::obs {
+
+// Monotone event count. The hot path is one relaxed atomic add — safe from
+// any thread, never locks.
+class Counter {
+ public:
+  void Inc(int64_t delta = 1) {
+    count_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> count_{0};
+};
+
+// Point-in-time level (bytes in use, cache size, ...). Set/Value are single
+// atomic operations.
+class Gauge {
+ public:
+  void Set(double value) {
+    gauge_.store(value, std::memory_order_relaxed);
+  }
+  double Value() const { return gauge_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> gauge_{0.0};
+};
+
+// Fixed-bucket latency/size histogram. Bounds are the inclusive upper
+// edges of each bucket (ascending, strict); one implicit +Inf bucket
+// catches the rest. Observe is lock-free: one binary search over the
+// immutable bounds plus three relaxed atomic adds (C++20 atomic<double>
+// fetch_add for the sum).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) count; index bounds_.size() is +Inf.
+  int64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  int64_t Count() const {
+    return observations_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1 slots.
+  std::atomic<double> sum_{0.0};
+  std::atomic<int64_t> observations_{0};
+};
+
+// Named metric registry with Prometheus-text-format rendering. Register
+// once (at session build), then hammer the returned handles lock-free from
+// any thread — the registry mutex only guards registration and Render's
+// iteration, never a metric update. Handles stay valid for the registry's
+// lifetime (metrics are never unregistered).
+//
+// Naming convention (checked against the catalog table in
+// docs/OBSERVABILITY.md by scripts/check_invariants.py): snake_case with a
+// `hadad_` prefix; counters end in `_total`; seconds-valued metrics end in
+// `_seconds`; byte-valued ones in `_bytes`.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration is idempotent per (name, type): re-adding a name returns
+  // the existing handle; nullptr if the name is already bound to a
+  // different metric type (caller bug worth surfacing over crashing).
+  Counter* AddCounter(const std::string& name, std::string help)
+      HADAD_EXCLUDES(metrics_mu_);
+  Gauge* AddGauge(const std::string& name, std::string help)
+      HADAD_EXCLUDES(metrics_mu_);
+  Histogram* AddHistogram(const std::string& name, std::string help,
+                          std::vector<double> bounds)
+      HADAD_EXCLUDES(metrics_mu_);
+
+  // Lookup by name; nullptr when absent or of another type.
+  const Counter* FindCounter(const std::string& name) const
+      HADAD_EXCLUDES(metrics_mu_);
+  const Gauge* FindGauge(const std::string& name) const
+      HADAD_EXCLUDES(metrics_mu_);
+  const Histogram* FindHistogram(const std::string& name) const
+      HADAD_EXCLUDES(metrics_mu_);
+
+  // Prometheus text exposition format (# HELP / # TYPE lines, histogram
+  // `_bucket{le=...}` series with cumulative counts plus `_sum`/`_count`),
+  // metrics sorted by name.
+  std::string Render() const HADAD_EXCLUDES(metrics_mu_);
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Type type = Type::kCounter;
+    std::string help;
+    // Exactly one is non-null, matching `type`. unique_ptr keeps handle
+    // addresses stable across map rehashing/insertion.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable common::Mutex metrics_mu_;
+  std::map<std::string, Entry> entries_ HADAD_GUARDED_BY(metrics_mu_);
+};
+
+}  // namespace hadad::obs
+
+#endif  // HADAD_OBS_METRICS_H_

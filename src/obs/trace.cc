@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+namespace hadad::obs {
+
+namespace {
+
+// Minimal JSON string escaping: quotes, backslashes, and control bytes
+// (query texts and attribute values are the only user-influenced content).
+std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(TraceOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+SpanId TraceRecorder::StartSpan(const std::string& name,
+                                const std::string& category, SpanId parent) {
+  if (!options_.enabled) return kNoSpan;
+  const int64_t now = NowMicros();
+  const uint64_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  common::MutexLock lock(&trace_mu_);
+  if (spans_.size() >= options_.max_spans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return kNoSpan;
+  }
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size());
+  span.parent = parent;
+  span.name = name;
+  span.category = category;
+  span.start_us = now;
+  span.thread = tid;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceRecorder::EndSpan(SpanId id) {
+  if (id == kNoSpan) return;
+  const int64_t now = NowMicros();
+  common::MutexLock lock(&trace_mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  Span& span = spans_[static_cast<size_t>(id)];
+  if (span.duration_us < 0) span.duration_us = now - span.start_us;
+}
+
+void TraceRecorder::Annotate(SpanId id, const std::string& key,
+                             std::string value) {
+  if (id == kNoSpan) return;
+  common::MutexLock lock(&trace_mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  spans_[static_cast<size_t>(id)].attrs.emplace_back(key, std::move(value));
+}
+
+void TraceRecorder::Annotate(SpanId id, const std::string& key,
+                             int64_t value) {
+  if (id == kNoSpan) return;
+  Annotate(id, key, std::to_string(value));
+}
+
+void TraceRecorder::Annotate(SpanId id, const std::string& key, double value) {
+  if (id == kNoSpan) return;
+  std::ostringstream out;
+  out << value;
+  Annotate(id, key, out.str());
+}
+
+SpanId TraceRecorder::AddCompleteSpan(
+    std::string name, std::string category, SpanId parent, int64_t start_us,
+    int64_t duration_us, uint64_t thread,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  if (!options_.enabled) return kNoSpan;
+  common::MutexLock lock(&trace_mu_);
+  if (spans_.size() >= options_.max_spans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return kNoSpan;
+  }
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size());
+  span.parent = parent;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start_us = start_us;
+  span.duration_us = duration_us < 0 ? 0 : duration_us;
+  span.thread = thread;
+  span.attrs = std::move(attrs);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+std::vector<Span> TraceRecorder::Snapshot() const {
+  common::MutexLock lock(&trace_mu_);
+  return spans_;
+}
+
+int64_t TraceRecorder::span_count() const {
+  common::MutexLock lock(&trace_mu_);
+  return static_cast<int64_t>(spans_.size());
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
+  const int64_t now = NowMicros();
+  std::vector<Span> spans;
+  {
+    common::MutexLock lock(&trace_mu_);
+    spans = spans_;
+  }
+  // Compact thread hashes to small row ids in first-seen order, so the
+  // Perfetto timeline shows one stable row per thread.
+  std::map<uint64_t, int> tids;
+  for (const Span& s : spans) {
+    tids.emplace(s.thread, static_cast<int>(tids.size()) + 1);
+  }
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    const int64_t dur = s.duration_us >= 0 ? s.duration_us
+                                           : now - s.start_us;
+    out << (i == 0 ? "\n" : ",\n");
+    out << "  {\"name\": \"" << JsonEscaped(s.name) << "\", \"cat\": \""
+        << JsonEscaped(s.category) << "\", \"ph\": \"X\", \"ts\": "
+        << s.start_us << ", \"dur\": " << dur << ", \"pid\": 1, \"tid\": "
+        << tids.at(s.thread) << ", \"args\": {\"id\": " << s.id
+        << ", \"parent\": " << s.parent << ", \"tid_hash\": \"" << std::hex
+        << s.thread << std::dec << "\"";
+    for (const auto& [key, value] : s.attrs) {
+      out << ", \"" << JsonEscaped(key) << "\": \"" << JsonEscaped(value)
+          << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  WriteChromeTrace(out);
+  out.flush();
+  if (!out) return Status::IoError("error writing trace to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace hadad::obs

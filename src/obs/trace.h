@@ -1,0 +1,161 @@
+#ifndef HADAD_OBS_TRACE_H_
+#define HADAD_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace hadad::obs {
+
+// Handle for one recorded span. Ids are assigned in start order; kNoSpan
+// marks "no parent" and is also what a disabled/saturated recorder hands
+// back — every mutating entry point accepts it as a no-op, so callers
+// never branch on whether their span was actually kept.
+using SpanId = int64_t;
+inline constexpr SpanId kNoSpan = -1;
+
+struct TraceOptions {
+  // Record spans. A Session built without Tracing() has no recorder at
+  // all (null pointer — the disabled path is one branch, no allocation);
+  // this flag exists so a recorder can be constructed-but-off in tests.
+  bool enabled = true;
+  // Hard cap on retained spans; beyond it StartSpan returns kNoSpan and
+  // `dropped()` counts what was lost (a trace that lies by truncating
+  // silently would be worse than no trace).
+  size_t max_spans = size_t{1} << 20;
+};
+
+// One hierarchical span: a named interval on one thread, optionally linked
+// to a parent span, carrying string attributes ("args" in the Chrome trace
+// rendering).
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  std::string category;
+  int64_t start_us = 0;      // Relative to the recorder's epoch.
+  int64_t duration_us = -1;  // -1 while the span is still open.
+  uint64_t thread = 0;       // std::hash of the recording std::thread::id.
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+// Thread-safe hierarchical span recorder with Chrome-trace-event export.
+// All methods may be called concurrently; recording serializes on one
+// internal mutex (spans are emitted at operator granularity — tens per
+// query — so the lock is never on a per-element hot path; bulk producers
+// like the scheduler batch via AddCompleteSpan after the run).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceOptions options = {});
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const { return options_.enabled; }
+
+  // Microseconds since the recorder was constructed (steady clock — the
+  // time base every span start/duration is expressed in).
+  int64_t NowMicros() const;
+
+  // Opens a span; returns kNoSpan when disabled or at capacity.
+  SpanId StartSpan(const std::string& name, const std::string& category,
+                   SpanId parent = kNoSpan) HADAD_EXCLUDES(trace_mu_);
+  // Closes `id` (no-op for kNoSpan or an already-closed span).
+  void EndSpan(SpanId id) HADAD_EXCLUDES(trace_mu_);
+
+  // Attaches a key/value attribute to an open or closed span.
+  void Annotate(SpanId id, const std::string& key, std::string value)
+      HADAD_EXCLUDES(trace_mu_);
+  void Annotate(SpanId id, const std::string& key, int64_t value);
+  void Annotate(SpanId id, const std::string& key, double value);
+
+  // Records an already-measured interval in one call — how the scheduler
+  // publishes per-kernel spans after the run without taking the trace lock
+  // inside the execution critical path.
+  SpanId AddCompleteSpan(
+      std::string name, std::string category, SpanId parent, int64_t start_us,
+      int64_t duration_us, uint64_t thread,
+      std::vector<std::pair<std::string, std::string>> attrs)
+      HADAD_EXCLUDES(trace_mu_);
+
+  // Point-in-time copy of every recorded span (tests, tooling).
+  std::vector<Span> Snapshot() const HADAD_EXCLUDES(trace_mu_);
+  int64_t span_count() const HADAD_EXCLUDES(trace_mu_);
+  // Spans rejected by the max_spans cap.
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Chrome trace-event JSON ("X" complete events), loadable by
+  // chrome://tracing and Perfetto. Open spans are emitted with their
+  // duration so far. Thread ids are compacted to small integers in
+  // first-seen order; the original hash and the span hierarchy ride in
+  // each event's "args" ("tid_hash", "id", "parent").
+  void WriteChromeTrace(std::ostream& out) const HADAD_EXCLUDES(trace_mu_);
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  const TraceOptions options_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable common::Mutex trace_mu_;
+  // Span id == index into this vector (ids are dense and start at 0).
+  std::vector<Span> spans_ HADAD_GUARDED_BY(trace_mu_);
+  std::atomic<int64_t> dropped_{0};
+};
+
+// Borrowed recorder + parent span, threaded through execution layers
+// (Session → Executor → Scheduler) as one pointer. Null pointer (or null
+// recorder) means tracing is off; every consumer checks once and skips.
+struct TraceContext {
+  TraceRecorder* recorder = nullptr;
+  SpanId parent = kNoSpan;
+};
+
+// RAII span. Tolerates a null recorder: construction is then two pointer
+// stores and no allocation — the disabled path api::Session compiles every
+// hook down to.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, const char* name, const char* category,
+             SpanId parent = kNoSpan)
+      : recorder_(recorder),
+        id_(recorder == nullptr ? kNoSpan
+                                : recorder->StartSpan(name, category, parent)) {
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->EndSpan(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // kNoSpan when tracing is off — safe to pass on as a parent.
+  SpanId id() const { return id_; }
+  bool active() const { return id_ != kNoSpan; }
+
+  void Annotate(const std::string& key, std::string value) const {
+    if (recorder_ != nullptr) {
+      recorder_->Annotate(id_, key, std::move(value));
+    }
+  }
+  void Annotate(const std::string& key, int64_t value) const {
+    if (recorder_ != nullptr) recorder_->Annotate(id_, key, value);
+  }
+  void Annotate(const std::string& key, double value) const {
+    if (recorder_ != nullptr) recorder_->Annotate(id_, key, value);
+  }
+
+ private:
+  TraceRecorder* const recorder_;
+  const SpanId id_;
+};
+
+}  // namespace hadad::obs
+
+#endif  // HADAD_OBS_TRACE_H_

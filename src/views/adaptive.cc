@@ -61,6 +61,9 @@ void AdaptiveViewManager::OnExecution(const la::ExprPtr& executed,
 void AdaptiveViewManager::OnDataMutation(const std::set<std::string>& changed,
                                          const std::string* appended,
                                          const matrix::Matrix* delta_rows) {
+  obs::ScopedSpan propagate(host_.trace, "adaptive_propagation", "views");
+  int64_t invalidated_here = 0;
+  int64_t refreshes_queued = 0;
   std::vector<RefreshTask> refreshes;
   {
     common::MutexLock admin(&admin_mu_);
@@ -111,6 +114,7 @@ void AdaptiveViewManager::OnDataMutation(const std::set<std::string>& changed,
                 std::vector<std::string>(leaves.begin(), leaves.end()));
             pending_.insert(RefreshKey(task.meta.name));
             refreshes.push_back(std::move(task));
+            ++refreshes_queued;
             continue;
           }
         }
@@ -122,6 +126,7 @@ void AdaptiveViewManager::OnDataMutation(const std::set<std::string>& changed,
         (void)host_.optimizer->RemoveView(name);
         if (host_.exec_catalog != nullptr) host_.exec_catalog->erase(name);
         invalidated_.fetch_add(1, std::memory_order_relaxed);
+        ++invalidated_here;
         views_changed = true;
         // The monitor's accumulated evidence was measured against the old
         // data; keep the advisor honest by dropping it.
@@ -129,6 +134,10 @@ void AdaptiveViewManager::OnDataMutation(const std::set<std::string>& changed,
       }
     }
     if (views_changed && host_.on_views_changed) host_.on_views_changed();
+  }
+  if (propagate.active()) {
+    propagate.Annotate("invalidated", invalidated_here);
+    propagate.Annotate("refreshes_queued", refreshes_queued);
   }
 
   for (RefreshTask& task : refreshes) {
@@ -149,6 +158,8 @@ void AdaptiveViewManager::RefreshOne(RefreshTask task,
   // InstallRefresh consumes the task; the drain key outlives it. A
   // discarded refresh is never blacklisted — it is a data-change casualty,
   // not a doomed candidate — so both paths finish with failed=false.
+  obs::ScopedSpan span(host_.trace, "adaptive_refresh", "views");
+  span.Annotate("view", task.meta.name);
   const std::string refresh_key = RefreshKey(task.meta.name);
   if (caller_holds_state_lock) {
     // Synchronous mode: the session's mutation path already holds the
@@ -204,6 +215,8 @@ void AdaptiveViewManager::InstallRefresh(RefreshTask task,
     if (store_.PlanAdmission(bytes, &evict)) {
       for (const std::string& victim : evict) {
         if (!store_.Evict(victim).ok()) continue;
+        obs::ScopedSpan evict_span(host_.trace, "view_evict", "views");
+        evict_span.Annotate("view", victim);
         (void)host_.optimizer->RemoveView(victim);
         if (host_.exec_catalog != nullptr) {
           host_.exec_catalog->erase(victim);
@@ -315,6 +328,8 @@ void AdaptiveViewManager::MaybeScheduleMaterializations() {
 }
 
 void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
+  obs::ScopedSpan span(host_.trace, "adaptive_materialize", "views");
+  span.Annotate("canonical", rec.canonical);
   // Compute outside any exclusive lock: foreground queries keep running
   // (they share the state lock) while the view value materializes. The
   // definition's leaf epochs are stamped under the same shared hold — if a
@@ -357,6 +372,8 @@ void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
     } else {
       for (const std::string& name : evict) {
         if (!store_.Evict(name).ok()) continue;
+        obs::ScopedSpan evict_span(host_.trace, "view_evict", "views");
+        evict_span.Annotate("view", name);
         (void)host_.optimizer->RemoveView(name);
         if (host_.exec_catalog != nullptr) host_.exec_catalog->erase(name);
         evicted_.fetch_add(1, std::memory_order_relaxed);
@@ -390,6 +407,8 @@ void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
     }
     if (changed && host_.on_views_changed) host_.on_views_changed();
   }
+  span.Annotate("installed", static_cast<int64_t>(installed));
+  span.Annotate("discarded", static_cast<int64_t>(discarded));
   // Subtrees of the new view stop being recomputed once rewrites land on
   // it; their accumulated counts would otherwise look like benefit. A
   // rejected candidate's stats go too — its canonical is blacklisted, so

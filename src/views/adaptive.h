@@ -17,6 +17,7 @@
 #include "exec/thread_pool.h"
 #include "la/expr.h"
 #include "matrix/matrix.h"
+#include "obs/trace.h"
 #include "pacb/optimizer.h"
 #include "views/advisor.h"
 #include "views/view_store.h"
@@ -90,6 +91,10 @@ class AdaptiveViewManager {
     std::function<Result<matrix::Matrix>(const la::ExprPtr&)> evaluate;
     // View-set change notification, called under the unique state lock.
     std::function<void()> on_views_changed;
+    // Optional span recorder (borrowed; must outlive the manager). The
+    // manager emits "views"-category spans for materializations, delta
+    // refreshes, evictions, and mutation propagation. Null = no tracing.
+    obs::TraceRecorder* trace = nullptr;
   };
 
   // `estimator` drives advisor scoring (nullptr = naive metadata).
@@ -137,6 +142,10 @@ class AdaptiveViewManager {
       HADAD_EXCLUDES(admin_mu_);
   // The options this manager was built with. Thread-safe (immutable).
   const AdaptiveOptions& options() const { return options_; }
+
+  // Distinct canonical subexpressions the workload monitor currently
+  // tracks (the session exposes this as a gauge). Thread-safe.
+  int64_t MonitorTrackedCount() const { return monitor_.tracked_count(); }
 
   // Canonical forms of the current *viable* materialization candidates:
   // the advisor's latest recommendation set (size-filtered against the

@@ -116,6 +116,11 @@ int64_t WorkloadMonitor::observed_runs() const {
   return runs_;
 }
 
+int64_t WorkloadMonitor::tracked_count() const {
+  common::MutexLock lock(&mu_);
+  return static_cast<int64_t>(stats_.size());
+}
+
 void WorkloadMonitor::Clear() {
   common::MutexLock lock(&mu_);
   stats_.clear();

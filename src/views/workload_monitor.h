@@ -73,6 +73,8 @@ class WorkloadMonitor {
   void Forget(const la::ExprPtr& root);
 
   int64_t observed_runs() const;
+  // Distinct canonical forms currently tracked (<= max_tracked).
+  int64_t tracked_count() const;
   void Clear();
 
  private:
