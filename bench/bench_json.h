@@ -57,6 +57,17 @@ class JsonWriter {
         Record{workload, seconds, speedup, threads, verified_tolerance});
   }
 
+  // Latency-distribution percentiles (seconds) for one workload, read off
+  // a live histogram (obs::HistogramQuantile over hadad_run_seconds is the
+  // intended source). Emitted as a sibling `run_seconds_percentiles` list
+  // so tooling that only reads `results` (scripts/bench_diff.py) is
+  // unaffected.
+  void AddRunPercentiles(const std::string& workload, double p50, double p95,
+                         double p99) {
+    if (!enabled()) return;
+    percentiles_.push_back(Percentiles{workload, p50, p95, p99});
+  }
+
   // Writes the document; returns false (after printing why) on I/O error.
   bool Write() const {
     if (!enabled()) return true;
@@ -84,7 +95,20 @@ class JsonWriter {
         std::fprintf(f, "\"verified_tolerance\": null}");
       }
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    std::fprintf(f, "\n  ]");
+    if (!percentiles_.empty()) {
+      std::fprintf(f, ",\n  \"run_seconds_percentiles\": [");
+      for (size_t i = 0; i < percentiles_.size(); ++i) {
+        const Percentiles& p = percentiles_[i];
+        std::fprintf(f,
+                     "%s\n    {\"workload\": \"%s\", \"p50\": %.9g, "
+                     "\"p95\": %.9g, \"p99\": %.9g}",
+                     i == 0 ? "" : ",", Escaped(p.workload).c_str(), p.p50,
+                     p.p95, p.p99);
+      }
+      std::fprintf(f, "\n  ]");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     return true;
   }
@@ -96,6 +120,13 @@ class JsonWriter {
     double speedup;
     int threads;
     double verified_tolerance;
+  };
+
+  struct Percentiles {
+    std::string workload;
+    double p50;
+    double p95;
+    double p99;
   };
 
   static std::string Escaped(const std::string& s) {
@@ -111,6 +142,7 @@ class JsonWriter {
   std::string benchmark_;
   std::string path_;
   std::vector<Record> records_;
+  std::vector<Percentiles> percentiles_;
 };
 
 }  // namespace hadad::bench

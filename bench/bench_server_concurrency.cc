@@ -1,0 +1,213 @@
+// Serving-layer concurrency benchmark (src/server/): four clients
+// submitting through one server::Server over a shared session must achieve
+// higher aggregate throughput than the same four client workloads run as
+// sequential single-session runs — with bit-identical results.
+//
+// The baseline models today's embedded shape: each client stands up its own
+// api::Session (own plan cache, own substrate) and runs the serving mix,
+// one client after another. Every session pays the full RW_find rewrite
+// search per pipeline. The served shape runs the same four workloads
+// concurrently over ONE shared substrate: the cross-client plan cache pays
+// each pipeline's optimization once and every other client rides the
+// hit path, while dispatcher concurrency overlaps the clients' request
+// streams. Also demonstrates that a deadline-bounded request fails with
+// the typed error and leaves the dispatcher pool serving.
+//
+//   $ ./build/bench/bench_server_concurrency [--json=PATH]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "bench_json.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/data.h"
+#include "core/workloads.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+
+using namespace hadad;  // NOLINT
+
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kRounds = 2;  // Each client runs the mix this many times.
+
+// The serving mix from bench_session_cache: P¬Opt pipelines where RW_find
+// buys a better plan and P_Opt ones where it is pure overhead — both kinds
+// of optimization cost are amortized by the shared plan cache.
+const char* kPipelineIds[] = {"P1.1",  "P1.4",  "P1.13", "P1.15",
+                              "P2.10", "P2.21", "P1.29"};
+constexpr int kPipelines =
+    static_cast<int>(sizeof(kPipelineIds) / sizeof(kPipelineIds[0]));
+
+std::shared_ptr<api::Session> MakeSession(const engine::Workspace& ws) {
+  api::SessionBuilder builder;
+  for (const auto& [name, m] : ws.data()) builder.Put(name, m);
+  auto session = builder.Threads(kClients).Build();
+  if (!session.ok()) {
+    std::printf("session failed: %s\n", session.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *session;
+}
+
+bool BitIdentical(const matrix::Matrix& a, const matrix::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const matrix::DenseMatrix da = a.ToDense();
+  const matrix::DenseMatrix db = b.ToDense();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      if (da.At(i, j) != db.At(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonWriter json("bench_server_concurrency", argc, argv);
+
+  Rng rng(42);
+  const engine::Workspace ws = core::MakeLaBenchWorkspace(rng);
+  std::vector<std::string> queries;
+  queries.reserve(kPipelines);
+  for (const char* id : kPipelineIds) {
+    const core::Pipeline* p = core::FindPipeline(id);
+    if (p == nullptr) {
+      std::printf("unknown pipeline %s\n", id);
+      return 1;
+    }
+    queries.push_back(p->text);
+  }
+
+  // Reference results from a throwaway session; every run in both measured
+  // phases must match these bit-for-bit.
+  std::vector<matrix::Matrix> expected;
+  {
+    std::shared_ptr<api::Session> reference = MakeSession(ws);
+    for (const std::string& q : queries) {
+      auto r = reference->Run(q);
+      if (!r.ok()) {
+        std::printf("reference failed: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      expected.push_back(std::move(*r));
+    }
+  }
+
+  // Phase 1: four sequential single-session runs — one fresh (cold-cache)
+  // session per client, one client after another. Sessions are built
+  // before the timer so only query traffic is measured.
+  std::vector<std::shared_ptr<api::Session>> solo;
+  solo.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) solo.push_back(MakeSession(ws));
+  bool identical_seq = true;
+  Timer seq;
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kRounds; ++r) {
+      for (int i = 0; i < kPipelines; ++i) {
+        const int q = (i + c) % kPipelines;
+        auto out = solo[static_cast<size_t>(c)]->Run(queries[q]);
+        if (!out.ok()) return 1;
+        if (!BitIdentical(expected[static_cast<size_t>(q)], *out)) {
+          identical_seq = false;
+        }
+      }
+    }
+  }
+  const double seq_s = seq.ElapsedSeconds();
+  solo.clear();
+
+  // Phase 2: the same four client workloads, concurrently through the
+  // server over one fresh shared session. Each pipeline's RW_find runs
+  // once for the whole fleet; clients start at staggered offsets so the
+  // first round's cold misses spread across different plans.
+  std::shared_ptr<api::Session> session = MakeSession(ws);
+  server::ServerOptions options;
+  options.max_in_flight = kClients;
+  auto server = server::Server::Create(session, options);
+  if (!server.ok()) {
+    std::printf("server failed: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::atomic<bool> identical_conc{true};
+  std::atomic<int> failures{0};
+  Timer conc;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    submitters.emplace_back([&, c] {
+      auto client = (*server)->Connect("client" + std::to_string(c));
+      for (int r = 0; r < kRounds; ++r) {
+        for (int i = 0; i < kPipelines; ++i) {
+          const int q = (i + c) % kPipelines;
+          auto out = client->Run(queries[static_cast<size_t>(q)]);
+          if (!out.ok()) {
+            ++failures;
+          } else if (!BitIdentical(expected[static_cast<size_t>(q)], *out)) {
+            identical_conc = false;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  const double conc_s = conc.ElapsedSeconds();
+  const double speedup = conc_s > 0 ? seq_s / conc_s : 0.0;
+  const bool identical = identical_seq && identical_conc;
+
+  // A 10ms deadline on a warmed multi-node GEMM chain (~hundreds of ms)
+  // fails typed at a DAG node launch — and the pool keeps serving.
+  const char* chain = "t(A) %*% (A %*% (t(A) %*% A))";
+  auto deadline_client = (*server)->Connect("hurried");
+  if (!deadline_client->Run(chain).ok()) return 1;
+  server::RequestOptions hurried;
+  hurried.deadline = std::chrono::milliseconds(10);
+  auto bounded = deadline_client->Run(chain, hurried);
+  const bool deadline_ok =
+      !bounded.ok() &&
+      bounded.status().code() == StatusCode::kDeadlineExceeded &&
+      deadline_client->Run(queries[0]).ok();
+
+  std::printf("== server concurrency: %d clients x %d rounds x %d pipelines "
+              "==\n",
+              kClients, kRounds, kPipelines);
+  std::printf("sequential (4 cold single-session runs): %8.1f ms\n",
+              seq_s * 1e3);
+  std::printf("concurrent (shared substrate + cache):   %8.1f ms\n",
+              conc_s * 1e3);
+  std::printf("aggregate throughput gain:               %8.2fx\n", speedup);
+  std::printf("bit-identical results: %s\n", identical ? "yes" : "NO");
+  std::printf("deadline-bounded request: %s\n",
+              deadline_ok ? "typed error, pool kept serving"
+                          : "FAILED contract");
+
+  json.Add("whole_workload_sequential", seq_s, /*speedup=*/-1.0,
+           /*threads=*/1, /*verified_tolerance=*/-1.0);
+  json.Add("four_clients_concurrent", conc_s, speedup, /*threads=*/kClients,
+           /*verified_tolerance=*/0.0);  // 0.0 = verified bit-identical.
+  const obs::Histogram* run_seconds =
+      session->metrics().FindHistogram("hadad_run_seconds");
+  if (run_seconds != nullptr && run_seconds->Count() > 0) {
+    json.AddRunPercentiles("served_runs",
+                           obs::HistogramQuantile(*run_seconds, 0.50),
+                           obs::HistogramQuantile(*run_seconds, 0.95),
+                           obs::HistogramQuantile(*run_seconds, 0.99));
+  }
+  (*server)->Shutdown();
+  if (!json.Write()) return 1;
+  if (failures > 0 || !identical || !deadline_ok) return 1;
+  if (speedup <= 1.0) {
+    std::printf("FAIL: concurrent serving did not beat sequential\n");
+    return 1;
+  }
+  return 0;
+}

@@ -144,6 +144,18 @@ int main(int argc, char** argv) {
               static_cast<long long>(session->plan_cache_size()));
   json.Add("shared_session_serving_loop", wall_s, /*speedup=*/-1.0,
            /*threads=*/kThreads, /*verified_tolerance=*/-1.0);
+  // Latency distribution of every Run() above, read off the session's
+  // hadad_run_seconds histogram.
+  const obs::Histogram* run_seconds =
+      session->metrics().FindHistogram("hadad_run_seconds");
+  if (run_seconds != nullptr && run_seconds->Count() > 0) {
+    const double p50 = obs::HistogramQuantile(*run_seconds, 0.50);
+    const double p95 = obs::HistogramQuantile(*run_seconds, 0.95);
+    const double p99 = obs::HistogramQuantile(*run_seconds, 0.99);
+    std::printf("run_seconds p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+                p50 * 1e3, p95 * 1e3, p99 * 1e3);
+    json.AddRunPercentiles("all_runs", p50, p95, p99);
+  }
   if (!json.Write()) return 1;
   return failures.load() == 0 ? 0 : 1;
 }

@@ -149,6 +149,16 @@ void BenchWarmedLatencyRecovery(bench::JsonWriter& json) {
            /*threads=*/1, /*verified_tolerance=*/-1.0);
   json.Add("warmed_run_post_update", warm_after / 1e3, /*speedup=*/-1.0,
            /*threads=*/1, /*verified_tolerance=*/-1.0);
+  // Latency distribution across every Run() of this scenario (cold, warm,
+  // post-update re-derive), from the session's hadad_run_seconds histogram.
+  const obs::Histogram* run_seconds =
+      session->metrics().FindHistogram("hadad_run_seconds");
+  if (run_seconds != nullptr && run_seconds->Count() > 0) {
+    json.AddRunPercentiles("update_recovery_runs",
+                           obs::HistogramQuantile(*run_seconds, 0.50),
+                           obs::HistogramQuantile(*run_seconds, 0.95),
+                           obs::HistogramQuantile(*run_seconds, 0.99));
+  }
 }
 
 }  // namespace

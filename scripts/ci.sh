@@ -36,6 +36,10 @@ case "$mode" in
     cmake --build build -j
     cd build
     ctest --output-on-failure -j
+    # Serving smoke: concurrent clients over one substrate, one
+    # deadline-exceeded request, clean pool drain (exits nonzero on any
+    # broken contract).
+    ./examples/server_demo
     ;;
   tsan)
     cmake -B build-tsan -S . \
@@ -45,12 +49,13 @@ case "$mode" in
       -DHADAD_BUILD_BENCHMARKS=OFF \
       -DHADAD_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j --target exec_test session_test views_test \
-      mutation_test obs_test
+      mutation_test obs_test server_test
     ./build-tsan/tests/exec_test
     ./build-tsan/tests/session_test
     ./build-tsan/tests/views_test
     ./build-tsan/tests/mutation_test
     ./build-tsan/tests/obs_test
+    ./build-tsan/tests/server_test
     ;;
   asan)
     cmake -B build-asan -S . \
@@ -69,17 +74,20 @@ case "$mode" in
       -DBUILD_TESTING=OFF \
       -DHADAD_BUILD_EXAMPLES=OFF
     cmake --build build-bench -j --target bench_session_cache \
-      bench_update_refresh
+      bench_update_refresh bench_server_concurrency
     ./build-bench/bench/bench_session_cache \
       --json=build-bench/bench_session_cache.json
     ./build-bench/bench/bench_update_refresh \
       --json=build-bench/bench_update_refresh.json
+    ./build-bench/bench/bench_server_concurrency \
+      --json=build-bench/bench_server_concurrency.json
     # Merge the per-driver documents into the machine-readable summary that
     # perf tooling consumes (the stdout tables above are for humans).
     python3 - <<'PYEOF'
 import json
 
-drivers = ["bench_session_cache", "bench_update_refresh"]
+drivers = ["bench_session_cache", "bench_update_refresh",
+           "bench_server_concurrency"]
 merged = {"schema_version": 1, "generated_by": "scripts/ci.sh bench",
           "benchmarks": []}
 for name in drivers:

@@ -86,24 +86,67 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
     const std::string& text, bool* from_cache, obs::SpanId parent) const {
   HADAD_ASSIGN_OR_RETURN(la::ExprPtr expr, la::ParseExpression(text));
   std::string canonical = la::ToString(expr);
-  {
-    obs::ScopedSpan lookup(trace_.get(), "plan_cache_lookup", "cache",
-                           parent);
-    common::ReaderMutexLock lock(&cache_mu_);
-    auto it = plan_cache_.find(canonical);
-    if (it != plan_cache_.end()) {
-      if (PlanFresh(*it->second)) {
-        lookup.Annotate("outcome", "hit");
-        cache_hits_->Inc();
-        *from_cache = true;
-        return it->second;
+  for (;;) {
+    {
+      obs::ScopedSpan lookup(trace_.get(), "plan_cache_lookup", "cache",
+                             parent);
+      common::ReaderMutexLock lock(&cache_mu_);
+      auto it = plan_cache_.find(canonical);
+      if (it != plan_cache_.end()) {
+        if (PlanFresh(*it->second)) {
+          lookup.Annotate("outcome", "hit");
+          cache_hits_->Inc();
+          *from_cache = true;
+          return it->second;
+        }
+        lookup.Annotate("outcome", "stale");
+      } else {
+        lookup.Annotate("outcome", "miss");
       }
-      lookup.Annotate("outcome", "stale");
-    } else {
-      lookup.Annotate("outcome", "miss");
     }
+    // Join or lead the in-flight derivation of this canonical text. Without
+    // coalescing, N clients missing on the same expression each pay the
+    // full RW_find only for first-insertion-wins to discard N-1 results —
+    // the serving-layer thundering herd.
+    std::shared_ptr<PlanBuild> build;
+    bool leader = false;
+    {
+      common::MutexLock lock(&builds_mu_);
+      auto [it, inserted] = plan_builds_.try_emplace(canonical, nullptr);
+      if (inserted) {
+        it->second = std::make_shared<PlanBuild>();
+        leader = true;
+      }
+      build = it->second;
+    }
+    if (!leader) {
+      // Wait for the leader, then re-run the lookup: normally a fresh hit;
+      // after a leader failure (or staleness) this thread leads a new lap.
+      obs::ScopedSpan wait(trace_.get(), "plan_build_wait", "cache", parent);
+      coalesced_builds_->Inc();
+      common::MutexLock lock(&build->mu);
+      while (!build->done) build->cv.wait(lock);
+      continue;
+    }
+    cache_misses_->Inc();
+    Result<std::shared_ptr<const PreparedPlan>> built =
+        BuildAndInsertPlan(std::move(expr), canonical, parent);
+    {
+      common::MutexLock lock(&builds_mu_);
+      plan_builds_.erase(canonical);
+    }
+    {
+      common::MutexLock lock(&build->mu);
+      build->done = true;
+    }
+    build->cv.notify_all();
+    *from_cache = false;
+    return built;
   }
-  cache_misses_->Inc();
+}
+
+Result<std::shared_ptr<const PreparedPlan>> Session::BuildAndInsertPlan(
+    la::ExprPtr expr, std::string canonical, obs::SpanId parent) const {
   auto plan = std::make_shared<PreparedPlan>();
   // Optimize outside the cache lock: RW_find dominates, and concurrent
   // misses on different expressions must not serialize. The state lock is
@@ -136,24 +179,38 @@ Result<std::shared_ptr<const PreparedPlan>> Session::GetOrBuildPlan(
   plan->original = std::move(expr);
   prepares_->Inc();
   common::WriterMutexLock lock(&cache_mu_);
-  // Two threads may have optimized the same expression concurrently; first
-  // insertion wins so every holder shares one plan — unless the resident
-  // plan is stale (older view generation or moved leaf epochs), which ours
-  // supersedes.
+  // Coalescing keeps duplicate derivations of one expression out, but a
+  // stale resident plan may still sit here from an earlier generation;
+  // first insertion wins so every holder shares one plan — unless the
+  // resident plan is stale (older view generation or moved leaf epochs),
+  // which ours supersedes.
   auto [it, inserted] = plan_cache_.try_emplace(plan->canonical, plan);
   if (!inserted && it->second != plan &&
       (it->second->generation < plan->generation ||
        !workspace_.SnapshotCurrent(it->second->data_snapshot))) {
     it->second = plan;
   }
-  *from_cache = false;
   return it->second;
 }
 
 Result<matrix::Matrix> Session::ExecuteExpr(const la::ExprPtr& expr,
                                             engine::ExecStats* stats,
-                                            obs::SpanId parent) const {
-  if (morpheus_ != nullptr) return morpheus_->Run(expr, stats);
+                                            obs::SpanId parent,
+                                            const exec::CancelToken* cancel)
+    const {
+  if (morpheus_ != nullptr &&
+      (executor_ == nullptr || morpheus_->ReferencesNormalized(*expr))) {
+    // Factorized data lives inside the Morpheus engine, so expressions
+    // touching it must evaluate there — but it borrows the executor's pool
+    // (and the trace recorder) so pushdown kernels still parallelize and
+    // show up as per-kernel spans. Expressions over plain workspace names
+    // fall through to the DAG engine below.
+    const obs::TraceContext ctx{trace_.get(), parent};
+    return morpheus_->Run(expr, stats,
+                          executor_ != nullptr ? executor_->range_runner()
+                                               : matrix::RangeRunner(nullptr),
+                          &ctx);
+  }
   if (executor_ != nullptr) {
     // Respect the engine profile (kSmart applies its internal rewrites
     // before execution), then hand the plan to the parallel DAG engine.
@@ -179,7 +236,7 @@ Result<matrix::Matrix> Session::ExecuteExpr(const la::ExprPtr& expr,
       }
     }
     const obs::TraceContext ctx{trace_.get(), parent};
-    return executor_->RunCompiled(compiled, workspace_, stats, &ctx);
+    return executor_->RunCompiled(compiled, workspace_, stats, &ctx, cancel);
   }
   return engine_->Run(expr, stats);
 }
@@ -259,7 +316,8 @@ Result<std::shared_ptr<const exec::CompiledPlan>> Session::GetOrCompile(
 
 Result<matrix::Matrix> Session::RunPlan(
     std::shared_ptr<const PreparedPlan> plan, engine::ExecStats* stats,
-    bool original, obs::SpanId parent) const {
+    bool original, obs::SpanId parent, const exec::CancelToken* cancel)
+    const {
   // Calls arriving without an enclosing span (PreparedQuery::Execute) get
   // their own root; Session::Run passes its "Run" span instead.
   obs::ScopedSpan root(parent == obs::kNoSpan ? trace_.get() : nullptr,
@@ -295,7 +353,7 @@ Result<matrix::Matrix> Session::RunPlan(
       // session-durable names, so it executes against the current data.
       use_original = original || stale;
       result.emplace(ExecutePlanLocked(*plan, use_original, exec_stats,
-                                       span));
+                                       span, cancel));
     }
     if (adaptive && !original && result->ok()) {
       // OnExecution takes the state lock itself, hence outside the scope.
@@ -308,17 +366,25 @@ Result<matrix::Matrix> Session::RunPlan(
 
 Result<matrix::Matrix> Session::ExecutePlanLocked(
     const PreparedPlan& plan, bool use_original,
-    engine::ExecStats* exec_stats, obs::SpanId parent) const {
-  if (use_original) return ExecuteExpr(plan.original, exec_stats, parent);
-  if (morpheus_ == nullptr && executor_ != nullptr) {
+    engine::ExecStats* exec_stats, obs::SpanId parent,
+    const exec::CancelToken* cancel) const {
+  if (use_original) {
+    return ExecuteExpr(plan.original, exec_stats, parent, cancel);
+  }
+  if (executor_ != nullptr &&
+      (morpheus_ == nullptr ||
+       !morpheus_->ReferencesNormalized(*plan.rewrite.best))) {
     // Hit path for executor sessions: reuse the physical DAG cached in
-    // the plan instead of recompiling it.
+    // the plan instead of recompiling it. (Plans over normalized matrices
+    // stay on the Morpheus engine via ExecuteExpr — their data is not in
+    // the workspace the DAG compiler plans against.)
     auto compiled = GetOrCompile(plan, parent);
     if (!compiled.ok()) return compiled.status();
     const obs::TraceContext ctx{trace_.get(), parent};
-    return executor_->RunCompiled(**compiled, workspace_, exec_stats, &ctx);
+    return executor_->RunCompiled(**compiled, workspace_, exec_stats, &ctx,
+                                  cancel);
   }
-  return ExecuteExpr(plan.rewrite.best, exec_stats, parent);
+  return ExecuteExpr(plan.rewrite.best, exec_stats, parent, cancel);
 }
 
 void Session::AnnotateRoot(const obs::ScopedSpan& root,
@@ -340,15 +406,26 @@ Result<PreparedQuery> Session::Prepare(const std::string& text) const {
 
 Result<matrix::Matrix> Session::Run(const std::string& text,
                                     engine::ExecStats* stats) const {
+  return RunCancellable(text, /*cancel=*/nullptr, /*client=*/"", stats);
+}
+
+Result<matrix::Matrix> Session::RunCancellable(
+    const std::string& text, const exec::CancelToken* cancel,
+    const std::string& client, engine::ExecStats* stats) const {
   obs::ScopedSpan root(trace_.get(), "Run", "session");
   AnnotateRoot(root, text);
+  if (!client.empty()) root.Annotate("client", client);
+  // A request that spent its whole deadline queued (or was cancelled while
+  // waiting) fails before paying for optimization.
+  if (cancel != nullptr) HADAD_RETURN_IF_ERROR(cancel->CheckProceed());
   Timer timer;
   bool from_cache = false;
   HADAD_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
                          GetOrBuildPlan(text, &from_cache, root.id()));
   runs_->Inc();
-  Result<matrix::Matrix> result =
-      RunPlan(std::move(plan), stats, /*original=*/false, root.id());
+  Result<matrix::Matrix> result = RunPlan(std::move(plan), stats,
+                                          /*original=*/false, root.id(),
+                                          cancel);
   run_seconds_->Observe(timer.ElapsedSeconds());
   return result;
 }
@@ -359,7 +436,9 @@ Result<std::string> Session::ExplainAnalyzePlan(
   AnnotateRoot(root, plan.canonical);
   engine::ExecStats stats;
   common::ReaderMutexLock state(&views_mu_);
-  if (morpheus_ == nullptr && executor_ != nullptr) {
+  if (executor_ != nullptr &&
+      (morpheus_ == nullptr ||
+       !morpheus_->ReferencesNormalized(*plan.rewrite.best))) {
     HADAD_ASSIGN_OR_RETURN(std::shared_ptr<const exec::CompiledPlan> compiled,
                            GetOrCompile(plan, root.id()));
     const obs::TraceContext ctx{trace_.get(), root.id()};
@@ -710,6 +789,7 @@ SessionStats Session::stats() const {
   s.prepares = prepares_->Value();
   s.cache_hits = cache_hits_->Value();
   s.cache_misses = cache_misses_->Value();
+  s.plan_builds_coalesced = coalesced_builds_->Value();
   s.runs = runs_->Value();
   s.compiled_plans = compiled_plans_->Value();
   s.fused_nodes = fused_nodes_->Value();
@@ -896,6 +976,10 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
         "Prepare/Run calls answered from the plan cache. Unit: calls.");
     raw->cache_misses_ = m.AddCounter("hadad_session_plan_cache_misses_total",
         "Prepare/Run calls that missed or found a stale plan. Unit: calls.");
+    raw->coalesced_builds_ =
+        m.AddCounter("hadad_session_plan_builds_coalesced_total",
+        "Misses that waited for an in-flight derivation of the same "
+        "expression instead of duplicating RW_find. Unit: calls.");
     raw->runs_ = m.AddCounter("hadad_session_runs_total",
         "Session::Run invocations. Unit: calls.");
     raw->compiled_plans_ = m.AddCounter("hadad_session_compiled_plans_total",

@@ -43,6 +43,9 @@ struct SessionStats {
   int64_t cache_hits = 0;
   // Prepare()/Run() calls that missed (or found a stale plan) — calls.
   int64_t cache_misses = 0;
+  // Misses that waited for a concurrent in-flight derivation of the same
+  // expression instead of duplicating RW_find — calls.
+  int64_t plan_builds_coalesced = 0;
   // Session::Run() invocations — calls.
   int64_t runs = 0;
   // Physical-DAG compilations — plans (executor sessions only; the hit
@@ -187,6 +190,19 @@ class Session : public std::enable_shared_from_this<Session> {
   Result<matrix::Matrix> Run(const std::string& text,
                              engine::ExecStats* stats = nullptr) const;
 
+  // Run with serving-layer hooks (src/server/ calls this; plain Run is the
+  // cancel-free special case). `cancel`, when non-null, is checked before
+  // optimization and then cooperatively at every DAG node launch — a
+  // cancelled or past-deadline token aborts the run with the typed
+  // kCancelled/kDeadlineExceeded status (executor sessions; engines without
+  // the DAG scheduler only honor the pre-execution check). `client`, when
+  // non-empty, is stamped on the root trace span.
+  Result<matrix::Matrix> RunCancellable(const std::string& text,
+                                        const exec::CancelToken* cancel,
+                                        const std::string& client = "",
+                                        engine::ExecStats* stats = nullptr)
+      const;
+
   // --- Mutable data layer --------------------------------------------------
 
   // Replaces base matrix `name` (shape, sparsity, and representation may
@@ -262,6 +278,13 @@ class Session : public std::enable_shared_from_this<Session> {
   // The registry behind stats()/MetricsText(). Gauges are only as fresh as
   // the last MetricsText() call; counters and histograms are always live.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+  // Writable registry handle: the serving layer (src/server/) registers its
+  // hadad_server_* metrics here so one scrape covers the whole process.
+  // Registration is internally locked; see MetricsRegistry.
+  obs::MetricsRegistry& mutable_metrics() { return metrics_; }
+  // Writable recorder handle (null without Tracing()): the serving layer
+  // parents its per-request spans under the session recorder.
+  obs::TraceRecorder* mutable_trace() { return trace_.get(); }
   // Non-null iff SessionBuilder::Tracing was called. Stable for the
   // session's lifetime; the recorder's own methods are thread-safe.
   const obs::TraceRecorder* trace() const { return trace_.get(); }
@@ -297,7 +320,13 @@ class Session : public std::enable_shared_from_this<Session> {
   Result<std::shared_ptr<const PreparedPlan>> GetOrBuildPlan(
       const std::string& text, bool* from_cache,
       obs::SpanId parent = obs::kNoSpan) const
-      HADAD_EXCLUDES(cache_mu_, views_mu_);
+      HADAD_EXCLUDES(cache_mu_, views_mu_, builds_mu_);
+  // The miss path of GetOrBuildPlan: runs the optimizer (outside the cache
+  // lock) and publishes the plan. Exactly one caller per canonical text is
+  // in here at a time — GetOrBuildPlan coalesces the rest.
+  Result<std::shared_ptr<const PreparedPlan>> BuildAndInsertPlan(
+      la::ExprPtr expr, std::string canonical, obs::SpanId parent) const
+      HADAD_EXCLUDES(cache_mu_, views_mu_, builds_mu_);
   // True when the plan's view generation matches and none of its recorded
   // leaf epochs moved. Lock-free fast path on the verified generation.
   bool PlanFresh(const PreparedPlan& plan) const;
@@ -333,21 +362,25 @@ class Session : public std::enable_shared_from_this<Session> {
   // feeding the adaptive monitor afterwards.
   Result<matrix::Matrix> RunPlan(std::shared_ptr<const PreparedPlan> plan,
                                  engine::ExecStats* stats, bool original,
-                                 obs::SpanId parent = obs::kNoSpan) const
-      HADAD_EXCLUDES(views_mu_);
+                                 obs::SpanId parent = obs::kNoSpan,
+                                 const exec::CancelToken* cancel = nullptr)
+      const HADAD_EXCLUDES(views_mu_);
   // One plan execution under the shared state hold: the original text, the
   // cached physical DAG (executor sessions), or the rewriting as planned.
   Result<matrix::Matrix> ExecutePlanLocked(const PreparedPlan& plan,
                                            bool use_original,
                                            engine::ExecStats* stats,
-                                           obs::SpanId parent) const
+                                           obs::SpanId parent,
+                                           const exec::CancelToken* cancel =
+                                               nullptr) const
       HADAD_REQUIRES_SHARED(views_mu_);
   // Raw single-expression execution; the shared hold keeps the workspace
   // from mutating mid-evaluation.
   Result<matrix::Matrix> ExecuteExpr(const la::ExprPtr& expr,
                                      engine::ExecStats* stats,
-                                     obs::SpanId parent = obs::kNoSpan) const
-      HADAD_REQUIRES_SHARED(views_mu_);
+                                     obs::SpanId parent = obs::kNoSpan,
+                                     const exec::CancelToken* cancel = nullptr)
+      const HADAD_REQUIRES_SHARED(views_mu_);
   // Compiles an engine-planned expression on the session executor with the
   // given fusion barriers, accumulating the compiled-plans and fused-*
   // counters. executor_ non-null.
@@ -395,6 +428,19 @@ class Session : public std::enable_shared_from_this<Session> {
   mutable std::unordered_map<std::string, std::shared_ptr<const PreparedPlan>>
       plan_cache_ HADAD_GUARDED_BY(cache_mu_);
 
+  // One in-flight plan derivation; concurrent misses on the same canonical
+  // text share it — the leader runs RW_find, followers wait on `cv` and
+  // then re-read the cache (the serving-layer thundering-herd guard).
+  // Never held together with cache_mu_ or views_mu_.
+  struct PlanBuild {
+    common::Mutex mu;
+    common::CondVar cv;
+    bool done HADAD_GUARDED_BY(mu) = false;
+  };
+  mutable common::Mutex builds_mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<PlanBuild>>
+      plan_builds_ HADAD_GUARDED_BY(builds_mu_);
+
   // Observability. The counter/gauge/histogram handles point into
   // metrics_, are registered once at Build() (docs/OBSERVABILITY.md
   // catalogs them; scripts/check_invariants.py diffs the two), and are
@@ -405,6 +451,7 @@ class Session : public std::enable_shared_from_this<Session> {
   obs::Counter* prepares_ = nullptr;
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* coalesced_builds_ = nullptr;
   obs::Counter* runs_ = nullptr;
   obs::Counter* compiled_plans_ = nullptr;
   obs::Counter* fused_nodes_ = nullptr;

@@ -20,6 +20,12 @@ enum class StatusCode {
   kIoError,
   kBudgetExhausted,
   kInternal,
+  // Serving-layer outcomes (src/server/): a request rejected by admission
+  // control, one whose deadline elapsed before it finished, and one the
+  // client withdrew. Typed so callers can branch (retry/backoff vs. fail).
+  kOverloaded,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 // A success-or-error value. Cheap to copy on the success path (no message
@@ -57,6 +63,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,64 @@
+#ifndef HADAD_EXEC_CANCEL_H_
+#define HADAD_EXEC_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace hadad::exec {
+
+// Cooperative cancellation handle threaded through the execution stack
+// (server request -> api::Session -> exec::Scheduler node dispatch). A
+// cancelled or past-deadline token makes the scheduler stop launching new
+// DAG nodes and fail the run with a typed error; the node currently inside
+// a kernel finishes (kernels are not interruptible), so the pool always
+// drains cleanly.
+//
+// Thread-safety: Cancel()/cancelled() are safe from any thread at any time
+// (one atomic flag). set_deadline() is a configure-once call — the owner
+// sets it before sharing the token, and the handoff that publishes the
+// token (the server's queue mutex) orders the write for every reader.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation; idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // Absolute deadline on the scheduler's steady clock. Call before the
+  // token is shared (see class comment).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+  bool deadline_exceeded() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  // OK while the work may proceed; the typed serving error otherwise.
+  // Checked by the scheduler before every node launch — one atomic load on
+  // the hot path, plus a clock read only when a deadline is armed.
+  Status CheckProceed() const {
+    if (cancelled()) return Status::Cancelled("request cancelled");
+    if (deadline_exceeded()) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace hadad::exec
+
+#endif  // HADAD_EXEC_CANCEL_H_

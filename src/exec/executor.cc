@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include "common/timer.h"
+#include "matrix/blocked_kernels.h"
 
 namespace hadad::exec {
 
@@ -31,9 +32,19 @@ Result<matrix::Matrix> Executor::Run(
 
 Result<matrix::Matrix> Executor::RunCompiled(
     const CompiledPlan& plan, const engine::Workspace& workspace,
-    engine::ExecStats* stats, const obs::TraceContext* trace) const {
+    engine::ExecStats* stats, const obs::TraceContext* trace,
+    const CancelToken* cancel) const {
   Scheduler scheduler(pool_.get());
-  return scheduler.Run(plan, workspace, stats, trace);
+  return scheduler.Run(plan, workspace, stats, trace, cancel);
+}
+
+matrix::RangeRunner Executor::range_runner() const {
+  ThreadPool* pool = pool_.get();
+  if (pool == nullptr || pool->worker_count() == 0) return nullptr;
+  return [pool](int64_t n,
+                const std::function<void(int64_t, int64_t)>& body) {
+    pool->ParallelFor(n, matrix::kRowGrain, body);
+  };
 }
 
 }  // namespace hadad::exec

@@ -8,10 +8,12 @@
 #include "common/status.h"
 #include "engine/evaluator.h"
 #include "engine/workspace.h"
+#include "exec/cancel.h"
 #include "exec/plan.h"
 #include "exec/scheduler.h"
 #include "exec/thread_pool.h"
 #include "la/expr.h"
+#include "matrix/blocked_kernels.h"
 #include "matrix/matrix.h"
 
 namespace hadad::exec {
@@ -58,12 +60,23 @@ class Executor {
   // compiled against a workspace whose referenced names still resolve.
   // `trace`, when non-null and enabled, receives one "kernel" span per
   // executed operator node, parented under trace->parent (see
-  // Scheduler::Run). Thread-safe under the same workspace-stability
-  // contract as Run().
+  // Scheduler::Run). `cancel`, when non-null, is checked before every node
+  // launch; a cancelled/past-deadline token aborts with the typed serving
+  // error (see Scheduler::Run). Thread-safe under the same
+  // workspace-stability contract as Run().
   Result<matrix::Matrix> RunCompiled(
       const CompiledPlan& plan, const engine::Workspace& workspace,
       engine::ExecStats* stats = nullptr,
-      const obs::TraceContext* trace = nullptr) const;
+      const obs::TraceContext* trace = nullptr,
+      const CancelToken* cancel = nullptr) const;
+
+  // The executor's pool adapted to the matrix kernels' RangeRunner
+  // signature with the fixed kernel grain (chunking never depends on the
+  // worker count, so results stay bit-identical at every thread count).
+  // Null in inline mode (threads <= 1) — kernels then run sequentially.
+  // Thread-safe; the Morpheus engine borrows this so factorized pushdown
+  // kernels parallelize on the session pool.
+  matrix::RangeRunner range_runner() const;
 
  private:
   engine::ExecOptions options_;

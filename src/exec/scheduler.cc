@@ -58,6 +58,8 @@ struct RunState {
   // per-node vectors below — each node is written by exactly one task, so
   // no lock is needed until the post-run batch emission.
   obs::TraceRecorder* recorder = nullptr;
+  // Non-null when the run is cancellable (server requests).
+  const CancelToken* cancel = nullptr;
 
   std::vector<Slot> slots;
   std::vector<std::atomic<int>> pending;         // Unfinished inputs.
@@ -252,6 +254,15 @@ Result<Matrix> EvalNode(RunState& state, int32_t id) {
 // and returns the consumers that became ready.
 std::vector<int32_t> CompleteNode(RunState& state, int32_t id) {
   const PlanNode& node = state.plan->nodes[static_cast<size_t>(id)];
+  // Cooperative cancellation point: a timed-out or client-cancelled run
+  // stops here, before the kernel launches — the in-flight kernels on
+  // other workers finish (they are not interruptible) and the dependency
+  // counters below still drain, so the pool is never wedged.
+  if (state.cancel != nullptr &&
+      !state.failed.load(std::memory_order_acquire)) {
+    Status proceed = state.cancel->CheckProceed();
+    if (!proceed.ok()) state.Fail(std::move(proceed));
+  }
   if (!state.failed.load(std::memory_order_acquire)) {
     if (state.recorder != nullptr) {
       state.node_start_us[static_cast<size_t>(id)] =
@@ -384,11 +395,15 @@ void EmitKernelSpans(const RunState& state, const CompiledPlan& plan,
 Result<Matrix> Scheduler::Run(const CompiledPlan& plan,
                               const engine::Workspace& workspace,
                               engine::ExecStats* stats,
-                              const obs::TraceContext* trace) const {
+                              const obs::TraceContext* trace,
+                              const CancelToken* cancel) const {
   Timer timer;
   if (plan.root < 0 || plan.nodes.empty()) {
     return Status::InvalidArgument("empty plan");
   }
+  // A request that spent its whole deadline queued fails before any node
+  // is scheduled.
+  if (cancel != nullptr) HADAD_RETURN_IF_ERROR(cancel->CheckProceed());
   const bool tracing = trace != nullptr && trace->recorder != nullptr &&
                        trace->recorder->enabled();
   RunState state(plan.nodes.size());
@@ -396,6 +411,7 @@ Result<Matrix> Scheduler::Run(const CompiledPlan& plan,
   state.pool = pool_;
   state.collect_stats = stats != nullptr || tracing;
   state.recorder = tracing ? trace->recorder : nullptr;
+  state.cancel = cancel;
 
   // Resolve loads up front (borrowed views, no copy) and wire counters.
   std::vector<int32_t> initial_ready;

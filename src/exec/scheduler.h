@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "engine/evaluator.h"
 #include "engine/workspace.h"
+#include "exec/cancel.h"
 #include "exec/plan.h"
 #include "exec/thread_pool.h"
 #include "matrix/matrix.h"
@@ -32,11 +33,16 @@ class Scheduler {
   // executed operator node is published under `trace->parent` — measured
   // in-line (start timestamp + thread captured per node task) but emitted
   // in one batch after the run, so tracing adds no lock traffic to the
-  // execution critical path.
+  // execution critical path. `cancel`, when non-null, is consulted before
+  // every node launch: a cancelled or past-deadline token aborts the run
+  // through the same first-error machinery as a kernel failure — queued
+  // nodes finish, new ones are not scheduled, and the typed
+  // Cancelled/DeadlineExceeded status is returned once the pool drains.
   Result<matrix::Matrix> Run(const CompiledPlan& plan,
                              const engine::Workspace& workspace,
                              engine::ExecStats* stats = nullptr,
-                             const obs::TraceContext* trace = nullptr) const;
+                             const obs::TraceContext* trace = nullptr,
+                             const CancelToken* cancel = nullptr) const;
 
  private:
   ThreadPool* pool_;

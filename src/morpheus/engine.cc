@@ -1,5 +1,7 @@
 #include "morpheus/engine.h"
 
+#include <thread>
+
 #include "common/timer.h"
 
 namespace hadad::morpheus {
@@ -14,8 +16,13 @@ using matrix::Matrix;
 class Evaluator {
  public:
   Evaluator(const MorpheusEngine& owner, const engine::Workspace& workspace,
-            engine::ExecStats* stats)
-      : owner_(owner), workspace_(workspace), stats_(stats) {}
+            engine::ExecStats* stats, const matrix::RangeRunner& runner,
+            const obs::TraceContext* trace)
+      : owner_(owner),
+        workspace_(workspace),
+        stats_(stats),
+        runner_(runner),
+        trace_(trace) {}
 
   Result<Matrix> Eval(const Expr& e, bool is_root) {
     // --- Morpheus pushdown patterns --------------------------------------
@@ -24,18 +31,29 @@ class Evaluator {
     if (e.kind() == OpKind::kColSums &&
         MatchNormalized(*e.child(0), &nm, &transposed)) {
       // colSums(M) factorized; colSums(t(M)) = t(rowSums(M)).
-      auto out = transposed ? Transposed(nm->RowSums()) : nm->ColSums();
+      auto out = transposed
+                     ? Traced("nm_rowsums",
+                              [&] { return Transposed(nm->RowSums(runner_)); })
+                     : Traced("nm_colsums",
+                              [&] { return nm->ColSums(runner_); });
       return Record(std::move(out), is_root);
     }
     if (e.kind() == OpKind::kRowSums &&
         MatchNormalized(*e.child(0), &nm, &transposed)) {
-      auto out = transposed ? Transposed(nm->ColSums()) : nm->RowSums();
+      auto out = transposed
+                     ? Traced("nm_colsums",
+                              [&] { return Transposed(nm->ColSums(runner_)); })
+                     : Traced("nm_rowsums",
+                              [&] { return nm->RowSums(runner_); });
       return Record(std::move(out), is_root);
     }
     if (e.kind() == OpKind::kSum &&
         MatchNormalized(*e.child(0), &nm, &transposed)) {
-      HADAD_ASSIGN_OR_RETURN(double s, nm->Sum());  // sum(M^T) = sum(M).
-      return Record(Matrix::Scalar(s), is_root);
+      auto out = Traced("nm_sum", [&]() -> Result<Matrix> {
+        HADAD_ASSIGN_OR_RETURN(double s, nm->Sum(runner_));  // sum(M^T)=sum(M)
+        return Matrix::Scalar(s);
+      });
+      return Record(std::move(out), is_root);
     }
     if (e.kind() == OpKind::kMultiply) {
       // M %*% N (right multiply) and C %*% M (left multiply), including the
@@ -44,12 +62,18 @@ class Evaluator {
         HADAD_ASSIGN_OR_RETURN(Matrix rhs, Eval(*e.child(1), false));
         if (!rhs.IsScalar()) {
           if (!transposed && nm->cols() == rhs.rows()) {
-            return Record(nm->RightMultiply(rhs), is_root);
+            return Record(Traced("nm_right_multiply",
+                                 [&] { return nm->RightMultiply(rhs, runner_); }),
+                          is_root);
           }
           if (transposed && nm->rows() == rhs.rows()) {
             // t(M) %*% N = t(t(N) %*% M).
             return Record(
-                Transposed(nm->LeftMultiply(matrix::Transpose(rhs))),
+                Traced("nm_left_multiply",
+                       [&] {
+                         return Transposed(nm->LeftMultiply(
+                             matrix::Transpose(rhs), runner_));
+                       }),
                 is_root);
           }
         }
@@ -60,12 +84,18 @@ class Evaluator {
         HADAD_ASSIGN_OR_RETURN(Matrix lhs, Eval(*e.child(0), false));
         if (!lhs.IsScalar()) {
           if (!transposed && lhs.cols() == nm->rows()) {
-            return Record(nm->LeftMultiply(lhs), is_root);
+            return Record(Traced("nm_left_multiply",
+                                 [&] { return nm->LeftMultiply(lhs, runner_); }),
+                          is_root);
           }
           if (transposed && lhs.cols() == nm->cols()) {
             // N %*% t(M) = t(M %*% t(N)).
             return Record(
-                Transposed(nm->RightMultiply(matrix::Transpose(lhs))),
+                Traced("nm_right_multiply",
+                       [&] {
+                         return Transposed(nm->RightMultiply(
+                             matrix::Transpose(lhs), runner_));
+                       }),
                 is_root);
           }
         }
@@ -77,7 +107,9 @@ class Evaluator {
     if (e.kind() == OpKind::kMatrixRef) {
       const NormalizedMatrix* ref = owner_.Lookup(e.name());
       if (ref != nullptr) {
-        HADAD_ASSIGN_OR_RETURN(Matrix m, ref->Materialize());
+        HADAD_ASSIGN_OR_RETURN(
+            Matrix m,
+            Traced("nm_materialize", [&] { return ref->Materialize(); }));
         return Record(std::move(m), is_root);
       }
       HADAD_ASSIGN_OR_RETURN(const Matrix* m, workspace_.Get(e.name()));
@@ -122,6 +154,32 @@ class Evaluator {
     return matrix::Transpose(*m);
   }
 
+  // Wraps one factorized pushdown in a "kernel" trace span (same category
+  // as the DAG scheduler's per-operator spans, so tooling sees one uniform
+  // kernel layer). Measured around `fn` and published in a single
+  // AddCompleteSpan call — no trace-lock traffic inside the kernel itself.
+  template <typename Fn>
+  Result<Matrix> Traced(const char* kernel, Fn&& fn) {
+    if (trace_ == nullptr || trace_->recorder == nullptr ||
+        !trace_->recorder->enabled()) {
+      return fn();
+    }
+    obs::TraceRecorder* rec = trace_->recorder;
+    const int64_t start = rec->NowMicros();
+    Result<Matrix> out = fn();
+    std::vector<std::pair<std::string, std::string>> attrs;
+    if (out.ok()) {
+      attrs.emplace_back("rows", std::to_string(out->rows()));
+      attrs.emplace_back("cols", std::to_string(out->cols()));
+    }
+    attrs.emplace_back("parallel", runner_ != nullptr ? "1" : "0");
+    rec->AddCompleteSpan(
+        kernel, "kernel", trace_->parent, start, rec->NowMicros() - start,
+        std::hash<std::thread::id>{}(std::this_thread::get_id()),
+        std::move(attrs));
+    return out;
+  }
+
   Result<Matrix> Record(Result<Matrix> m, bool is_root) {
     if (!m.ok()) return m;
     if (stats_ != nullptr) {
@@ -155,14 +213,27 @@ class Evaluator {
   const MorpheusEngine& owner_;
   const engine::Workspace& workspace_;
   engine::ExecStats* stats_;
+  const matrix::RangeRunner& runner_;
+  const obs::TraceContext* trace_;
 };
 
 }  // namespace
 
-Result<matrix::Matrix> MorpheusEngine::Run(const la::ExprPtr& expr,
-                                           engine::ExecStats* stats) const {
+bool MorpheusEngine::ReferencesNormalized(const la::Expr& expr) const {
+  if (expr.kind() == OpKind::kMatrixRef) {
+    return Lookup(expr.name()) != nullptr;
+  }
+  for (const ExprPtr& child : expr.children()) {
+    if (ReferencesNormalized(*child)) return true;
+  }
+  return false;
+}
+
+Result<matrix::Matrix> MorpheusEngine::Run(
+    const la::ExprPtr& expr, engine::ExecStats* stats,
+    const matrix::RangeRunner& runner, const obs::TraceContext* trace) const {
   Timer timer;
-  Evaluator evaluator(*this, *workspace_, stats);
+  Evaluator evaluator(*this, *workspace_, stats, runner, trace);
   Result<matrix::Matrix> out = evaluator.Eval(*expr, /*is_root=*/true);
   if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
   return out;

@@ -8,7 +8,9 @@
 #include "engine/evaluator.h"
 #include "engine/workspace.h"
 #include "la/expr.h"
+#include "matrix/blocked_kernels.h"
 #include "morpheus/normalized_matrix.h"
+#include "obs/trace.h"
 
 namespace hadad::morpheus {
 
@@ -39,8 +41,22 @@ class MorpheusEngine {
     return it == normalized_.end() ? nullptr : &it->second;
   }
 
+  // True when `expr` mentions any registered normalized matrix. The api
+  // layer uses this to route: expressions over normalized data come here,
+  // everything else goes to the parallel DAG engine (which cannot resolve
+  // normalized names — their data lives in this engine, not the workspace).
+  bool ReferencesNormalized(const la::Expr& expr) const;
+
+  // Evaluates `expr`, pushing operators through registered factorizations
+  // where Morpheus's rules allow. `runner`, when non-null, parallelizes the
+  // pushdown kernels over a thread pool (api::Session passes the DAG
+  // executor's pool; results are bit-identical at every thread count).
+  // `trace`, when non-null with a live recorder, receives one "kernel" span
+  // per factorized pushdown (nm_* names), parented under trace->parent.
   Result<matrix::Matrix> Run(const la::ExprPtr& expr,
-                             engine::ExecStats* stats = nullptr) const;
+                             engine::ExecStats* stats = nullptr,
+                             const matrix::RangeRunner& runner = nullptr,
+                             const obs::TraceContext* trace = nullptr) const;
 
  private:
   const engine::Workspace* workspace_;

@@ -6,6 +6,32 @@ namespace hadad::morpheus {
 
 namespace {
 
+// Product dispatch for the pushdown kernels: with a runner, route to the
+// blocked/row-parallel kernels (bit-for-bit identical to the naive ones —
+// the contract in matrix/blocked_kernels.h); without one, or for a
+// representation mix the parallel tier does not cover, keep the exact
+// sequential kernel. Shape errors fall through to matrix::Multiply so the
+// error message stays the same either way.
+Result<matrix::Matrix> Mul(const matrix::Matrix& a, const matrix::Matrix& b,
+                           const matrix::RangeRunner& runner) {
+  if (runner != nullptr && a.cols() == b.rows()) {
+    if (a.is_dense() && b.is_dense()) {
+      return matrix::Matrix(
+          matrix::MultiplyDenseBlocked(a.dense(), b.dense(), runner));
+    }
+    if (a.is_sparse() && b.is_dense()) {
+      return matrix::Matrix(
+          matrix::MultiplySparseDenseParallel(a.sparse(), b.dense(), runner));
+    }
+    if (a.is_sparse() && b.is_sparse()) {
+      return matrix::Matrix(
+          matrix::MultiplySparseSparseParallel(a.sparse(), b.sparse(),
+                                               runner));
+    }
+  }
+  return matrix::Multiply(a, b);
+}
+
 // Rows [from, to) of a matrix as a dense block.
 matrix::Matrix SliceRows(const matrix::Matrix& m, int64_t from, int64_t to) {
   matrix::DenseMatrix d = m.ToDense();
@@ -33,48 +59,51 @@ Result<matrix::Matrix> NormalizedMatrix::Materialize() const {
 }
 
 Result<matrix::Matrix> NormalizedMatrix::RightMultiply(
-    const matrix::Matrix& n) const {
+    const matrix::Matrix& n, const matrix::RangeRunner& runner) const {
   if (n.rows() != cols()) {
     return Status::DimensionMismatch(
         "normalized right-multiply: inner dims disagree");
   }
   matrix::Matrix n_top = SliceRows(n, 0, t_.cols());
   matrix::Matrix n_bottom = SliceRows(n, t_.cols(), n.rows());
-  HADAD_ASSIGN_OR_RETURN(matrix::Matrix tn, matrix::Multiply(t_, n_top));
-  HADAD_ASSIGN_OR_RETURN(matrix::Matrix un, matrix::Multiply(u_, n_bottom));
-  HADAD_ASSIGN_OR_RETURN(matrix::Matrix kun, matrix::Multiply(k_, un));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix tn, Mul(t_, n_top, runner));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix un, Mul(u_, n_bottom, runner));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix kun, Mul(k_, un, runner));
   return matrix::Add(tn, kun);
 }
 
 Result<matrix::Matrix> NormalizedMatrix::LeftMultiply(
-    const matrix::Matrix& c) const {
+    const matrix::Matrix& c, const matrix::RangeRunner& runner) const {
   if (c.cols() != rows()) {
     return Status::DimensionMismatch(
         "normalized left-multiply: inner dims disagree");
   }
-  HADAD_ASSIGN_OR_RETURN(matrix::Matrix ct, matrix::Multiply(c, t_));
-  HADAD_ASSIGN_OR_RETURN(matrix::Matrix ck, matrix::Multiply(c, k_));
-  HADAD_ASSIGN_OR_RETURN(matrix::Matrix cku, matrix::Multiply(ck, u_));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix ct, Mul(c, t_, runner));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix ck, Mul(c, k_, runner));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix cku, Mul(ck, u_, runner));
   return matrix::Cbind(ct, cku);
 }
 
-Result<matrix::Matrix> NormalizedMatrix::ColSums() const {
+Result<matrix::Matrix> NormalizedMatrix::ColSums(
+    const matrix::RangeRunner& runner) const {
   matrix::Matrix cst = matrix::ColSums(t_);
   matrix::Matrix csk = matrix::ColSums(k_);
-  HADAD_ASSIGN_OR_RETURN(matrix::Matrix csku, matrix::Multiply(csk, u_));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix csku, Mul(csk, u_, runner));
   return matrix::Cbind(cst, csku);
 }
 
-Result<matrix::Matrix> NormalizedMatrix::RowSums() const {
+Result<matrix::Matrix> NormalizedMatrix::RowSums(
+    const matrix::RangeRunner& runner) const {
   matrix::Matrix rst = matrix::RowSums(t_);
   matrix::Matrix rsu = matrix::RowSums(u_);
-  HADAD_ASSIGN_OR_RETURN(matrix::Matrix krsu, matrix::Multiply(k_, rsu));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix krsu, Mul(k_, rsu, runner));
   return matrix::Add(rst, krsu);
 }
 
-Result<double> NormalizedMatrix::Sum() const {
+Result<double> NormalizedMatrix::Sum(
+    const matrix::RangeRunner& runner) const {
   matrix::Matrix csk = matrix::ColSums(k_);
-  HADAD_ASSIGN_OR_RETURN(matrix::Matrix csku, matrix::Multiply(csk, u_));
+  HADAD_ASSIGN_OR_RETURN(matrix::Matrix csku, Mul(csk, u_, runner));
   return matrix::Sum(t_) + matrix::Sum(csku);
 }
 

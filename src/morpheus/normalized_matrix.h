@@ -2,6 +2,7 @@
 #define HADAD_MORPHEUS_NORMALIZED_MATRIX_H_
 
 #include "common/status.h"
+#include "matrix/blocked_kernels.h"
 #include "matrix/matrix.h"
 
 namespace hadad::morpheus {
@@ -28,21 +29,30 @@ class NormalizedMatrix {
   Result<matrix::Matrix> Materialize() const;
 
   // --- Factorized operator pushdowns (Morpheus's rewrite rules) -----------
+  // Every pushdown takes an optional RangeRunner: non-null partitions the
+  // inner products over a thread pool via the blocked kernels in
+  // matrix/blocked_kernels.h, which are bit-for-bit identical to the naive
+  // kernels at every thread count — factorized results never depend on the
+  // degree of parallelism. Null (the default) keeps the sequential kernels.
 
   // M %*% N = T N_top + K (U N_bottom), splitting N's rows at dS.
-  Result<matrix::Matrix> RightMultiply(const matrix::Matrix& n) const;
+  Result<matrix::Matrix> RightMultiply(
+      const matrix::Matrix& n, const matrix::RangeRunner& runner = nullptr) const;
 
   // C %*% M = [C T | (C K) U].
-  Result<matrix::Matrix> LeftMultiply(const matrix::Matrix& c) const;
+  Result<matrix::Matrix> LeftMultiply(
+      const matrix::Matrix& c, const matrix::RangeRunner& runner = nullptr) const;
 
   // colSums(M) = [colSums(T) | colSums(K) U].
-  Result<matrix::Matrix> ColSums() const;
+  Result<matrix::Matrix> ColSums(
+      const matrix::RangeRunner& runner = nullptr) const;
 
   // rowSums(M) = rowSums(T) + K rowSums(U).
-  Result<matrix::Matrix> RowSums() const;
+  Result<matrix::Matrix> RowSums(
+      const matrix::RangeRunner& runner = nullptr) const;
 
   // sum(M) = sum(T) + sum(colSums(K) U).
-  Result<double> Sum() const;
+  Result<double> Sum(const matrix::RangeRunner& runner = nullptr) const;
 
  private:
   matrix::Matrix t_;

@@ -30,6 +30,38 @@ void Histogram::Observe(double value) {
   observations_.fetch_add(1, std::memory_order_relaxed);
 }
 
+double HistogramQuantile(const Histogram& h, double q) {
+  const int64_t total = h.Count();
+  if (total <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // The rank'th observation (1-based) carries the quantile; walk buckets
+  // until the cumulative count reaches it, then interpolate linearly
+  // between the bucket's edges — Prometheus's histogram_quantile estimate.
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  const size_t n = h.bounds().size();
+  for (size_t i = 0; i <= n; ++i) {
+    const int64_t in_bucket = h.BucketCount(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i == n) {
+        // +Inf bucket: no finite upper edge; report the last finite bound
+        // (or the mean when there are no finite bounds at all).
+        return n > 0 ? h.bounds()[n - 1]
+                     : h.Sum() / static_cast<double>(total);
+      }
+      const double lo = i == 0 ? 0.0 : h.bounds()[i - 1];
+      const double hi = h.bounds()[i];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative += in_bucket;
+  }
+  return n > 0 ? h.bounds()[n - 1] : 0.0;
+}
+
 Counter* MetricsRegistry::AddCounter(const std::string& name,
                                      std::string help) {
   common::MutexLock lock(&metrics_mu_);

@@ -70,6 +70,13 @@ class Histogram {
   std::atomic<int64_t> observations_{0};
 };
 
+// Estimated q-quantile (q in [0, 1]) of a histogram's observations by
+// linear interpolation inside the bucket where the quantile falls — the
+// same estimate Prometheus's histogram_quantile() computes. Returns 0 for
+// an empty histogram. For the +Inf bucket the last finite bound is
+// returned (no upper edge to interpolate toward).
+double HistogramQuantile(const Histogram& h, double q);
+
 // Named metric registry with Prometheus-text-format rendering. Register
 // once (at session build), then hammer the returned handles lock-free from
 // any thread — the registry mutex only guards registration and Render's

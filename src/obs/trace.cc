@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -46,42 +47,74 @@ int64_t TraceRecorder::NowMicros() const {
       .count();
 }
 
+Span* TraceRecorder::ClaimSlotLocked(SpanId* id) {
+  if (options_.ring_capacity > 0) {
+    *id = next_id_++;
+    const size_t idx = static_cast<size_t>(*id) % options_.ring_capacity;
+    if (idx >= spans_.size()) {
+      spans_.emplace_back();
+      return &spans_.back();
+    }
+    // Slot occupied by a span ring_capacity generations older: evict it.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    spans_[idx] = Span{};
+    return &spans_[idx];
+  }
+  if (spans_.size() >= options_.max_spans) return nullptr;
+  *id = next_id_++;
+  spans_.emplace_back();
+  return &spans_.back();
+}
+
+Span* TraceRecorder::FindLocked(SpanId id) {
+  if (id < 0) return nullptr;
+  if (options_.ring_capacity > 0) {
+    const size_t idx = static_cast<size_t>(id) % options_.ring_capacity;
+    if (idx >= spans_.size()) return nullptr;
+    Span& span = spans_[idx];
+    return span.id == id ? &span : nullptr;  // else evicted
+  }
+  if (static_cast<size_t>(id) >= spans_.size()) return nullptr;
+  return &spans_[static_cast<size_t>(id)];
+}
+
 SpanId TraceRecorder::StartSpan(const std::string& name,
                                 const std::string& category, SpanId parent) {
   if (!options_.enabled) return kNoSpan;
   const int64_t now = NowMicros();
   const uint64_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
   common::MutexLock lock(&trace_mu_);
-  if (spans_.size() >= options_.max_spans) {
+  SpanId id = kNoSpan;
+  Span* span = ClaimSlotLocked(&id);
+  if (span == nullptr) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return kNoSpan;
   }
-  Span span;
-  span.id = static_cast<SpanId>(spans_.size());
-  span.parent = parent;
-  span.name = name;
-  span.category = category;
-  span.start_us = now;
-  span.thread = tid;
-  spans_.push_back(std::move(span));
-  return spans_.back().id;
+  span->id = id;
+  span->parent = parent;
+  span->name = name;
+  span->category = category;
+  span->start_us = now;
+  span->thread = tid;
+  return id;
 }
 
 void TraceRecorder::EndSpan(SpanId id) {
   if (id == kNoSpan) return;
   const int64_t now = NowMicros();
   common::MutexLock lock(&trace_mu_);
-  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
-  Span& span = spans_[static_cast<size_t>(id)];
-  if (span.duration_us < 0) span.duration_us = now - span.start_us;
+  Span* span = FindLocked(id);
+  if (span == nullptr) return;
+  if (span->duration_us < 0) span->duration_us = now - span->start_us;
 }
 
 void TraceRecorder::Annotate(SpanId id, const std::string& key,
                              std::string value) {
   if (id == kNoSpan) return;
   common::MutexLock lock(&trace_mu_);
-  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
-  spans_[static_cast<size_t>(id)].attrs.emplace_back(key, std::move(value));
+  Span* span = FindLocked(id);
+  if (span == nullptr) return;
+  span->attrs.emplace_back(key, std::move(value));
 }
 
 void TraceRecorder::Annotate(SpanId id, const std::string& key,
@@ -103,26 +136,34 @@ SpanId TraceRecorder::AddCompleteSpan(
     std::vector<std::pair<std::string, std::string>> attrs) {
   if (!options_.enabled) return kNoSpan;
   common::MutexLock lock(&trace_mu_);
-  if (spans_.size() >= options_.max_spans) {
+  SpanId id = kNoSpan;
+  Span* span = ClaimSlotLocked(&id);
+  if (span == nullptr) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return kNoSpan;
   }
-  Span span;
-  span.id = static_cast<SpanId>(spans_.size());
-  span.parent = parent;
-  span.name = std::move(name);
-  span.category = std::move(category);
-  span.start_us = start_us;
-  span.duration_us = duration_us < 0 ? 0 : duration_us;
-  span.thread = thread;
-  span.attrs = std::move(attrs);
-  spans_.push_back(std::move(span));
-  return spans_.back().id;
+  span->id = id;
+  span->parent = parent;
+  span->name = std::move(name);
+  span->category = std::move(category);
+  span->start_us = start_us;
+  span->duration_us = duration_us < 0 ? 0 : duration_us;
+  span->thread = thread;
+  span->attrs = std::move(attrs);
+  return id;
 }
 
 std::vector<Span> TraceRecorder::Snapshot() const {
-  common::MutexLock lock(&trace_mu_);
-  return spans_;
+  std::vector<Span> spans;
+  {
+    common::MutexLock lock(&trace_mu_);
+    spans = spans_;
+  }
+  // Ring slots hold spans in id % capacity order; present them in id
+  // (start) order, matching the bounded mode's layout.
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.id < b.id; });
+  return spans;
 }
 
 int64_t TraceRecorder::span_count() const {
@@ -132,11 +173,7 @@ int64_t TraceRecorder::span_count() const {
 
 void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
   const int64_t now = NowMicros();
-  std::vector<Span> spans;
-  {
-    common::MutexLock lock(&trace_mu_);
-    spans = spans_;
-  }
+  std::vector<Span> spans = Snapshot();
   // Compact thread hashes to small row ids in first-seen order, so the
   // Perfetto timeline shows one stable row per thread.
   std::map<uint64_t, int> tids;

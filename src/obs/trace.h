@@ -29,8 +29,15 @@ struct TraceOptions {
   bool enabled = true;
   // Hard cap on retained spans; beyond it StartSpan returns kNoSpan and
   // `dropped()` counts what was lost (a trace that lies by truncating
-  // silently would be worse than no trace).
+  // silently would be worse than no trace). Ignored when ring_capacity > 0.
   size_t max_spans = size_t{1} << 20;
+  // Non-zero switches the recorder to ring mode: it retains the *newest*
+  // `ring_capacity` spans, evicting the oldest instead of refusing new
+  // ones. Long-running servers use this — the interesting spans are the
+  // most recent, and memory stays bounded forever. `dropped()` then counts
+  // evictions, preserving its "spans lost" meaning; ids stay monotone
+  // across evictions so parent links into evicted spans are detectable.
+  size_t ring_capacity = 0;
 };
 
 // One hierarchical span: a named interval on one thread, optionally linked
@@ -86,10 +93,12 @@ class TraceRecorder {
       std::vector<std::pair<std::string, std::string>> attrs)
       HADAD_EXCLUDES(trace_mu_);
 
-  // Point-in-time copy of every recorded span (tests, tooling).
+  // Point-in-time copy of every retained span, in id (start) order — in
+  // ring mode that is the newest ring_capacity spans (tests, tooling).
   std::vector<Span> Snapshot() const HADAD_EXCLUDES(trace_mu_);
   int64_t span_count() const HADAD_EXCLUDES(trace_mu_);
-  // Spans rejected by the max_spans cap.
+  // Spans lost: rejected by the max_spans cap (bounded mode) or evicted by
+  // newer spans (ring mode).
   int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
   // Chrome trace-event JSON ("X" complete events), loadable by
@@ -101,11 +110,23 @@ class TraceRecorder {
   Status WriteChromeTrace(const std::string& path) const;
 
  private:
+  // Claims the slot for the next span under trace_mu_, evicting in ring
+  // mode; null when the recorder is at the bounded-mode cap (the caller
+  // then bumps dropped_ and hands back kNoSpan).
+  Span* ClaimSlotLocked(SpanId* id) HADAD_REQUIRES(trace_mu_);
+  // Resolves an id to its retained span; null when out of range or (ring
+  // mode) already evicted — mutations of evicted spans are silent no-ops.
+  Span* FindLocked(SpanId id) HADAD_REQUIRES(trace_mu_);
+
   const TraceOptions options_;
   const std::chrono::steady_clock::time_point epoch_;
   mutable common::Mutex trace_mu_;
-  // Span id == index into this vector (ids are dense and start at 0).
+  // Bounded mode: span id == index (ids dense from 0). Ring mode: slot
+  // index == id % ring_capacity, and each slot's `id` field says which
+  // generation currently occupies it.
   std::vector<Span> spans_ HADAD_GUARDED_BY(trace_mu_);
+  // Next span id to assign (monotone; equals spans_.size() in bounded mode).
+  int64_t next_id_ HADAD_GUARDED_BY(trace_mu_) = 0;
   std::atomic<int64_t> dropped_{0};
 };
 

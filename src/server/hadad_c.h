@@ -1,0 +1,116 @@
+/* Embeddable C API over the HADAD serving layer (src/server/).
+ *
+ * Everything is behind two opaque handle types: a hadad_server owns one
+ * shared substrate (workspace + optimizer + plan cache + DAG executor +
+ * metrics/trace) plus the admission queue and dispatcher pool; a
+ * hadad_request is one submitted query. All functions are thread-safe
+ * unless noted. The library never throws across this boundary; failures
+ * come back as hadad_code plus a per-thread message (hadad_last_error).
+ *
+ * Quickstart:
+ *   hadad_server* srv = hadad_server_open(4, 4, 64);
+ *   double m[4] = {1, 2, 3, 4};
+ *   hadad_register_matrix(srv, "M", m, 2, 2);
+ *   hadad_request* req = hadad_submit(srv, "alice", "M %*% M", 1000);
+ *   if (req && hadad_request_wait(req) == HADAD_OK) {
+ *     int64_t rows, cols;
+ *     hadad_result_dims(req, &rows, &cols);
+ *     double out[4];
+ *     hadad_result_copy(req, out, 4);
+ *   }
+ *   hadad_request_free(req);
+ *   hadad_server_close(srv);
+ */
+#ifndef HADAD_SERVER_HADAD_C_H_
+#define HADAD_SERVER_HADAD_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct hadad_server hadad_server;   /* opaque */
+typedef struct hadad_request hadad_request; /* opaque */
+
+/* Coarse outcome buckets a C caller can branch on; the full message is in
+ * hadad_last_error() / the request's error string. */
+typedef enum hadad_code {
+  HADAD_OK = 0,
+  HADAD_ERR_INVALID = 1,           /* bad arguments, parse/shape errors */
+  HADAD_ERR_NOT_FOUND = 2,         /* unknown matrix name */
+  HADAD_ERR_OVERLOADED = 3,        /* admission control rejected; back off */
+  HADAD_ERR_DEADLINE_EXCEEDED = 4, /* deadline elapsed (queued or mid-run) */
+  HADAD_ERR_CANCELLED = 5,         /* withdrawn, or server shut down */
+  HADAD_ERR_OTHER = 6,
+} hadad_code;
+
+/* Opens a server over a fresh session. `threads`: execution pool width
+ * (0 = one per hardware core, 1 = sequential kernels); `max_in_flight`:
+ * concurrent executions (dispatcher threads); `max_queue`: admission bound
+ * on waiting requests. Tracing is on in ring mode (memory stays bounded;
+ * the newest spans win). NULL on failure — see hadad_last_error(). */
+hadad_server* hadad_server_open(int threads, int max_in_flight,
+                                int max_queue);
+
+/* Shuts down (queued requests fail with HADAD_ERR_CANCELLED, in-flight
+ * ones finish) and frees the server. Outstanding hadad_request handles
+ * stay valid until hadad_request_free. NULL is a no-op. */
+void hadad_server_close(hadad_server* server);
+
+/* Binds a dense row-major `rows` x `cols` matrix under `name` (replacing
+ * any existing binding; dependent state updates atomically). */
+hadad_code hadad_register_matrix(hadad_server* server, const char* name,
+                                 const double* data, int64_t rows,
+                                 int64_t cols);
+
+/* Submits `text` (e.g. "colSums(M %*% N)") on behalf of `client`.
+ * `deadline_ms` <= 0 means no deadline. Returns immediately; NULL when
+ * rejected (overloaded / shut down / bad arguments) — hadad_last_error()
+ * says which. The returned handle must be freed with hadad_request_free. */
+hadad_request* hadad_submit(hadad_server* server, const char* client,
+                            const char* text, int64_t deadline_ms);
+
+/* Non-blocking completion poll: 1 when the result (or error) is ready. */
+int hadad_request_done(const hadad_request* request);
+
+/* Blocks until completion; returns the outcome code (also sets the
+ * per-thread error message on failure). */
+hadad_code hadad_request_wait(hadad_request* request);
+
+/* Cooperative cancellation: the request fails with HADAD_ERR_CANCELLED at
+ * its next cancellation point (queue exit, pre-optimization, or the next
+ * DAG node launch). */
+void hadad_request_cancel(hadad_request* request);
+
+/* Result accessors; both block until completion and return the request's
+ * error code when it failed. */
+hadad_code hadad_result_dims(hadad_request* request, int64_t* rows,
+                             int64_t* cols);
+/* Copies the result row-major into `out` (capacity in doubles; must be >=
+ * rows*cols or HADAD_ERR_INVALID). */
+hadad_code hadad_result_copy(hadad_request* request, double* out,
+                             size_t capacity);
+
+void hadad_request_free(hadad_request* request);
+
+/* Prometheus text exposition of every server + session metric. Returns a
+ * malloc'd string; free with hadad_string_free. */
+char* hadad_metrics(hadad_server* server);
+
+/* Chrome trace-event JSON of the retained span ring (load in Perfetto).
+ * malloc'd; free with hadad_string_free. */
+char* hadad_trace_json(hadad_server* server);
+
+void hadad_string_free(char* s);
+
+/* Message for the last failing call on THIS thread (valid until the next
+ * failing call on the same thread). Never NULL. */
+const char* hadad_last_error(void);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* HADAD_SERVER_HADAD_C_H_ */

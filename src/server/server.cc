@@ -1,0 +1,268 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace hadad::server {
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+bool Request::done() const {
+  common::MutexLock lock(&request_mu_);
+  return done_;
+}
+
+void Request::Wait() const {
+  common::MutexLock lock(&request_mu_);
+  request_cv_.wait(lock, [this]() HADAD_REQUIRES(request_mu_) {
+    return done_;
+  });
+}
+
+bool Request::WaitFor(std::chrono::milliseconds timeout) const {
+  common::MutexLock lock(&request_mu_);
+  return request_cv_.wait_for(lock, timeout,
+                              [this]() HADAD_REQUIRES(request_mu_) {
+                                return done_;
+                              });
+}
+
+const Result<matrix::Matrix>& Request::result() const {
+  Wait();
+  common::MutexLock lock(&request_mu_);
+  return *outcome_;
+}
+
+void Request::Finish(Result<matrix::Matrix> outcome) {
+  {
+    common::MutexLock lock(&request_mu_);
+    outcome_.emplace(std::move(outcome));
+    done_ = true;
+  }
+  request_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue
+// ---------------------------------------------------------------------------
+
+Status RequestQueue::Push(RequestHandle request) {
+  {
+    common::MutexLock lock(&queue_mu_);
+    if (queue_closed_) {
+      return Status::Cancelled("server is shut down; request not accepted");
+    }
+    if (queued_count_ >= capacity_) {
+      return Status::Overloaded(
+          "request queue full (" + std::to_string(capacity_) +
+          " queued); retry with backoff");
+    }
+    auto [it, inserted] =
+        client_queues_.try_emplace(request->client());
+    if (inserted) round_robin_.push_back(request->client());
+    it->second.push_back(std::move(request));
+    ++queued_count_;
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+RequestHandle RequestQueue::Pop() {
+  common::MutexLock lock(&queue_mu_);
+  queue_cv_.wait(lock, [this]() HADAD_REQUIRES(queue_mu_) {
+    return queued_count_ > 0 || queue_closed_;
+  });
+  if (queued_count_ == 0) return nullptr;  // Closed and drained.
+  // Fairness: resume the round-robin walk where the last Pop left off and
+  // take the first client lane with pending work.
+  const size_t lanes = round_robin_.size();
+  for (size_t step = 0; step < lanes; ++step) {
+    const size_t lane = (rr_cursor_ + step) % lanes;
+    std::deque<RequestHandle>& q = client_queues_[round_robin_[lane]];
+    if (q.empty()) continue;
+    RequestHandle out = std::move(q.front());
+    q.pop_front();
+    --queued_count_;
+    rr_cursor_ = (lane + 1) % lanes;
+    return out;
+  }
+  return nullptr;  // Unreachable: queued_count_ > 0 implies a non-empty lane.
+}
+
+std::vector<RequestHandle> RequestQueue::Close() {
+  std::vector<RequestHandle> orphans;
+  {
+    common::MutexLock lock(&queue_mu_);
+    queue_closed_ = true;
+    // Drain in the same fair order Pop would have used.
+    for (size_t step = 0; queued_count_ > 0; ++step) {
+      std::deque<RequestHandle>& q =
+          client_queues_[round_robin_[(rr_cursor_ + step) %
+                                      round_robin_.size()]];
+      while (!q.empty()) {
+        orphans.push_back(std::move(q.front()));
+        q.pop_front();
+        --queued_count_;
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  return orphans;
+}
+
+int64_t RequestQueue::depth() const {
+  common::MutexLock lock(&queue_mu_);
+  return static_cast<int64_t>(queued_count_);
+}
+
+// ---------------------------------------------------------------------------
+// ClientSession
+// ---------------------------------------------------------------------------
+
+Result<RequestHandle> ClientSession::Submit(const std::string& text,
+                                            const RequestOptions& options) {
+  return server_->Submit(client_name_, text, options);
+}
+
+Result<matrix::Matrix> ClientSession::Run(const std::string& text,
+                                          const RequestOptions& options) {
+  HADAD_ASSIGN_OR_RETURN(RequestHandle request, Submit(text, options));
+  return request->result();
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Server::Server(std::shared_ptr<api::Session> session,
+               const ServerOptions& options)
+    : session_(std::move(session)),
+      options_(options),
+      queue_(static_cast<size_t>(options.max_queue)) {}
+
+Result<std::shared_ptr<Server>> Server::Create(
+    std::shared_ptr<api::Session> session, const ServerOptions& options) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("Server::Create requires a session");
+  }
+  if (options.max_in_flight < 1) {
+    return Status::InvalidArgument("ServerOptions::max_in_flight must be >= 1");
+  }
+  if (options.max_queue < 1) {
+    return Status::InvalidArgument("ServerOptions::max_queue must be >= 1");
+  }
+  auto server =
+      std::shared_ptr<Server>(new Server(std::move(session), options));
+  obs::MetricsRegistry& m = server->session_->mutable_metrics();
+  server->queue_depth_gauge_ = m.AddGauge("hadad_server_queue_depth",
+      "Requests accepted but not yet dispatched. Unit: requests.");
+  server->requests_total_ = m.AddCounter("hadad_server_requests_total",
+      "Requests accepted by admission control. Unit: requests.");
+  server->rejected_total_ = m.AddCounter("hadad_server_rejected_total",
+      "Requests rejected because the queue was full. Unit: requests.");
+  server->deadline_exceeded_total_ =
+      m.AddCounter("hadad_server_deadline_exceeded_total",
+      "Requests failed by their deadline. Unit: requests.");
+  server->queue_wait_seconds_ = m.AddHistogram("hadad_server_queue_wait_seconds",
+      "Time from Submit to dispatch. Unit: seconds.",
+      {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0});
+  common::MutexLock lock(&server->lifecycle_mu_);
+  server->dispatchers_.reserve(static_cast<size_t>(options.max_in_flight));
+  for (int i = 0; i < options.max_in_flight; ++i) {
+    // The raw pointer is safe: Shutdown() joins these threads before the
+    // last shared_ptr can release the Server.
+    Server* raw = server.get();
+    server->dispatchers_.emplace_back([raw] { raw->DispatchLoop(); });
+  }
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+std::shared_ptr<ClientSession> Server::Connect(
+    const std::string& client_name) {
+  common::MutexLock lock(&clients_mu_);
+  auto it = clients_.find(client_name);
+  if (it != clients_.end()) return it->second;
+  auto client = std::shared_ptr<ClientSession>(
+      new ClientSession(shared_from_this(), client_name));
+  clients_.emplace(client_name, client);
+  return client;
+}
+
+Result<RequestHandle> Server::Submit(const std::string& client,
+                                     const std::string& text,
+                                     const RequestOptions& options) {
+  if (client.empty()) {
+    return Status::InvalidArgument("client name must be non-empty");
+  }
+  auto request =
+      std::shared_ptr<Request>(new Request(client, text));
+  if (options.deadline.count() > 0) {
+    request->cancel_.set_deadline(std::chrono::steady_clock::now() +
+                                  options.deadline);
+  }
+  request->enqueue_time_ = std::chrono::steady_clock::now();
+  Status admitted = queue_.Push(request);
+  if (!admitted.ok()) {
+    if (admitted.code() == StatusCode::kOverloaded) rejected_total_->Inc();
+    return admitted;
+  }
+  requests_total_->Inc();
+  queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
+  return request;
+}
+
+void Server::DispatchLoop() {
+  for (;;) {
+    RequestHandle request = queue_.Pop();
+    if (request == nullptr) return;  // Queue closed and drained.
+    queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      request->enqueue_time_)
+            .count();
+    queue_wait_seconds_->Observe(waited);
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    obs::ScopedSpan span(session_->mutable_trace(), "server_dispatch",
+                         "server");
+    span.Annotate("client", request->client());
+    span.Annotate("queue_wait_seconds", waited);
+    Result<matrix::Matrix> outcome = session_->RunCancellable(
+        request->text(), &request->cancel_, request->client());
+    if (!outcome.ok() &&
+        outcome.status().code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_total_->Inc();
+    }
+    span.Annotate("outcome", outcome.ok() ? "ok" : outcome.status().ToString());
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    request->Finish(std::move(outcome));
+  }
+}
+
+void Server::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    common::MutexLock lock(&lifecycle_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    to_join = std::move(dispatchers_);
+    dispatchers_.clear();
+  }
+  // Fail everything still queued instead of running it: shutdown is a
+  // deadline of "now" for work that never started.
+  std::vector<RequestHandle> orphans = queue_.Close();
+  for (const RequestHandle& request : orphans) {
+    request->Finish(
+        Status::Cancelled("server shut down before the request dispatched"));
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  queue_depth_gauge_->Set(0.0);
+}
+
+}  // namespace hadad::server

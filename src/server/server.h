@@ -1,0 +1,248 @@
+#ifndef HADAD_SERVER_SERVER_H_
+#define HADAD_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "exec/cancel.h"
+#include "matrix/matrix.h"
+#include "obs/metrics.h"
+
+namespace hadad::server {
+
+class Server;
+
+// Serving-layer knobs. The defaults fit an embedded deployment: a handful
+// of concurrent executions over one shared substrate, with a queue deep
+// enough to absorb bursts but shallow enough that rejection beats
+// unbounded latency.
+struct ServerOptions {
+  // Dispatcher threads == concurrent Session executions. Each dispatcher
+  // runs one request end-to-end on its own thread (requests must NOT run
+  // on the session's exec pool — a request blocking in the pool waiting
+  // for pool workers would deadlock under load).
+  int max_in_flight = 4;
+  // Admission bound on *queued* (accepted, not yet dispatched) requests.
+  // Submit fails with StatusCode::kOverloaded beyond it.
+  int max_queue = 64;
+};
+
+// Per-request knobs.
+struct RequestOptions {
+  // Wall-clock budget from Submit; <= 0 means none. An expired request
+  // fails with StatusCode::kDeadlineExceeded — before optimization if it
+  // spent the budget queued, or mid-DAG via the cooperative cancel check
+  // in exec::Scheduler.
+  std::chrono::milliseconds deadline{0};
+};
+
+// One in-flight query: submitted text plus a future-like completion slot.
+// Handles are shared_ptrs — the submitting client, the queue, and the
+// dispatcher each hold one, so a request outlives whichever side loses
+// interest first. All methods are thread-safe.
+class Request {
+ public:
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  const std::string& client() const { return client_; }
+  const std::string& text() const { return text_; }
+
+  // Withdraws the request: fails promptly with StatusCode::kCancelled —
+  // before dispatch, before optimization, or at the next DAG node launch
+  // when already executing. Queued work the scheduler already launched
+  // still drains cleanly (first-error abort semantics).
+  void Cancel() { cancel_.Cancel(); }
+
+  bool done() const HADAD_EXCLUDES(request_mu_);
+  void Wait() const HADAD_EXCLUDES(request_mu_);
+  // False on timeout (the request keeps running — pair with Cancel() to
+  // give up for real).
+  bool WaitFor(std::chrono::milliseconds timeout) const
+      HADAD_EXCLUDES(request_mu_);
+  // Blocks until completion, then returns the outcome. The reference is
+  // valid for the request's lifetime (the slot is written once).
+  const Result<matrix::Matrix>& result() const HADAD_EXCLUDES(request_mu_);
+
+ private:
+  friend class Server;
+  friend class RequestQueue;
+  Request(std::string client, std::string text)
+      : client_(std::move(client)), text_(std::move(text)) {}
+
+  // Publishes the outcome and wakes every waiter. Called exactly once.
+  void Finish(Result<matrix::Matrix> outcome) HADAD_EXCLUDES(request_mu_);
+
+  const std::string client_;
+  const std::string text_;
+  // Written only between construction and Push (configure-once deadline);
+  // the cancel flag itself is an atomic any thread may set.
+  exec::CancelToken cancel_;
+  // Stamped at Submit; read by the dispatcher for the queue-wait
+  // histogram. Published by the queue mutex hand-off.
+  std::chrono::steady_clock::time_point enqueue_time_{};
+
+  mutable common::Mutex request_mu_;
+  mutable common::CondVar request_cv_;
+  bool done_ HADAD_GUARDED_BY(request_mu_) = false;
+  std::optional<Result<matrix::Matrix>> outcome_
+      HADAD_GUARDED_BY(request_mu_);
+};
+
+using RequestHandle = std::shared_ptr<Request>;
+
+// Bounded multi-producer multi-consumer admission queue with per-client
+// fairness: FIFO within a client, round-robin across clients with pending
+// work — one chatty client cannot starve the rest. Thread-safe.
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  // kOverloaded when full, kCancelled after Close (both typed so callers
+  // can branch: back off vs. give up).
+  Status Push(RequestHandle request) HADAD_EXCLUDES(queue_mu_);
+  // Blocks for the next request (fair order); null once closed and
+  // drained — the dispatcher's exit signal.
+  RequestHandle Pop() HADAD_EXCLUDES(queue_mu_);
+  // Rejects future Pushes, wakes all Pops, and hands back everything still
+  // queued so the server can fail those requests instead of running them.
+  std::vector<RequestHandle> Close() HADAD_EXCLUDES(queue_mu_);
+
+  int64_t depth() const HADAD_EXCLUDES(queue_mu_);
+
+ private:
+  const size_t capacity_;
+  mutable common::Mutex queue_mu_;
+  common::CondVar queue_cv_;
+  // Per-client FIFO lanes; fairness walks round_robin_ from rr_cursor_.
+  std::map<std::string, std::deque<RequestHandle>> client_queues_
+      HADAD_GUARDED_BY(queue_mu_);
+  // Every client name ever seen, in first-submit order (lanes are kept —
+  // client sets are small and stable in a serving process).
+  std::vector<std::string> round_robin_ HADAD_GUARDED_BY(queue_mu_);
+  size_t rr_cursor_ HADAD_GUARDED_BY(queue_mu_) = 0;
+  size_t queued_count_ HADAD_GUARDED_BY(queue_mu_) = 0;
+  bool queue_closed_ HADAD_GUARDED_BY(queue_mu_) = false;
+};
+
+// A named client bound to a Server. Cheap handle: all state is shared —
+// every client sees one workspace, one plan cache, one view store, one
+// metrics registry. Thread-safe; holds the server alive.
+class ClientSession {
+ public:
+  const std::string& name() const { return client_name_; }
+
+  // Enqueues `text`; returns the handle immediately (kOverloaded when the
+  // queue is full, kCancelled after shutdown).
+  Result<RequestHandle> Submit(const std::string& text,
+                               const RequestOptions& options = {});
+  // Submit + Wait + result: the blocking convenience path.
+  Result<matrix::Matrix> Run(const std::string& text,
+                             const RequestOptions& options = {});
+
+ private:
+  friend class Server;
+  ClientSession(std::shared_ptr<Server> server, std::string name)
+      : server_(std::move(server)), client_name_(std::move(name)) {}
+
+  const std::shared_ptr<Server> server_;
+  const std::string client_name_;
+};
+
+// Concurrent serving front end over one shared api::Session: admission
+// control (bounded queue + max-in-flight), per-request deadlines and
+// cancellation, and a pool of dispatcher threads that execute accepted
+// requests against the shared substrate. Results are bit-identical to
+// running the same queries sequentially on the Session — concurrency
+// changes scheduling, never numerics (see exec::ThreadPool's fixed-grain
+// contract).
+//
+//   auto session = api::SessionBuilder().Put("M", m).Threads(4).Build();
+//   auto server = server::Server::Create(*session).value();
+//   auto alice = server->Connect("alice");
+//   auto req = alice->Submit("M %*% M", {.deadline = 100ms}).value();
+//   req->Wait();
+//
+// Server metrics (hadad_server_*) register into the session's registry, so
+// Session::MetricsText() scrapes the whole process.
+class Server : public std::enable_shared_from_this<Server> {
+ public:
+  // The session must outlive nothing — the server shares ownership.
+  static Result<std::shared_ptr<Server>> Create(
+      std::shared_ptr<api::Session> session, const ServerOptions& options = {});
+
+  ~Server();  // Implies Shutdown().
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The named client handle (one shared instance per name). Thread-safe.
+  std::shared_ptr<ClientSession> Connect(const std::string& client_name)
+      HADAD_EXCLUDES(clients_mu_);
+
+  // Direct submit (ClientSession forwards here). Thread-safe.
+  Result<RequestHandle> Submit(const std::string& client,
+                               const std::string& text,
+                               const RequestOptions& options = {});
+
+  // The shared substrate (register data via session().Put, scrape
+  // session().MetricsText(), ...).
+  api::Session& session() { return *session_; }
+  const api::Session& session() const { return *session_; }
+
+  int64_t queue_depth() const { return queue_.depth(); }
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  const ServerOptions& options() const { return options_; }
+
+  // Stops admission, fails still-queued requests with kCancelled, lets
+  // in-flight requests finish, and joins the dispatchers. Idempotent;
+  // called by the destructor.
+  void Shutdown() HADAD_EXCLUDES(lifecycle_mu_);
+
+ private:
+  Server(std::shared_ptr<api::Session> session, const ServerOptions& options);
+
+  // Dispatcher thread body: pop → run on the shared session → publish.
+  void DispatchLoop();
+
+  const std::shared_ptr<api::Session> session_;
+  const ServerOptions options_;
+  RequestQueue queue_;
+  // Requests currently executing on dispatcher threads (gauge-style; the
+  // admission bound is structural — one execution per dispatcher).
+  std::atomic<int64_t> in_flight_{0};
+
+  // Metric handles live in the session's registry (registered at Create;
+  // docs/OBSERVABILITY.md catalogs the names).
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* rejected_total_ = nullptr;
+  obs::Counter* deadline_exceeded_total_ = nullptr;
+  obs::Histogram* queue_wait_seconds_ = nullptr;
+
+  mutable common::Mutex clients_mu_;
+  std::map<std::string, std::shared_ptr<ClientSession>> clients_
+      HADAD_GUARDED_BY(clients_mu_);
+
+  common::Mutex lifecycle_mu_;
+  bool stopped_ HADAD_GUARDED_BY(lifecycle_mu_) = false;
+  // Started in Create, joined in Shutdown; the vector itself is written
+  // before any thread runs and read only under lifecycle_mu_ afterwards.
+  std::vector<std::thread> dispatchers_ HADAD_GUARDED_BY(lifecycle_mu_);
+};
+
+}  // namespace hadad::server
+
+#endif  // HADAD_SERVER_SERVER_H_

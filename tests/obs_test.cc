@@ -97,6 +97,59 @@ TEST(TraceRecorderTest, MaxSpansCapCountsDropped) {
   EXPECT_EQ(rec.dropped(), 1);
 }
 
+TEST(TraceRecorderTest, RingModeRetainsNewestAndCountsEvictions) {
+  TraceOptions opts;
+  opts.ring_capacity = 4;
+  TraceRecorder rec(opts);
+  for (int i = 0; i < 10; ++i) {
+    const SpanId id = rec.StartSpan("s" + std::to_string(i), "session");
+    EXPECT_EQ(id, static_cast<SpanId>(i));  // Never refused, ids monotone.
+    rec.EndSpan(id);
+  }
+  EXPECT_EQ(rec.span_count(), 4);
+  EXPECT_EQ(rec.dropped(), 6);  // Evictions preserve the "lost" meaning.
+  const std::vector<Span> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].id, static_cast<SpanId>(6 + i));  // Newest, id order.
+    EXPECT_EQ(spans[i].name, "s" + std::to_string(6 + i));
+    EXPECT_GE(spans[i].duration_us, 0);
+  }
+}
+
+TEST(TraceRecorderTest, RingModeMutationOfEvictedSpanIsNoOp) {
+  TraceOptions opts;
+  opts.ring_capacity = 2;
+  TraceRecorder rec(opts);
+  const SpanId victim = rec.StartSpan("victim", "session");
+  for (int i = 0; i < 4; ++i) {
+    rec.EndSpan(rec.StartSpan("filler", "session"));
+  }
+  // `victim`'s slot now belongs to a newer generation; closing or
+  // annotating it must not corrupt the occupant.
+  rec.EndSpan(victim);
+  rec.Annotate(victim, "key", std::string("value"));
+  for (const Span& s : rec.Snapshot()) {
+    EXPECT_EQ(s.name, "filler");
+    EXPECT_TRUE(s.attrs.empty());
+  }
+  EXPECT_EQ(rec.dropped(), 3);  // 5 started, 2 retained.
+}
+
+TEST(TraceRecorderTest, RingModeChromeTraceExportsRetainedSpans) {
+  TraceOptions opts;
+  opts.ring_capacity = 3;
+  TraceRecorder rec(opts);
+  for (int i = 0; i < 8; ++i) {
+    rec.EndSpan(rec.StartSpan("k" + std::to_string(i), "kernel"));
+  }
+  std::ostringstream out;
+  rec.WriteChromeTrace(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find("\"k0\""), std::string::npos);  // Evicted.
+  EXPECT_NE(json.find("\"k7\""), std::string::npos);  // Newest retained.
+}
+
 // Concurrent span production from many threads: exercised under TSan by the
 // dedicated CI job; the assertions check ids stay unique and dense.
 TEST(TraceRecorderTest, ConcurrentSpanNesting) {
@@ -242,6 +295,42 @@ TEST(MetricsTest, HistogramBucketMath) {
   EXPECT_EQ(h->BucketCount(4), 1);  // +Inf
   EXPECT_EQ(h->Count(), 6);
   EXPECT_NEAR(h->Sum(), 0.0005 + 0.001 + 0.005 + 0.1 + 0.5 + 50.0, 1e-12);
+}
+
+TEST(MetricsTest, HistogramQuantileInterpolatesWithinBucket) {
+  MetricsRegistry reg;
+  Histogram* h = reg.AddHistogram("hadad_q_seconds", "q",
+                                  {0.01, 0.1, 1.0});
+  // 8 observations in (0.01, 0.1]: quantile ranks land in bucket 1 and
+  // interpolate linearly across its width.
+  for (int i = 0; i < 8; ++i) h->Observe(0.05);
+  // p50 rank = 4 of 8, all in bucket 1 → 0.01 + (0.1-0.01) * 4/8.
+  EXPECT_NEAR(HistogramQuantile(*h, 0.5), 0.055, 1e-9);
+  // p100 → bucket 1's upper bound.
+  EXPECT_NEAR(HistogramQuantile(*h, 1.0), 0.1, 1e-9);
+  // p0 → bucket 1's lower bound (the first bucket with any mass).
+  EXPECT_NEAR(HistogramQuantile(*h, 0.0), 0.01, 1e-9);
+}
+
+TEST(MetricsTest, HistogramQuantileSpansBucketsAndClampsInf) {
+  MetricsRegistry reg;
+  Histogram* h = reg.AddHistogram("hadad_q2_seconds", "q",
+                                  {0.001, 0.01, 0.1, 1.0});
+  for (int i = 0; i < 90; ++i) h->Observe(0.0005);  // bucket 0
+  for (int i = 0; i < 9; ++i) h->Observe(0.05);     // bucket 2
+  h->Observe(5.0);                                  // +Inf bucket
+  // p50 rank = 50 of 100, inside bucket 0 → 0 + 0.001 * 50/90.
+  EXPECT_NEAR(HistogramQuantile(*h, 0.5), 0.001 * 50.0 / 90.0, 1e-9);
+  // p95 rank = 95, bucket 2 holds ranks 91..99 → interpolate 5/9 across.
+  EXPECT_NEAR(HistogramQuantile(*h, 0.95), 0.01 + 0.09 * 5.0 / 9.0, 1e-9);
+  // p99.9 lands in the +Inf bucket → clamp to the last finite bound.
+  EXPECT_NEAR(HistogramQuantile(*h, 0.999), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, HistogramQuantileEmptyHistogramIsZero) {
+  MetricsRegistry reg;
+  Histogram* h = reg.AddHistogram("hadad_q3_seconds", "q", {0.1, 1.0});
+  EXPECT_EQ(HistogramQuantile(*h, 0.5), 0.0);
 }
 
 TEST(MetricsTest, ConcurrentObservations) {
