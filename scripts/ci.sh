@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # CI entry points.
 #   ./scripts/ci.sh          tier-1 verify: configure, build, full ctest run
+#                            (vector tier), then the kernel/bit-identity
+#                            suites again under HADAD_FORCE_SCALAR=1 so both
+#                            dispatch arms stay green on any CI hardware
 #   ./scripts/ci.sh tsan     ThreadSanitizer build of the concurrency-bearing
 #                            targets (exec, session, views, mutation tests)
 #   ./scripts/ci.sh asan     AddressSanitizer+UBSan build, full ctest run
@@ -36,6 +39,16 @@ case "$mode" in
     cmake --build build -j
     cd build
     ctest --output-on-failure -j
+    # Second dispatch arm: the kernel-bearing suites (SIMD microkernels,
+    # exec bit-identity, matrix/engine/session pipelines) must also pass
+    # with the vector tier pinned off — same binaries, scalar reference
+    # dispatch. Results are bit-identical across tiers by contract, so any
+    # divergence here is a real kernel bug, not noise. (-R must precede the
+    # bare -j: ctest would otherwise parse -R as -j's level argument and
+    # silently drop the filter.)
+    HADAD_FORCE_SCALAR=1 ctest --output-on-failure -R \
+      'simd_test|exec_test|matrix_test|matrix_edge_test|engine_test|mutation_test|session_test' \
+      -j
     # Serving smoke: concurrent clients over one substrate, one
     # deadline-exceeded request, clean pool drain (exits nonzero on any
     # broken contract).
@@ -74,20 +87,22 @@ case "$mode" in
       -DBUILD_TESTING=OFF \
       -DHADAD_BUILD_EXAMPLES=OFF
     cmake --build build-bench -j --target bench_session_cache \
-      bench_update_refresh bench_server_concurrency
+      bench_update_refresh bench_server_concurrency bench_simd_kernels
     ./build-bench/bench/bench_session_cache \
       --json=build-bench/bench_session_cache.json
     ./build-bench/bench/bench_update_refresh \
       --json=build-bench/bench_update_refresh.json
     ./build-bench/bench/bench_server_concurrency \
       --json=build-bench/bench_server_concurrency.json
+    ./build-bench/bench/bench_simd_kernels \
+      --json=build-bench/bench_simd_kernels.json
     # Merge the per-driver documents into the machine-readable summary that
     # perf tooling consumes (the stdout tables above are for humans).
     python3 - <<'PYEOF'
 import json
 
 drivers = ["bench_session_cache", "bench_update_refresh",
-           "bench_server_concurrency"]
+           "bench_server_concurrency", "bench_simd_kernels"]
 merged = {"schema_version": 1, "generated_by": "scripts/ci.sh bench",
           "benchmarks": []}
 for name in drivers:

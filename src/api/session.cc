@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "engine/evaluator.h"
 #include "la/parser.h"
+#include "matrix/simd.h"
 #include "obs/explain.h"
 #include "views/maintenance.h"
 
@@ -1008,6 +1009,11 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
         "Byte budget of the adaptive-view store. Unit: bytes.");
     raw->monitor_tracked_gauge_ = m.AddGauge("hadad_workload_monitor_tracked",
         "Distinct canonical subexpressions tracked. Unit: expressions.");
+    raw->kernel_tier_gauge_ = m.AddGauge("hadad_kernel_tier",
+        "Active SIMD kernel tier: 0=scalar, 1=avx2, 2=avx512. Unit: enum.");
+    // Resolved once per process at first kernel use; constant thereafter.
+    raw->kernel_tier_gauge_->Set(
+        static_cast<double>(matrix::ActiveTier()));
   }
   // No other thread can reach the session until Build() returns it, but the
   // state members below are lock-guarded for the session's lifetime — take

@@ -465,6 +465,7 @@ class Session : public std::enable_shared_from_this<Session> {
   obs::Gauge* adaptive_bytes_gauge_ = nullptr;
   obs::Gauge* adaptive_budget_gauge_ = nullptr;
   obs::Gauge* monitor_tracked_gauge_ = nullptr;
+  obs::Gauge* kernel_tier_gauge_ = nullptr;
   std::unique_ptr<obs::TraceRecorder> trace_;
   // Monotone id stamped on root spans, so every span tree in a dumped
   // trace joins back to one top-level query.

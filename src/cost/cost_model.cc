@@ -1,6 +1,7 @@
 #include "cost/cost_model.h"
 
 #include "la/vrem.h"
+#include "matrix/simd.h"
 
 namespace hadad::cost {
 
@@ -201,6 +202,10 @@ bool TreatAsDense(const ClassMeta& m, double dense_threshold) {
 
 bool HeavyEnoughForParallel(const ClassMeta& out, int64_t cell_threshold) {
   return out.shape.Cells() >= static_cast<double>(cell_threshold);
+}
+
+int64_t DefaultParallelCellThreshold() {
+  return matrix::ActiveTier() == matrix::SimdTier::kScalar ? 4096 : 1024;
 }
 
 bool ReducingGemmProfitable(const ClassMeta& a, const ClassMeta& b,

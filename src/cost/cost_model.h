@@ -58,6 +58,14 @@ bool TreatAsDense(const ClassMeta& m, double dense_threshold);
 // partitioned/blocked kernel over the sequential generic one.
 bool HeavyEnoughForParallel(const ClassMeta& out, int64_t cell_threshold);
 
+// Default `cell_threshold` for the gate above (CompileOptions /
+// ExecOptions::parallel_cell_threshold), tuned to the active SIMD kernel
+// tier: the blocked kernels dispatch to vector microkernels while the
+// generic path stays scalar, so on a vector tier the blocked path wins at
+// ~4x smaller outputs and the gate drops accordingly. Callers that pin an
+// explicit threshold are unaffected.
+int64_t DefaultParallelCellThreshold();
+
 // True when sum/rowSums/colSums over the product `a` x `b` should compile
 // to a reducing GEMM kernel that never materializes the product: both
 // operands estimated dense, neither a scalar, shapes conformable, and the

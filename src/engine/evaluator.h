@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "cost/cost_model.h"
 #include "engine/workspace.h"
 #include "la/expr.h"
 #include "matrix/matrix.h"
@@ -54,6 +55,10 @@ struct ExecStats {
   int64_t fused_ops_eliminated = 0;
   // Degree of parallelism the run was scheduled with.
   int threads = 1;
+  // SIMD kernel tier the dispatched matrix kernels ran on ("scalar",
+  // "avx2", "avx512"); empty under the tree evaluator. All tiers are
+  // bit-identical — this records speed, not semantics.
+  std::string kernel_tier;
   // Total kernel wall-clock summed over nodes ("work") and the longest
   // dependency chain of kernel times ("span"). work / span bounds the
   // achievable parallel speedup of the plan, so `parallel_speedup` is ready
@@ -85,7 +90,8 @@ struct ExecOptions {
   bool enable_cse = true;
   // Outputs with fewer cells than this run on the generic sequential
   // kernels; at or above it the compiler picks blocked/partitioned ones.
-  int64_t parallel_cell_threshold = 4096;
+  // Tier-aware default (see cost::DefaultParallelCellThreshold).
+  int64_t parallel_cell_threshold = cost::DefaultParallelCellThreshold();
   // Collapse elementwise chains into single-pass kernels and push
   // sum/rowSums/colSums into their producing GEMM (bit-identical results;
   // see exec::CompileOptions::enable_fusion).

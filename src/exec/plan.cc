@@ -438,14 +438,17 @@ class Compiler {
     }
   }
 
-  // Rewrites sum/rowSums/colSums over a blocked dense GEMM into a reducing
-  // GEMM node that takes the product's operands directly — the product is
-  // never materialized. Requires the product to have no other consumer and
-  // not be a fusion barrier.
+  // Rewrites sum/rowSums/colSums/mean/colMeans over a blocked dense GEMM
+  // into a reducing GEMM node that takes the product's operands directly —
+  // the product is never materialized. Requires the product to have no
+  // other consumer and not be a fusion barrier. (rowMeans has no kernel
+  // yet: it would need the row count threaded per row — cheap but untested;
+  // it stays on the generic path.)
   void PushDownAggregations() {
     for (PlanNode& node : plan_.nodes) {
       if (node.op != OpKind::kSum && node.op != OpKind::kRowSums &&
-          node.op != OpKind::kColSums) {
+          node.op != OpKind::kColSums && node.op != OpKind::kMean &&
+          node.op != OpKind::kColMeans) {
         continue;
       }
       if (node.kernel != KernelKind::kGeneric || node.inputs.size() != 1) {
@@ -466,10 +469,17 @@ class Compiler {
               options_.parallel_cell_threshold)) {
         continue;
       }
-      node.kernel = node.op == OpKind::kSum ? KernelKind::kGemmSumReduce
-                    : node.op == OpKind::kRowSums
-                        ? KernelKind::kGemmRowSumsReduce
-                        : KernelKind::kGemmColSumsReduce;
+      switch (node.op) {
+        case OpKind::kSum: node.kernel = KernelKind::kGemmSumReduce; break;
+        case OpKind::kRowSums:
+          node.kernel = KernelKind::kGemmRowSumsReduce;
+          break;
+        case OpKind::kColSums:
+          node.kernel = KernelKind::kGemmColSumsReduce;
+          break;
+        case OpKind::kMean: node.kernel = KernelKind::kGemmMeanReduce; break;
+        default: node.kernel = KernelKind::kGemmColMeansReduce; break;
+      }
       node.inputs = product.inputs;
       ++plan_.fused_nodes;
       ++plan_.fused_ops_eliminated;  // The materialized product.
@@ -539,6 +549,8 @@ const char* KernelName(KernelKind kind) {
     case KernelKind::kGemmSumReduce: return "gemm_sum_reduce";
     case KernelKind::kGemmRowSumsReduce: return "gemm_rowsums_reduce";
     case KernelKind::kGemmColSumsReduce: return "gemm_colsums_reduce";
+    case KernelKind::kGemmMeanReduce: return "gemm_mean_reduce";
+    case KernelKind::kGemmColMeansReduce: return "gemm_colmeans_reduce";
     case KernelKind::kGeneric: return "generic";
   }
   return "unknown";

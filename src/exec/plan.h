@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "cost/cost_model.h"
 #include "cost/estimator.h"
 #include "engine/workspace.h"
 #include "la/expr.h"
@@ -31,12 +32,15 @@ enum class KernelKind {
   // per-operator intermediates. The node's `program` indexes
   // CompiledPlan::programs.
   kFusedElementwise,
-  // sum / rowSums / colSums pushed into the producing dense GEMM: the node
-  // takes the product's operands directly and reduces on the fly without
-  // materializing the product.
+  // sum / rowSums / colSums / mean / colMeans pushed into the producing
+  // dense GEMM: the node takes the product's operands directly and reduces
+  // on the fly without materializing the product. The mean variants divide
+  // the finished sums once, exactly as the unfused aggregate does.
   kGemmSumReduce,
   kGemmRowSumsReduce,
   kGemmColSumsReduce,
+  kGemmMeanReduce,
+  kGemmColMeansReduce,
   kGeneric,      // Sequential engine::ApplyOp (everything else).
 };
 
@@ -95,7 +99,9 @@ struct CompiledPlan {
 struct CompileOptions {
   bool enable_cse = true;
   // Products whose output has fewer cells than this stay on kGeneric.
-  int64_t parallel_cell_threshold = 4096;
+  // Tier-aware default: lower on vector tiers, where the blocked kernels'
+  // SIMD microkernels beat the scalar generic path at smaller outputs.
+  int64_t parallel_cell_threshold = cost::DefaultParallelCellThreshold();
   // Estimated density at or above which an operand is treated as dense when
   // choosing between kGemmBlocked and kSpmm.
   double dense_sparsity_threshold = 0.5;

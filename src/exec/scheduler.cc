@@ -15,6 +15,7 @@
 #include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "matrix/blocked_kernels.h"
+#include "matrix/simd.h"
 
 namespace hadad::exec {
 
@@ -216,7 +217,9 @@ Result<Matrix> EvalNode(RunState& state, int32_t id) {
           state.pool);
     case KernelKind::kGemmSumReduce:
     case KernelKind::kGemmRowSumsReduce:
-    case KernelKind::kGemmColSumsReduce: {
+    case KernelKind::kGemmColSumsReduce:
+    case KernelKind::kGemmMeanReduce:
+    case KernelKind::kGemmColMeansReduce: {
       if (in[0]->is_dense() && in[1]->is_dense()) {
         const matrix::DenseMatrix& a = in[0]->dense();
         const matrix::DenseMatrix& b = in[1]->dense();
@@ -226,8 +229,12 @@ Result<Matrix> EvalNode(RunState& state, int32_t id) {
             return Matrix::Scalar(matrix::GemmSum(a, b, runner));
           case KernelKind::kGemmRowSumsReduce:
             return Matrix(matrix::GemmRowSums(a, b, runner));
-          default:
+          case KernelKind::kGemmColSumsReduce:
             return Matrix(matrix::GemmColSums(a, b, runner));
+          case KernelKind::kGemmMeanReduce:
+            return Matrix::Scalar(matrix::GemmMean(a, b, runner));
+          default:
+            return Matrix(matrix::GemmColMeans(a, b, runner));
         }
       }
       // Representation estimate was wrong: reproduce the unfused pipeline
@@ -240,8 +247,12 @@ Result<Matrix> EvalNode(RunState& state, int32_t id) {
           return Matrix::Scalar(matrix::Sum(product));
         case KernelKind::kGemmRowSumsReduce:
           return matrix::RowSums(product);
-        default:
+        case KernelKind::kGemmColSumsReduce:
           return matrix::ColSums(product);
+        case KernelKind::kGemmMeanReduce:
+          return Matrix::Scalar(matrix::Mean(product));
+        default:
+          return matrix::ColMeans(product);
       }
     }
     case KernelKind::kGeneric:
@@ -376,9 +387,10 @@ void EmitKernelSpans(const RunState& state, const CompiledPlan& plan,
     if (node.kernel == KernelKind::kLoad) continue;
     if (state.node_thread[i] == 0) continue;  // Never ran (aborted run).
     std::vector<std::pair<std::string, std::string>> attrs;
-    attrs.reserve(5);
+    attrs.reserve(6);
     attrs.emplace_back("node", "#" + std::to_string(i));
     attrs.emplace_back("op", la::OpName(node.op));
+    attrs.emplace_back("tier", matrix::TierName(matrix::ActiveTier()));
     attrs.emplace_back("rows", std::to_string(node.meta.shape.rows));
     attrs.emplace_back("cols", std::to_string(node.meta.shape.cols));
     attrs.emplace_back(
@@ -475,6 +487,7 @@ Result<Matrix> Scheduler::Run(const CompiledPlan& plan,
                                               : *root_slot.view;
   if (stats != nullptr) {
     stats->threads = pool_ == nullptr ? 1 : pool_->threads();
+    stats->kernel_tier = matrix::TierName(matrix::ActiveTier());
     FillStats(state, plan, stats);
     stats->seconds = timer.ElapsedSeconds();
   }

@@ -5,14 +5,11 @@
 #include <vector>
 
 #include "common/check.h"
+#include "matrix/simd.h"
 
 namespace hadad::matrix {
 
 namespace {
-
-// Inner-dimension tile: kKTile rows of `b` (kKTile * cols doubles) are kept
-// hot while a chunk of output rows accumulates into them.
-constexpr int64_t kKTile = 256;
 
 void RunRange(const RangeRunner& runner, int64_t n,
               const std::function<void(int64_t, int64_t)>& body) {
@@ -31,19 +28,21 @@ DenseMatrix MultiplyDenseBlocked(const DenseMatrix& a, const DenseMatrix& b,
   DenseMatrix out(a.rows(), b.cols());
   const int64_t k = a.cols();
   const int64_t m = b.cols();
+  // Row microkernels + inner-dimension tile depth of the active SIMD tier:
+  // ops.k_tile rows of `b` stay hot while a chunk of output rows
+  // accumulates. Tiling and dispatch never reorder a cell's ascending-k
+  // accumulation, so results are tier- and partition-independent.
+  const SimdOps& ops = ActiveOps();
   RunRange(runner, a.rows(), [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t kk = 0; kk < k; kk += kKTile) {
-      const int64_t kend = std::min(k, kk + kKTile);
+    for (int64_t kk = 0; kk < k; kk += ops.k_tile) {
+      const int64_t kend = std::min(k, kk + ops.k_tile);
       for (int64_t i = row_begin; i < row_end; ++i) {
         double* out_row = out.row(i);
         const double* a_row = a.row(i);
         for (int64_t p = kk; p < kend; ++p) {
           const double av = a_row[p];
           if (av == 0.0) continue;
-          const double* b_row = b.row(p);
-          for (int64_t j = 0; j < m; ++j) {
-            out_row[j] += av * b_row[j];
-          }
+          ops.axpy(out_row, b.row(p), av, m);
         }
       }
     }
@@ -58,18 +57,16 @@ DenseMatrix MultiplyTransposedDenseBlocked(const DenseMatrix& a,
   DenseMatrix out(a.cols(), b.cols());
   const int64_t k = a.rows();  // Shared dimension: rows of both inputs.
   const int64_t m = b.cols();
+  const SimdOps& ops = ActiveOps();
   RunRange(runner, a.cols(), [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t kk = 0; kk < k; kk += kKTile) {
-      const int64_t kend = std::min(k, kk + kKTile);
+    for (int64_t kk = 0; kk < k; kk += ops.k_tile) {
+      const int64_t kend = std::min(k, kk + ops.k_tile);
       for (int64_t i = row_begin; i < row_end; ++i) {
         double* out_row = out.row(i);
         for (int64_t p = kk; p < kend; ++p) {
           const double av = a.At(p, i);
           if (av == 0.0) continue;
-          const double* b_row = b.row(p);
-          for (int64_t j = 0; j < m; ++j) {
-            out_row[j] += av * b_row[j];
-          }
+          ops.axpy(out_row, b.row(p), av, m);
         }
       }
     }
@@ -86,16 +83,14 @@ DenseMatrix MultiplySparseDenseParallel(const SparseMatrix& a,
   const auto& rptr = a.row_ptr();
   const auto& cidx = a.col_idx();
   const auto& vals = a.values();
+  const SimdOps& ops = ActiveOps();
   RunRange(runner, a.rows(), [&](int64_t row_begin, int64_t row_end) {
     for (int64_t i = row_begin; i < row_end; ++i) {
       double* out_row = out.row(i);
       for (int64_t p = rptr[static_cast<size_t>(i)];
            p < rptr[static_cast<size_t>(i) + 1]; ++p) {
-        const double av = vals[static_cast<size_t>(p)];
-        const double* b_row = b.row(cidx[static_cast<size_t>(p)]);
-        for (int64_t j = 0; j < m; ++j) {
-          out_row[j] += av * b_row[j];
-        }
+        ops.axpy(out_row, b.row(cidx[static_cast<size_t>(p)]),
+                 vals[static_cast<size_t>(p)], m);
       }
     }
   });
@@ -156,7 +151,7 @@ namespace {
 // MultiplyDenseBlocked's per-cell bits: ascending-k accumulation with the
 // zero-skip on a's entries (k-tiling never reorders a single cell's sum).
 void ProductRow(const DenseMatrix& a, const DenseMatrix& b, int64_t i,
-                double* out_row) {
+                double* out_row, const SimdOps& ops) {
   const int64_t k = a.cols();
   const int64_t m = b.cols();
   std::fill(out_row, out_row + m, 0.0);
@@ -164,10 +159,7 @@ void ProductRow(const DenseMatrix& a, const DenseMatrix& b, int64_t i,
   for (int64_t p = 0; p < k; ++p) {
     const double av = a_row[p];
     if (av == 0.0) continue;
-    const double* b_row = b.row(p);
-    for (int64_t j = 0; j < m; ++j) {
-      out_row[j] += av * b_row[j];
-    }
+    ops.axpy(out_row, b.row(p), av, m);
   }
 }
 
@@ -179,6 +171,7 @@ DenseMatrix EvalFusedElementwise(const FusedElementwiseProgram& program,
                                  const RangeRunner& runner) {
   DenseMatrix out(rows, cols);
   const size_t scratch_count = static_cast<size_t>(program.max_stack);
+  const SimdOps& ops = ActiveOps();
   RunRange(runner, rows, [&](int64_t row_begin, int64_t row_end) {
     // One operand-stack value: a row view (borrowed input row or owned
     // scratch buffer) or a broadcast scalar.
@@ -241,20 +234,14 @@ DenseMatrix EvalFusedElementwise(const FusedElementwiseProgram& program,
               free_bufs.pop_back();
             }
             double* d = scratch[static_cast<size_t>(dest)].data();
+            // Dispatched row ops; `d` may exactly alias an operand (in-place
+            // reuse above), which the SimdOps contract permits.
             if (a.vec != nullptr && b.vec != nullptr) {
-              if (mul) {
-                for (int64_t j = 0; j < cols; ++j) d[j] = a.vec[j] * b.vec[j];
-              } else {
-                for (int64_t j = 0; j < cols; ++j) d[j] = a.vec[j] + b.vec[j];
-              }
+              (mul ? ops.mul_vv : ops.add_vv)(d, a.vec, b.vec, cols);
             } else {
               const double* v = a.vec != nullptr ? a.vec : b.vec;
               const double s = a.vec != nullptr ? b.scalar : a.scalar;
-              if (mul) {
-                for (int64_t j = 0; j < cols; ++j) d[j] = v[j] * s;
-              } else {
-                for (int64_t j = 0; j < cols; ++j) d[j] = v[j] + s;
-              }
+              (mul ? ops.mul_vs : ops.add_vs)(d, v, s, cols);
             }
             stack.push_back(Val{d, 0.0, dest});
             break;
@@ -275,10 +262,11 @@ DenseMatrix GemmRowSums(const DenseMatrix& a, const DenseMatrix& b,
   HADAD_CHECK_EQ(a.cols(), b.rows());
   DenseMatrix out(a.rows(), 1);
   const int64_t m = b.cols();
+  const SimdOps& ops = ActiveOps();
   RunRange(runner, a.rows(), [&](int64_t row_begin, int64_t row_end) {
     std::vector<double> buf(static_cast<size_t>(m));
     for (int64_t i = row_begin; i < row_end; ++i) {
-      ProductRow(a, b, i, buf.data());
+      ProductRow(a, b, i, buf.data(), ops);
       double acc = 0.0;
       for (int64_t j = 0; j < m; ++j) acc += buf[static_cast<size_t>(j)];
       out.At(i, 0) = acc;
@@ -297,6 +285,7 @@ DenseMatrix GemmColSums(const DenseMatrix& a, const DenseMatrix& b,
   // every row in ascending order — the exact per-column association of
   // ColSums over the materialized product (partial sums per row chunk would
   // re-associate and break bit-identity).
+  const SimdOps& ops = ActiveOps();
   RunRange(runner, b.cols(), [&](int64_t col_begin, int64_t col_end) {
     const int64_t width = col_end - col_begin;
     std::vector<double> buf(static_cast<size_t>(width));
@@ -307,14 +296,10 @@ DenseMatrix GemmColSums(const DenseMatrix& a, const DenseMatrix& b,
       for (int64_t p = 0; p < k; ++p) {
         const double av = a_row[p];
         if (av == 0.0) continue;
-        const double* b_row = b.row(p);
-        for (int64_t j = 0; j < width; ++j) {
-          buf[static_cast<size_t>(j)] += av * b_row[col_begin + j];
-        }
+        ops.axpy(buf.data(), b.row(p) + col_begin, av, width);
       }
-      for (int64_t j = 0; j < width; ++j) {
-        acc[static_cast<size_t>(j)] += buf[static_cast<size_t>(j)];
-      }
+      // acc[j] += buf[j]: per-column fold, independent across columns.
+      ops.add_vv(acc.data(), acc.data(), buf.data(), width);
     }
     for (int64_t j = 0; j < width; ++j) {
       out.At(0, col_begin + j) = acc[static_cast<size_t>(j)];
@@ -334,12 +319,13 @@ double GemmSum(const DenseMatrix& a, const DenseMatrix& b,
   // a time into a bounded buffer, then folded in order.
   const int64_t block = 8 * kRowGrain;
   DenseMatrix buf(std::min(block, std::max<int64_t>(n, 1)), m);
+  const SimdOps& ops = ActiveOps();
   double acc = 0.0;
   for (int64_t i0 = 0; i0 < n; i0 += block) {
     const int64_t bn = std::min(block, n - i0);
     RunRange(runner, bn, [&](int64_t begin, int64_t end) {
       for (int64_t r = begin; r < end; ++r) {
-        ProductRow(a, b, i0 + r, buf.row(r));
+        ProductRow(a, b, i0 + r, buf.row(r), ops);
       }
     });
     for (int64_t r = 0; r < bn; ++r) {
@@ -348,6 +334,48 @@ double GemmSum(const DenseMatrix& a, const DenseMatrix& b,
     }
   }
   return acc;
+}
+
+double GemmMean(const DenseMatrix& a, const DenseMatrix& b,
+                const RangeRunner& runner) {
+  // matrix::Mean divides ONCE after the complete flat sum, so dividing
+  // GemmSum by the product's cell count reproduces its bits exactly
+  // (including the empty-product convention of 0.0).
+  const int64_t cells = a.rows() * b.cols();
+  if (cells == 0) return 0.0;
+  return GemmSum(a, b, runner) / static_cast<double>(cells);
+}
+
+DenseMatrix GemmColMeans(const DenseMatrix& a, const DenseMatrix& b,
+                         const RangeRunner& runner) {
+  HADAD_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix out(1, b.cols());
+  const int64_t n = a.rows();
+  const int64_t k = a.cols();
+  // GemmColSums with a per-column divide at store time. matrix::ColMeans
+  // (ColStat -> SpanMean) sums each column over ascending rows and divides
+  // the finished sum by n once — exactly this kernel's fold + final /n.
+  const SimdOps& ops = ActiveOps();
+  RunRange(runner, b.cols(), [&](int64_t col_begin, int64_t col_end) {
+    const int64_t width = col_end - col_begin;
+    std::vector<double> buf(static_cast<size_t>(width));
+    std::vector<double> acc(static_cast<size_t>(width), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      std::fill(buf.begin(), buf.end(), 0.0);
+      const double* a_row = a.row(i);
+      for (int64_t p = 0; p < k; ++p) {
+        const double av = a_row[p];
+        if (av == 0.0) continue;
+        ops.axpy(buf.data(), b.row(p) + col_begin, av, width);
+      }
+      ops.add_vv(acc.data(), acc.data(), buf.data(), width);
+    }
+    const double denom = static_cast<double>(n);
+    for (int64_t j = 0; j < width; ++j) {
+      out.At(0, col_begin + j) = acc[static_cast<size_t>(j)] / denom;
+    }
+  });
+  return out;
 }
 
 }  // namespace hadad::matrix

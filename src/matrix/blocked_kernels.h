@@ -132,6 +132,19 @@ DenseMatrix GemmColSums(const DenseMatrix& a, const DenseMatrix& b,
 double GemmSum(const DenseMatrix& a, const DenseMatrix& b,
                const RangeRunner& runner = nullptr);
 
+// mean(a * b) = GemmSum / cell count. matrix::Mean divides once after the
+// complete flat sum, so this is bit-identical to Mean over the materialized
+// product (0.0 for an empty product, matching matrix::Mean).
+double GemmMean(const DenseMatrix& a, const DenseMatrix& b,
+                const RangeRunner& runner = nullptr);
+
+// colMeans(a * b) as a 1 x b.cols() matrix: the GemmColSums fold with each
+// finished column sum divided by a.rows() once at store time — the exact
+// association of matrix::ColMeans (ascending-row SpanMean per column) over
+// the materialized product. Column-parallel like GemmColSums.
+DenseMatrix GemmColMeans(const DenseMatrix& a, const DenseMatrix& b,
+                         const RangeRunner& runner = nullptr);
+
 }  // namespace hadad::matrix
 
 #endif  // HADAD_MATRIX_BLOCKED_KERNELS_H_

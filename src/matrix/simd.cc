@@ -1,0 +1,306 @@
+// SIMD tier implementations + runtime dispatch. See simd.h for the
+// bit-identity contract; this file MUST be compiled with -ffp-contract=off
+// (CMake pins it) so no multiply-add — vector body or scalar tail — is
+// contracted into a single-rounded FMA.
+
+#include "matrix/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HADAD_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define HADAD_SIMD_X86 0
+#endif
+
+namespace hadad::matrix {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier. These loops define the semantics every vector
+// tier must reproduce bit for bit.
+// ---------------------------------------------------------------------------
+
+void AxpyScalar(double* out, const double* x, double a, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) out[j] += a * x[j];
+}
+void AddVvScalar(double* d, const double* a, const double* b, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) d[j] = a[j] + b[j];
+}
+void MulVvScalar(double* d, const double* a, const double* b, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) d[j] = a[j] * b[j];
+}
+void AddVsScalar(double* d, const double* v, double s, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) d[j] = v[j] + s;
+}
+void MulVsScalar(double* d, const double* v, double s, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) d[j] = v[j] * s;
+}
+
+constexpr SimdOps kScalarOps = {
+    SimdTier::kScalar, AxpyScalar,  AddVvScalar,
+    MulVvScalar,       AddVsScalar, MulVsScalar,
+    /*k_tile=*/256,
+};
+
+#if HADAD_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 4-wide ymm, unaligned loads (rows are only 8-byte aligned),
+// scalar tails. Separate mul/add intrinsics — never fmadd.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void AxpyAvx2(double* out, const double* x,
+                                              double a, int64_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d prod = _mm256_mul_pd(av, _mm256_loadu_pd(x + j));
+    _mm256_storeu_pd(out + j, _mm256_add_pd(_mm256_loadu_pd(out + j), prod));
+  }
+  for (; j < n; ++j) out[j] += a * x[j];
+}
+
+__attribute__((target("avx2"))) void AddVvAvx2(double* d, const double* a,
+                                               const double* b, int64_t n) {
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        d + j, _mm256_add_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) d[j] = a[j] + b[j];
+}
+
+__attribute__((target("avx2"))) void MulVvAvx2(double* d, const double* a,
+                                               const double* b, int64_t n) {
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        d + j, _mm256_mul_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) d[j] = a[j] * b[j];
+}
+
+__attribute__((target("avx2"))) void AddVsAvx2(double* d, const double* v,
+                                               double s, int64_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(d + j, _mm256_add_pd(_mm256_loadu_pd(v + j), sv));
+  }
+  for (; j < n; ++j) d[j] = v[j] + s;
+}
+
+__attribute__((target("avx2"))) void MulVsAvx2(double* d, const double* v,
+                                               double s, int64_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(d + j, _mm256_mul_pd(_mm256_loadu_pd(v + j), sv));
+  }
+  for (; j < n; ++j) d[j] = v[j] * s;
+}
+
+constexpr SimdOps kAvx2Ops = {
+    SimdTier::kAvx2, AxpyAvx2,  AddVvAvx2,
+    MulVvAvx2,       AddVsAvx2, MulVsAvx2,
+    /*k_tile=*/256,
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512F tier: 8-wide zmm with masked tails — odd row widths never touch
+// a scalar loop, the tail lanes just run under a write mask.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f"))) inline __mmask8 TailMask(int64_t rem) {
+  return static_cast<__mmask8>((1u << rem) - 1u);
+}
+
+__attribute__((target("avx512f"))) void AxpyAvx512(double* out,
+                                                   const double* x, double a,
+                                                   int64_t n) {
+  const __m512d av = _mm512_set1_pd(a);
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512d prod = _mm512_mul_pd(av, _mm512_loadu_pd(x + j));
+    _mm512_storeu_pd(out + j, _mm512_add_pd(_mm512_loadu_pd(out + j), prod));
+  }
+  if (j < n) {
+    const __mmask8 m = TailMask(n - j);
+    const __m512d prod = _mm512_mul_pd(av, _mm512_maskz_loadu_pd(m, x + j));
+    _mm512_mask_storeu_pd(
+        out + j, m, _mm512_add_pd(_mm512_maskz_loadu_pd(m, out + j), prod));
+  }
+}
+
+__attribute__((target("avx512f"))) void AddVvAvx512(double* d, const double* a,
+                                                    const double* b,
+                                                    int64_t n) {
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(
+        d + j, _mm512_add_pd(_mm512_loadu_pd(a + j), _mm512_loadu_pd(b + j)));
+  }
+  if (j < n) {
+    const __mmask8 m = TailMask(n - j);
+    _mm512_mask_storeu_pd(d + j, m,
+                          _mm512_add_pd(_mm512_maskz_loadu_pd(m, a + j),
+                                        _mm512_maskz_loadu_pd(m, b + j)));
+  }
+}
+
+__attribute__((target("avx512f"))) void MulVvAvx512(double* d, const double* a,
+                                                    const double* b,
+                                                    int64_t n) {
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(
+        d + j, _mm512_mul_pd(_mm512_loadu_pd(a + j), _mm512_loadu_pd(b + j)));
+  }
+  if (j < n) {
+    const __mmask8 m = TailMask(n - j);
+    _mm512_mask_storeu_pd(d + j, m,
+                          _mm512_mul_pd(_mm512_maskz_loadu_pd(m, a + j),
+                                        _mm512_maskz_loadu_pd(m, b + j)));
+  }
+}
+
+__attribute__((target("avx512f"))) void AddVsAvx512(double* d, const double* v,
+                                                    double s, int64_t n) {
+  const __m512d sv = _mm512_set1_pd(s);
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(d + j, _mm512_add_pd(_mm512_loadu_pd(v + j), sv));
+  }
+  if (j < n) {
+    const __mmask8 m = TailMask(n - j);
+    _mm512_mask_storeu_pd(
+        d + j, m, _mm512_add_pd(_mm512_maskz_loadu_pd(m, v + j), sv));
+  }
+}
+
+__attribute__((target("avx512f"))) void MulVsAvx512(double* d, const double* v,
+                                                    double s, int64_t n) {
+  const __m512d sv = _mm512_set1_pd(s);
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(d + j, _mm512_mul_pd(_mm512_loadu_pd(v + j), sv));
+  }
+  if (j < n) {
+    const __mmask8 m = TailMask(n - j);
+    _mm512_mask_storeu_pd(
+        d + j, m, _mm512_mul_pd(_mm512_maskz_loadu_pd(m, v + j), sv));
+  }
+}
+
+// Same k-tile as the other tiers: measured on the bench_simd_kernels GEMM
+// workloads (and a deep-k 2400-inner probe), doubling the tile to 512 ran
+// ~5-10% SLOWER — 256 rows of `b` already fill L2, and a deeper tile only
+// widens the reuse distance of the output-row chunk. Re-measure before
+// changing; the tile depth never affects results, only speed.
+constexpr SimdOps kAvx512Ops = {
+    SimdTier::kAvx512, AxpyAvx512,  AddVvAvx512,
+    MulVvAvx512,       AddVsAvx512, MulVsAvx512,
+    /*k_tile=*/256,
+};
+
+#endif  // HADAD_SIMD_X86
+
+const SimdOps& TableFor(SimdTier tier) {
+#if HADAD_SIMD_X86
+  switch (tier) {
+    case SimdTier::kAvx512: return kAvx512Ops;
+    case SimdTier::kAvx2: return kAvx2Ops;
+    case SimdTier::kScalar: return kScalarOps;
+  }
+#else
+  (void)tier;
+#endif
+  return kScalarOps;
+}
+
+// The active dispatch table. Initialized on first use from CPU detection +
+// env policy; ScopedTierOverride swaps it for tests. Relaxed loads are
+// enough: after the one-time lazy init the pointer only changes under
+// test-controlled single-threaded sections.
+std::atomic<const SimdOps*> g_active_ops{nullptr};
+
+const SimdOps* InitActiveOps() {
+  const SimdOps* ops = &TableFor(ResolveTier(DetectedCpuTier(),
+                                             std::getenv("HADAD_FORCE_SCALAR"),
+                                             std::getenv("HADAD_SIMD_TIER")));
+  const SimdOps* expected = nullptr;
+  // First caller wins; a racing caller adopts whatever was published.
+  g_active_ops.compare_exchange_strong(expected, ops,
+                                       std::memory_order_acq_rel);
+  return g_active_ops.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+const char* TierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kAvx2: return "avx2";
+    case SimdTier::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+SimdTier DetectedCpuTier() {
+#if HADAD_SIMD_X86
+  if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+  return SimdTier::kScalar;
+}
+
+SimdTier ResolveTier(SimdTier detected, const char* force_scalar,
+                     const char* tier_name) {
+  if (force_scalar != nullptr && std::strcmp(force_scalar, "1") == 0) {
+    return SimdTier::kScalar;
+  }
+  if (tier_name != nullptr) {
+    const std::string name = tier_name;
+    SimdTier requested = detected;
+    if (name == "scalar") {
+      requested = SimdTier::kScalar;
+    } else if (name == "avx2") {
+      requested = SimdTier::kAvx2;
+    } else if (name == "avx512") {
+      requested = SimdTier::kAvx512;
+    }
+    // Clamp: never select a tier the CPU cannot execute.
+    return requested <= detected ? requested : detected;
+  }
+  return detected;
+}
+
+const SimdOps& ActiveOps() {
+  const SimdOps* ops = g_active_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) ops = InitActiveOps();
+  return *ops;
+}
+
+SimdTier ActiveTier() { return ActiveOps().tier; }
+
+const SimdOps& OpsForTier(SimdTier tier) {
+  const SimdTier detected = DetectedCpuTier();
+  return TableFor(tier <= detected ? tier : detected);
+}
+
+ScopedTierOverride::ScopedTierOverride(SimdTier tier)
+    : previous_(&ActiveOps()) {
+  g_active_ops.store(&OpsForTier(tier), std::memory_order_release);
+}
+
+ScopedTierOverride::~ScopedTierOverride() {
+  g_active_ops.store(previous_, std::memory_order_release);
+}
+
+}  // namespace hadad::matrix

@@ -38,8 +38,9 @@ std::string RenderExplainAnalyze(const exec::CompiledPlan& plan,
 
   std::ostringstream out;
   out << "EXPLAIN ANALYZE  (" << plan.nodes.size() << " nodes, "
-      << stats.threads << (stats.threads == 1 ? " thread" : " threads")
-      << ", wall " << Ms(stats.seconds) << ")\n";
+      << stats.threads << (stats.threads == 1 ? " thread" : " threads");
+  if (!stats.kernel_tier.empty()) out << ", tier " << stats.kernel_tier;
+  out << ", wall " << Ms(stats.seconds) << ")\n";
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
     const exec::PlanNode& n = plan.nodes[i];
     out << "#" << i << " " << la::OpName(n.op) << " ["
@@ -63,7 +64,9 @@ std::string RenderExplainAnalyze(const exec::CompiledPlan& plan,
           << plan.programs[static_cast<size_t>(n.program)].fused_ops << "ops";
     } else if (n.kernel == exec::KernelKind::kGemmSumReduce ||
                n.kernel == exec::KernelKind::kGemmRowSumsReduce ||
-               n.kernel == exec::KernelKind::kGemmColSumsReduce) {
+               n.kernel == exec::KernelKind::kGemmColSumsReduce ||
+               n.kernel == exec::KernelKind::kGemmMeanReduce ||
+               n.kernel == exec::KernelKind::kGemmColMeansReduce) {
       out << " fused=2ops";
     }
     if (n.consumers.size() > 1) {

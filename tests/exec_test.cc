@@ -482,9 +482,12 @@ TEST_F(FusionTest, AggregationPushesIntoGemm) {
     const char* text;
     KernelKind kernel;
   };
-  for (const Case& c : {Case{"colSums(X %*% Y)", KernelKind::kGemmColSumsReduce},
-                        Case{"rowSums(X %*% Y)", KernelKind::kGemmRowSumsReduce},
-                        Case{"sum(X %*% Y)", KernelKind::kGemmSumReduce}}) {
+  for (const Case& c :
+       {Case{"colSums(X %*% Y)", KernelKind::kGemmColSumsReduce},
+        Case{"rowSums(X %*% Y)", KernelKind::kGemmRowSumsReduce},
+        Case{"sum(X %*% Y)", KernelKind::kGemmSumReduce},
+        Case{"mean(X %*% Y)", KernelKind::kGemmMeanReduce},
+        Case{"colMeans(X %*% Y)", KernelKind::kGemmColMeansReduce}}) {
     CompiledPlan plan = MustCompile(c.text);
     EXPECT_EQ(CountKernel(plan, c.kernel), 1) << c.text;
     // The product node is gone: loads X, Y plus the reducing node.
@@ -514,7 +517,10 @@ TEST_F(FusionTest, FusedPlansAreBitIdenticalAcrossThreadCounts) {
       "colSums(X %*% Y)",
       "rowSums(X %*% Y)",
       "sum(X %*% Y)",
+      "mean(X %*% Y)",
+      "colMeans(X %*% Y)",
       "sum(X %*% Y) * (A + B) - D",
+      "mean(X %*% Y) * (A + B) - D",
       "S1 + S2 - S1",  // Sparse chain: density gate keeps it unfused.
   };
   for (const std::string& text : cases) {
@@ -577,7 +583,8 @@ TEST_F(FusionTest, ReducingGemmFallsBackExactlyOnSparseOperands) {
   CompileOptions fuse_anyway;
   fuse_anyway.dense_sparsity_threshold = 0.0;
   for (const char* text :
-       {"colSums(SA %*% SB)", "rowSums(SA %*% SB)", "sum(SA %*% SB)"}) {
+       {"colSums(SA %*% SB)", "rowSums(SA %*% SB)", "sum(SA %*% SB)",
+        "mean(SA %*% SB)", "colMeans(SA %*% SB)"}) {
     CompiledPlan plan = MustCompile(text, fuse_anyway);
     ASSERT_EQ(plan.fused_nodes, 1) << text;
 
