@@ -27,10 +27,10 @@ int main() {
               "storage");
   for (const auto& [name, m] : ws.data()) {
     std::printf("%-6s %8lld %8lld %12lld %10s\n", name.c_str(),
-                static_cast<long long>(m.rows()),
-                static_cast<long long>(m.cols()),
-                static_cast<long long>(m.Nnz()),
-                m.is_sparse() ? "CSR" : "dense");
+                static_cast<long long>(m->rows()),
+                static_cast<long long>(m->cols()),
+                static_cast<long long>(m->Nnz()),
+                m->is_sparse() ? "CSR" : "dense");
   }
   return 0;
 }

@@ -29,7 +29,7 @@ std::shared_ptr<api::Session> MakeBenchSession() {
   core::LaBenchConfig config;
   engine::Workspace ws = core::MakeLaBenchWorkspace(rng, config);
   api::SessionBuilder builder;
-  for (const auto& [name, m] : ws.data()) builder.Put(name, m);
+  for (const auto& [name, m] : ws.data()) builder.Put(name, *m);
   auto session = builder.Build();
   if (!session.ok()) {
     std::printf("session failed: %s\n", session.status().ToString().c_str());

@@ -5,8 +5,12 @@
 #                            suites again under HADAD_FORCE_SCALAR=1 so both
 #                            dispatch arms stay green on any CI hardware
 #   ./scripts/ci.sh tsan     ThreadSanitizer build of the concurrency-bearing
-#                            targets (exec, session, views, mutation tests)
-#   ./scripts/ci.sh asan     AddressSanitizer+UBSan build, full ctest run
+#                            targets (exec, session, views, mutation, MVCC,
+#                            obs, server tests); the MVCC snapshot-isolation
+#                            stress suite runs at 1000 iterations
+#   ./scripts/ci.sh asan     AddressSanitizer+UBSan build, full ctest run,
+#                            then the MVCC stress suite again at 500
+#                            iterations
 #   ./scripts/ci.sh bench    Release-mode bench smoke: builds and runs the
 #                            benchmark drivers, then diffs the merged
 #                            results against the committed baseline with
@@ -62,11 +66,15 @@ case "$mode" in
       -DHADAD_BUILD_BENCHMARKS=OFF \
       -DHADAD_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j --target exec_test session_test views_test \
-      mutation_test obs_test server_test
+      mutation_test mvcc_test obs_test server_test
     ./build-tsan/tests/exec_test
     ./build-tsan/tests/session_test
     ./build-tsan/tests/views_test
     ./build-tsan/tests/mutation_test
+    # The randomized snapshot-isolation stress suite is the tentpole TSan
+    # workload: 1000 interleavings of concurrent readers, ticket-serialized
+    # writers, and atomic batches over one MVCC workspace.
+    HADAD_STRESS_ITERS=1000 ./build-tsan/tests/mvcc_test
     ./build-tsan/tests/obs_test
     ./build-tsan/tests/server_test
     ;;
@@ -80,6 +88,11 @@ case "$mode" in
     cmake --build build-asan -j
     cd build-asan
     ctest --output-on-failure -j
+    # Version-chain lifetime torture under ASan: the stress suite re-runs
+    # with more iterations than the ctest default so retire/free races and
+    # snapshot use-after-free get real soak time.
+    HADAD_STRESS_ITERS=500 ./tests/mvcc_test \
+      --gtest_filter='MvccStressTest.*:MvccLeakTest.*'
     ;;
   bench)
     cmake -B build-bench -S . \

@@ -213,33 +213,35 @@ Result<matrix::Matrix> Session::ExecuteExpr(const la::ExprPtr& expr,
                           &ctx);
   }
   if (executor_ != nullptr) {
-    // Respect the engine profile (kSmart applies its internal rewrites
-    // before execution), then hand the plan to the parallel DAG engine.
-    HADAD_ASSIGN_OR_RETURN(la::ExprPtr planned, engine_->Plan(expr));
-    const std::set<std::string> barriers =
-        adaptive_ != nullptr ? adaptive_->FusionBarriers()
-                             : std::set<std::string>();
-    exec::CompiledPlan compiled;
-    {
-      obs::ScopedSpan compile(trace_.get(), "dag_compile", "compile",
-                              parent);
-      HADAD_ASSIGN_OR_RETURN(
-          compiled,
-          CompileExpr(planned, adaptive_ != nullptr ? &barriers : nullptr));
-      if (compile.active()) {
-        compile.Annotate("cached", "false");
-        compile.Annotate("plan_nodes",
-                         static_cast<int64_t>(compiled.nodes.size()));
-        compile.Annotate("cse_hits", compiled.cse_hits);
-        compile.Annotate("fused_nodes", compiled.fused_nodes);
-        compile.Annotate("fused_ops_eliminated",
-                         compiled.fused_ops_eliminated);
-      }
-    }
+    HADAD_ASSIGN_OR_RETURN(exec::CompiledPlan compiled,
+                           CompileForExecution(expr, parent));
     const obs::TraceContext ctx{trace_.get(), parent};
     return executor_->RunCompiled(compiled, workspace_, stats, &ctx, cancel);
   }
   return engine_->Run(expr, stats);
+}
+
+Result<exec::CompiledPlan> Session::CompileForExecution(
+    const la::ExprPtr& expr, obs::SpanId parent) const {
+  // Respect the engine profile (kSmart applies its internal rewrites
+  // before execution), then hand the plan to the parallel DAG engine.
+  HADAD_ASSIGN_OR_RETURN(la::ExprPtr planned, engine_->Plan(expr));
+  const std::set<std::string> barriers =
+      adaptive_ != nullptr ? adaptive_->FusionBarriers()
+                           : std::set<std::string>();
+  obs::ScopedSpan compile(trace_.get(), "dag_compile", "compile", parent);
+  HADAD_ASSIGN_OR_RETURN(
+      exec::CompiledPlan compiled,
+      CompileExpr(planned, adaptive_ != nullptr ? &barriers : nullptr));
+  if (compile.active()) {
+    compile.Annotate("cached", "false");
+    compile.Annotate("plan_nodes",
+                     static_cast<int64_t>(compiled.nodes.size()));
+    compile.Annotate("cse_hits", compiled.cse_hits);
+    compile.Annotate("fused_nodes", compiled.fused_nodes);
+    compile.Annotate("fused_ops_eliminated", compiled.fused_ops_eliminated);
+  }
+  return compiled;
 }
 
 Result<exec::CompiledPlan> Session::CompileExpr(
@@ -343,19 +345,79 @@ Result<matrix::Matrix> Session::RunPlan(
                          : (adaptive && !original ? &local_stats : nullptr);
     bool use_original = false;
     std::optional<Result<matrix::Matrix>> result;
+    // Execution state prepared under the shared hold, consumed lock-free
+    // below: the pinned MVCC snapshot plus whichever plan form this
+    // session executes (cached DAG, freshly compiled DAG, or the profile-
+    // planned expression tree).
+    engine::SnapshotPtr snapshot;
+    std::shared_ptr<const exec::CompiledPlan> compiled;
+    std::optional<exec::CompiledPlan> compiled_local;
+    la::ExprPtr planned;
     {
       common::ReaderMutexLock state(&views_mu_);
-      // Under the shared lock neither the view set nor the data can move: a
-      // fresh plan here stays consistent through the whole execution (the
-      // snapshot-isolation contract for in-flight queries).
+      // Under the shared lock neither the view set nor the live data
+      // binding can move: the freshness verdict, the pinned snapshot, and
+      // the compiled plan below all describe the same state.
       const bool stale = !original && !PlanFresh(*plan);
       if (stale && attempt + 1 < kMaxAttempts) continue;
       // Extreme-churn fallback: the original expression references only
       // session-durable names, so it executes against the current data.
       use_original = original || stale;
-      result.emplace(ExecutePlanLocked(*plan, use_original, exec_stats,
-                                       span, cancel));
+      const la::ExprPtr& expr =
+          use_original ? plan->original : plan->rewrite.best;
+      if (morpheus_ != nullptr &&
+          (executor_ == nullptr || morpheus_->ReferencesNormalized(*expr))) {
+        // Morpheus route: factorized data lives inside that engine, not in
+        // a pinnable workspace version — execute under the hold as before.
+        result.emplace(ExecutePlanLocked(*plan, use_original, exec_stats,
+                                         span, cancel));
+      } else {
+        // MVCC read path: pin the snapshot and prepare the physical plan
+        // under the hold, then execute below with NO session lock held —
+        // writers proceed concurrently and never block this query.
+        snapshot = workspace_.PinSnapshot();
+        if (executor_ != nullptr) {
+          if (use_original) {
+            auto c = CompileForExecution(plan->original, span);
+            if (!c.ok()) {
+              result.emplace(c.status());
+            } else {
+              compiled_local.emplace(std::move(*c));
+            }
+          } else {
+            auto c = GetOrCompile(*plan, span);
+            if (!c.ok()) {
+              result.emplace(c.status());
+            } else {
+              compiled = std::move(*c);
+            }
+          }
+        } else {
+          auto p = engine_->Plan(expr);
+          if (!p.ok()) {
+            result.emplace(p.status());
+          } else {
+            planned = std::move(*p);
+          }
+        }
+      }
     }
+    if (!result.has_value()) {
+      // Lock-free execution against the pinned snapshot (leaf loads
+      // resolve to the pinned immutable versions).
+      if (executor_ != nullptr) {
+        const obs::TraceContext ctx{trace_.get(), span};
+        const exec::CompiledPlan& plan_to_run =
+            compiled != nullptr ? *compiled : *compiled_local;
+        result.emplace(executor_->RunCompiled(plan_to_run, *snapshot,
+                                              exec_stats, &ctx, cancel));
+      } else {
+        result.emplace(engine::Execute(*planned, *snapshot, exec_stats));
+      }
+    }
+    // Unpin before adaptive propagation: OnExecution may schedule work that
+    // takes the state lock, and the snapshot's versions are done serving.
+    snapshot.reset();
     if (adaptive && !original && result->ok()) {
       // OnExecution takes the state lock itself, hence outside the scope.
       adaptive_->OnExecution(
@@ -560,6 +622,231 @@ Status Session::Put(const std::string& name, matrix::Matrix m) {
   return Status::OK();
 }
 
+Status Session::Mutate(std::vector<Mutation> mutations) {
+  if (mutations.empty()) return Status::OK();
+  if (mutations.size() == 1) {
+    // Single-entry batches keep the exact semantics of the public mutators
+    // (including incremental view refresh for appends).
+    Mutation& m = mutations.front();
+    switch (m.op) {
+      case Mutation::Op::kUpdate:
+        return Update(m.name, std::move(m.value));
+      case Mutation::Op::kAppend:
+        return Append(m.name, m.value);
+      case Mutation::Op::kRemove:
+        return Remove(m.name);
+      case Mutation::Op::kPut:
+        return Put(m.name, std::move(m.value));
+    }
+    return Status::InvalidArgument("unknown mutation op");
+  }
+  obs::ScopedSpan root(trace_.get(), "Mutate", "session");
+  root.Annotate("batch_size", static_cast<int64_t>(mutations.size()));
+  common::WriterMutexLock state(&views_mu_);
+  return MutateBatchLocked(&mutations, root.id());
+}
+
+Status Session::MutateBatchLocked(std::vector<Mutation>* mutations,
+                                  obs::SpanId parent) {
+  // --- Validation against a simulated catalog: nothing is applied until
+  //     the whole batch is known to leave every layer well-defined.
+  //     Entries apply in order, so the simulation threads state through
+  //     them (a Put can introduce a name a later Append grows). ----------
+  la::MetaCatalog trial = optimizer_->catalog();
+  std::set<std::string> trial_changed;
+  for (size_t i = 0; i < mutations->size(); ++i) {
+    const Mutation& m = (*mutations)[i];
+    const std::string at = "Mutate[" + std::to_string(i) + "]: ";
+    if (morpheus_names_.contains(m.name)) {
+      return Status::InvalidArgument(
+          at + "'" + m.name + "' is bound into a Morpheus declaration; "
+          "declared factorizations are immutable");
+    }
+    for (const auto& [vname, def] : user_views_) {
+      if (vname == m.name) {
+        return Status::InvalidArgument(
+            at + "'" + m.name + "' is a view; views are derived — mutate "
+            "the base matrices their definitions reference");
+      }
+    }
+    if (adaptive_ != nullptr && adaptive_->IsAdaptiveViewName(m.name)) {
+      return Status::InvalidArgument(
+          at + "'" + m.name +
+          "' is an adaptive view; mutate base matrices instead");
+    }
+    const bool exists = trial.contains(m.name);
+    switch (m.op) {
+      case Mutation::Op::kPut:
+        if (m.name.empty()) {
+          return Status::InvalidArgument(
+              at + "cannot bind a matrix with an empty name");
+        }
+        if (m.name.rfind("__delta", 0) == 0) {
+          return Status::InvalidArgument(
+              at + "name '" + m.name +
+              "' uses the reserved '__delta' prefix");
+        }
+        trial[m.name].rows = m.value.rows();
+        trial[m.name].cols = m.value.cols();
+        trial[m.name].nnz = -1.0;
+        trial_changed.insert(m.name);
+        break;
+      case Mutation::Op::kUpdate:
+        if (!exists) {
+          return Status::NotFound(at + "no matrix named '" + m.name +
+                                  "' in workspace");
+        }
+        trial[m.name].rows = m.value.rows();
+        trial[m.name].cols = m.value.cols();
+        trial[m.name].nnz = -1.0;
+        trial_changed.insert(m.name);
+        break;
+      case Mutation::Op::kAppend:
+        if (!exists) {
+          return Status::NotFound(at + "no matrix named '" + m.name +
+                                  "' in workspace");
+        }
+        if (m.value.cols() != trial[m.name].cols) {
+          return Status::DimensionMismatch(
+              at + "cannot append " + std::to_string(m.value.rows()) + "x" +
+              std::to_string(m.value.cols()) + " rows to '" + m.name +
+              "' (" + std::to_string(trial[m.name].rows) + "x" +
+              std::to_string(trial[m.name].cols) + ")");
+        }
+        trial[m.name].rows += m.value.rows();
+        trial_changed.insert(m.name);
+        break;
+      case Mutation::Op::kRemove:
+        if (!exists) {
+          return Status::NotFound(at + "no matrix named '" + m.name +
+                                  "' in workspace");
+        }
+        for (const auto& [vname, def] : user_views_) {
+          if (la::ReferencesMatrix(*def, m.name)) {
+            return Status::InvalidArgument(at + "cannot remove '" + m.name +
+                                           "': view '" + vname +
+                                           "' references it");
+          }
+        }
+        trial.erase(m.name);
+        trial_changed.insert(m.name);
+        break;
+    }
+  }
+  // Dry-run shape inference over the post-batch catalog: every dependent
+  // user view must stay well-typed, cascading through views over views.
+  for (const auto& [vname, def] : user_views_) {
+    if (!ReferencesAny(*def, trial_changed)) continue;
+    Result<la::MatrixMeta> shape = la::InferShape(*def, trial);
+    if (!shape.ok()) {
+      return Status::InvalidArgument("Mutate: batch breaks view '" + vname +
+                                     "': " + shape.status().message());
+    }
+    trial[vname] = std::move(shape).value();
+    trial_changed.insert(vname);
+  }
+
+  // --- Apply every base mutation, journaling what a rollback needs (the
+  //     shape dry-run cannot catch value-level refresh failures). Each
+  //     install is one MVCC version: in-flight readers keep their pinned
+  //     versions and never see the batch half-applied. -------------------
+  std::vector<BaseChange> journal;
+  journal.reserve(mutations->size());
+  std::set<std::string> changed;
+  std::vector<RefreshedView> refreshed;  // In registration order.
+
+  for (size_t i = 0; i < mutations->size(); ++i) {
+    Mutation& m = (*mutations)[i];
+    BaseChange c;
+    c.op = m.op;
+    c.name = m.name;
+    switch (m.op) {
+      case Mutation::Op::kUpdate:
+        c.old_value = workspace_.Take(m.name);
+        workspace_.Put(m.name, std::move(m.value));
+        break;
+      case Mutation::Op::kPut:
+        if (workspace_.Find(m.name) != nullptr) {
+          c.old_value = workspace_.Take(m.name);
+        } else {
+          c.added = true;
+        }
+        workspace_.Put(m.name, std::move(m.value));
+        break;
+      case Mutation::Op::kAppend: {
+        c.old_rows = workspace_.Find(m.name)->rows();
+        Status appended = workspace_.Append(m.name, m.value);
+        if (!appended.ok()) {
+          RollbackBatch(&journal, &refreshed);
+          return appended;
+        }
+        break;
+      }
+      case Mutation::Op::kRemove:
+        c.old_value = workspace_.Take(m.name);
+        (void)optimizer_->RemoveBaseMeta(m.name);
+        exec_catalog_.erase(m.name);
+        break;
+    }
+    const bool added = c.added;
+    journal.push_back(std::move(c));
+    changed.insert(m.name);
+    if (m.op != Mutation::Op::kRemove) {
+      la::MatrixMeta meta = engine::Workspace::MetaFor(
+          *workspace_.Find(m.name), flag_detect_limit_);
+      Status registered = added ? optimizer_->AddBaseMeta(m.name, meta)
+                                : optimizer_->UpdateBaseMeta(m.name, meta);
+      if (!registered.ok()) {
+        RollbackBatch(&journal, &refreshed);
+        return registered;
+      }
+      if (executor_ != nullptr) exec_catalog_[m.name] = meta;
+    }
+  }
+
+  // --- ONE view-refresh wave over the whole batch, in registration order
+  //     (refreshed values cascade through views over views). Batches
+  //     re-evaluate definitions fully — with several entries potentially
+  //     touching one view, a per-entry append delta no longer applies. ---
+  for (const auto& [vname, def] : user_views_) {
+    if (!ReferencesAny(*def, changed)) continue;
+    obs::ScopedSpan refresh(trace_.get(), "view_refresh", "views", parent);
+    refresh.Annotate("view", vname);
+    Result<matrix::Matrix> fresh = EvaluateDefinition(def);
+    if (!fresh.ok()) {
+      RollbackBatch(&journal, &refreshed);
+      return Status(fresh.status().code(),
+                    "refreshing view '" + vname + "': " +
+                        fresh.status().message() + " (batch rolled back)");
+    }
+    refreshed.push_back(
+        RefreshedView{vname, def, std::move(*workspace_.Take(vname))});
+    workspace_.Put(vname, std::move(*fresh));
+    Status reregistered = optimizer_->RemoveView(vname);
+    if (reregistered.ok()) reregistered = optimizer_->AddView(vname, def);
+    if (!reregistered.ok()) {
+      RollbackBatch(&journal, &refreshed);
+      return Status(reregistered.code(),
+                    "re-registering view '" + vname + "': " +
+                        reregistered.message() + " (batch rolled back)");
+    }
+    if (executor_ != nullptr) {
+      exec_catalog_[vname] =
+          engine::Workspace::MetaFor(*workspace_.Find(vname));
+    }
+    changed.insert(vname);
+  }
+
+  // --- ONE adaptive propagation for the whole batch. --------------------
+  if (adaptive_ != nullptr) {
+    obs::ScopedSpan propagate(trace_.get(), "mutation_propagation", "views",
+                              parent);
+    adaptive_->OnDataMutation(changed, nullptr, nullptr);
+  }
+  mutations_->Inc(static_cast<int64_t>(mutations->size()));
+  return Status::OK();
+}
+
 Status Session::MutateLocked(const std::string& name, MutationKind kind,
                              matrix::Matrix* value,
                              const matrix::Matrix* rows,
@@ -761,6 +1048,64 @@ void Session::RollbackMutation(const std::string& name, MutationKind kind,
   }
 }
 
+void Session::RollbackBatch(std::vector<BaseChange>* journal,
+                            std::vector<RefreshedView>* refreshed) {
+  // Restore every workspace value first — refreshed view values, then
+  // bases in reverse journal order so repeated mutations of one name
+  // unwind to the pre-batch state.
+  for (RefreshedView& v : *refreshed) {
+    workspace_.Put(v.name, std::move(v.old_value));
+  }
+  for (auto it = journal->rbegin(); it != journal->rend(); ++it) {
+    switch (it->op) {
+      case Mutation::Op::kUpdate:
+        workspace_.Put(it->name, std::move(*it->old_value));
+        break;
+      case Mutation::Op::kPut:
+        if (it->added) {
+          workspace_.Erase(it->name);
+        } else {
+          workspace_.Put(it->name, std::move(*it->old_value));
+        }
+        break;
+      case Mutation::Op::kAppend: {
+        std::optional<matrix::Matrix> grown = workspace_.Take(it->name);
+        (void)matrix::TruncateRows(&*grown, it->old_rows);
+        workspace_.Put(it->name, std::move(*grown));
+        break;
+      }
+      case Mutation::Op::kRemove:
+        workspace_.Put(it->name, std::move(*it->old_value));
+        break;
+    }
+  }
+  // Re-derive the dependent facts from the restored values.
+  for (const BaseChange& c : *journal) {
+    const matrix::Matrix* cur = workspace_.Find(c.name);
+    if (cur == nullptr) {
+      // A rolled-back Put: the name is gone again.
+      (void)optimizer_->RemoveBaseMeta(c.name);
+      exec_catalog_.erase(c.name);
+      continue;
+    }
+    la::MatrixMeta meta = engine::Workspace::MetaFor(*cur,
+                                                     flag_detect_limit_);
+    if (!optimizer_->UpdateBaseMeta(c.name, meta).ok()) {
+      (void)optimizer_->AddBaseMeta(c.name, meta);  // Restored removal.
+    }
+    if (executor_ != nullptr) exec_catalog_[c.name] = meta;
+  }
+  // Re-register views in forward registration order, as Build() did.
+  for (const RefreshedView& v : *refreshed) {
+    (void)optimizer_->RemoveView(v.name);
+    (void)optimizer_->AddView(v.name, v.def);
+    if (executor_ != nullptr) {
+      exec_catalog_[v.name] =
+          engine::Workspace::MetaFor(*workspace_.Find(v.name));
+    }
+  }
+}
+
 Result<matrix::Matrix> Session::ComputeViewRefresh(
     const std::string& vname, const la::ExprPtr& def, bool touches_changed,
     const std::string& name, const matrix::Matrix* rows,
@@ -815,6 +1160,13 @@ std::string Session::MetricsText() const {
   plan_cache_gauge_->Set(static_cast<double>(plan_cache_size()));
   threads_gauge_->Set(
       executor_ != nullptr ? static_cast<double>(executor_->threads()) : 1.0);
+  workspace_versions_gauge_->Set(
+      static_cast<double>(workspace_.LiveVersions()));
+  pinned_snapshots_gauge_->Set(
+      static_cast<double>(workspace_.PinnedSnapshots()));
+  // The retirement count lives in the workspace; AdvanceTo mirrors it
+  // without a delta race between concurrent scrapes.
+  workspace_retired_->AdvanceTo(workspace_.RetiredTotal());
   if (adaptive_ != nullptr) {
     views::AdaptiveViewStats a = adaptive_->stats();
     adaptive_views_gauge_->Set(
@@ -992,6 +1344,9 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
         "Operator nodes eliminated by fusion. Unit: nodes.");
     raw->mutations_ = m.AddCounter("hadad_session_mutations_total",
         "Successful Update/Append/Remove/Put calls. Unit: mutations.");
+    raw->workspace_retired_ = m.AddCounter("hadad_workspace_retired_total",
+        "Matrix versions retired by MVCC mutations since session build "
+        "(refreshed on scrape). Unit: versions.");
     const std::vector<double> latency{1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
     raw->run_seconds_ = m.AddHistogram("hadad_run_seconds",
         "End-to-end Session::Run latency. Unit: seconds.", latency);
@@ -1011,6 +1366,12 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
         "Distinct canonical subexpressions tracked. Unit: expressions.");
     raw->kernel_tier_gauge_ = m.AddGauge("hadad_kernel_tier",
         "Active SIMD kernel tier: 0=scalar, 1=avx2, 2=avx512. Unit: enum.");
+    raw->workspace_versions_gauge_ = m.AddGauge("hadad_workspace_versions",
+        "Matrix versions held by the MVCC workspace (live + retained for "
+        "pinned readers). Unit: versions.");
+    raw->pinned_snapshots_gauge_ =
+        m.AddGauge("hadad_workspace_pinned_snapshots",
+        "Currently pinned MVCC read snapshots. Unit: snapshots.");
     // Resolved once per process at first kernel use; constant thereafter.
     raw->kernel_tier_gauge_->Set(
         static_cast<double>(matrix::ActiveTier()));
@@ -1111,9 +1472,18 @@ Result<std::shared_ptr<Session>> SessionBuilder::Build() {
         exec_threads_.has_value() ? &raw->exec_catalog_ : nullptr;
     host.state_mu = &raw->views_mu_;
     host.trace = raw->trace_.get();
-    host.evaluate = [raw](const la::ExprPtr& def) -> Result<matrix::Matrix> {
-      if (raw->morpheus_ != nullptr) return raw->morpheus_->Run(def);
-      return engine::Execute(*def, raw->workspace_);
+    host.evaluate = [raw](const la::ExprPtr& def, engine::WorkspaceView ws,
+                          bool state_locked) -> Result<matrix::Matrix> {
+      if (raw->morpheus_ != nullptr) {
+        // Factorized data lives inside the Morpheus engine, not in `ws`;
+        // its state follows the session state lock, so take it shared
+        // unless the caller (synchronous-mode refresh) already holds it
+        // unique.
+        if (state_locked) return raw->morpheus_->Run(def);
+        common::ReaderMutexLock state(&raw->views_mu_);
+        return raw->morpheus_->Run(def);
+      }
+      return engine::Execute(*def, ws);
     };
     host.on_views_changed = [raw] {
       raw->view_generation_.fetch_add(1, std::memory_order_release);

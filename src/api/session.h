@@ -74,6 +74,29 @@ struct SessionStats {
   int64_t adaptive_budget_bytes = 0;  // Level, bytes (not a counter).
 };
 
+// One entry of a Session::Mutate batch. Build entries with the factories;
+// `value` carries the new matrix for Update/Put, the appended rows for
+// Append, and is unused (empty) for Remove.
+struct Mutation {
+  enum class Op { kUpdate, kAppend, kRemove, kPut };
+  Op op = Op::kUpdate;
+  std::string name;
+  matrix::Matrix value;
+
+  static Mutation Update(std::string name, matrix::Matrix m) {
+    return Mutation{Op::kUpdate, std::move(name), std::move(m)};
+  }
+  static Mutation Append(std::string name, matrix::Matrix rows) {
+    return Mutation{Op::kAppend, std::move(name), std::move(rows)};
+  }
+  static Mutation Remove(std::string name) {
+    return Mutation{Op::kRemove, std::move(name), matrix::Matrix()};
+  }
+  static Mutation Put(std::string name, matrix::Matrix m) {
+    return Mutation{Op::kPut, std::move(name), std::move(m)};
+  }
+};
+
 // An immutable optimized plan: the parsed pipeline plus HADAD's rewriting of
 // it. Shared between the session's plan cache and any PreparedQuery handles.
 struct PreparedPlan {
@@ -161,8 +184,13 @@ class PreparedQuery {
 //
 // Prepare()/Run() are safe to call concurrently from multiple threads: the
 // plan cache is guarded by a shared_mutex (readers run in parallel) and
-// execution holds the session state lock shared, so queries run in
-// parallel with each other and serialize only against mutations.
+// execution is MVCC: a query takes the session state lock shared only long
+// enough to verify plan freshness and pin an immutable workspace snapshot,
+// then runs the DAG/tree with NO session lock held. Writers never block
+// readers — a mutation installs new matrix versions under the writer
+// critical section while in-flight queries keep reading their pinned
+// versions; superseded versions are reclaimed when the last pinned reader
+// drains.
 //
 // The data layer is *versioned and mutable*: Update()/Append()/Remove()
 // change base matrices after Build() and propagate through every dependent
@@ -171,7 +199,9 @@ class PreparedQuery {
 // (invalidated or delta-refreshed in the background), the exec leaf
 // catalog, and the plan cache (per-leaf epoch invalidation). In-flight
 // queries are snapshot-isolated: they never observe a half-applied
-// mutation.
+// mutation, and they finish against the exact versions they pinned.
+// Mutate() applies a whole batch under one writer critical section with a
+// single view-refresh wave and one adaptive propagation.
 //
 // The expert layers stay reachable — workspace()/optimizer()/engine() —
 // as read-only views; all mutation goes through the Session so every layer
@@ -204,6 +234,10 @@ class Session : public std::enable_shared_from_this<Session> {
       const;
 
   // --- Mutable data layer --------------------------------------------------
+  //
+  // All mutators run a short writer critical section and return without
+  // waiting for in-flight queries: readers keep the versions they pinned
+  // (MVCC), so a long-running query never delays a mutation and vice versa.
 
   // Replaces base matrix `name` (shape, sparsity, and representation may
   // all change). Dependent user views are re-materialized synchronously (in
@@ -240,6 +274,18 @@ class Session : public std::enable_shared_from_this<Session> {
   // Morpheus-declared names.
   Status Put(const std::string& name, matrix::Matrix m)
       HADAD_EXCLUDES(views_mu_);
+
+  // Applies a batch of mutations atomically: every entry installs under ONE
+  // writer critical section, dependent user views refresh once (one wave,
+  // in registration order, full re-evaluation), cached plans see one epoch
+  // move per touched leaf, and the adaptive subsystem gets one propagation.
+  // All-or-nothing: a validation or refresh failure rolls the whole batch
+  // back and returns the failing entry's error (annotated with its index).
+  // A single-entry batch behaves exactly like the corresponding
+  // Update/Append/Remove/Put call (including incremental view refresh for
+  // appends); an empty batch is OK(). Entries apply in order, so later
+  // entries may reference names an earlier Put introduced.
+  Status Mutate(std::vector<Mutation> mutations) HADAD_EXCLUDES(views_mu_);
 
   // Read-only view of the session's data catalog. Do not hold the
   // reference across a mutation from another thread; all writes go through
@@ -312,6 +358,16 @@ class Session : public std::enable_shared_from_this<Session> {
     matrix::Matrix old_value;
   };
 
+  // Journal entry for one applied base mutation of a Mutate batch.
+  struct BaseChange {
+    Mutation::Op op = Mutation::Op::kUpdate;
+    std::string name;
+    // Prior value for kUpdate/kRemove and Put-over-existing.
+    std::optional<matrix::Matrix> old_value;
+    int64_t old_rows = 0;  // kAppend: row count before the grow.
+    bool added = false;    // kPut that introduced the name.
+  };
+
   // Cache lookup by canonical text; on miss (or when the cached plan is
   // stale — view generation or a leaf epoch moved) runs the optimizer and
   // inserts. `parent` (here and below) is the enclosing trace span; child
@@ -335,6 +391,18 @@ class Session : public std::enable_shared_from_this<Session> {
   Status MutateLocked(const std::string& name, MutationKind kind,
                       matrix::Matrix* value, const matrix::Matrix* rows,
                       obs::SpanId parent = obs::kNoSpan)
+      HADAD_REQUIRES(views_mu_);
+  // The multi-entry Mutate path: validates the whole batch against a
+  // simulated catalog, applies every base mutation (journaling prior state),
+  // runs ONE view-refresh wave, and rolls everything back on any failure.
+  // Consumes `mutations`.
+  Status MutateBatchLocked(std::vector<Mutation>* mutations,
+                           obs::SpanId parent) HADAD_REQUIRES(views_mu_);
+  // Undoes a half-applied Mutate batch: restores refreshed view values,
+  // then bases in reverse journal order, then re-derives the optimizer and
+  // exec-catalog facts and view registrations from the restored state.
+  void RollbackBatch(std::vector<BaseChange>* journal,
+                     std::vector<RefreshedView>* refreshed)
       HADAD_REQUIRES(views_mu_);
   // Undoes a half-applied mutation of `name` after a view-refresh failure:
   // restores the refreshed views' old values and the base matrix, then
@@ -365,8 +433,10 @@ class Session : public std::enable_shared_from_this<Session> {
                                  obs::SpanId parent = obs::kNoSpan,
                                  const exec::CancelToken* cancel = nullptr)
       const HADAD_EXCLUDES(views_mu_);
-  // One plan execution under the shared state hold: the original text, the
-  // cached physical DAG (executor sessions), or the rewriting as planned.
+  // One plan execution under the shared state hold — the Morpheus route
+  // (factorized data lives inside that engine, not in a pinnable workspace
+  // version) and ExplainAnalyze use it; the common DAG/tree path in RunPlan
+  // executes lock-free against a pinned snapshot instead.
   Result<matrix::Matrix> ExecutePlanLocked(const PreparedPlan& plan,
                                            bool use_original,
                                            engine::ExecStats* stats,
@@ -388,6 +458,13 @@ class Session : public std::enable_shared_from_this<Session> {
       const la::ExprPtr& planned,
       const std::set<std::string>* fusion_barriers) const
       HADAD_REQUIRES_SHARED(views_mu_);
+  // Profile-plans `expr` and compiles it with the current fusion barriers
+  // under a "dag_compile" span — the uncached compile RunPlan and
+  // ExecuteExpr share for expressions without a resident DAG. executor_
+  // non-null.
+  Result<exec::CompiledPlan> CompileForExecution(const la::ExprPtr& expr,
+                                                 obs::SpanId parent) const
+      HADAD_REQUIRES_SHARED(views_mu_);
   // The cached physical DAG for plan.rewrite.best (compiles on first use).
   Result<std::shared_ptr<const exec::CompiledPlan>> GetOrCompile(
       const PreparedPlan& plan, obs::SpanId parent = obs::kNoSpan) const
@@ -401,11 +478,14 @@ class Session : public std::enable_shared_from_this<Session> {
   void AnnotateRoot(const obs::ScopedSpan& root,
                     const std::string& query) const;
 
-  // The workspace's matrix data follows views_mu_ by contract (mutations
-  // hold it unique, execution shared) but is not GUARDED_BY-annotated: its
-  // epoch/generation surface is internally locked and read lock-free (e.g.
-  // PlanFresh), and the public workspace() accessor hands out read-only
-  // references. The annotated boundary is the catalogs/views below.
+  // The workspace is multi-version (MVCC): mutations install new versions
+  // under the unique views_mu_ hold; queries pin a snapshot under a shared
+  // hold and then read it with no session lock at all (the Workspace's own
+  // internal mutex guards only the version-chain bookkeeping). It is not
+  // GUARDED_BY-annotated: its epoch/generation surface is read lock-free
+  // (e.g. PlanFresh), and the public workspace() accessor hands out
+  // read-only references. The annotated boundary is the catalogs/views
+  // below.
   engine::Workspace workspace_;
   std::unique_ptr<pacb::Optimizer> optimizer_;
   std::unique_ptr<engine::Engine> engine_;
@@ -457,6 +537,9 @@ class Session : public std::enable_shared_from_this<Session> {
   obs::Counter* fused_nodes_ = nullptr;
   obs::Counter* fused_ops_eliminated_ = nullptr;
   obs::Counter* mutations_ = nullptr;
+  // Mirrors engine::Workspace::RetiredTotal() into the exposition
+  // (AdvanceTo CAS-max — concurrent MetricsText calls converge).
+  obs::Counter* workspace_retired_ = nullptr;
   obs::Histogram* run_seconds_ = nullptr;
   obs::Histogram* prepare_seconds_ = nullptr;
   obs::Gauge* plan_cache_gauge_ = nullptr;
@@ -466,18 +549,24 @@ class Session : public std::enable_shared_from_this<Session> {
   obs::Gauge* adaptive_budget_gauge_ = nullptr;
   obs::Gauge* monitor_tracked_gauge_ = nullptr;
   obs::Gauge* kernel_tier_gauge_ = nullptr;
+  obs::Gauge* workspace_versions_gauge_ = nullptr;
+  obs::Gauge* pinned_snapshots_gauge_ = nullptr;
   std::unique_ptr<obs::TraceRecorder> trace_;
   // Monotone id stamped on root spans, so every span tree in a dumped
   // trace joins back to one top-level query.
   mutable std::atomic<int64_t> query_seq_{0};
 
   // The session state lock: views_mu_ guards the mutable session state
-  // (workspace contents, optimizer facts and views, exec_catalog_).
-  // Execution and optimization take it shared; data mutation and view
-  // install/evict/refresh take it unique — that is the snapshot-isolation
-  // boundary for in-flight queries. view_generation_ increments on every
-  // view-set change; plans remember the generation they were derived under
-  // (per-leaf data staleness is tracked separately via workspace epochs).
+  // (optimizer facts and views, exec_catalog_, and the workspace's live
+  // name→version binding). Optimization and plan compilation take it
+  // shared; data mutation and view install/evict/refresh take it unique.
+  // Query EXECUTION does not hold it at all: RunPlan pins an MVCC workspace
+  // snapshot under a brief shared hold and runs lock-free against the
+  // pinned versions — writers never block readers, and snapshot isolation
+  // holds because pinned versions are immutable. view_generation_
+  // increments on every view-set change; plans remember the generation they
+  // were derived under (per-leaf data staleness is tracked separately via
+  // workspace epochs).
   mutable common::SharedMutex views_mu_;
   mutable std::atomic<int64_t> view_generation_{0};
   // Declared last: destroyed first, joining background materializations

@@ -34,7 +34,7 @@ class Estimator {
         const matrix::Matrix* m = nullptr;
         if (data_ != nullptr) {
           auto dit = data_->find(e.name());
-          if (dit != data_->end()) m = &dit->second;
+          if (dit != data_->end()) m = dit->second.get();
         }
         out.meta = estimator_.MakeBase(it->second, m);
         out.is_leaf = true;

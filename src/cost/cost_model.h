@@ -2,6 +2,7 @@
 #define HADAD_COST_COST_MODEL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -12,8 +13,11 @@
 namespace hadad::cost {
 
 // Actual matrix data by name; optional, used by the MNC estimator to build
-// exact base histograms (the paper computes these offline, §7.2.2).
-using DataCatalog = std::map<std::string, matrix::Matrix>;
+// exact base histograms (the paper computes these offline, §7.2.2). Values
+// are shared immutable versions: engine::Workspace multi-versions its
+// entries, and this catalog mirrors each name's current version.
+using DataCatalog =
+    std::map<std::string, std::shared_ptr<const matrix::Matrix>>;
 
 struct ExprEstimate {
   // γ(E), §7.1: the sum of estimated intermediate-result sizes (in

@@ -13,7 +13,7 @@ using matrix::Matrix;
 
 class Evaluator {
  public:
-  Evaluator(const Workspace& workspace, ExecStats* stats)
+  Evaluator(WorkspaceView workspace, ExecStats* stats)
       : workspace_(workspace), stats_(stats) {}
 
   Result<Matrix> Eval(const Expr& e, bool is_root) {
@@ -47,7 +47,7 @@ class Evaluator {
   }
 
  private:
-  const Workspace& workspace_;
+  WorkspaceView workspace_;
   ExecStats* stats_;
 };
 
@@ -168,7 +168,7 @@ Result<Matrix> ApplyOp(const Expr& e,
   return Status::Internal("unhandled operator in evaluator");
 }
 
-Result<Matrix> Execute(const Expr& expr, const Workspace& workspace,
+Result<Matrix> Execute(const Expr& expr, WorkspaceView workspace,
                        ExecStats* stats) {
   Timer timer;
   Evaluator evaluator(workspace, stats);

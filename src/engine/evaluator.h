@@ -75,9 +75,11 @@ struct ExecStats {
 
 // Evaluates `expr` over `workspace` bottom-up, in the exact syntactic order
 // given — the paper's "as stated" semantics (§7.1): no reordering, no
-// simplification. Engine profiles build on top of this.
+// simplification. Engine profiles build on top of this. Accepts a live
+// Workspace (implicitly converted; caller holds its state stable) or a
+// pinned Snapshot (lock-free MVCC read path).
 Result<matrix::Matrix> Execute(const la::Expr& expr,
-                               const Workspace& workspace,
+                               WorkspaceView workspace,
                                ExecStats* stats = nullptr);
 
 // Options for the parallel DAG engine (src/exec/): how many threads to
@@ -105,7 +107,7 @@ struct ExecOptions {
 // session should prefer exec::Executor (or api::SessionBuilder::Threads),
 // which reuses one pool across runs.
 Result<matrix::Matrix> Execute(const la::Expr& expr,
-                               const Workspace& workspace,
+                               WorkspaceView workspace,
                                const ExecOptions& options,
                                ExecStats* stats = nullptr);
 

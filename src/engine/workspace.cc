@@ -1,28 +1,110 @@
 #include "engine/workspace.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "matrix/decompositions.h"
 
 namespace hadad::engine {
 
-void Workspace::Bump(const std::string& name) {
+Snapshot::~Snapshot() {
+  if (owner_ != nullptr) owner_->Unpin(generation_);
+}
+
+void Workspace::Install(const std::string& name,
+                        std::shared_ptr<const matrix::Matrix> value) {
   const int64_t gen =
       generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  common::MutexLock lock(&epoch_mu_);
-  epochs_[name] = gen;
+  data_.insert_or_assign(name, value);
+  std::vector<std::shared_ptr<const matrix::Matrix>> drained;
+  {
+    common::MutexLock lock(&mu_);
+    std::vector<Version>& chain = chains_[name];
+    if (!chain.empty() && chain.back().retired_at == kNotRetired) {
+      chain.back().retired_at = gen;
+      ++retired_total_;
+    }
+    chain.push_back(Version{std::move(value), gen, kNotRetired});
+    TrimLocked(&drained);
+  }
+  // `drained` destroys the reclaimed matrices here, outside mu_.
+}
+
+bool Workspace::Retire(const std::string& name) {
+  const int64_t gen =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  bool retired = false;
+  std::vector<std::shared_ptr<const matrix::Matrix>> drained;
+  {
+    common::MutexLock lock(&mu_);
+    auto it = chains_.find(name);
+    if (it != chains_.end() && !it->second.empty() &&
+        it->second.back().retired_at == kNotRetired) {
+      it->second.back().retired_at = gen;
+      ++retired_total_;
+      retired = true;
+    }
+    TrimLocked(&drained);
+  }
+  return retired;
+}
+
+void Workspace::Unpin(int64_t generation) const {
+  std::vector<std::shared_ptr<const matrix::Matrix>> drained;
+  {
+    common::MutexLock lock(&mu_);
+    auto it = pins_.find(generation);
+    HADAD_CHECK_MSG(it != pins_.end(), "unpin of unregistered snapshot");
+    if (--it->second == 0) pins_.erase(it);
+    TrimLocked(&drained);
+  }
+}
+
+void Workspace::TrimLocked(
+    std::vector<std::shared_ptr<const matrix::Matrix>>* drained) const {
+  // A snapshot pinned at generation g reads, for each name, the version
+  // with epoch <= g < retired_at. A retired version is therefore still
+  // visible to some pin iff a pinned generation precedes its retirement;
+  // free it once min(pins) >= retired_at.
+  const int64_t min_pinned = pins_.empty()
+                                 ? std::numeric_limits<int64_t>::max()
+                                 : pins_.begin()->first;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    std::vector<Version>& chain = it->second;
+    auto keep = std::remove_if(
+        chain.begin(), chain.end(), [&](Version& v) {
+          if (v.retired_at == kNotRetired || v.retired_at > min_pinned) {
+            return false;
+          }
+          drained->push_back(std::move(v.value));
+          return true;
+        });
+    chain.erase(keep, chain.end());
+    it = chain.empty() ? chains_.erase(it) : std::next(it);
+  }
+}
+
+SnapshotPtr Workspace::PinSnapshot() const {
+  auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
+  snapshot->entries_ = data_;
+  common::MutexLock lock(&mu_);
+  snapshot->owner_ = this;
+  snapshot->generation_ = generation();
+  ++pins_[snapshot->generation_];
+  return snapshot;
 }
 
 void Workspace::Put(const std::string& name, matrix::Matrix m) {
-  data_.insert_or_assign(name, std::move(m));
-  Bump(name);
+  // Versions are created non-const (and viewed through const pointers) so
+  // the in-place Append fast path may legally cast mutability back on.
+  Install(name, std::make_shared<matrix::Matrix>(std::move(m)));
 }
 
 Status Workspace::Update(const std::string& name, matrix::Matrix m) {
-  auto it = data_.find(name);
-  if (it == data_.end()) {
+  if (data_.find(name) == data_.end()) {
     return Status::NotFound("no matrix named '" + name + "' in workspace");
   }
-  it->second = std::move(m);
-  Bump(name);
+  Install(name, std::make_shared<matrix::Matrix>(std::move(m)));
   return Status::OK();
 }
 
@@ -32,36 +114,66 @@ Status Workspace::Append(const std::string& name,
   if (it == data_.end()) {
     return Status::NotFound("no matrix named '" + name + "' in workspace");
   }
-  HADAD_RETURN_IF_ERROR(matrix::AppendRows(&it->second, rows));
-  Bump(name);
+  // Fast path: when no pinned snapshot can see the live version, grow it
+  // in place — O(|Δ|) instead of a whole-matrix copy-on-write. Pinning
+  // happens under the owner's shared state lock while mutators hold it
+  // uniquely, so no pin can appear mid-append; existing pins only drain,
+  // which never makes an invisible version visible.
+  std::shared_ptr<matrix::Matrix> in_place;
+  {
+    common::MutexLock lock(&mu_);
+    auto chain_it = chains_.find(name);
+    if (chain_it != chains_.end() && !chain_it->second.empty() &&
+        chain_it->second.back().retired_at == kNotRetired &&
+        (pins_.empty() ||
+         pins_.rbegin()->first < chain_it->second.back().epoch)) {
+      in_place = std::const_pointer_cast<matrix::Matrix>(
+          chain_it->second.back().value);
+    }
+  }
+  if (in_place != nullptr) {
+    HADAD_RETURN_IF_ERROR(matrix::AppendRows(in_place.get(), rows));
+    // The grown value is a *new* epoch of the same version slot: bump it
+    // so dependent WorkspaceSnapshots go stale exactly as a reinstall
+    // would, without retiring anything.
+    const int64_t gen =
+        generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    common::MutexLock lock(&mu_);
+    chains_.find(name)->second.back().epoch = gen;
+    return Status::OK();
+  }
+  // Copy-on-write: grow a copy and install it as a new version so pinned
+  // readers keep the un-grown matrix.
+  matrix::Matrix grown = *it->second;
+  HADAD_RETURN_IF_ERROR(matrix::AppendRows(&grown, rows));
+  Install(name, std::make_shared<matrix::Matrix>(std::move(grown)));
   return Status::OK();
-}
-
-void Workspace::DropEpoch(const std::string& name) {
-  generation_.fetch_add(1, std::memory_order_acq_rel);
-  common::MutexLock lock(&epoch_mu_);
-  epochs_.erase(name);
 }
 
 bool Workspace::Erase(const std::string& name) {
   if (data_.erase(name) == 0) return false;
-  DropEpoch(name);
+  Retire(name);
   return true;
 }
 
 std::optional<matrix::Matrix> Workspace::Take(const std::string& name) {
   auto it = data_.find(name);
   if (it == data_.end()) return std::nullopt;
-  matrix::Matrix value = std::move(it->second);
+  // Copy, not move: the retired version may still be pinned by snapshots.
+  matrix::Matrix value = *it->second;
   data_.erase(it);
-  DropEpoch(name);
+  Retire(name);
   return value;
 }
 
 int64_t Workspace::EpochOf(const std::string& name) const {
-  common::MutexLock lock(&epoch_mu_);
-  auto it = epochs_.find(name);
-  return it == epochs_.end() ? kNeverStored : it->second;
+  common::MutexLock lock(&mu_);
+  auto it = chains_.find(name);
+  if (it == chains_.end() || it->second.empty() ||
+      it->second.back().retired_at != kNotRetired) {
+    return kNeverStored;
+  }
+  return it->second.back().epoch;
 }
 
 WorkspaceSnapshot Workspace::SnapshotFor(
@@ -69,24 +181,58 @@ WorkspaceSnapshot Workspace::SnapshotFor(
   WorkspaceSnapshot snapshot;
   snapshot.generation = generation();
   snapshot.epochs.reserve(names.size());
-  common::MutexLock lock(&epoch_mu_);
+  common::MutexLock lock(&mu_);
   for (const std::string& name : names) {
-    auto it = epochs_.find(name);
+    auto it = chains_.find(name);
+    const bool live = it != chains_.end() && !it->second.empty() &&
+                      it->second.back().retired_at == kNotRetired;
     snapshot.epochs.emplace_back(
-        name, it == epochs_.end() ? kNeverStored : it->second);
+        name, live ? it->second.back().epoch : kNeverStored);
   }
   return snapshot;
 }
 
 bool Workspace::SnapshotCurrent(const WorkspaceSnapshot& snapshot) const {
-  common::MutexLock lock(&epoch_mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& [name, epoch] : snapshot.epochs) {
-    auto it = epochs_.find(name);
-    if ((it == epochs_.end() ? kNeverStored : it->second) != epoch) {
+    auto it = chains_.find(name);
+    const bool live = it != chains_.end() && !it->second.empty() &&
+                      it->second.back().retired_at == kNotRetired;
+    if ((live ? it->second.back().epoch : kNeverStored) != epoch) {
       return false;
     }
   }
   return true;
+}
+
+int64_t Workspace::PinnedSnapshots() const {
+  common::MutexLock lock(&mu_);
+  int64_t total = 0;
+  for (const auto& [gen, count] : pins_) total += count;
+  return total;
+}
+
+int64_t Workspace::LiveVersions() const {
+  common::MutexLock lock(&mu_);
+  int64_t total = 0;
+  for (const auto& [name, chain] : chains_) {
+    total += static_cast<int64_t>(chain.size());
+  }
+  return total;
+}
+
+int64_t Workspace::RetiredTotal() const {
+  common::MutexLock lock(&mu_);
+  return retired_total_;
+}
+
+int64_t Workspace::RetainedBytes() const {
+  common::MutexLock lock(&mu_);
+  int64_t total = 0;
+  for (const auto& [name, chain] : chains_) {
+    for (const Version& v : chain) total += matrix::ApproxBytes(*v.value);
+  }
+  return total;
 }
 
 la::MatrixMeta Workspace::MetaFor(const matrix::Matrix& m,
@@ -110,7 +256,7 @@ la::MatrixMeta Workspace::MetaFor(const matrix::Matrix& m,
 la::MetaCatalog Workspace::BuildMetaCatalog(int64_t flag_detect_limit) const {
   la::MetaCatalog catalog;
   for (const auto& [name, m] : data_) {
-    catalog[name] = MetaFor(m, flag_detect_limit);
+    catalog[name] = MetaFor(*m, flag_detect_limit);
   }
   return catalog;
 }

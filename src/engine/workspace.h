@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -18,83 +20,142 @@
 
 namespace hadad::engine {
 
+class Workspace;
+
 // A point-in-time stamp of the workspace entries a consumer depends on: the
 // workspace generation at capture plus the epoch of each named entry (names
-// never stored stamp kNeverStored). Matrices are not copied — a snapshot is
-// validity metadata, not data; the owner's state lock keeps the underlying
-// matrices physically stable while a query is in flight.
+// never stored stamp kNeverStored). Matrices are not copied — this is
+// validity metadata, not data; consumers that must also *read* a stable
+// state pin a Snapshot (below).
 struct WorkspaceSnapshot {
   int64_t generation = 0;
   std::vector<std::pair<std::string, int64_t>> epochs;
 };
 
+// An immutable point-in-time view of every workspace entry, pinned against
+// version retirement: the matrix versions reachable through a live Snapshot
+// are never freed or modified, so queries resolve leaves against it with no
+// lock held while writers install new versions concurrently. Obtained via
+// Workspace::PinSnapshot(); destroying the last handle unpins and lets the
+// workspace reclaim versions no remaining snapshot can see.
+class Snapshot {
+ public:
+  ~Snapshot();
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  // Single-lookup access; nullptr when the name was absent at pin time.
+  const matrix::Matrix* Find(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.get();
+  }
+  Result<const matrix::Matrix*> Get(const std::string& name) const {
+    if (const matrix::Matrix* m = Find(name)) return m;
+    return Status::NotFound("no matrix named '" + name + "' in workspace");
+  }
+
+  // The workspace generation this snapshot was pinned at.
+  int64_t generation() const { return generation_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  friend class Workspace;
+  Snapshot() = default;
+
+  const Workspace* owner_ = nullptr;
+  int64_t generation_ = 0;
+  // Name -> pinned version value. The shared_ptrs keep the versions alive
+  // even after a writer retires them.
+  std::map<std::string, std::shared_ptr<const matrix::Matrix>> entries_;
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
 // The named matrices an engine run can see: base data plus materialized
 // views. Doubles as the cost::DataCatalog handed to the optimizer (for MNC
 // base histograms).
 //
-// The catalog is *versioned*: every mutation (Put/Update/Append/Erase/Take)
-// bumps a session-wide data generation and stamps the touched entry with it
-// as that entry's epoch. Dependents (the api::Session plan cache, compiled
-// DAGs, materialized views) record a WorkspaceSnapshot at derivation time
-// and re-derive when any recorded epoch moved — mutations of unrelated
-// entries leave them warm.
+// The catalog is *multi-versioned*: each name holds a small version chain.
+// Every mutation (Put/Update/Append/Erase/Take) installs a new immutable
+// version under a short writer critical section, bumps a session-wide data
+// generation, and stamps the touched entry with it as that entry's epoch;
+// the superseded version is retired (stamped with the retiring generation)
+// but stays alive until every Snapshot pinned before the mutation drains —
+// readers execute against their pinned versions with no shared state lock
+// held, so writers never block readers. Dependents (the api::Session plan
+// cache, compiled DAGs, materialized views) record a WorkspaceSnapshot at
+// derivation time and re-derive when any recorded epoch moved — mutations
+// of unrelated entries leave them warm.
 //
 // Thread-safety: generation/epoch reads (generation(), EpochOf,
-// SnapshotFor, SnapshotCurrent) are safe from any thread. Access to the
-// matrix data itself is externally synchronized — api::Session mutates only
-// under its unique state lock and executes under the shared one.
+// SnapshotFor, SnapshotCurrent), snapshot release (handles may be dropped
+// from any thread), and the version-accounting accessors (PinnedSnapshots,
+// LiveVersions, RetiredTotal, RetainedBytes) are safe from any thread.
+// Mutators and PinSnapshot() itself are externally synchronized —
+// api::Session mutates only under its unique state lock and pins under the
+// shared one (the pin must be atomic with the freshness check before it).
 class Workspace {
  public:
-  // EpochOf() for a name that was never stored.
+  // EpochOf() for a name that holds no live version.
   static constexpr int64_t kNeverStored = -1;
 
   Workspace() = default;
 
   // Movable for by-value construction (dataset factories); the versioning
   // members make it non-copyable. Moves are construction-time only — never
-  // move a workspace that concurrent readers can see. The source's epoch
-  // lock is still taken: it is cheap, and it keeps the guarded access to
-  // `other.epochs_` visible to the thread-safety analysis.
+  // move a workspace that concurrent readers can see or that has pinned
+  // snapshots (Snapshot handles point back at their owner). The source's
+  // version lock is still taken: it is cheap, and it keeps the guarded
+  // access to `other.chains_` visible to the thread-safety analysis.
   Workspace(Workspace&& other) noexcept
       : data_(std::move(other.data_)),
         generation_(other.generation_.load(std::memory_order_acquire)) {
-    common::MutexLock theirs(&other.epoch_mu_);
-    epochs_ = std::move(other.epochs_);
+    common::MutexLock theirs(&other.mu_);
+    HADAD_CHECK_MSG(other.pins_.empty(),
+                    "moving a workspace with pinned snapshots");
+    chains_ = std::move(other.chains_);
+    retired_total_ = other.retired_total_;
   }
   Workspace& operator=(Workspace&& other) noexcept {
     if (this == &other) return *this;
     data_ = std::move(other.data_);
     generation_.store(other.generation_.load(std::memory_order_acquire),
                       std::memory_order_release);
-    common::MutexLock mine(&epoch_mu_);
-    common::MutexLock theirs(&other.epoch_mu_);
-    epochs_ = std::move(other.epochs_);
+    common::MutexLock mine(&mu_);
+    common::MutexLock theirs(&other.mu_);
+    HADAD_CHECK_MSG(pins_.empty() && other.pins_.empty(),
+                    "moving a workspace with pinned snapshots");
+    chains_ = std::move(other.chains_);
+    retired_total_ = other.retired_total_;
     return *this;
   }
 
-  // Binds (or rebinds) `name`; bumps its epoch and the data generation.
+  // Binds (or rebinds) `name`: installs a new version, bumps its epoch and
+  // the data generation, and retires the superseded version (if any).
   void Put(const std::string& name, matrix::Matrix m);
 
   // Replaces the value of the existing entry `name`; NotFound when absent.
   Status Update(const std::string& name, matrix::Matrix m);
 
-  // Appends rows in place to the existing entry `name` (column counts must
-  // match); NotFound when absent.
+  // Appends rows below the existing entry `name` (column counts must
+  // match); NotFound when absent. Copy-on-write: the grown matrix is a new
+  // version, so snapshots pinned before the append keep the un-grown one.
   Status Append(const std::string& name, const matrix::Matrix& rows);
 
   bool Has(const std::string& name) const { return Find(name) != nullptr; }
 
-  // Removes `name`; false when absent. The entry's epoch record is dropped
-  // (bounding epochs_ by the live names even under transient Put/Erase
-  // churn): snapshots that stamped a live epoch then read kNeverStored —
-  // stale, as required. The one blind spot is a snapshot that stamped
-  // kNeverStored itself racing a full Put+Erase cycle; consumers only
-  // stamp names that exist (or durably never exist) at stamp time, so the
-  // cycle is unobservable.
+  // Removes `name`; false when absent. The live version is retired (it
+  // drains with the pinned readers) and the entry's epoch reads
+  // kNeverStored again: snapshots that stamped a live epoch then read
+  // kNeverStored — stale, as required. The one blind spot is a stamp of
+  // kNeverStored racing a full Put+Erase cycle; consumers only stamp names
+  // that exist (or durably never exist) at stamp time, so the cycle is
+  // unobservable.
   bool Erase(const std::string& name);
 
-  // Removes `name` and moves its value out (incremental view refresh reuses
+  // Removes `name` and returns its value (incremental view refresh reuses
   // the detached matrix); nullopt when absent. Epoch semantics as Erase.
+  // Returns a copy: the retired version may still be pinned by snapshots.
   std::optional<matrix::Matrix> Take(const std::string& name);
 
   Result<const matrix::Matrix*> Get(const std::string& name) const {
@@ -102,13 +163,22 @@ class Workspace {
     return Status::NotFound("no matrix named '" + name + "' in workspace");
   }
 
-  // Single-lookup access; nullptr when absent.
+  // Single-lookup access to the current version; nullptr when absent.
   const matrix::Matrix* Find(const std::string& name) const {
     auto it = data_.find(name);
-    return it == data_.end() ? nullptr : &it->second;
+    return it == data_.end() ? nullptr : it->second.get();
   }
 
+  // Current versions by name (the optimizer's MNC histogram source). The
+  // map shape follows the owner's external locking; the pointed-at
+  // matrices are immutable versions.
   const cost::DataCatalog& data() const { return data_; }
+
+  // Pins the current version of every entry into an immutable Snapshot.
+  // Callers hold the owner's state lock (at least shared) so the pin is
+  // atomic with the plan-freshness check that precedes it; the returned
+  // handle may be released from any thread, with no lock held.
+  SnapshotPtr PinSnapshot() const HADAD_EXCLUDES(mu_);
 
   // Monotone counter bumped by every mutation.
   int64_t generation() const {
@@ -116,15 +186,30 @@ class Workspace {
   }
 
   // The generation at which `name` was last mutated; kNeverStored when the
-  // name was never bound.
-  int64_t EpochOf(const std::string& name) const;
+  // name holds no live version.
+  int64_t EpochOf(const std::string& name) const HADAD_EXCLUDES(mu_);
 
   // Captures the current epochs of `names` (cheap: no matrix copies).
-  WorkspaceSnapshot SnapshotFor(const std::vector<std::string>& names) const;
+  WorkspaceSnapshot SnapshotFor(const std::vector<std::string>& names) const
+      HADAD_EXCLUDES(mu_);
 
   // True when every stamped entry's epoch is unchanged. The workspace
   // generation may have moved — unrelated entries never invalidate.
-  bool SnapshotCurrent(const WorkspaceSnapshot& snapshot) const;
+  bool SnapshotCurrent(const WorkspaceSnapshot& snapshot) const
+      HADAD_EXCLUDES(mu_);
+
+  // --- Version accounting (the hadad_workspace_* metrics read these) -----
+
+  // Snapshot handles currently pinned by in-flight readers.
+  int64_t PinnedSnapshots() const HADAD_EXCLUDES(mu_);
+  // Versions currently held across all chains: one live version per bound
+  // name plus retired versions awaiting reader drain.
+  int64_t LiveVersions() const HADAD_EXCLUDES(mu_);
+  // Versions retired by mutations since construction (monotone).
+  int64_t RetiredTotal() const HADAD_EXCLUDES(mu_);
+  // matrix::ApproxBytes summed over every version still held (live +
+  // awaiting drain) — the leak test's accounting hook.
+  int64_t RetainedBytes() const HADAD_EXCLUDES(mu_);
 
   // Derives the metadata catalog (shapes + exact nnz) from the stored
   // matrices; flags are detected structurally for square matrices up to
@@ -136,14 +221,77 @@ class Workspace {
                                 int64_t flag_detect_limit = 0);
 
  private:
-  void Bump(const std::string& name) HADAD_EXCLUDES(epoch_mu_);
-  void DropEpoch(const std::string& name) HADAD_EXCLUDES(epoch_mu_);
+  friend class Snapshot;
 
+  static constexpr int64_t kNotRetired = -1;
+
+  // One installed value of an entry. Immutable once installed; `retired_at`
+  // is stamped when a later mutation supersedes it (kNotRetired = live).
+  struct Version {
+    std::shared_ptr<const matrix::Matrix> value;
+    int64_t epoch = 0;  // Generation stamped at install.
+    int64_t retired_at = kNotRetired;
+  };
+
+  // Installs `value` as the new current version of `name`, retiring the
+  // superseded one.
+  void Install(const std::string& name,
+               std::shared_ptr<const matrix::Matrix> value)
+      HADAD_EXCLUDES(mu_);
+  // Retires the live version of `name` (Erase/Take); true when one existed.
+  bool Retire(const std::string& name) HADAD_EXCLUDES(mu_);
+  // Snapshot destructors call this; safe from any thread, independent of
+  // the owner's state lock.
+  void Unpin(int64_t generation) const HADAD_EXCLUDES(mu_);
+  // Frees retired versions no pinned snapshot can still see, moving their
+  // values into `drained` so deallocation happens outside mu_.
+  void TrimLocked(
+      std::vector<std::shared_ptr<const matrix::Matrix>>* drained) const
+      HADAD_REQUIRES(mu_);
+
+  // Current versions, mirrored out of chains_ so data() can hand the
+  // optimizer a stable map. Map shape follows the owner's external locking.
   cost::DataCatalog data_;
   std::atomic<int64_t> generation_{0};
-  // Guards epochs_ only; data_ follows the owner's external locking.
-  mutable common::Mutex epoch_mu_;
-  std::map<std::string, int64_t> epochs_ HADAD_GUARDED_BY(epoch_mu_);
+  // Guards the version chains and the pin registry; never held while a
+  // matrix is evaluated or freed. Mutable: pins/unpins and the accounting
+  // accessors are logically const.
+  mutable common::Mutex mu_;
+  // Per-name version chains, oldest first; at most the last version is
+  // live. A chain outlives Erase until its retired versions drain. Mutable
+  // only through TrimLocked from const pin/unpin paths.
+  mutable std::map<std::string, std::vector<Version>> chains_
+      HADAD_GUARDED_BY(mu_);
+  // Pinned-snapshot registry: generation -> live handle count. A retired
+  // version is freed once no pinned generation precedes its retirement.
+  mutable std::map<int64_t, int64_t> pins_ HADAD_GUARDED_BY(mu_);
+  int64_t retired_total_ HADAD_GUARDED_BY(mu_) = 0;
+};
+
+// Leaf resolver the execution layers run against: either a live Workspace
+// (callers then hold the owner's state lock for the duration) or a pinned
+// Snapshot (no lock needed — the snapshot-isolated fast path). Two pointers
+// wide; pass by value. Implicit conversions keep existing
+// Execute(expr, workspace) call sites source-compatible.
+class WorkspaceView {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  WorkspaceView(const Workspace& workspace) : workspace_(&workspace) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  WorkspaceView(const Snapshot& snapshot) : snapshot_(&snapshot) {}
+
+  const matrix::Matrix* Find(const std::string& name) const {
+    return workspace_ != nullptr ? workspace_->Find(name)
+                                 : snapshot_->Find(name);
+  }
+  Result<const matrix::Matrix*> Get(const std::string& name) const {
+    return workspace_ != nullptr ? workspace_->Get(name)
+                                 : snapshot_->Get(name);
+  }
+
+ private:
+  const Workspace* workspace_ = nullptr;
+  const Snapshot* snapshot_ = nullptr;
 };
 
 }  // namespace hadad::engine

@@ -13,7 +13,7 @@ Executor::Executor(const engine::ExecOptions& options) : options_(options) {
 }
 
 Result<CompiledPlan> Executor::Compile(
-    const la::ExprPtr& expr, const engine::Workspace& workspace,
+    const la::ExprPtr& expr, engine::WorkspaceView workspace,
     const la::MetaCatalog* catalog,
     const std::set<std::string>* fusion_barriers) const {
   CompileOptions options = compile_options_;
@@ -22,7 +22,7 @@ Result<CompiledPlan> Executor::Compile(
 }
 
 Result<matrix::Matrix> Executor::Run(
-    const la::ExprPtr& expr, const engine::Workspace& workspace,
+    const la::ExprPtr& expr, engine::WorkspaceView workspace,
     engine::ExecStats* stats, const la::MetaCatalog* catalog,
     const std::set<std::string>* fusion_barriers) const {
   HADAD_ASSIGN_OR_RETURN(
@@ -31,7 +31,7 @@ Result<matrix::Matrix> Executor::Run(
 }
 
 Result<matrix::Matrix> Executor::RunCompiled(
-    const CompiledPlan& plan, const engine::Workspace& workspace,
+    const CompiledPlan& plan, engine::WorkspaceView workspace,
     engine::ExecStats* stats, const obs::TraceContext* trace,
     const CancelToken* cancel) const {
   Scheduler scheduler(pool_.get());
@@ -54,7 +54,7 @@ namespace hadad::engine {
 // Declared in engine/evaluator.h; lives here so engine/ carries no link-time
 // dependency cycle — the exec subsystem implements the overload.
 Result<matrix::Matrix> Execute(const la::Expr& expr,
-                               const Workspace& workspace,
+                               WorkspaceView workspace,
                                const ExecOptions& options, ExecStats* stats) {
   // The Expr tree is immutable and outlives this call; alias it without
   // taking ownership so callers keep passing `const la::Expr&`.

@@ -42,7 +42,7 @@ class Executor {
   // only needs to outlive this call. Thread-safe: concurrent Run()s share
   // the pool; the caller must ensure `workspace` does not mutate mid-call.
   Result<matrix::Matrix> Run(
-      const la::ExprPtr& expr, const engine::Workspace& workspace,
+      const la::ExprPtr& expr, engine::WorkspaceView workspace,
       engine::ExecStats* stats = nullptr,
       const la::MetaCatalog* catalog = nullptr,
       const std::set<std::string>* fusion_barriers = nullptr) const;
@@ -51,7 +51,7 @@ class Executor {
   // api::Session's per-plan DAG cache. Thread-safe (pure function of its
   // arguments plus the frozen compile options).
   Result<CompiledPlan> Compile(
-      const la::ExprPtr& expr, const engine::Workspace& workspace,
+      const la::ExprPtr& expr, engine::WorkspaceView workspace,
       const la::MetaCatalog* catalog = nullptr,
       const std::set<std::string>* fusion_barriers = nullptr) const;
 
@@ -65,7 +65,7 @@ class Executor {
   // error (see Scheduler::Run). Thread-safe under the same
   // workspace-stability contract as Run().
   Result<matrix::Matrix> RunCompiled(
-      const CompiledPlan& plan, const engine::Workspace& workspace,
+      const CompiledPlan& plan, engine::WorkspaceView workspace,
       engine::ExecStats* stats = nullptr,
       const obs::TraceContext* trace = nullptr,
       const CancelToken* cancel = nullptr) const;

@@ -54,7 +54,7 @@ double EstimatedDensity(const cost::ClassMeta& m) {
 
 class Compiler {
  public:
-  Compiler(const engine::Workspace& workspace, const la::MetaCatalog* catalog,
+  Compiler(engine::WorkspaceView workspace, const la::MetaCatalog* catalog,
            const CompileOptions& options)
       : workspace_(workspace), catalog_(catalog), options_(options) {}
 
@@ -521,7 +521,7 @@ class Compiler {
     RebuildEdges();
   }
 
-  const engine::Workspace& workspace_;
+  engine::WorkspaceView workspace_;
   const la::MetaCatalog* catalog_;
   const CompileOptions& options_;
   cost::NaiveMetadataEstimator estimator_;
@@ -577,7 +577,7 @@ std::string CompiledPlan::ToString() const {
 }
 
 Result<CompiledPlan> Compile(const ExprPtr& expr,
-                             const engine::Workspace& workspace,
+                             engine::WorkspaceView workspace,
                              const la::MetaCatalog* catalog,
                              const CompileOptions& options) {
   Compiler compiler(workspace, catalog, options);

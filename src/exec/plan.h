@@ -127,8 +127,11 @@ struct CompileOptions {
 // comes from `catalog` when present, else from the workspace matrix itself
 // (exact shape + nnz). Unknown names and shape mismatches surface as
 // Status. Pure function of its arguments; safe to call concurrently.
+// `workspace` may be a live Workspace (implicitly converted) or a pinned
+// engine::Snapshot — compilation against a snapshot sees the pinned
+// versions only.
 Result<CompiledPlan> Compile(const la::ExprPtr& expr,
-                             const engine::Workspace& workspace,
+                             engine::WorkspaceView workspace,
                              const la::MetaCatalog* catalog,
                              const CompileOptions& options);
 

@@ -405,7 +405,7 @@ void EmitKernelSpans(const RunState& state, const CompiledPlan& plan,
 }  // namespace
 
 Result<Matrix> Scheduler::Run(const CompiledPlan& plan,
-                              const engine::Workspace& workspace,
+                              engine::WorkspaceView workspace,
                               engine::ExecStats* stats,
                               const obs::TraceContext* trace,
                               const CancelToken* cancel) const {

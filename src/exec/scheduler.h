@@ -38,8 +38,11 @@ class Scheduler {
   // through the same first-error machinery as a kernel failure — queued
   // nodes finish, new ones are not scheduled, and the typed
   // Cancelled/DeadlineExceeded status is returned once the pool drains.
+  // `workspace` may be a live Workspace (implicitly converted; the caller
+  // keeps it stable for the duration) or a pinned engine::Snapshot — the
+  // MVCC read path, needing no lock at all.
   Result<matrix::Matrix> Run(const CompiledPlan& plan,
-                             const engine::Workspace& workspace,
+                             engine::WorkspaceView workspace,
                              engine::ExecStats* stats = nullptr,
                              const obs::TraceContext* trace = nullptr,
                              const CancelToken* cancel = nullptr) const;

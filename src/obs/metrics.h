@@ -20,6 +20,16 @@ class Counter {
   void Inc(int64_t delta = 1) {
     count_.fetch_add(delta, std::memory_order_relaxed);
   }
+  // Raises the counter to `value` if it is below it (CAS-max; no-op
+  // otherwise). For mirroring an external monotone count into the
+  // exposition: concurrent callers converge on the max instead of
+  // compounding deltas.
+  void AdvanceTo(int64_t value) {
+    int64_t cur = count_.load(std::memory_order_relaxed);
+    while (cur < value && !count_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
   int64_t Value() const { return count_.load(std::memory_order_relaxed); }
 
  private:

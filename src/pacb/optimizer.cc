@@ -73,7 +73,7 @@ class RewriteSession {
   const matrix::Matrix* DataFor(const std::string& name) const {
     if (data_ == nullptr) return nullptr;
     auto it = data_->find(name);
-    return it == data_->end() ? nullptr : &it->second;
+    return it == data_->end() ? nullptr : it->second.get();
   }
 
   Status SeedInstance(const la::EncodedExpr& enc);

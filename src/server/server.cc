@@ -263,6 +263,16 @@ void Server::Shutdown() {
     if (t.joinable()) t.join();
   }
   queue_depth_gauge_->Set(0.0);
+  // Release the client registry: each ClientSession holds a shared_ptr
+  // back to this Server, so the registry's strong references form a
+  // Server ↔ ClientSession cycle that would outlive every external
+  // handle. Handles the caller still holds stay valid (they own their
+  // ClientSession directly); their submits fail typed against the closed
+  // queue.
+  {
+    common::MutexLock lock(&clients_mu_);
+    clients_.clear();
+  }
 }
 
 }  // namespace hadad::server

@@ -164,22 +164,28 @@ void AdaptiveViewManager::RefreshOne(RefreshTask task,
   if (caller_holds_state_lock) {
     // Synchronous mode: the session's mutation path already holds the
     // unique state lock (through its own alias of *host_.state_mu), so
-    // this path must not re-acquire it.
+    // this path must not re-acquire it — evaluate against the live
+    // workspace directly.
     AssertStateLockHeld();
-    Result<matrix::Matrix> fresh = ComputeRefreshValue(task);
+    Result<matrix::Matrix> fresh =
+        ComputeRefreshValue(task, *host_.workspace, /*state_locked=*/true);
     InstallRefresh(std::move(task), std::move(fresh));
     FinishPending(refresh_key, /*failed=*/false);
     return;
   }
-  // Background mode: evaluate the refreshed value under the shared lock —
-  // foreground queries keep running meanwhile — then install under the
-  // exclusive one. InstallRefresh re-checks the dependency stamps, so
-  // mutations landing in the lock gap discard the refresh rather than
-  // corrupt it.
-  Result<matrix::Matrix> fresh = [&]() -> Result<matrix::Matrix> {
+  // Background mode: pin a workspace snapshot under a brief shared hold,
+  // then evaluate the refreshed value with NO lock held — foreground
+  // queries and writers both keep running meanwhile. InstallRefresh
+  // re-checks the dependency stamps under the exclusive lock, so mutations
+  // landing in the gap discard the refresh rather than corrupt it.
+  engine::SnapshotPtr snap;
+  {
     common::ReaderMutexLock state(host_.state_mu);
-    return ComputeRefreshValue(task);
-  }();
+    snap = host_.workspace->PinSnapshot();
+  }
+  Result<matrix::Matrix> fresh =
+      ComputeRefreshValue(task, *snap, /*state_locked=*/false);
+  snap.reset();  // Unpin before taking the exclusive lock.
   {
     common::WriterMutexLock state(host_.state_mu);
     InstallRefresh(std::move(task), std::move(fresh));
@@ -188,9 +194,9 @@ void AdaptiveViewManager::RefreshOne(RefreshTask task,
 }
 
 Result<matrix::Matrix> AdaptiveViewManager::ComputeRefreshValue(
-    const RefreshTask& task) {
+    const RefreshTask& task, engine::WorkspaceView ws, bool state_locked) {
   HADAD_ASSIGN_OR_RETURN(matrix::Matrix delta,
-                         host_.evaluate(task.delta_expr));
+                         host_.evaluate(task.delta_expr, ws, state_locked));
   return matrix::Add(task.old_value, delta);
 }
 
@@ -330,19 +336,24 @@ void AdaptiveViewManager::MaybeScheduleMaterializations() {
 void AdaptiveViewManager::MaterializeOne(Recommendation rec) {
   obs::ScopedSpan span(host_.trace, "adaptive_materialize", "views");
   span.Annotate("canonical", rec.canonical);
-  // Compute outside any exclusive lock: foreground queries keep running
-  // (they share the state lock) while the view value materializes. The
-  // definition's leaf epochs are stamped under the same shared hold — if a
-  // data mutation lands before install, the value is stale and discarded.
+  // Compute with no lock held at all: the state lock is taken shared only
+  // long enough to stamp the definition's leaf epochs and pin an MVCC
+  // snapshot; evaluation then runs against the pinned versions while
+  // foreground queries AND writers proceed. If a data mutation lands
+  // before install, the stamp check discards the stale value.
   engine::WorkspaceSnapshot deps;
-  Result<matrix::Matrix> value = [&]() -> Result<matrix::Matrix> {
+  engine::SnapshotPtr snap;
+  {
     common::ReaderMutexLock state(host_.state_mu);
     std::set<std::string> leaves;
     la::CollectMatrixRefs(*rec.definition, &leaves);
     deps = host_.workspace->SnapshotFor(
         std::vector<std::string>(leaves.begin(), leaves.end()));
-    return host_.evaluate(rec.definition);
-  }();
+    snap = host_.workspace->PinSnapshot();
+  }
+  Result<matrix::Matrix> value =
+      host_.evaluate(rec.definition, *snap, /*state_locked=*/false);
+  snap.reset();  // Unpin before any exclusive-lock work below.
   if (!value.ok()) {
     failures_.fetch_add(1, std::memory_order_relaxed);
     FinishPending(rec.canonical, /*failed=*/true);

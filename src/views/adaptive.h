@@ -86,9 +86,16 @@ class AdaptiveViewManager {
     // compiler; installed/evicted views are mirrored into it.
     la::MetaCatalog* exec_catalog = nullptr;
     common::SharedMutex* state_mu = nullptr;
-    // Evaluates a view definition over the host's data (called under the
-    // shared state lock; must not take state_mu itself).
-    std::function<Result<matrix::Matrix>(const la::ExprPtr&)> evaluate;
+    // Evaluates a view definition over `ws` — a pinned workspace snapshot
+    // on the background paths (called with NO state lock held; writers
+    // proceed concurrently) or the live workspace on the synchronous-mode
+    // refresh path, where `state_locked` is true because the caller's
+    // mutation already holds the unique state lock. An implementation that
+    // must consult state beyond `ws` (the session's Morpheus engine) takes
+    // the shared state lock itself only when `state_locked` is false.
+    std::function<Result<matrix::Matrix>(
+        const la::ExprPtr&, engine::WorkspaceView ws, bool state_locked)>
+        evaluate;
     // View-set change notification, called under the unique state lock.
     std::function<void()> on_views_changed;
     // Optional span recorder (borrowed; must outlive the manager). The
@@ -179,10 +186,13 @@ class AdaptiveViewManager {
   // where the session's mutation call already holds the unique state lock.
   void RefreshOne(RefreshTask task, bool caller_holds_state_lock)
       HADAD_EXCLUDES(admin_mu_);
-  // Evaluates old_value + f(Δ) for a detached view. Shared state hold keeps
-  // the referenced workspace matrices physically stable.
-  Result<matrix::Matrix> ComputeRefreshValue(const RefreshTask& task)
-      HADAD_REQUIRES_SHARED(host_.state_mu);
+  // Evaluates old_value + f(Δ) for a detached view against `ws` — a pinned
+  // snapshot on the background path (lock-free; writers never wait), the
+  // live workspace in synchronous mode (`state_locked` true: the caller's
+  // mutation holds the unique state lock).
+  Result<matrix::Matrix> ComputeRefreshValue(const RefreshTask& task,
+                                             engine::WorkspaceView ws,
+                                             bool state_locked);
   // Re-admits the refreshed value (or records the discard) and erases the
   // temp delta entry. The unique state hold covers the workspace/optimizer/
   // exec-catalog writes.

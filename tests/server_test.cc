@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -310,6 +311,150 @@ TEST(ServerTest, QueueWaitHistogramAndRequestCountersPopulate) {
   EXPECT_GE(wait->Count(), 1);
   EXPECT_GE(metrics.FindCounter("hadad_server_requests_total")->Value(), 1);
   EXPECT_EQ(server->queue_depth(), 0);
+  server->Shutdown();
+}
+
+TEST(ServerTest, MixedReadWriteWorkloadStaysSnapshotConsistent) {
+  // The writer walks M through kVersions values via the server's shared
+  // substrate while clients keep querying. MVCC means no Submit is ever
+  // rejected or stalled by the writer, and every result is bit-identical
+  // to the oracle at exactly one committed version — never a torn mix.
+  Rng rng(13);
+  constexpr int kVersions = 5;
+  std::vector<matrix::Matrix> m_versions;
+  for (int v = 0; v < kVersions; ++v) {
+    m_versions.push_back(matrix::RandomDense(rng, 96, 80, -1.0, 1.0));
+  }
+  matrix::Matrix n = matrix::RandomDense(rng, 80, 64, -1.0, 1.0);
+
+  // Single-threaded oracle replay of every query at every version.
+  std::vector<std::vector<matrix::Matrix>> expected(kVersions);
+  {
+    auto ref = api::SessionBuilder()
+                   .Put("M", m_versions[0])
+                   .Put("N", n)
+                   .Threads(1)
+                   .Build()
+                   .value();
+    for (int v = 0; v < kVersions; ++v) {
+      if (v > 0) ASSERT_TRUE(ref->Update("M", m_versions[v]).ok());
+      for (const char* q : kQueries) {
+        auto r = ref->Run(q);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        expected[v].push_back(std::move(*r));
+      }
+    }
+  }
+
+  auto live = api::SessionBuilder()
+                  .Put("M", m_versions[0])
+                  .Put("N", n)
+                  .Threads(4)
+                  .Build()
+                  .value();
+  auto server = Server::Create(live).value();
+
+  constexpr int kClients = 3;
+  constexpr int kRounds = 16;
+  std::vector<std::vector<RequestHandle>> handles(kClients);
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      auto client = server->Connect("reader" + std::to_string(c));
+      for (int r = 0; r < kRounds; ++r) {
+        auto submitted = client->Submit(kQueries[(c + r) % 5]);
+        // Admission must never trip on writer activity (the queue bound
+        // is sized for the readers alone).
+        ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+        handles[c].push_back(std::move(*submitted));
+        if (r % 4 == 3) (*handles[c].rbegin())->result();  // Mix in waits.
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    for (int v = 1; v < kVersions; ++v) {
+      std::this_thread::sleep_for(milliseconds(3));
+      ASSERT_TRUE(server->session().Update("M", m_versions[v]).ok());
+    }
+  });
+  for (std::thread& t : workers) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(handles[c].size(), static_cast<size_t>(kRounds));
+    for (int r = 0; r < kRounds; ++r) {
+      const Result<matrix::Matrix>& got = handles[c][r]->result();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      const matrix::Matrix& m = *got;
+      bool matched = false;
+      for (int v = 0; v < kVersions && !matched; ++v) {
+        const matrix::Matrix& want = expected[v][(c + r) % 5];
+        if (m.rows() != want.rows() || m.cols() != want.cols()) continue;
+        matched = true;
+        for (int64_t i = 0; i < m.rows() && matched; ++i) {
+          for (int64_t j = 0; j < m.cols() && matched; ++j) {
+            if (m.At(i, j) != want.At(i, j)) matched = false;
+          }
+        }
+      }
+      EXPECT_TRUE(matched)
+          << "client " << c << " round " << r
+          << ": result matches no committed version of M";
+    }
+  }
+  EXPECT_EQ(server->session().workspace().PinnedSnapshots(), 0);
+  server->Shutdown();
+}
+
+TEST(ServerTest, DeadlineAndCancelFireMidMutationChurn) {
+  auto server = Server::Create(MakeSession(2)).value();
+  auto client = server->Connect("hurried");
+  ASSERT_TRUE(client->Run(kHeavy).ok());  // Warm the plan.
+
+  // Writer churns L (the heavy chain's base) while hurried requests race
+  // their deadlines and cancellations mid-DAG: every outcome must be a
+  // typed error or a clean value, and the substrate must drain to zero
+  // pinned snapshots afterwards.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng wrng(29);
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(
+          server->session()
+              .Update("L", matrix::RandomDense(wrng, 400, 400, -0.1, 0.1))
+              .ok());
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+  });
+
+  RequestOptions hurried;
+  hurried.deadline = milliseconds(25);
+  int deadline_hits = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Result<matrix::Matrix>& out = client->Run(kHeavy, hurried);
+    if (!out.ok()) {
+      EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+      ++deadline_hits;
+    }
+  }
+  EXPECT_GE(deadline_hits, 1);
+
+  for (int i = 0; i < 3; ++i) {
+    auto submitted = client->Submit(kHeavy);
+    ASSERT_TRUE(submitted.ok());
+    (*submitted)->Cancel();
+    const Result<matrix::Matrix>& out = (*submitted)->result();
+    if (!out.ok()) {
+      EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  // Aborted mid-DAG runs released their snapshots; serving continues.
+  EXPECT_EQ(server->session().workspace().PinnedSnapshots(), 0);
+  for (const char* q : kQueries) {
+    EXPECT_TRUE(client->Run(q).ok()) << q;
+  }
   server->Shutdown();
 }
 

@@ -8,11 +8,13 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/session.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "engine/evaluator.h"
 #include "engine/view_catalog.h"
@@ -583,6 +585,118 @@ TEST(AdaptiveSessionTest, BackgroundMaterializationIsRaceSafe) {
     ASSERT_TRUE(result.ok());
     EXPECT_TRUE(result->ApproxEquals(expected[q], 1e-12));
   }
+}
+
+// ---------------------------------------------------------------------------
+// MVCC snapshot races: a mutation landing between a background evaluation
+// and its install must discard the stale value, never install it.
+// ---------------------------------------------------------------------------
+
+// A manager over a raw Host whose evaluate hook can inject a conflicting
+// base-data mutation mid-evaluation — deterministic reproduction of the
+// writer-races-installer window.
+struct RaceHarness {
+  explicit RaceHarness(bool synchronous) {
+    Rng rng(21);
+    x0 = matrix::RandomDense(rng, 80, 12);
+    conflict = matrix::RandomDense(rng, 80, 12);
+    ws.Put("X", x0);
+    optimizer.emplace(ws.BuildMetaCatalog());
+    optimizer->SetData(&ws.data());
+
+    AdaptiveViewManager::Host host;
+    host.workspace = &ws;
+    host.optimizer = &*optimizer;
+    host.exec_catalog = nullptr;
+    host.state_mu = &state_mu;
+    host.evaluate = [this](const la::ExprPtr& def, engine::WorkspaceView wsv,
+                           bool) -> Result<matrix::Matrix> {
+      Result<matrix::Matrix> r = engine::Execute(*def, wsv);
+      if (inject.exchange(false)) {
+        // The writer proceeds while the evaluation's snapshot is pinned —
+        // MVCC's whole point — and invalidates the stamped deps.
+        common::WriterMutexLock lock(&state_mu);
+        ws.Update("X", conflict);
+      }
+      return r;
+    };
+    host.on_views_changed = [] {};
+
+    AdaptiveOptions options;
+    options.min_hits = 2;
+    options.synchronous = synchronous;
+    manager.emplace(host, options, nullptr);
+  }
+
+  matrix::Matrix x0;
+  matrix::Matrix conflict;
+  engine::Workspace ws;
+  std::optional<pacb::Optimizer> optimizer;
+  common::SharedMutex state_mu;
+  std::atomic<bool> inject{false};
+  std::optional<AdaptiveViewManager> manager;
+};
+
+TEST(AdaptiveSnapshotRaceTest, StaleMaterializationIsDiscardedNotInstalled) {
+  RaceHarness h(/*synchronous=*/true);
+  la::ExprPtr def = Parse("t(X) %*% X");
+
+  h.manager->OnExecution(def, nullptr);
+  h.inject.store(true);
+  h.manager->OnExecution(def, nullptr);  // Crosses min_hits; materializes.
+
+  // The computed value described the pre-conflict X: discarded, with the
+  // candidate neither installed nor blacklisted as a failure.
+  AdaptiveViewStats stats = h.manager->stats();
+  EXPECT_EQ(stats.views_created, 0);
+  EXPECT_EQ(stats.materialize_failures, 0);
+  EXPECT_EQ(stats.pending, 0);
+  EXPECT_TRUE(h.manager->StoredViews().empty());
+
+  // The workload may legitimately rebuild on the new data: a clean retry
+  // (no injected conflict) installs.
+  h.manager->OnExecution(def, nullptr);
+  h.manager->OnExecution(def, nullptr);
+  EXPECT_EQ(h.manager->stats().views_created, 1);
+  ASSERT_EQ(h.manager->StoredViews().size(), 1u);
+
+  // The installed value matches the post-conflict data exactly.
+  auto expected = engine::Execute(*def, h.ws);
+  ASSERT_TRUE(expected.ok());
+  auto got = h.ws.Get(h.manager->StoredViews()[0].name);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE((*got)->ApproxEquals(*expected, 0.0));
+}
+
+TEST(AdaptiveSnapshotRaceTest, StaleDeltaRefreshIsDiscardedNotInstalled) {
+  RaceHarness h(/*synchronous=*/false);  // Real background worker.
+  la::ExprPtr def = Parse("t(X) %*% X");
+
+  h.manager->OnExecution(def, nullptr);
+  h.manager->OnExecution(def, nullptr);
+  h.manager->Drain();
+  ASSERT_EQ(h.manager->stats().views_created, 1);
+
+  // Append to X and queue the incremental refresh (V ← V + t(Δ)Δ); the
+  // delta evaluation then races a conflicting update of X.
+  Rng rng(33);
+  matrix::Matrix extra = matrix::RandomDense(rng, 15, 12);
+  const std::string appended = "X";
+  {
+    common::WriterMutexLock lock(&h.state_mu);
+    ASSERT_TRUE(h.ws.Append("X", extra).ok());
+    h.inject.store(true);
+    h.manager->OnDataMutation({}, &appended, &extra);
+  }
+  h.manager->Drain();
+
+  // old_value + f(Δ) no longer describes the data: the refresh must be
+  // discarded and counted with the invalidations.
+  AdaptiveViewStats stats = h.manager->stats();
+  EXPECT_EQ(stats.views_refreshed, 0);
+  EXPECT_GE(stats.views_invalidated, 1);
+  EXPECT_EQ(stats.pending, 0);
+  EXPECT_TRUE(h.manager->StoredViews().empty());
 }
 
 // ---------------------------------------------------------------------------
